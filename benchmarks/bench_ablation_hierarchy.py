@@ -1,0 +1,47 @@
+"""Ablation — hierarchical vs. flat annealing (the section-III argument).
+
+Places a mid-size synthesized circuit twice under the same annealing
+budget: once with the HB*-tree forest (hierarchy bounds the search and
+maintains constraints by construction) and once with a flat B*-tree over
+all modules (no constraint maintenance — symmetry error reported).
+"""
+
+from __future__ import annotations
+
+from repro.bstar import BStarPlacer, BStarPlacerConfig, HierarchicalPlacer
+from repro.circuit import table1_circuit
+
+
+def test_ablation_hierarchy_vs_flat(emit, benchmark):
+    circuit = table1_circuit("folded_cascode")
+    config = BStarPlacerConfig(seed=2, alpha=0.9, steps_per_epoch=40)
+
+    def run_both():
+        hier = HierarchicalPlacer(circuit, config).run()
+        flat = BStarPlacer(circuit.modules(), circuit.nets, config).run()
+        return hier, flat
+
+    hier, flat = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert hier.placement.is_overlap_free()
+    assert flat.placement.is_overlap_free()
+
+    groups = circuit.constraints().symmetry
+    hier_err = sum(g.symmetry_error(hier.placement) for g in groups)
+    flat_err = sum(g.symmetry_error(flat.placement) for g in groups)
+    assert hier_err <= 1e-6, "hierarchical placement maintains symmetry exactly"
+    assert flat_err > 1.0, "flat annealing has no reason to be symmetric"
+
+    lines = [
+        f"{circuit.name}: hierarchical (HB*-tree forest) vs flat B*-tree,",
+        f"same schedule ({hier.stats.steps} steps):",
+        "",
+        f"{'':16}{'area usage':>12}{'total symmetry error':>22}",
+        f"{'hierarchical':16}{100 * hier.placement.area_usage():>11.1f}%"
+        f"{hier_err:>22.2e}",
+        f"{'flat':16}{100 * flat.placement.area_usage():>11.1f}%"
+        f"{flat_err:>22.2e}",
+        "",
+        "the hierarchy maintains every symmetry island by construction;",
+        "flat annealing optimizes area but leaves the constraints unmet.",
+    ]
+    emit("ablation_hierarchy", "\n".join(lines))

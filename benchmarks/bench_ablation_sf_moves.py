@@ -1,0 +1,83 @@
+"""Ablation — S-F move set vs. unconstrained annealing with a penalty.
+
+Section II argues for exploring only symmetric-feasible codes with a
+property-(1)-preserving move set.  The alternative is annealing over
+*all* sequence-pairs and pushing symmetry into the cost as a penalty.
+This bench runs both on the Fig.-1 problem under the same move budget
+and reports final area and residual symmetry error: the S-F move set
+achieves exact symmetry by construction, the penalty formulation
+typically does not (or pays area for it).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.anneal import Annealer, FunctionMoveSet, GeometricSchedule
+from repro.circuit import fig1_modules
+from repro.seqpair import (
+    PlacerConfig,
+    SequencePair,
+    SequencePairPlacer,
+    pack_lcs,
+)
+
+
+def penalty_anneal(modules, group, seed: int, penalty_weight: float = 2.0):
+    """Unconstrained SA over raw sequence-pairs with a symmetry penalty."""
+    names = list(modules.names())
+    area_scale = modules.total_module_area()
+
+    def cost(sp: SequencePair) -> float:
+        placement = pack_lcs(sp, modules)
+        err = group.symmetry_error(placement)
+        return placement.area / area_scale + penalty_weight * err / area_scale**0.5
+
+    def move(sp: SequencePair, rng: random.Random):
+        a, b = rng.sample(names, 2)
+        roll = rng.random()
+        if roll < 0.4:
+            return sp.with_alpha_swap(sp.alpha_index(a), sp.alpha_index(b))
+        if roll < 0.8:
+            return sp.with_beta_swap(sp.beta_index(a), sp.beta_index(b))
+        return sp.with_both_swap(a, b)
+
+    rng = random.Random(seed)
+    schedule = GeometricSchedule(alpha=0.9, steps_per_epoch=40, t_final=1e-4)
+    annealer = Annealer(cost, FunctionMoveSet(move), schedule, rng)
+    outcome = annealer.run(SequencePair.random(names, rng))
+    return pack_lcs(outcome.best_state, modules)
+
+
+def test_ablation_sf_moves(emit, benchmark):
+    modules, group = fig1_modules()
+
+    def run_both():
+        sf = SequencePairPlacer(
+            modules,
+            (group,),
+            config=PlacerConfig(seed=4, alpha=0.9, steps_per_epoch=40),
+        ).run()
+        pen = penalty_anneal(modules, group, seed=4)
+        return sf, pen
+
+    sf_result, pen_placement = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    sf_err = group.symmetry_error(sf_result.placement)
+    pen_err = group.symmetry_error(pen_placement)
+    assert sf_err <= 1e-6, "S-F move set must give exact symmetry"
+
+    lines = [
+        "S-F move set (section II) vs. symmetry-penalty annealing,",
+        "same cooling schedule, Fig. 1 problem:",
+        "",
+        f"{'':24}{'area usage':>12}{'symmetry error':>16}",
+        f"{'S-F move set':24}{100 * sf_result.placement.area_usage():>11.1f}%"
+        f"{sf_err:>16.2e}",
+        f"{'penalty annealing':24}{100 * pen_placement.area_usage():>11.1f}%"
+        f"{pen_err:>16.2e}",
+        "",
+        "the S-F formulation guarantees zero symmetry error by construction;",
+        "the penalty run must trade area against residual asymmetry.",
+    ]
+    emit("ablation_sf_moves", "\n".join(lines))

@@ -1,0 +1,59 @@
+"""Ablation — the design choices inside the shape-function flow.
+
+Three knobs called out in DESIGN.md:
+
+* enhanced vs. regular additions (the Table-I comparison itself);
+* staircase truncation (``max_shapes``): quality/runtime trade-off;
+* rotations in leaf enumeration.
+"""
+
+from __future__ import annotations
+
+from repro.circuit import table1_circuit
+from repro.shapes import DeterministicConfig, DeterministicPlacer
+
+
+def run(circuit, **kwargs):
+    result = DeterministicPlacer(circuit, DeterministicConfig(**kwargs)).run()
+    assert result.placement.is_overlap_free()
+    return result
+
+
+def test_ablation_truncation(emit, benchmark):
+    circuit = table1_circuit("folded_cascode")
+
+    def sweep():
+        return {
+            cap: run(circuit, enhanced=True, max_shapes=cap)
+            for cap in (2, 8, 32, None)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'max_shapes':>12} {'area usage':>12} {'runtime':>9}"]
+    for cap, r in results.items():
+        lines.append(
+            f"{str(cap):>12} {100 * r.area_usage:>11.2f}% {r.runtime_s:>8.2f}s"
+        )
+    # wider beams can only help (monotone in the cap)
+    assert results[32].area_usage <= results[2].area_usage + 1e-9
+    emit("ablation_truncation", "\n".join(lines))
+
+
+def test_ablation_rotations(emit, benchmark):
+    circuit = table1_circuit("comparator_v2")
+
+    def sweep():
+        return (
+            run(circuit, enhanced=True, rotations=True),
+            run(circuit, enhanced=True, rotations=False),
+        )
+
+    with_rot, without_rot = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'rotations':>12} {'area usage':>12} {'runtime':>9}",
+        f"{'on':>12} {100 * with_rot.area_usage:>11.2f}% {with_rot.runtime_s:>8.2f}s",
+        f"{'off':>12} {100 * without_rot.area_usage:>11.2f}% "
+        f"{without_rot.runtime_s:>8.2f}s",
+    ]
+    assert with_rot.area_usage <= without_rot.area_usage + 1e-9
+    emit("ablation_rotations", "\n".join(lines))

@@ -1,0 +1,62 @@
+"""Experiment F1 — Fig. 1: the symmetric-feasible sequence-pair example.
+
+Regenerates the placement of the S-F code (EBAFCDG, EBCDFAG) with the
+symmetry group gamma = {(C, D), (B, G), A, F}, and benchmarks the two
+packers plus the symmetric packer on it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_placement
+from repro.circuit import fig1_modules, fig1_sequence_pair
+from repro.seqpair import (
+    SequencePair,
+    is_symmetric_feasible,
+    pack_lcs,
+    pack_longest_path,
+    pack_symmetric,
+)
+
+
+def test_fig1_regeneration(emit, benchmark):
+    modules, group = fig1_modules()
+    sp = SequencePair(*fig1_sequence_pair())
+    assert is_symmetric_feasible(sp, [group])
+
+    placement = benchmark.pedantic(
+        lambda: pack_symmetric(sp, modules, [group]), rounds=5, iterations=1
+    )
+    assert placement.is_overlap_free()
+    assert group.symmetry_error(placement) <= 1e-9
+
+    text = "\n".join(
+        [
+            f"sequence-pair: alpha={''.join(sp.alpha)} beta={''.join(sp.beta)}",
+            f"symmetry group gamma: pairs {group.pairs}, "
+            f"self-symmetric {group.self_symmetric}",
+            f"S-F (property (1)): True",
+            f"axis x = {group.axis_of(placement):.2f}, "
+            f"symmetry error = {group.symmetry_error(placement):.2e}",
+            "",
+            render_placement(placement, width=54, height=15),
+        ]
+    )
+    emit("fig1_sf_example", text)
+
+
+def test_bench_pack_lcs(benchmark):
+    modules, _ = fig1_modules()
+    sp = SequencePair(*fig1_sequence_pair())
+    benchmark(lambda: pack_lcs(sp, modules))
+
+
+def test_bench_pack_longest_path(benchmark):
+    modules, _ = fig1_modules()
+    sp = SequencePair(*fig1_sequence_pair())
+    benchmark(lambda: pack_longest_path(sp, modules))
+
+
+def test_bench_pack_symmetric(benchmark):
+    modules, group = fig1_modules()
+    sp = SequencePair(*fig1_sequence_pair())
+    benchmark(lambda: pack_symmetric(sp, modules, [group]))

@@ -1,0 +1,70 @@
+"""Experiment F7 — Fig. 7: one enhanced shape addition.
+
+Builds two L-shaped operands, adds them with regular and enhanced
+additions, and reports the width improvement ``w_imp`` that the
+enhanced (placement-aware) addition achieves over the bounding-rectangle
+addition.  Benchmarks the per-addition cost of both (the source of the
+ESF runtime premium).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_placement
+from repro.geometry import Module, PlacedModule, Placement, Rect
+from repro.shapes import Shape, ShapeFunction, add_shape_functions
+
+
+def operands():
+    left_pl = Placement.of(
+        [
+            PlacedModule(Module.hard("A", 2, 6, rotatable=False), Rect.from_size(0, 0, 2, 6)),
+            PlacedModule(Module.hard("B", 3, 2, rotatable=False), Rect.from_size(2, 0, 3, 2)),
+        ]
+    )
+    right_pl = Placement.of(
+        [
+            PlacedModule(Module.hard("C", 2, 3, rotatable=False), Rect.from_size(0, 3, 2, 3)),
+            PlacedModule(Module.hard("D", 1, 3, rotatable=False), Rect.from_size(2, 0, 1, 3)),
+        ]
+    )
+    return (
+        ShapeFunction((Shape.of_placement(left_pl),)),
+        ShapeFunction((Shape.of_placement(right_pl),)),
+    )
+
+
+def test_fig7_regeneration(emit, benchmark):
+    left, right = operands()
+
+    def both():
+        rsf = add_shape_functions(left, right, enhanced=False, direction="h")
+        esf = add_shape_functions(left, right, enhanced=True, direction="h")
+        return rsf, esf
+
+    rsf, esf = benchmark.pedantic(both, rounds=10, iterations=1)
+    r, e = rsf.min_area_shape(), esf.min_area_shape()
+    w_imp = r.width - e.width
+    assert w_imp > 0, "enhanced addition must interleave the operands"
+    assert e.placement().is_overlap_free()
+
+    text = "\n".join(
+        [
+            f"regular shape addition:  (w, h) = ({r.width:.1f}, {r.height:.1f})",
+            f"enhanced shape addition: (w, h) = ({e.width:.1f}, {e.height:.1f})",
+            f"w_imp = {w_imp:.1f} ({100 * w_imp / r.width:.0f}% narrower)",
+            "",
+            "enhanced result (operands interleave as in Fig. 7):",
+            render_placement(e.placement(), width=40, height=12),
+        ]
+    )
+    emit("fig7_esf_addition", text)
+
+
+def test_bench_regular_addition(benchmark):
+    left, right = operands()
+    benchmark(lambda: add_shape_functions(left, right, enhanced=False, direction="h"))
+
+
+def test_bench_enhanced_addition(benchmark):
+    left, right = operands()
+    benchmark(lambda: add_shape_functions(left, right, enhanced=True, direction="h"))

@@ -1,0 +1,69 @@
+"""Experiment F8 — Fig. 8: ESF vs RSF staircases of `lnamixbias`.
+
+Runs both deterministic flows on the 110-module circuit and plots the
+two root shape functions in one diagram, as the paper does.  Shape to
+hold: the ESF staircase lies on or below the RSF staircase.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_shape_functions, staircase_table
+from repro.circuit import table1_circuit
+from repro.shapes import DeterministicConfig, DeterministicPlacer
+
+
+def test_fig8_regeneration(emit, benchmark):
+    circuit = table1_circuit("lnamixbias")
+
+    def both_flows():
+        # Unbounded staircases: beam truncation would blur the exact
+        # dominance of the ESF front over the RSF front.
+        esf = DeterministicPlacer(
+            circuit, DeterministicConfig(enhanced=True, max_shapes=None)
+        ).run()
+        rsf = DeterministicPlacer(
+            circuit, DeterministicConfig(enhanced=False, max_shapes=None)
+        ).run()
+        return esf, rsf
+
+    esf, rsf = benchmark.pedantic(both_flows, rounds=1, iterations=1)
+    assert esf.area_usage <= rsf.area_usage + 1e-9
+
+    # Pointwise dominance: every RSF staircase point has an ESF shape at
+    # most as large in both dimensions (Fig. 8: the ESF curve lies on or
+    # below the RSF curve).
+    esf_points = esf.shape_function.staircase()
+    rsf_points = rsf.shape_function.staircase()
+    dominated = sum(
+        1
+        for rw, rh in rsf_points
+        if any(ew <= rw + 1e-9 and eh <= rh + 1e-9 for ew, eh in esf_points)
+    )
+    dominance = dominated / len(rsf_points)
+    assert dominance >= 0.9, f"ESF dominates only {100 * dominance:.0f}% of RSF points"
+
+    text = "\n".join(
+        [
+            f"lnamixbias ({circuit.n_modules} modules)",
+            f"ESF: area usage {100 * esf.area_usage:.2f}%, {esf.runtime_s:.2f}s, "
+            f"{len(esf.shape_function)} staircase points",
+            f"RSF: area usage {100 * rsf.area_usage:.2f}%, {rsf.runtime_s:.2f}s, "
+            f"{len(rsf.shape_function)} staircase points",
+            f"ESF dominates {100 * dominance:.0f}% of the RSF staircase points",
+            "",
+            render_shape_functions(
+                {"ESF": esf.shape_function, "RSF": rsf.shape_function},
+                width=64,
+                height=18,
+            ),
+            "",
+            "staircase samples (16-point views):",
+            staircase_table(
+                {
+                    "ESF": esf.shape_function.truncated(16),
+                    "RSF": rsf.shape_function.truncated(16),
+                }
+            ),
+        ]
+    )
+    emit("fig8_curves", text)

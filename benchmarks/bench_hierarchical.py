@@ -1,0 +1,104 @@
+"""Experiments F2-F6 — hierarchical placement with layout constraints.
+
+Regenerates the Fig.-2/4/5 scenario: the hierarchical design placed by
+the HB*-tree placer with its symmetry island, two common-centroid arrays
+and a proximity cluster — all constraints verified on the result — and
+the Fig.-6 Miller op amp hierarchy placed the same way.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import render_placement
+from repro.bstar import BStarPlacerConfig, HBStarTreePlacement, HierarchicalPlacer
+from repro.circuit import fig2_design, miller_opamp
+
+
+def _hierarchy_text(node, indent="  "):
+    lines = [f"{indent}{node.name} [{node.constraint_kind.value}] "
+             f"modules: {', '.join(m.name for m in node.modules) or '-'}"]
+    for child in node.children:
+        lines.extend(_hierarchy_text(child, indent + "  "))
+    return lines
+
+
+def test_fig2_to_5_regeneration(emit, benchmark):
+    circuit = fig2_design()
+    config = BStarPlacerConfig(seed=5, alpha=0.92, steps_per_epoch=50)
+
+    result = benchmark.pedantic(
+        lambda: HierarchicalPlacer(circuit, config).run(), rounds=1, iterations=1
+    )
+    placement = result.placement
+    constraints = circuit.constraints()
+    assert placement.is_overlap_free()
+    assert constraints.violations(placement) == []
+
+    lines = ["Fig. 2 layout design hierarchy:"]
+    lines.extend(_hierarchy_text(circuit.hierarchy))
+    lines.append("")
+    lines.append("HB*-tree placement (Figs. 4/5 scenario):")
+    lines.append(render_placement(placement, width=66, height=20))
+    lines.append("")
+    for g in constraints.symmetry:
+        lines.append(f"symmetry {g.name}: error {g.symmetry_error(placement):.2e}")
+    for g in constraints.common_centroid:
+        lines.append(f"common-centroid {g.name}: error {g.centroid_error(placement):.2e}")
+    from repro.geometry import well_report
+
+    for g in constraints.proximity:
+        connected = g.is_satisfied(placement)
+        rects = [placement[m].rect for m in g.members()]
+        wells = well_report(rects, well_margin=1.0, ring_width=0.8)
+        lines.append(
+            f"proximity {g.name}: {'connected' if connected else 'SPLIT'}; "
+            f"shared well {wells.shared_well_area:.0f} vs separate "
+            f"{wells.separate_well_area:.0f} um^2 "
+            f"(saving {wells.sharing_saving:.0f}), "
+            f"guard ring {wells.guard_ring_area:.0f} um^2"
+        )
+        assert connected
+        assert wells.sharing_saving > 0.0
+    lines.append(f"area usage {100 * placement.area_usage():.1f}%")
+    emit("fig2to5_hierarchical", "\n".join(lines))
+
+
+def test_fig6_miller_hierarchy(emit, benchmark):
+    circuit = miller_opamp()
+    config = BStarPlacerConfig(seed=3, alpha=0.92, steps_per_epoch=50)
+    result = benchmark.pedantic(
+        lambda: HierarchicalPlacer(circuit, config).run(), rounds=1, iterations=1
+    )
+    assert result.placement.is_overlap_free()
+    assert circuit.constraints().violations(result.placement) == []
+
+    lines = ["Fig. 6 Miller op amp hierarchy tree:"]
+    lines.extend(_hierarchy_text(circuit.hierarchy))
+    lines.append("")
+    lines.append(render_placement(result.placement, width=60, height=16))
+    lines.append(f"area usage {100 * result.placement.area_usage():.1f}%")
+    emit("fig6_miller", "\n".join(lines))
+
+
+def test_bench_hb_pack(benchmark):
+    """Packing one HB*-tree forest state (the inner loop of the placer)."""
+    circuit = fig2_design()
+    hb = HBStarTreePlacement(circuit.hierarchy, circuit.modules())
+    state = hb.initial_state(random.Random(0))
+    benchmark(lambda: hb.pack(state))
+
+
+def test_bench_hb_perturb_and_pack(benchmark):
+    """One full annealing step: perturb the forest + repack."""
+    circuit = fig2_design()
+    hb = HBStarTreePlacement(circuit.hierarchy, circuit.modules())
+    rng = random.Random(0)
+    state = hb.initial_state(rng)
+
+    def step():
+        nonlocal state
+        state = hb.propose(state, rng)
+        return hb.pack(state)
+
+    benchmark(step)

@@ -1,0 +1,72 @@
+"""Ablation — sequence-pair packer scaling: O(n^2) vs O(n log n).
+
+The paper quotes O(G * n log log n) per evaluation via a van Emde Boas
+priority queue [26]; we substitute a Fenwick-tree weighted-LCS packer
+(see DESIGN.md).  This bench shows the asymptotic gap against the
+textbook longest-path packer on growing module counts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.geometry import Module, ModuleSet
+from repro.seqpair import SequencePair, pack_lcs, pack_longest_path
+
+
+def problem(n: int, seed: int = 0):
+    rng = random.Random(seed)
+    mods = ModuleSet.of(
+        [
+            Module.hard(f"m{i}", rng.uniform(1, 10), rng.uniform(1, 10), rotatable=False)
+            for i in range(n)
+        ]
+    )
+    sp = SequencePair.random(mods.names(), rng)
+    return sp, mods
+
+
+@pytest.mark.parametrize("n", [20, 60, 180])
+def test_bench_lcs_packer(benchmark, n):
+    sp, mods = problem(n)
+    benchmark(lambda: pack_lcs(sp, mods))
+
+
+@pytest.mark.parametrize("n", [20, 60, 180])
+def test_bench_longest_path_packer(benchmark, n):
+    sp, mods = problem(n)
+    benchmark(lambda: pack_longest_path(sp, mods))
+
+
+def test_scaling_report(emit, benchmark):
+    """The crossover table: per-evaluation time of both packers."""
+
+    def sweep():
+        rows = []
+        for n in (10, 30, 100, 300):
+            sp, mods = problem(n)
+            reps = max(1, 3000 // n)
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                pack_lcs(sp, mods)
+            t_fast = (time.perf_counter() - t0) / reps
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                pack_longest_path(sp, mods)
+            t_slow = (time.perf_counter() - t0) / reps
+            rows.append((n, t_fast, t_slow))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'n':>5} {'LCS (us)':>12} {'longest-path (us)':>18} {'ratio':>7}"]
+    for n, t_fast, t_slow in rows:
+        lines.append(
+            f"{n:>5} {t_fast * 1e6:>12.1f} {t_slow * 1e6:>18.1f} "
+            f"{t_slow / t_fast:>7.1f}"
+        )
+    emit("packer_scaling", "\n".join(lines))
+    # asymptotic shape: the O(n^2) packer falls behind at large n
+    assert rows[-1][2] > rows[-1][1]

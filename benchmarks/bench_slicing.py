@@ -1,0 +1,106 @@
+"""Ablation — slicing vs. non-slicing representations (the section-I claim).
+
+"Today it is widely acknowledged that [slicing] is not a good choice for
+high-performance analog design since the slicing representations limit
+the set of reachable layout topologies, degrading the layout density
+especially when cells are very different in size."
+
+We measure exactly that: anneal the slicing placer (normalized Polish
+expressions, Wong-Liu moves, Stockmeyer evaluation) and the non-slicing
+B*-tree placer under the same schedule, on (a) homogeneous cells and
+(b) analog-typical heterogeneous cells (one big capacitor among small
+transistors).  Expected shape: comparable density on (a), a clear
+non-slicing advantage on (b).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bstar import BStarPlacer, BStarPlacerConfig
+from repro.geometry import Module, ModuleSet
+from repro.slicing import SlicingPlacer, SlicingPlacerConfig
+
+
+def homogeneous(n: int = 12, seed: int = 0) -> ModuleSet:
+    rng = random.Random(seed)
+    return ModuleSet.of(
+        [
+            Module.hard(f"m{i}", rng.uniform(4.0, 6.0), rng.uniform(4.0, 6.0), rotatable=False)
+            for i in range(n)
+        ]
+    )
+
+
+def heterogeneous(n: int = 12, seed: int = 0) -> ModuleSet:
+    """Analog-typical: a few large capacitors among small transistors."""
+    rng = random.Random(seed)
+    modules = []
+    for i in range(n):
+        if i < 2:
+            side = rng.uniform(18.0, 24.0)  # big caps
+            modules.append(Module.hard(f"m{i}", side, side, rotatable=False))
+        else:
+            modules.append(
+                Module.hard(
+                    f"m{i}", rng.uniform(1.5, 5.0), rng.uniform(1.5, 5.0), rotatable=False
+                )
+            )
+    return ModuleSet.of(modules)
+
+
+def run_pair(mods: ModuleSet, seed: int):
+    slicing = SlicingPlacer(
+        mods,
+        config=SlicingPlacerConfig(seed=seed, alpha=0.93, steps_per_epoch=60),
+    ).run()
+    bstar = BStarPlacer(
+        mods,
+        config=BStarPlacerConfig(
+            seed=seed, alpha=0.93, steps_per_epoch=60, wirelength_weight=0.0, aspect_weight=0.0
+        ),
+    ).run()
+    assert slicing.placement.is_overlap_free()
+    assert bstar.placement.is_overlap_free()
+    return slicing.placement.area_usage(), bstar.placement.area_usage()
+
+
+def test_slicing_vs_nonslicing(emit, benchmark):
+    def sweep():
+        seeds = (1, 2, 3)
+        homo = [run_pair(homogeneous(seed=s), seed=s) for s in seeds]
+        hetero = [run_pair(heterogeneous(seed=s), seed=s) for s in seeds]
+        return homo, hetero
+
+    homo, hetero = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    def avg(values):
+        return sum(values) / len(values)
+
+    homo_slicing = avg([s for s, _ in homo])
+    homo_bstar = avg([b for _, b in homo])
+    het_slicing = avg([s for s, _ in hetero])
+    het_bstar = avg([b for _, b in hetero])
+
+    gap_homo = homo_slicing - homo_bstar
+    gap_hetero = het_slicing - het_bstar
+
+    lines = [
+        "slicing (Polish expressions) vs non-slicing (B*-tree), same schedule,",
+        "average area usage over 3 seeds:",
+        "",
+        f"{'cells':>14} {'slicing':>10} {'B*-tree':>10} {'gap':>8}",
+        f"{'homogeneous':>14} {100 * homo_slicing:>9.1f}% {100 * homo_bstar:>9.1f}% "
+        f"{100 * gap_homo:>7.1f}pp",
+        f"{'heterogeneous':>14} {100 * het_slicing:>9.1f}% {100 * het_bstar:>9.1f}% "
+        f"{100 * gap_hetero:>7.1f}pp",
+        "",
+        "the section-I claim: the slicing penalty grows when cells differ",
+        "strongly in size (big capacitors among small transistors).",
+    ]
+    emit("slicing_vs_nonslicing", "\n".join(lines))
+
+    # shape assertions: non-slicing at least as dense on heterogeneous
+    # cells, and the heterogeneous gap exceeds the homogeneous gap.
+    assert het_bstar <= het_slicing + 1e-9
+    assert gap_hetero > gap_homo - 0.02

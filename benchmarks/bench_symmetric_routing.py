@@ -1,0 +1,106 @@
+"""Ablation — symmetric vs. independent routing of a differential pair.
+
+Section II: symmetric placement *and routing* exist "to match the
+layout-induced parasitics in the two halves of a group of devices".
+We place a differential structure symmetrically, then route its two
+signal nets (a) mirrored about the axis and (b) independently, and
+compare the parasitic mismatch between the halves.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Module, Net, PlacedModule, Placement, Rect
+from repro.route import Router, route_symmetric_pair
+
+
+def _pm(n, x, y, w, h):
+    return PlacedModule(Module.hard(n, w, h), Rect.from_size(x, y, w, h))
+
+
+def symmetric_testcase():
+    """A mirrored placement: input pair, cascodes and loads, axis x = 15."""
+    placement = Placement.of(
+        [
+            _pm("inL", 4, 0, 6, 5),
+            _pm("inR", 20, 0, 6, 5),
+            _pm("cascL", 2, 8, 5, 4),
+            _pm("cascR", 23, 8, 5, 4),
+            _pm("loadL", 4, 16, 6, 4),
+            _pm("loadR", 20, 16, 6, 4),
+            _pm("tail", 12, 0, 6, 4),  # self-symmetric, on the axis
+        ]
+    )
+    return placement
+
+
+def unconstrained_testcase():
+    """The same modules placed by an area-only packer's typical outcome:
+    compact but with no symmetry whatsoever."""
+    placement = Placement.of(
+        [
+            _pm("inL", 0, 0, 6, 5),
+            _pm("inR", 6, 0, 6, 5),
+            _pm("cascL", 12, 0, 5, 4),
+            _pm("cascR", 0, 5, 5, 4),
+            _pm("loadL", 5, 5, 6, 4),
+            _pm("loadR", 11, 5, 6, 4),
+            _pm("tail", 17, 0, 6, 4),
+        ]
+    )
+    return placement
+
+
+def nets():
+    return (
+        Net("sigL", ("inL", "cascL", "loadL")),
+        Net("sigR", ("inR", "cascR", "loadR")),
+    )
+
+
+def test_symmetric_routing_mismatch(emit, benchmark):
+    def run_both():
+        net_l, net_r = nets()
+        # (a) symmetric placement + mirrored routing (the section-II flow)
+        router_m = Router(symmetric_testcase(), (net_l, net_r), pitch=1.0)
+        mirrored = route_symmetric_pair(router_m, net_l, net_r, axis_x=15.0)
+        # (b) unconstrained placement + independent routing
+        router_i = Router(unconstrained_testcase(), (net_l, net_r), pitch=1.0)
+        independent = router_i.route_all(order="given")
+        return mirrored, independent
+
+    mirrored, independent = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    assert mirrored.mirrored, "mirrored realization must succeed here"
+    assert mirrored.wirelength_mismatch == 0.0
+    assert mirrored.capacitance_mismatch == 0.0
+
+    ind_l = independent.routed["sigL"]
+    ind_r = independent.routed["sigR"]
+    ind_wl = abs(ind_l.wirelength - ind_r.wirelength)
+    ind_cap = abs(ind_l.capacitance - ind_r.capacitance)
+    ind_res = abs(ind_l.resistance - ind_r.resistance)
+
+    lines = [
+        "differential signal-pair parasitics:",
+        "(a) symmetric placement + mirrored routing vs",
+        "(b) unconstrained placement + independent routing",
+        "",
+        f"{'':26}{'WL mismatch':>12}{'C mismatch':>12}{'R mismatch':>12}",
+        f"{'(a) symmetric (sec. II)':26}"
+        f"{mirrored.wirelength_mismatch:>10.1f}um"
+        f"{mirrored.capacitance_mismatch:>10.2f}fF"
+        f"{mirrored.resistance_mismatch:>10.2f}oh",
+        f"{'(b) unconstrained':26}{ind_wl:>10.1f}um{ind_cap:>10.2f}fF{ind_res:>10.2f}oh",
+        "",
+        f"(b) left net:  {ind_l.wirelength:.1f} um, {ind_l.vias} vias",
+        f"(b) right net: {ind_r.wirelength:.1f} um, {ind_r.vias} vias",
+        "",
+        "symmetric placement and routing match the layout-induced",
+        "parasitics of the two signal halves exactly — the section-II",
+        "motivation (offset voltage, PSRR, thermal balance).",
+    ]
+    emit("symmetric_routing", "\n".join(lines))
+
+    # the unconstrained flow has no reason to be matched
+    assert ind_wl > 0.0
+    assert mirrored.wirelength_mismatch == 0.0

@@ -1,0 +1,80 @@
+"""Experiment T1 — Table I: enhanced vs. regular shape functions.
+
+Regenerates, for all six circuits, the paper's Table I columns: area
+usage (bounding rect of the smallest shape / total module area) and
+runtime for ESF and RSF, plus the area improvement.
+
+Paper shape to hold: ESF area usage <= RSF on every circuit, a few
+percentage points better on average, at roughly an order of magnitude
+more runtime.  (Absolute numbers differ — our circuits are synthetic
+stand-ins with the paper's module counts; see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import table1_circuit, table1_circuits
+from repro.shapes import DeterministicConfig, DeterministicPlacer
+
+HEADER = (
+    f"{'Experiment':<16}{'# of':>6} | {'ESF':>10}{'':>9} | {'RSF':>10}{'':>9} | "
+    f"{'Area im-':>9}\n"
+    f"{'Criterion':<16}{'mods':>6} | {'Area use':>10}{'Time':>9} | "
+    f"{'Area use':>10}{'Time':>9} | {'provement':>9}"
+)
+
+
+def run_flow(circuit, enhanced: bool):
+    placer = DeterministicPlacer(circuit, DeterministicConfig(enhanced=enhanced))
+    result = placer.run()
+    assert result.placement.is_overlap_free()
+    assert circuit.constraints().violations(result.placement) == []
+    return result
+
+
+def test_table1_regeneration(emit, benchmark):
+    rows = [HEADER]
+    total_esf = total_rsf = 0.0
+    circuits = table1_circuits()
+
+    def full_table():
+        results = {}
+        for circuit in circuits:
+            results[circuit.name] = (
+                run_flow(circuit, enhanced=True),
+                run_flow(circuit, enhanced=False),
+            )
+        return results
+
+    results = benchmark.pedantic(full_table, rounds=1, iterations=1)
+
+    for circuit in circuits:
+        esf, rsf = results[circuit.name]
+        improvement = (rsf.area_usage - esf.area_usage) * 100.0
+        total_esf += esf.area_usage
+        total_rsf += rsf.area_usage
+        rows.append(
+            f"{circuit.name:<16}{circuit.n_modules:>6} | "
+            f"{100 * esf.area_usage:>9.2f}%{esf.runtime_s:>8.2f}s | "
+            f"{100 * rsf.area_usage:>9.2f}%{rsf.runtime_s:>8.2f}s | "
+            f"{improvement:>8.2f}%"
+        )
+        # Table-I shape: ESF never worse than RSF.
+        assert esf.area_usage <= rsf.area_usage + 1e-9, circuit.name
+
+    avg = (total_rsf - total_esf) / len(circuits) * 100.0
+    rows.append(
+        f"\naverage improvement: {avg:.2f} percentage points "
+        "(paper: 4.4% average, growing with module count)"
+    )
+    emit("table1", "\n".join(rows))
+    assert avg > 0.0
+
+
+@pytest.mark.parametrize("enhanced", [True, False], ids=["esf", "rsf"])
+def test_bench_folded_cascode(benchmark, enhanced):
+    """Runtime of one full deterministic placement (the Table-I 'Time'
+    column, on the 22-module circuit)."""
+    circuit = table1_circuit("folded_cascode")
+    benchmark(lambda: run_flow(circuit, enhanced))

@@ -1,0 +1,32 @@
+"""Benchmark harness helpers.
+
+Every paper table/figure has one ``bench_*.py`` file.  Each file both
+*benchmarks* the relevant kernels (via pytest-benchmark) and *emits* the
+regenerated table/figure as text: printed to the captured output and
+written to ``benchmarks/out/<name>.txt`` so the artifacts survive the
+run.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a regenerated artifact to benchmarks/out/ and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} (saved to {path}) =====")
+        print(text)
+
+    return _emit

@@ -1,0 +1,31 @@
+"""Search-space analysis, thermal analysis and terminal rendering."""
+
+from .render import render_placement, render_shape_functions, staircase_table
+from .thermal import ThermalModel, field_sample, render_field
+from .search_space import (
+    SearchSpaceReport,
+    bstar_space,
+    bstar_space_table,
+    flat_enumeration_size,
+    hierarchical_enumeration_size,
+    log10_factorial,
+    reduction_factor,
+    sequence_pair_report,
+)
+
+__all__ = [
+    "SearchSpaceReport",
+    "ThermalModel",
+    "bstar_space",
+    "bstar_space_table",
+    "field_sample",
+    "flat_enumeration_size",
+    "hierarchical_enumeration_size",
+    "log10_factorial",
+    "reduction_factor",
+    "render_field",
+    "render_placement",
+    "render_shape_functions",
+    "sequence_pair_report",
+    "staircase_table",
+]

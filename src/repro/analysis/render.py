@@ -1,0 +1,86 @@
+"""ASCII rendering of placements and shape functions.
+
+The library is terminal-first: examples and benchmark harnesses print
+placements (like the paper's Figs. 1, 3, 4 and 10) and shape-function
+staircases (Fig. 8) as text.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Placement
+from ..shapes import ShapeFunction
+
+
+def render_placement(
+    placement: Placement, *, width: int = 72, height: int = 24
+) -> str:
+    """Draw a placement as an ASCII grid.
+
+    Each module is filled with the first character of its name; module
+    corners get ``+``.  The drawing is scaled to fit the requested
+    character box (aspect is not preserved exactly — terminal cells are
+    not square anyway).
+    """
+    bb = placement.bounding_box()
+    if bb.width <= 0 or bb.height <= 0 or len(placement) == 0:
+        return "(empty placement)"
+    sx = (width - 1) / bb.width
+    sy = (height - 1) / bb.height
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        cx = min(width - 1, max(0, round((x - bb.x0) * sx)))
+        cy = min(height - 1, max(0, round((y - bb.y0) * sy)))
+        return cx, cy
+
+    for pm in placement:
+        x0, y0 = to_cell(pm.rect.x0, pm.rect.y0)
+        x1, y1 = to_cell(pm.rect.x1, pm.rect.y1)
+        fill = pm.name[0] if pm.name else "?"
+        for row in range(y0, y1 + 1):
+            for col in range(x0, x1 + 1):
+                edge = row in (y0, y1) or col in (x0, x1)
+                grid[row][col] = fill if not edge else ("." if grid[row][col] == " " else grid[row][col])
+        for cx, cy in ((x0, y0), (x1, y0), (x0, y1), (x1, y1)):
+            grid[cy][cx] = "+"
+
+    lines = ["".join(row).rstrip() for row in reversed(grid)]
+    return "\n".join(lines)
+
+
+def render_shape_functions(
+    functions: dict[str, ShapeFunction], *, width: int = 64, height: int = 20
+) -> str:
+    """Plot several shape-function staircases in one ASCII diagram
+    (the Fig. 8 comparison).  Each function gets its label's first
+    character as marker."""
+    points = [
+        (w, h)
+        for sf in functions.values()
+        for (w, h) in sf.staircase()
+    ]
+    if not points:
+        return "(no shapes)"
+    max_w = max(w for w, _ in points)
+    max_h = max(h for _, h in points)
+    grid = [[" "] * width for _ in range(height)]
+    for label, sf in functions.items():
+        marker = label[0]
+        for w, h in sf.staircase():
+            col = min(width - 1, round(w / max_w * (width - 1)))
+            row = min(height - 1, round(h / max_h * (height - 1)))
+            grid[row][col] = marker
+    lines = ["".join(row).rstrip() for row in reversed(grid)]
+    axis = "-" * width
+    legend = "  ".join(f"{label[0]} = {label}" for label in functions)
+    return "\n".join([f"h (max {max_h:.1f})"] + lines + [axis, f"w (max {max_w:.1f})   {legend}"])
+
+
+def staircase_table(functions: dict[str, ShapeFunction]) -> str:
+    """Tabulate staircase points of several shape functions."""
+    lines = []
+    for label, sf in functions.items():
+        lines.append(f"{label}:")
+        for w, h in sf.staircase():
+            lines.append(f"  w={w:10.2f}  h={h:10.2f}  area={w * h:12.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Search-space combinatorics quoted by the paper.
+
+Collects the closed forms behind the two headline numbers:
+
+* section II — the S-F sequence-pair lemma: for n = 7 cells with one
+  group of p = 2 pairs and s = 2 self-symmetric cells there are
+  35,280 S-F codes of (7!)^2 = 25,401,600 total, a 99.86% reduction;
+* section IV — the flat B*-tree space: 57,657,600 placements for
+  8 modules, i.e. 8! * Catalan(8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..bstar import count_bstar_trees
+from ..circuit import SymmetryGroup
+from ..seqpair import sf_count_upper_bound, total_sequence_pairs
+
+
+@dataclass(frozen=True, slots=True)
+class SearchSpaceReport:
+    """Summary of a placement search space with symmetry constraints."""
+
+    n_cells: int
+    total_codes: int
+    sf_codes: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the space removed by restricting to S-F codes."""
+        return 1.0 - self.sf_codes / self.total_codes
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n_cells}: {self.sf_codes:,} symmetric-feasible of "
+            f"{self.total_codes:,} sequence-pairs "
+            f"({100.0 * self.reduction:.2f}% reduction)"
+        )
+
+
+def sequence_pair_report(n: int, groups: Sequence[SymmetryGroup]) -> SearchSpaceReport:
+    """The section-II lemma numbers for a cell count and symmetry groups."""
+    return SearchSpaceReport(
+        n_cells=n,
+        total_codes=total_sequence_pairs(n),
+        sf_codes=sf_count_upper_bound(n, groups),
+    )
+
+
+def bstar_space(n: int) -> int:
+    """Number of B*-tree placements of ``n`` modules (section IV)."""
+    return count_bstar_trees(n)
+
+
+def bstar_space_table(max_n: int = 12) -> list[tuple[int, int]]:
+    """(n, #placements) rows showing the explosion section IV argues
+    against enumerating flatly."""
+    return [(n, count_bstar_trees(n)) for n in range(1, max_n + 1)]
+
+
+def hierarchical_enumeration_size(set_sizes: Sequence[int]) -> int:
+    """Total placements enumerated under hierarchical bounding: the *sum*
+    over basic module sets instead of the product-explosion of the flat
+    space."""
+    return sum(count_bstar_trees(k) for k in set_sizes)
+
+
+def flat_enumeration_size(set_sizes: Sequence[int]) -> int:
+    """Flat space of the same modules: one B*-tree over all of them."""
+    return count_bstar_trees(sum(set_sizes))
+
+
+def reduction_factor(set_sizes: Sequence[int]) -> float:
+    """How many times smaller the hierarchically bounded enumeration is."""
+    hier = hierarchical_enumeration_size(set_sizes)
+    if hier == 0:
+        raise ValueError("need at least one basic module set")
+    return flat_enumeration_size(set_sizes) / hier
+
+
+def log10_factorial(n: int) -> float:
+    """log10(n!) via lgamma, for presenting astronomically large spaces."""
+    return math.lgamma(n + 1) / math.log(10.0)

@@ -1,0 +1,148 @@
+"""Thermal gradient analysis.
+
+Section II motivates placement symmetry thermally: power devices radiate
+heat in (roughly) circular isothermal lines; "if two [thermally
+sensitive] devices are placed randomly relative to the iso-thermal
+lines, a temperature-difference mismatch may result", whereas devices
+placed symmetrically w.r.t. the radiators "see roughly identical ambient
+temperatures and no temperature induced mismatch results".
+
+The model is a superposition of radially decaying sources — deliberately
+simple, but exactly the isothermal-circle picture the paper draws — and
+is used to *measure* the thermal mismatch of a placement's symmetry
+groups (and, optionally, to add a thermal term to a placer's cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..circuit import SymmetryGroup
+from ..geometry import Placement, Point
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Superposed radial heat sources over a placement.
+
+    ``power`` maps module names to dissipated power (mW); each source
+    contributes ``p / (1 + r / decay)`` degrees at distance ``r`` from
+    its center (µm), scaled by ``theta`` (°C/mW at r = 0).
+    """
+
+    power: Mapping[str, float]
+    decay: float = 20.0
+    theta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.decay <= 0:
+            raise ValueError("decay must be positive")
+        if any(p < 0 for p in self.power.values()):
+            raise ValueError("negative power")
+
+    # -- field evaluation -------------------------------------------------------
+
+    def temperature_at(self, point: Point, placement: Placement) -> float:
+        """Temperature rise at a location (°C above ambient)."""
+        total = 0.0
+        for name, p in self.power.items():
+            if p == 0.0 or name not in placement:
+                continue
+            r = placement[name].rect.center.distance_to(point)
+            total += self.theta * p / (1.0 + r / self.decay)
+        return total
+
+    def module_temperature(self, name: str, placement: Placement) -> float:
+        """Temperature rise at a module's center."""
+        return self.temperature_at(placement[name].rect.center, placement)
+
+    # -- mismatch metrics ----------------------------------------------------------
+
+    def pair_mismatch(self, a: str, b: str, placement: Placement) -> float:
+        """|ΔT| between two matched devices."""
+        return abs(
+            self.module_temperature(a, placement)
+            - self.module_temperature(b, placement)
+        )
+
+    def group_mismatch(self, group: SymmetryGroup, placement: Placement) -> float:
+        """Worst pair mismatch within a symmetry group."""
+        worst = 0.0
+        for a, b in group.pairs:
+            worst = max(worst, self.pair_mismatch(a, b, placement))
+        return worst
+
+    def total_mismatch(
+        self, groups: tuple[SymmetryGroup, ...], placement: Placement
+    ) -> float:
+        """Sum of pair mismatches over all groups (a placer cost term)."""
+        return sum(
+            self.pair_mismatch(a, b, placement)
+            for group in groups
+            for a, b in group.pairs
+        )
+
+    # -- structure queries --------------------------------------------------------
+
+    def radiators(self) -> list[str]:
+        """Module names with non-zero power, hottest first."""
+        return sorted(
+            (n for n, p in self.power.items() if p > 0),
+            key=lambda n: -self.power[n],
+        )
+
+    def is_thermally_balanced(
+        self,
+        group: SymmetryGroup,
+        placement: Placement,
+        *,
+        tol: float = 1e-9,
+    ) -> bool:
+        """True when no pair of the group sees a temperature difference.
+
+        Guaranteed when both the group *and* all radiators are placed
+        symmetrically about the same axis — the section-II prescription.
+        """
+        return self.group_mismatch(group, placement) <= tol
+
+
+def field_sample(
+    model: ThermalModel,
+    placement: Placement,
+    *,
+    nx: int = 24,
+    ny: int = 12,
+) -> list[list[float]]:
+    """Sample the temperature field over the placement's bounding box
+    (row-major, bottom row first) — for rendering isothermal pictures."""
+    bb = placement.bounding_box()
+    rows = []
+    for j in range(ny):
+        y = bb.y0 + (j + 0.5) * bb.height / ny
+        row = [
+            model.temperature_at(
+                Point(bb.x0 + (i + 0.5) * bb.width / nx, y), placement
+            )
+            for i in range(nx)
+        ]
+        rows.append(row)
+    return rows
+
+
+def render_field(model: ThermalModel, placement: Placement, *, width: int = 48, height: int = 14) -> str:
+    """ASCII isothermal picture: hotter cells get denser glyphs."""
+    samples = field_sample(model, placement, nx=width, ny=height)
+    flat = [t for row in samples for t in row]
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    glyphs = " .:-=+*#%@"
+    lines = []
+    for row in reversed(samples):
+        line = "".join(
+            glyphs[min(len(glyphs) - 1, int((t - lo) / span * (len(glyphs) - 1)))]
+            for t in row
+        )
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Shared simulated-annealing engine (Kirkpatrick et al. [12])."""
+
+from .annealer import (
+    Annealer,
+    AnnealingResult,
+    AnnealingStats,
+    FunctionMoveSet,
+    MoveSet,
+    WeightedMoveSet,
+)
+from .schedule import (
+    CoolingSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    initial_temperature_from_samples,
+)
+
+__all__ = [
+    "Annealer",
+    "AnnealingResult",
+    "AnnealingStats",
+    "CoolingSchedule",
+    "FunctionMoveSet",
+    "GeometricSchedule",
+    "LinearSchedule",
+    "MoveSet",
+    "WeightedMoveSet",
+    "initial_temperature_from_samples",
+]

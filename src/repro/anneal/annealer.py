@@ -1,0 +1,169 @@
+"""Generic simulated-annealing engine.
+
+Both topological placers (sequence-pair, section II; B*-tree forests,
+section III) share this engine.  The engine is deliberately ignorant of
+layout: it manipulates opaque *states* through a :class:`MoveSet` and a
+cost function, implementing stochastically controlled hill-climbing with
+best-state tracking.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Protocol, TypeVar
+
+from .schedule import CoolingSchedule, GeometricSchedule, initial_temperature_from_samples
+
+State = TypeVar("State")
+
+
+class MoveSet(Protocol[State]):
+    """Produces random neighbors of a state.
+
+    Implementations must *not* mutate the input state; placers rely on
+    rejected moves leaving the current state untouched.
+    """
+
+    def propose(self, state: State, rng: random.Random) -> State:
+        """Return a random neighbor of ``state``."""
+        ...
+
+
+@dataclass
+class AnnealingStats:
+    """Counters collected during one annealing run."""
+
+    steps: int = 0
+    accepted: int = 0
+    improved: int = 0
+    best_cost: float = math.inf
+    initial_cost: float = math.inf
+    final_temperature: float = 0.0
+    cost_trace: list[float] = field(default_factory=list)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.accepted / self.steps if self.steps else 0.0
+
+
+@dataclass
+class AnnealingResult(Generic[State]):
+    """Best state found plus run statistics."""
+
+    best_state: State
+    best_cost: float
+    stats: AnnealingStats
+
+
+class Annealer(Generic[State]):
+    """Simulated annealing over an arbitrary state space.
+
+    Parameters
+    ----------
+    cost:
+        State → non-negative cost; lower is better.
+    moves:
+        Neighbor generator.
+    schedule:
+        Cooling schedule; when ``auto_t0`` is set the schedule's initial
+        temperature is rescaled from sampled uphill deltas.
+    rng:
+        Source of randomness (callers pass a seeded instance for
+        reproducibility).
+    """
+
+    def __init__(
+        self,
+        cost: Callable[[State], float],
+        moves: MoveSet[State],
+        schedule: CoolingSchedule | None = None,
+        rng: random.Random | None = None,
+        *,
+        auto_t0: bool = True,
+        trace_every: int = 0,
+    ) -> None:
+        self._cost = cost
+        self._moves = moves
+        self._schedule = schedule or GeometricSchedule()
+        self._rng = rng or random.Random(0)
+        self._auto_t0 = auto_t0
+        self._trace_every = trace_every
+
+    def run(self, initial: State) -> AnnealingResult[State]:
+        """Anneal from ``initial`` until the schedule is exhausted."""
+        rng = self._rng
+        current = initial
+        current_cost = self._cost(current)
+        best, best_cost = current, current_cost
+
+        stats = AnnealingStats(initial_cost=current_cost, best_cost=current_cost)
+
+        t_scale = 1.0
+        if self._auto_t0:
+            t_scale = self._warmup_scale(initial, current_cost)
+
+        total = self._schedule.total_steps
+        for step in range(total):
+            temperature = self._schedule.temperature(step) * t_scale
+            candidate = self._moves.propose(current, rng)
+            candidate_cost = self._cost(candidate)
+            delta = candidate_cost - current_cost
+
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-300)):
+                current, current_cost = candidate, candidate_cost
+                stats.accepted += 1
+                if current_cost < best_cost:
+                    best, best_cost = current, current_cost
+                    stats.improved += 1
+            stats.steps += 1
+            if self._trace_every and step % self._trace_every == 0:
+                stats.cost_trace.append(current_cost)
+            stats.final_temperature = temperature
+
+        stats.best_cost = best_cost
+        return AnnealingResult(best_state=best, best_cost=best_cost, stats=stats)
+
+    def _warmup_scale(self, initial: State, initial_cost: float, samples: int = 32) -> float:
+        """Rescale the schedule's T0 from sampled uphill move deltas."""
+        deltas = []
+        state, cost = initial, initial_cost
+        for _ in range(samples):
+            nxt = self._moves.propose(state, self._rng)
+            nxt_cost = self._cost(nxt)
+            deltas.append(nxt_cost - cost)
+            state, cost = nxt, nxt_cost
+        t0 = initial_temperature_from_samples(deltas)
+        base_t0 = self._schedule.temperature(0)
+        if base_t0 <= 0:
+            return 1.0
+        return t0 / base_t0
+
+
+class WeightedMoveSet(Generic[State]):
+    """Combine several move generators with selection weights."""
+
+    def __init__(self, moves: list[tuple[float, MoveSet[State]]]) -> None:
+        if not moves:
+            raise ValueError("need at least one move generator")
+        weights = [w for w, _ in moves]
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        self._moves = moves
+        self._weights = weights
+
+    def propose(self, state: State, rng: random.Random) -> State:
+        generators = [m for _, m in self._moves]
+        (chosen,) = rng.choices(generators, weights=self._weights, k=1)
+        return chosen.propose(state, rng)
+
+
+class FunctionMoveSet(Generic[State]):
+    """Adapter turning a plain function into a :class:`MoveSet`."""
+
+    def __init__(self, fn: Callable[[State, random.Random], State]) -> None:
+        self._fn = fn
+
+    def propose(self, state: State, rng: random.Random) -> State:
+        return self._fn(state, rng)

@@ -1,0 +1,143 @@
+"""Deterministic common-centroid placement generation (Fig. 3a).
+
+Common-centroid sub-circuits (current mirrors, differential pairs split
+into unit devices) are not annealed: their placements come from a small
+family of interdigitation patterns, as in the grid-based approach [19]
+that the HB*-tree integrates.  Two pattern styles are provided:
+
+* ``point symmetric`` — unit cells paired under point reflection about
+  the array center; each pair carries one device;
+* ``row interdigitated`` — the classic ``A B B A / B A A B`` style where
+  each row is a palindrome-interleaved sequence.
+
+Both guarantee all device centroids coincide with the array center.
+"""
+
+from __future__ import annotations
+
+from ..circuit import CommonCentroidGroup
+from ..geometry import ModuleSet, PlacedModule, Placement, Rect
+
+
+class CommonCentroidError(ValueError):
+    """Raised when a group cannot be arranged on a common-centroid grid."""
+
+
+def grid_options(group: CommonCentroidGroup) -> list[tuple[int, int]]:
+    """Feasible (rows, cols) grids for the group's total unit count.
+
+    Rows are limited to 1 or 2 (the practical analog patterns); the unit
+    total must fill the grid exactly.
+    """
+    total = sum(len(us) for _, us in group.units)
+    options = []
+    for rows in (1, 2):
+        if total % rows == 0:
+            options.append((rows, total // rows))
+    if not options:
+        raise CommonCentroidError(
+            f"group {group.name!r} has {total} units, not arrangeable in 1 or 2 rows"
+        )
+    return options
+
+
+def _unit_footprint(group: CommonCentroidGroup, modules: ModuleSet) -> tuple[float, float]:
+    sizes = {
+        modules[u].footprint() for _, us in group.units for u in us
+    }
+    if len(sizes) != 1:
+        raise CommonCentroidError(
+            f"group {group.name!r} units must share one footprint, got {sorted(sizes)}"
+        )
+    return next(iter(sizes))
+
+
+def common_centroid_placement(
+    group: CommonCentroidGroup,
+    modules: ModuleSet,
+    *,
+    variant: int = 0,
+    style: str = "point-symmetric",
+) -> Placement:
+    """Arrange the group's unit modules on a common-centroid grid.
+
+    ``variant`` indexes :func:`grid_options`; ``style`` selects the
+    pattern family.  Every device's units end up with their centroid at
+    the array center (validated by the constraint itself in tests).
+    """
+    if style not in ("point-symmetric", "row-interdigitated"):
+        raise CommonCentroidError(f"unknown style {style!r}")
+    options = grid_options(group)
+    rows, cols = options[variant % len(options)]
+    w, h = _unit_footprint(group, modules)
+
+    # Each device must be decomposable into centroid-balanced cell pairs.
+    for dev, units in group.units:
+        if len(units) % 2 != 0:
+            raise CommonCentroidError(
+                f"device {dev!r} in group {group.name!r} has an odd unit count; "
+                "common-centroid patterns need even unit counts"
+            )
+
+    cells = [(r, c) for r in range(rows) for c in range(cols)]
+    assignment: dict[tuple[int, int], str] = {}
+
+    if style == "point-symmetric":
+        # Pair each cell with its point reflection; hand pairs to devices
+        # round-robin until each device's unit budget is exhausted.
+        pairs = []
+        seen: set[tuple[int, int]] = set()
+        for r, c in cells:
+            mate = (rows - 1 - r, cols - 1 - c)
+            if (r, c) in seen or mate in seen:
+                continue
+            if mate == (r, c):
+                raise CommonCentroidError(
+                    f"group {group.name!r}: odd grid has an unpairable center cell"
+                )
+            seen.add((r, c))
+            seen.add(mate)
+            pairs.append(((r, c), mate))
+        unit_iters = [(dev, list(us)) for dev, us in group.units]
+        dev_idx = 0
+        for cell_a, cell_b in pairs:
+            while not unit_iters[dev_idx][1]:
+                dev_idx = (dev_idx + 1) % len(unit_iters)
+            dev, units = unit_iters[dev_idx]
+            assignment[cell_a] = units.pop()
+            assignment[cell_b] = units.pop()
+            dev_idx = (dev_idx + 1) % len(unit_iters)
+    else:
+        # Row-interdigitated: build one palindromic device sequence per row
+        # (e.g. A B B A), alternating the leading device between rows.
+        if len(group.units) != 2:
+            raise CommonCentroidError("row-interdigitated style supports exactly 2 devices")
+        (dev_a, units_a), (dev_b, units_b) = group.units
+        if len(units_a) != len(units_b):
+            raise CommonCentroidError("row-interdigitated style needs equal unit counts")
+        pools = {dev_a: list(units_a), dev_b: list(units_b)}
+        for r in range(rows):
+            lead, other = (dev_a, dev_b) if r % 2 == 0 else (dev_b, dev_a)
+            half = cols // 2
+            row_devices = []
+            for c in range(half):
+                row_devices.append(lead if c % 2 == 0 else other)
+            row_devices = row_devices + row_devices[::-1]
+            if len(row_devices) != cols:  # odd cols cannot form a palindrome pair-wise
+                raise CommonCentroidError(
+                    f"group {group.name!r}: odd column count {cols} not supported "
+                    "by row-interdigitated style"
+                )
+            for c, dev in enumerate(row_devices):
+                assignment[(r, c)] = pools[dev].pop()
+
+    placed = []
+    for (r, c), unit in assignment.items():
+        rect = Rect.from_size(c * w, r * h, w, h)
+        placed.append(PlacedModule(modules[unit], rect))
+    return Placement.of(placed)
+
+
+def n_variants(group: CommonCentroidGroup) -> int:
+    """Number of grid variants available for a group."""
+    return len(grid_options(group))

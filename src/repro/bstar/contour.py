@@ -1,0 +1,71 @@
+"""Contour structure for B*-tree packing.
+
+The contour is the skyline of the partial placement: a step function
+mapping x to the highest occupied y.  Packing queries the maximum height
+over a module's x span and then raises the contour; a simple sorted
+segment list keeps each operation O(segments touched), which is linear
+overall for typical trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class _Segment:
+    x0: float
+    x1: float
+    y: float
+
+
+class Contour:
+    """Skyline over x >= 0, initially flat at y = 0."""
+
+    def __init__(self) -> None:
+        self._segments: list[_Segment] = [_Segment(0.0, float("inf"), 0.0)]
+
+    def height_over(self, x0: float, x1: float) -> float:
+        """Maximum contour height over the open interval (x0, x1)."""
+        if x1 <= x0:
+            raise ValueError("empty interval")
+        best = 0.0
+        for seg in self._segments:
+            if seg.x1 <= x0:
+                continue
+            if seg.x0 >= x1:
+                break
+            best = max(best, seg.y)
+        return best
+
+    def place(self, x0: float, x1: float, top: float) -> None:
+        """Raise the contour to ``top`` over [x0, x1)."""
+        if x1 <= x0:
+            raise ValueError("empty interval")
+        new_segments: list[_Segment] = []
+        for seg in self._segments:
+            if seg.x1 <= x0 or seg.x0 >= x1:
+                new_segments.append(seg)
+                continue
+            if seg.x0 < x0:
+                new_segments.append(_Segment(seg.x0, x0, seg.y))
+            if seg.x1 > x1:
+                new_segments.append(_Segment(x1, seg.x1, seg.y))
+        new_segments.append(_Segment(x0, x1, top))
+        new_segments.sort(key=lambda s: s.x0)
+        # merge equal-height neighbors
+        merged: list[_Segment] = []
+        for seg in new_segments:
+            if merged and merged[-1].y == seg.y and merged[-1].x1 == seg.x0:
+                merged[-1] = _Segment(merged[-1].x0, seg.x1, seg.y)
+            else:
+                merged.append(seg)
+        self._segments = merged
+
+    def max_height(self) -> float:
+        """Highest finite contour point."""
+        return max((s.y for s in self._segments), default=0.0)
+
+    def profile(self) -> list[tuple[float, float, float]]:
+        """The skyline as (x0, x1, y) triples (diagnostics/tests)."""
+        return [(s.x0, s.x1, s.y) for s in self._segments]

@@ -1,0 +1,82 @@
+"""Counting B*-trees (the complexity argument of section IV).
+
+Section IV motivates hierarchically-bounded enumeration by the size of
+the flat search space: "the number of possible placements for 8 modules
+is already 57,657,600" [3].  That number is exactly the count of labeled
+binary trees on 8 nodes, ``8! * Catalan(8)``; these utilities provide
+the closed form and a brute-force enumerator to verify it for small n.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+from .tree import BStarTree
+
+
+def catalan(n: int) -> int:
+    """The n-th Catalan number."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def count_bstar_trees(n: int) -> int:
+    """Number of distinct B*-trees over ``n`` labeled modules:
+    ``n! * Catalan(n)`` (tree shapes x label assignments)."""
+    return math.factorial(n) * catalan(n)
+
+
+def enumerate_bstar_trees(names: Sequence[str]) -> Iterator[BStarTree]:
+    """Yield every B*-tree over ``names`` (exponential; small n only).
+
+    Enumerates binary tree shapes over each permutation-free labeling by
+    recursive splitting: a tree over a set is a root plus a left subtree
+    over any subset and a right subtree over the complement.
+    """
+    names = list(names)
+    if not names:
+        yield BStarTree()
+        return
+
+    def build(pool: tuple[str, ...]) -> Iterator[tuple[str, object, object] | None]:
+        """Nested-tuple shapes: (root, left-shape, right-shape) or None."""
+        if not pool:
+            yield None
+            return
+        for i, root in enumerate(pool):
+            rest = pool[:i] + pool[i + 1:]
+            for k in range(len(rest) + 1):
+                for left_set in _subsets_of_size(rest, k):
+                    right_set = tuple(x for x in rest if x not in set(left_set))
+                    for left in build(left_set):
+                        for right in build(right_set):
+                            yield (root, left, right)
+
+    for shape in build(tuple(names)):
+        yield _tree_from_shape(shape)
+
+
+def _subsets_of_size(pool: tuple[str, ...], k: int) -> Iterator[tuple[str, ...]]:
+    from itertools import combinations
+
+    yield from combinations(pool, k)
+
+
+def _tree_from_shape(shape: tuple[str, object, object] | None) -> BStarTree:
+    tree = BStarTree()
+
+    def attach(node_shape, parent: str | None, side: str) -> None:
+        if node_shape is None:
+            return
+        root, left, right = node_shape
+        if parent is None:
+            tree.insert_root(root)
+        else:
+            tree.insert(root, parent, side)
+        attach(left, root, "left")
+        attach(right, root, "right")
+
+    attach(shape, None, "left")
+    return tree

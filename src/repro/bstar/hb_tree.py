@@ -1,0 +1,215 @@
+"""Hierarchical B*-trees (Lin & Lin [17], paper section III-B).
+
+An HB*-tree models the floorplan of one hierarchy level; *hierarchy
+nodes* inside it stand for whole sub-circuits whose internal floorplan
+is modelled by their own HB*-tree.  "The number of HB*-trees will be
+equal to that of the sub-circuits plus the one modelling the top
+design."  Perturbation picks one tree of the forest and applies a
+B*-tree operation to it; packing is a recursive pre-order traversal.
+
+Constraint handling per hierarchy node (Fig. 5):
+
+* **symmetry** — the group members form an ASF-B*-tree symmetry island,
+  which enters the level tree as a single block;
+* **common-centroid** — the unit array comes from the deterministic
+  interdigitation generator; its grid variant is the annealable choice;
+* **proximity** — the node's members are packed in their own level tree,
+  so they stay together; connectivity is additionally rewarded in the
+  placer cost;
+* **plain** — an ordinary B*-tree over the node's modules and sub-blocks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..circuit import (
+    CommonCentroidGroup,
+    HierarchyNode,
+    SymmetryGroup,
+)
+from ..geometry import ModuleSet, Placement, Rect
+from .asf import ASFBStarTree, ASFMoveSet
+from .common_centroid import common_centroid_placement, n_variants
+from .packing import pack_sizes
+from .perturb import BStarState
+from .tree import BStarTree
+
+
+_ISLAND = "__island__"
+
+
+@dataclass(frozen=True)
+class LevelState:
+    """Annealing state of one hierarchy level.
+
+    ``tree`` spans the level's *items*: plain module names, child
+    hierarchy-node names, and (when the level carries a symmetry
+    constraint) the pseudo-item ``__island__`` for the ASF block.
+    ``asf`` / ``cc_variant`` hold the constraint sub-states.
+    """
+
+    tree: BStarTree = field(compare=False)
+    orientations: Mapping[str, object] = field(default_factory=dict)
+    asf: ASFBStarTree | None = None
+    cc_variant: int = 0
+
+
+@dataclass(frozen=True)
+class HBState:
+    """The whole forest: hierarchy-node name -> level state."""
+
+    levels: Mapping[str, LevelState]
+
+
+class HBStarTreePlacement:
+    """Recursive packer and move generator for a design hierarchy."""
+
+    def __init__(self, hierarchy: HierarchyNode, modules: ModuleSet) -> None:
+        hierarchy.validate()
+        self._hierarchy = hierarchy
+        self._modules = modules
+        self._nodes: dict[str, HierarchyNode] = {n.name: n for n in hierarchy.walk()}
+        self._asf_moves: dict[str, ASFMoveSet] = {}
+        for node in hierarchy.walk():
+            if isinstance(node.constraint, SymmetryGroup):
+                self._asf_moves[node.name] = ASFMoveSet(modules, node.constraint)
+
+    # -- level items -------------------------------------------------------------
+
+    def level_items(self, node: HierarchyNode) -> list[str]:
+        """Names packed by the level tree of ``node``."""
+        items = [child.name for child in node.children]
+        if isinstance(node.constraint, SymmetryGroup):
+            members = node.constraint.member_set()
+            items += [m.name for m in node.modules if m.name not in members]
+            items.append(_ISLAND)
+        elif isinstance(node.constraint, CommonCentroidGroup):
+            members = node.constraint.member_set()
+            extra = [m.name for m in node.modules if m.name not in members]
+            if extra:
+                items += extra
+                items.append(_ISLAND)  # the unit array enters as one block
+            else:
+                items = [_ISLAND] + items
+        else:
+            items += [m.name for m in node.modules]
+        return items
+
+    # -- initial state -----------------------------------------------------------
+
+    def initial_state(self, rng: random.Random) -> HBState:
+        levels: dict[str, LevelState] = {}
+        for name, node in self._nodes.items():
+            tree = BStarTree.random(self.level_items(node), rng)
+            asf = None
+            if isinstance(node.constraint, SymmetryGroup):
+                asf = self._asf_moves[name].initial_state(rng)
+            levels[name] = LevelState(tree=tree, asf=asf)
+        return HBState(levels=levels)
+
+    # -- packing ------------------------------------------------------------------
+
+    def pack(self, state: HBState) -> Placement:
+        """Pack the full hierarchy; the result is normalized to origin."""
+        placement = self._pack_node(self._hierarchy, state)
+        return placement.normalized()
+
+    def _pack_node(self, node: HierarchyNode, state: HBState) -> Placement:
+        level = state.levels[node.name]
+        sub_placements: dict[str, Placement] = {}
+
+        for child in node.children:
+            sub_placements[child.name] = self._pack_node(child, state).normalized()
+
+        if isinstance(node.constraint, SymmetryGroup):
+            island = level.asf.pack(self._modules).normalized()
+            sub_placements[_ISLAND] = island
+        elif isinstance(node.constraint, CommonCentroidGroup):
+            array = common_centroid_placement(
+                node.constraint, self._modules, variant=level.cc_variant
+            ).normalized()
+            if _ISLAND in level.tree:
+                sub_placements[_ISLAND] = array
+            else:
+                # The level consists of the array alone.
+                return array
+
+        sizes: dict[str, tuple[float, float]] = {}
+        for item in level.tree.nodes():
+            if item in sub_placements:
+                bb = sub_placements[item].bounding_box()
+                sizes[item] = (bb.width, bb.height)
+            else:
+                sizes[item] = self._modules[item].footprint()
+        rects = pack_sizes(level.tree, sizes)
+
+        merged = Placement.empty()
+        loose = []
+        for item, rect in rects.items():
+            if item in sub_placements:
+                merged = merged.merged_with(
+                    sub_placements[item].translated(rect.x0, rect.y0)
+                )
+            else:
+                loose.append(item)
+        if loose:
+            from ..geometry import PlacedModule
+
+            merged = merged.merged_with(
+                Placement.of(
+                    PlacedModule(self._modules[item], rects[item]) for item in loose
+                )
+            )
+        return merged
+
+    # -- perturbation ------------------------------------------------------------
+
+    def propose(self, state: HBState, rng: random.Random) -> HBState:
+        """Perturb one randomly selected tree of the forest (section III-B:
+        'one of the HB*-trees should be selected first')."""
+        name = rng.choice(list(self._nodes))
+        node = self._nodes[name]
+        level = state.levels[name]
+
+        choices = []
+        if len(level.tree) >= 2:
+            choices.append("tree")
+        if level.asf is not None and (node.constraint.pairs or len(node.constraint.self_symmetric) > 1):
+            choices.append("asf")
+        if isinstance(node.constraint, CommonCentroidGroup) and n_variants(node.constraint) > 1:
+            choices.append("cc")
+        if not choices:
+            return state
+        kind = rng.choice(choices)
+
+        if kind == "tree":
+            new_level = replace(level, tree=self._perturb_tree(level.tree, rng))
+        elif kind == "asf":
+            new_level = replace(level, asf=self._asf_moves[name].propose(level.asf, rng))
+        else:
+            new_level = replace(
+                level,
+                cc_variant=(level.cc_variant + 1) % n_variants(node.constraint),
+            )
+        levels = dict(state.levels)
+        levels[name] = new_level
+        return HBState(levels=levels)
+
+    @staticmethod
+    def _perturb_tree(tree: BStarTree, rng: random.Random) -> BStarTree:
+        names = list(tree.nodes())
+        out = tree.clone()
+        if len(names) < 2:
+            return out
+        if rng.random() < 0.5:
+            a, b = rng.sample(names, 2)
+            out.swap_nodes(a, b)
+        else:
+            name = rng.choice(names)
+            out.remove(name)
+            parent = rng.choice(list(out.nodes()))
+            out.insert(name, parent, rng.choice(("left", "right")))
+        return out

@@ -1,0 +1,65 @@
+"""B*-tree packing: tree + module footprints -> compacted placement."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..geometry import (
+    ModuleSet,
+    Orientation,
+    PlacedModule,
+    Placement,
+    Rect,
+)
+from .contour import Contour
+from .tree import BStarTree
+
+
+def pack_sizes(tree: BStarTree, sizes: Mapping[str, tuple[float, float]]) -> dict[str, Rect]:
+    """Pack raw (w, h) footprints; returns name -> placed rect.
+
+    Pre-order traversal: a left child starts at its parent's right edge,
+    a right child at its parent's left edge; y is the contour height over
+    the module's x span.  The result is compacted and overlap-free by
+    construction.
+    """
+    rects: dict[str, Rect] = {}
+    if tree.root is None:
+        return rects
+    contour = Contour()
+
+    def visit(name: str, x: float) -> None:
+        w, h = sizes[name]
+        y = contour.height_over(x, x + w)
+        rects[name] = Rect.from_size(x, y, w, h)
+        contour.place(x, x + w, y + h)
+        left = tree.left[name]
+        if left is not None:
+            visit(left, x + w)
+        right = tree.right[name]
+        if right is not None:
+            visit(right, x)
+
+    visit(tree.root, 0.0)
+    return rects
+
+
+def pack(
+    tree: BStarTree,
+    modules: ModuleSet,
+    orientations: Mapping[str, Orientation] | None = None,
+    variants: Mapping[str, int] | None = None,
+) -> Placement:
+    """Pack a B*-tree over a module set into a :class:`Placement`."""
+    sizes: dict[str, tuple[float, float]] = {}
+    for name in tree.nodes():
+        variant = variants.get(name, 0) if variants else 0
+        orient = orientations.get(name, Orientation.R0) if orientations else Orientation.R0
+        sizes[name] = modules[name].footprint(variant, orient)
+    rects = pack_sizes(tree, sizes)
+    placed = []
+    for name, rect in rects.items():
+        orient = orientations.get(name, Orientation.R0) if orientations else Orientation.R0
+        variant = variants.get(name, 0) if variants else 0
+        placed.append(PlacedModule(modules[name], rect, variant=variant, orientation=orient))
+    return Placement.of(placed)

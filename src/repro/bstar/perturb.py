@@ -1,0 +1,85 @@
+"""Perturbation operations for B*-tree annealing.
+
+The standard move set of [5]: rotate a module, move a node to a new
+(parent, side) slot, and swap two nodes.  Moves operate on a
+:class:`BStarState` (tree + orientations + variants) and never mutate
+their input.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..geometry import ModuleSet, Orientation
+from .tree import BStarTree
+
+
+@dataclass(frozen=True)
+class BStarState:
+    """Annealing state for the flat B*-tree placer."""
+
+    tree: BStarTree = field(compare=False)
+    orientations: Mapping[str, Orientation] = field(default_factory=dict)
+    variants: Mapping[str, int] = field(default_factory=dict)
+
+
+class BStarMoveSet:
+    """Random rotate / move / swap perturbations."""
+
+    def __init__(self, modules: ModuleSet, *, allow_rotation: bool = True) -> None:
+        self._modules = modules
+        self._names = list(modules.names())
+        self._rotatable = (
+            [n for n in self._names if modules[n].rotatable] if allow_rotation else []
+        )
+        self._soft = [n for n in self._names if len(modules[n].variants) > 1]
+
+    def initial_state(self, rng: random.Random) -> BStarState:
+        return BStarState(BStarTree.random(self._names, rng))
+
+    def propose(self, state: BStarState, rng: random.Random) -> BStarState:
+        ops = [self._move, self._swap]
+        weights = [4.0, 4.0]
+        if self._rotatable:
+            ops.append(self._rotate)
+            weights.append(2.0)
+        if self._soft:
+            ops.append(self._reshape)
+            weights.append(1.5)
+        (op,) = rng.choices(ops, weights=weights, k=1)
+        return op(state, rng)
+
+    # -- moves ---------------------------------------------------------------
+
+    def _move(self, state: BStarState, rng: random.Random) -> BStarState:
+        if len(self._names) < 2:
+            return state
+        tree = state.tree.clone()
+        name = rng.choice(self._names)
+        tree.remove(name)
+        parent = rng.choice(list(tree.nodes()))
+        tree.insert(name, parent, rng.choice(("left", "right")))
+        return replace(state, tree=tree)
+
+    def _swap(self, state: BStarState, rng: random.Random) -> BStarState:
+        if len(self._names) < 2:
+            return state
+        a, b = rng.sample(self._names, 2)
+        tree = state.tree.clone()
+        tree.swap_nodes(a, b)
+        return replace(state, tree=tree)
+
+    def _rotate(self, state: BStarState, rng: random.Random) -> BStarState:
+        name = rng.choice(self._rotatable)
+        orientations = dict(state.orientations)
+        current = orientations.get(name, Orientation.R0)
+        orientations[name] = Orientation.R90 if current == Orientation.R0 else Orientation.R0
+        return replace(state, orientations=orientations)
+
+    def _reshape(self, state: BStarState, rng: random.Random) -> BStarState:
+        name = rng.choice(self._soft)
+        variants = dict(state.variants)
+        variants[name] = rng.randrange(len(self._modules[name].variants))
+        return replace(state, variants=variants)

@@ -1,0 +1,148 @@
+"""B*-tree placers: flat and hierarchical simulated annealing.
+
+The hierarchical placer is the section-III flow: simultaneous annealing
+over the whole HB*-tree forest, with symmetry islands and common-
+centroid arrays maintained by construction and proximity rewarded in the
+cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..anneal import Annealer, AnnealingStats, GeometricSchedule
+from ..circuit import Circuit, ProximityGroup
+from ..geometry import ModuleSet, Net, Placement, total_hpwl
+from .hb_tree import HBStarTreePlacement, HBState
+from .packing import pack
+from .perturb import BStarMoveSet, BStarState
+
+
+@dataclass(frozen=True)
+class BStarPlacerConfig:
+    """Cost weights and annealing parameters (shared by both placers)."""
+
+    area_weight: float = 1.0
+    wirelength_weight: float = 0.5
+    aspect_weight: float = 0.1
+    proximity_weight: float = 2.0
+    target_aspect: float = 1.0
+    seed: int = 0
+    t_initial: float = 1.0
+    t_final: float = 1e-4
+    alpha: float = 0.93
+    steps_per_epoch: int = 60
+
+
+@dataclass
+class BStarPlacerResult:
+    placement: Placement
+    cost: float
+    stats: AnnealingStats
+
+
+class _CostModel:
+    """Shared area / wirelength / aspect / proximity cost."""
+
+    def __init__(
+        self,
+        modules: ModuleSet,
+        nets: tuple[Net, ...],
+        proximity: tuple[ProximityGroup, ...],
+        config: BStarPlacerConfig,
+    ) -> None:
+        self._nets = nets
+        self._proximity = proximity
+        self._config = config
+        self._area_scale = max(modules.total_module_area(), 1e-12)
+        self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
+
+    def __call__(self, placement: Placement) -> float:
+        cfg = self._config
+        bb = placement.bounding_box()
+        cost = cfg.area_weight * bb.area / self._area_scale
+        if self._nets and cfg.wirelength_weight:
+            cost += cfg.wirelength_weight * total_hpwl(self._nets, placement) / self._wl_scale
+        if cfg.aspect_weight and bb.width > 0 and bb.height > 0:
+            ratio = bb.height / bb.width
+            deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
+            cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
+        if cfg.proximity_weight:
+            for group in self._proximity:
+                if not group.is_satisfied(placement):
+                    cost += cfg.proximity_weight
+        return cost
+
+
+class BStarPlacer:
+    """Flat simulated-annealing placement over B*-trees (no hierarchy)."""
+
+    def __init__(
+        self,
+        modules: ModuleSet,
+        nets: tuple[Net, ...] = (),
+        config: BStarPlacerConfig | None = None,
+    ) -> None:
+        self._modules = modules
+        self._config = config or BStarPlacerConfig()
+        self._moves = BStarMoveSet(modules)
+        self._cost_model = _CostModel(modules, nets, (), self._config)
+
+    def cost(self, state: BStarState) -> float:
+        return self._cost_model(
+            pack(state.tree, self._modules, state.orientations, state.variants)
+        )
+
+    def run(self) -> BStarPlacerResult:
+        cfg = self._config
+        rng = random.Random(cfg.seed)
+        schedule = GeometricSchedule(
+            t_initial=cfg.t_initial,
+            t_final=cfg.t_final,
+            alpha=cfg.alpha,
+            steps_per_epoch=cfg.steps_per_epoch,
+        )
+        annealer = Annealer(self.cost, self._moves, schedule, rng)
+        outcome = annealer.run(self._moves.initial_state(rng))
+        best = pack(
+            outcome.best_state.tree,
+            self._modules,
+            outcome.best_state.orientations,
+            outcome.best_state.variants,
+        ).normalized()
+        return BStarPlacerResult(best, outcome.best_cost, outcome.stats)
+
+
+class HierarchicalPlacer:
+    """Section-III hierarchical placer over the HB*-tree forest."""
+
+    def __init__(self, circuit: Circuit, config: BStarPlacerConfig | None = None) -> None:
+        self._circuit = circuit
+        self._config = config or BStarPlacerConfig()
+        self._modules = circuit.modules()
+        self._hb = HBStarTreePlacement(circuit.hierarchy, self._modules)
+        constraints = circuit.constraints()
+        self._cost_model = _CostModel(
+            self._modules, circuit.nets, constraints.proximity, self._config
+        )
+
+    def pack(self, state: HBState) -> Placement:
+        return self._hb.pack(state)
+
+    def cost(self, state: HBState) -> float:
+        return self._cost_model(self._hb.pack(state))
+
+    def run(self) -> BStarPlacerResult:
+        cfg = self._config
+        rng = random.Random(cfg.seed)
+        schedule = GeometricSchedule(
+            t_initial=cfg.t_initial,
+            t_final=cfg.t_final,
+            alpha=cfg.alpha,
+            steps_per_epoch=cfg.steps_per_epoch,
+        )
+        annealer = Annealer(self.cost, self._hb, schedule, rng)
+        outcome = annealer.run(self._hb.initial_state(rng))
+        best = self._hb.pack(outcome.best_state)
+        return BStarPlacerResult(best, outcome.best_cost, outcome.stats)

@@ -1,0 +1,253 @@
+"""B*-trees (Chang et al. [5]): ordered binary trees encoding compacted
+non-slicing placements.
+
+In a B*-tree, the root is placed at the origin; a *left* child is the
+lowest unoccupied position immediately to the right of its parent, a
+*right* child sits at the same x as its parent, above it.  Packing a
+B*-tree therefore always yields a left/bottom-compacted, overlap-free
+placement — the property section III builds on.
+
+The tree is stored as parent/child name maps, cheap to clone for the
+annealer's non-destructive perturbations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Sequence
+
+
+class BStarTree:
+    """A mutable B*-tree over module names."""
+
+    def __init__(self, root: str | None = None) -> None:
+        self.root: str | None = root
+        self.left: dict[str, str | None] = {}
+        self.right: dict[str, str | None] = {}
+        self.parent: dict[str, str | None] = {}
+        if root is not None:
+            self.left[root] = None
+            self.right[root] = None
+            self.parent[root] = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def chain(cls, names: Sequence[str], *, direction: str = "left") -> "BStarTree":
+        """A degenerate tree: a row (``left``) or a stack (``right``)."""
+        if direction not in ("left", "right"):
+            raise ValueError("direction must be 'left' or 'right'")
+        if not names:
+            return cls()
+        tree = cls(names[0])
+        for prev, name in zip(names, names[1:]):
+            tree._attach(name, prev, direction)
+        return tree
+
+    @classmethod
+    def random(cls, names: Iterable[str], rng: random.Random) -> "BStarTree":
+        """A uniformly-shaped random tree (random insertion order and slots)."""
+        pool = list(names)
+        rng.shuffle(pool)
+        if not pool:
+            return cls()
+        tree = cls(pool[0])
+        for name in pool[1:]:
+            parent = rng.choice(list(tree.nodes()))
+            side = rng.choice(("left", "right"))
+            tree.insert(name, parent, side)
+        return tree
+
+    # -- basic structure ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.left)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.left
+
+    def nodes(self) -> Iterator[str]:
+        return iter(self.left.keys())
+
+    def preorder(self) -> Iterator[str]:
+        """Pre-order traversal (the packing order)."""
+        stack = [self.root] if self.root is not None else []
+        while stack:
+            node = stack.pop()
+            yield node
+            right = self.right[node]
+            left = self.left[node]
+            if right is not None:
+                stack.append(right)
+            if left is not None:
+                stack.append(left)
+
+    def clone(self) -> "BStarTree":
+        other = BStarTree()
+        other.root = self.root
+        other.left = dict(self.left)
+        other.right = dict(self.right)
+        other.parent = dict(self.parent)
+        return other
+
+    def validate(self) -> None:
+        """Check tree invariants (used by tests and after perturbations)."""
+        if self.root is None:
+            if self.left or self.right or self.parent:
+                raise ValueError("empty tree with leftover maps")
+            return
+        seen = list(self.preorder())
+        if len(seen) != len(self.left) or set(seen) != set(self.left):
+            raise ValueError("tree is not connected or has stray nodes")
+        if self.parent[self.root] is not None:
+            raise ValueError("root has a parent")
+        for node in self.nodes():
+            for child in (self.left[node], self.right[node]):
+                if child is not None and self.parent[child] != node:
+                    raise ValueError(f"parent pointer of {child!r} is stale")
+
+    # -- mutations -----------------------------------------------------------------
+
+    def _attach(self, name: str, parent: str, side: str) -> None:
+        slot = self.left if side == "left" else self.right
+        if slot[parent] is not None:
+            raise ValueError(f"{side} slot of {parent!r} is occupied")
+        slot[parent] = name
+        self.left[name] = None
+        self.right[name] = None
+        self.parent[name] = parent
+
+    def insert(self, name: str, parent: str, side: str) -> None:
+        """Insert ``name`` as the ``side`` child of ``parent``; an existing
+        child is pushed down to the same side of the new node."""
+        if name in self.left:
+            raise ValueError(f"{name!r} already in tree")
+        if side not in ("left", "right"):
+            raise ValueError("side must be 'left' or 'right'")
+        slot = self.left if side == "left" else self.right
+        displaced = slot[parent]
+        slot[parent] = name
+        self.left[name] = None
+        self.right[name] = None
+        self.parent[name] = parent
+        if displaced is not None:
+            own = self.left if side == "left" else self.right
+            own[name] = displaced
+            self.parent[displaced] = name
+
+    def insert_root(self, name: str, side: str = "left") -> None:
+        """Insert ``name`` as the new root, pushing the old root down."""
+        if name in self.left:
+            raise ValueError(f"{name!r} already in tree")
+        old = self.root
+        self.root = name
+        self.left[name] = None
+        self.right[name] = None
+        self.parent[name] = None
+        if old is not None:
+            slot = self.left if side == "left" else self.right
+            slot[name] = old
+            self.parent[old] = name
+
+    def remove(self, name: str) -> None:
+        """Remove a node; its children are re-linked by promoting a child
+        chain (standard B*-tree deletion)."""
+        if name not in self.left:
+            raise KeyError(name)
+        # Promote children until `name` is a leaf.
+        while True:
+            left, right = self.left[name], self.right[name]
+            if left is None and right is None:
+                break
+            # Promote the left child preferentially (keeps rows intact).
+            child = left if left is not None else right
+            self._swap_positions(name, child)
+        parent = self.parent[name]
+        if parent is None:
+            self.root = None
+        elif self.left[parent] == name:
+            self.left[parent] = None
+        else:
+            self.right[parent] = None
+        del self.left[name]
+        del self.right[name]
+        del self.parent[name]
+
+    def _swap_positions(self, a: str, b: str) -> None:
+        """Exchange the tree positions of nodes ``a`` and ``b``."""
+        if a == b:
+            return
+        pa, pb = self.parent[a], self.parent[b]
+        la, ra = self.left[a], self.right[a]
+        lb, rb = self.left[b], self.right[b]
+
+        def slot_of(parent: str, child: str) -> str:
+            return "left" if self.left[parent] == child else "right"
+
+        if pa == b or pb == a:
+            # adjacent: normalize so that `p` is the parent of `c`
+            p, c = (b, a) if pa == b else (a, b)
+            side = slot_of(p, c)
+            pp = self.parent[p]
+            cl, cr = self.left[c], self.right[c]
+            pl, pr = self.left[p], self.right[p]
+            # child takes parent's place
+            self.parent[c] = pp
+            if pp is None:
+                self.root = c
+            elif self.left[pp] == p:
+                self.left[pp] = c
+            else:
+                self.right[pp] = c
+            # parent becomes the child on the same side
+            if side == "left":
+                self.left[c], self.right[c] = p, pr
+                if pr is not None:
+                    self.parent[pr] = c
+            else:
+                self.left[c], self.right[c] = pl, p
+                if pl is not None:
+                    self.parent[pl] = c
+            self.parent[p] = c
+            self.left[p], self.right[p] = cl, cr
+            if cl is not None:
+                self.parent[cl] = p
+            if cr is not None:
+                self.parent[cr] = p
+            return
+
+        # non-adjacent swap
+        if pa is None:
+            self.root = b
+        elif self.left[pa] == a:
+            self.left[pa] = b
+        else:
+            self.right[pa] = b
+        if pb is None:
+            self.root = a
+        elif self.left[pb] == b:
+            self.left[pb] = a
+        else:
+            self.right[pb] = a
+        self.parent[a], self.parent[b] = pb, pa
+        self.left[a], self.left[b] = lb, la
+        self.right[a], self.right[b] = rb, ra
+        for child in (lb, rb):
+            if child is not None:
+                self.parent[child] = a
+        for child in (la, ra):
+            if child is not None:
+                self.parent[child] = b
+
+    def swap_nodes(self, a: str, b: str) -> None:
+        """Exchange the positions of two nodes (public wrapper)."""
+        self._swap_positions(a, b)
+
+    def move(self, name: str, parent: str, side: str) -> None:
+        """Remove ``name`` and re-insert it as ``side`` child of ``parent``."""
+        if name == parent:
+            raise ValueError("cannot move a node under itself")
+        self.remove(name)
+        if parent not in self.left:
+            raise KeyError(f"parent {parent!r} vanished during move")
+        self.insert(name, parent, side)

@@ -1,0 +1,154 @@
+"""Device model.
+
+Devices are the leaves of the analog design hierarchy.  Each device knows
+how to render itself into a placeable :class:`~repro.geometry.Module`,
+including the discrete footprint variants produced by different folding
+factors — the geometric degree of freedom exploited by layout-aware
+sizing (paper section V).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from ..geometry import Module, ShapeVariant
+
+
+class DeviceType(Enum):
+    """Supported device families."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+    CAPACITOR = "cap"
+    RESISTOR = "res"
+
+
+#: Technology-style constants of the synthetic process used throughout the
+#: reproduction (a generic 0.35 µm-class CMOS, matching the late-2000s
+#: circuits the paper reports on).  Lengths in µm, capacitance in fF/µm².
+TECH = {
+    "gate_pitch": 1.0,        # µm of layout height per µm of gate width in one finger row
+    "finger_overhead": 1.6,   # µm of width added per finger (contacts + spacing)
+    "mos_base_height": 3.2,   # µm, diffusion + well surround for a one-finger row
+    "cap_density": 1.0,       # fF / µm² (poly-poly cap)
+    "res_sheet": 50.0,        # ohm / square
+    "res_strip_width": 0.8,   # µm
+    "res_strip_pitch": 1.8,   # µm (strip + spacing)
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Device:
+    """A circuit device with electrical and geometric parameters.
+
+    Parameters
+    ----------
+    name:
+        Unique instance name, e.g. ``"P1"``.
+    dtype:
+        Device family.
+    width, length:
+        MOS gate dimensions in µm (ignored for passives).
+    value:
+        Capacitance in fF for capacitors, resistance in ohm for resistors.
+    fingers:
+        Default folding factor for MOS devices.
+    model:
+        Device model name; devices sharing a model are candidates for
+        proximity clustering (same well / guard ring), cf. section III.
+    """
+
+    name: str
+    dtype: DeviceType
+    width: float = 0.0
+    length: float = 0.0
+    value: float = 0.0
+    fingers: int = 1
+    model: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dtype in (DeviceType.NMOS, DeviceType.PMOS):
+            if self.width <= 0 or self.length <= 0:
+                raise ValueError(f"MOS device {self.name!r} needs positive W and L")
+            if self.fingers < 1:
+                raise ValueError(f"MOS device {self.name!r} needs >= 1 finger")
+        elif self.value <= 0:
+            raise ValueError(f"passive device {self.name!r} needs a positive value")
+
+    @property
+    def is_mos(self) -> bool:
+        return self.dtype in (DeviceType.NMOS, DeviceType.PMOS)
+
+    # -- geometry ------------------------------------------------------------
+
+    def footprint(self, fingers: int | None = None) -> tuple[float, float]:
+        """Layout footprint (w, h) in µm for a given folding factor.
+
+        Folding a MOS gate of total width W into ``nf`` fingers stacks the
+        gate into ``nf`` strips of width ``W/nf``; the cell gets wider with
+        each finger (contacts) and shorter in the strip direction.
+        """
+        if self.dtype == DeviceType.CAPACITOR:
+            side = math.sqrt(self.value / TECH["cap_density"])
+            return side, side
+        if self.dtype == DeviceType.RESISTOR:
+            squares = self.value / TECH["res_sheet"]
+            strip_len = squares * TECH["res_strip_width"]
+            strips = max(1, round(math.sqrt(strip_len / TECH["res_strip_pitch"])))
+            return strips * TECH["res_strip_pitch"], strip_len / strips
+        nf = fingers if fingers is not None else self.fingers
+        if nf < 1:
+            raise ValueError("fingers must be >= 1")
+        strip_width = self.width / nf
+        w = nf * (self.length + TECH["finger_overhead"])
+        h = strip_width * TECH["gate_pitch"] + TECH["mos_base_height"]
+        return w, h
+
+    def folding_variants(self, max_fingers: int = 8) -> tuple[ShapeVariant, ...]:
+        """All distinct footprints for folding factors 1 .. ``max_fingers``.
+
+        Only factors that keep the finger strip at least one gate length
+        tall are offered, mirroring real PCELL limits.
+        """
+        variants = []
+        seen: set[tuple[float, float]] = set()
+        for nf in range(1, max_fingers + 1):
+            if self.is_mos and self.width / nf < self.length:
+                break
+            w, h = self.footprint(nf if self.is_mos else None)
+            key = (round(w, 6), round(h, 6))
+            if key not in seen:
+                seen.add(key)
+                variants.append(ShapeVariant(w, h, tag=f"nf={nf}"))
+            if not self.is_mos:
+                break
+        return tuple(variants)
+
+    def to_module(self, *, soft: bool = False, max_fingers: int = 8, rotatable: bool = True) -> Module:
+        """Render this device into a placeable module.
+
+        ``soft=True`` exposes all folding variants; otherwise the default
+        folding factor yields a single hard footprint.
+        """
+        if soft:
+            variants = self.folding_variants(max_fingers)
+        else:
+            w, h = self.footprint()
+            variants = (ShapeVariant(w, h, tag=f"nf={self.fingers}"),)
+        return Module(self.name, variants, rotatable=rotatable)
+
+
+def matched_pair(
+    base: str, dtype: DeviceType, width: float, length: float, *, fingers: int = 1, model: str = ""
+) -> tuple[Device, Device]:
+    """Two identically-sized devices named ``{base}a`` / ``{base}b``.
+
+    Matched pairs are the building blocks of differential circuits and the
+    natural members of symmetry and common-centroid groups.
+    """
+    make = lambda suffix: Device(
+        f"{base}{suffix}", dtype, width=width, length=length, fingers=fingers, model=model
+    )
+    return make("a"), make("b")

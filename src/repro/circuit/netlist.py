@@ -1,0 +1,86 @@
+"""Circuit container tying devices, nets, hierarchy and constraints together.
+
+A :class:`Circuit` is the input format of every placer and of the
+layout-aware sizing flow.  It owns:
+
+* the device list (leaves of the design),
+* the nets (for wirelength objectives),
+* the layout design hierarchy (exact + virtual, section III),
+* the aggregated constraint set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry import Module, ModuleSet, Net
+from .constraints import CommonCentroidGroup, ConstraintSet, ProximityGroup, SymmetryGroup
+from .device import Device
+from .hierarchy import HierarchyNode
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """An analog circuit prepared for layout synthesis."""
+
+    name: str
+    hierarchy: HierarchyNode
+    nets: tuple[Net, ...] = ()
+    devices: tuple[Device, ...] = ()
+    extra_constraints: ConstraintSet = field(default_factory=ConstraintSet)
+
+    def __post_init__(self) -> None:
+        self.hierarchy.validate()
+        module_names = set(self.modules().names())
+        for net in self.nets:
+            unknown = [p for p in net.pins if p not in module_names]
+            if unknown:
+                raise ValueError(f"net {net.name!r} references unknown modules {unknown}")
+        for c in self.extra_constraints.all():
+            missing = c.member_set() - module_names
+            if missing:
+                raise ValueError(
+                    f"constraint {c.name!r} references unknown modules {sorted(missing)}"
+                )
+
+    # -- views ---------------------------------------------------------------
+
+    def modules(self) -> ModuleSet:
+        """All placeable modules of the circuit."""
+        return self.hierarchy.module_set()
+
+    @property
+    def n_modules(self) -> int:
+        return len(self.modules())
+
+    def constraints(self) -> ConstraintSet:
+        """Constraints from the hierarchy plus any extra ones."""
+        symmetry: list[SymmetryGroup] = []
+        common_centroid: list[CommonCentroidGroup] = []
+        proximity: list[ProximityGroup] = []
+        for c in self.hierarchy.constraints():
+            if isinstance(c, SymmetryGroup):
+                symmetry.append(c)
+            elif isinstance(c, CommonCentroidGroup):
+                common_centroid.append(c)
+            elif isinstance(c, ProximityGroup):
+                proximity.append(c)
+        return ConstraintSet(
+            tuple(symmetry), tuple(common_centroid), tuple(proximity)
+        ).merged_with(self.extra_constraints)
+
+    def module(self, name: str) -> Module:
+        return self.modules()[name]
+
+    def total_module_area(self) -> float:
+        return self.modules().total_module_area()
+
+    def summary(self) -> str:
+        """One-line description used by benchmarks and examples."""
+        cs = self.constraints()
+        return (
+            f"{self.name}: {self.n_modules} modules, {len(self.nets)} nets, "
+            f"{len(cs.symmetry)} symmetry / {len(cs.common_centroid)} common-centroid / "
+            f"{len(cs.proximity)} proximity constraints, "
+            f"hierarchy depth {self.hierarchy.depth()}"
+        )

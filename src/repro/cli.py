@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro circuits
+    python -m repro place miller_opamp --engine hbtree --seed 3
+    python -m repro route fig2 --pitch 0.5
+    python -m repro table1 --circuit folded_cascode
+    python -m repro sizing --flow aware
+
+The CLI is a thin veneer over the library: every command prints the same
+reports the examples and benchmarks produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .analysis import render_placement
+from .bstar import BStarPlacerConfig, HierarchicalPlacer
+from .circuit import (
+    Circuit,
+    TABLE1_MODULE_COUNTS,
+    fig2_design,
+    miller_opamp,
+    table1_circuit,
+)
+from .route import Router
+from .seqpair import PlacerConfig, SequencePairPlacer
+from .shapes import DeterministicConfig, DeterministicPlacer
+from .slicing import SlicingPlacer, SlicingPlacerConfig
+
+_CIRCUITS: dict[str, Callable[[], Circuit]] = {
+    "miller_opamp": miller_opamp,
+    "fig2": fig2_design,
+    **{key: (lambda k=key: table1_circuit(k)) for key in TABLE1_MODULE_COUNTS},
+}
+
+_ENGINES = ("seqpair", "hbtree", "deterministic", "slicing")
+
+
+def _load_circuit(name: str) -> Circuit:
+    if name not in _CIRCUITS:
+        raise SystemExit(
+            f"unknown circuit {name!r}; try one of: {', '.join(sorted(_CIRCUITS))}"
+        )
+    return _CIRCUITS[name]()
+
+
+def _place(circuit: Circuit, engine: str, seed: int):
+    if engine == "seqpair":
+        return SequencePairPlacer.for_circuit(
+            circuit, PlacerConfig(seed=seed)
+        ).run().placement
+    if engine == "hbtree":
+        return HierarchicalPlacer(
+            circuit, BStarPlacerConfig(seed=seed)
+        ).run().placement
+    if engine == "deterministic":
+        return DeterministicPlacer(
+            circuit, DeterministicConfig(seed=seed)
+        ).run().placement
+    if engine == "slicing":
+        return SlicingPlacer(
+            circuit.modules(), circuit.nets, SlicingPlacerConfig(seed=seed)
+        ).run().placement
+    raise SystemExit(f"unknown engine {engine!r}; try one of: {', '.join(_ENGINES)}")
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def cmd_circuits(_args) -> int:
+    for name in sorted(_CIRCUITS):
+        print(_CIRCUITS[name]().summary())
+    return 0
+
+
+def cmd_place(args) -> int:
+    circuit = _load_circuit(args.circuit)
+    print(circuit.summary())
+    placement = _place(circuit, args.engine, args.seed)
+    print(render_placement(placement, width=args.width, height=args.height))
+    print(
+        f"area usage {100 * placement.area_usage():.1f}%  "
+        f"bbox {placement.width:.1f} x {placement.height:.1f}"
+    )
+    violations = circuit.constraints().violations(placement)
+    print(f"constraint violations: {violations or 'none'}")
+    return 1 if violations else 0
+
+
+def cmd_route(args) -> int:
+    circuit = _load_circuit(args.circuit)
+    placement = _place(circuit, args.engine, args.seed)
+    router = Router(placement, circuit.nets, pitch=args.pitch)
+    result = router.route_all(retries=args.retries)
+    print(result.summary())
+    for name, net in sorted(result.routed.items()):
+        print(
+            f"  {name:16s} wl {net.wirelength:8.1f} um  {net.vias:3d} vias  "
+            f"C {net.capacitance:7.2f} fF"
+        )
+    if result.failed:
+        print(f"  failed: {', '.join(result.failed)}")
+    return 0 if not result.failed else 1
+
+
+def cmd_table1(args) -> int:
+    keys = [args.circuit] if args.circuit else list(TABLE1_MODULE_COUNTS)
+    print(f"{'circuit':<16}{'mods':>6}{'ESF use':>10}{'ESF t':>8}{'RSF use':>10}{'RSF t':>8}{'improv':>8}")
+    for key in keys:
+        circuit = table1_circuit(key)
+        esf = DeterministicPlacer(circuit, DeterministicConfig(enhanced=True)).run()
+        rsf = DeterministicPlacer(circuit, DeterministicConfig(enhanced=False)).run()
+        print(
+            f"{key:<16}{circuit.n_modules:>6}"
+            f"{100 * esf.area_usage:>9.2f}%{esf.runtime_s:>7.2f}s"
+            f"{100 * rsf.area_usage:>9.2f}%{rsf.runtime_s:>7.2f}s"
+            f"{100 * (rsf.area_usage - esf.area_usage):>7.2f}%"
+        )
+    return 0
+
+
+def cmd_sizing(args) -> int:
+    from .sizing import electrical_sizing, layout_aware_sizing
+
+    flow = (
+        layout_aware_sizing(seed=args.seed)
+        if args.flow == "aware"
+        else electrical_sizing(seed=args.seed)
+    )
+    print(flow.report())
+    return 0 if flow.meets_specs_post_layout() else 1
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analog layout synthesis via topological approaches "
+        "(reproduction of Graeb et al., DATE 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list the benchmark circuits").set_defaults(
+        fn=cmd_circuits
+    )
+
+    p = sub.add_parser("place", help="place a circuit")
+    p.add_argument("circuit")
+    p.add_argument("--engine", choices=_ENGINES, default="hbtree")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--width", type=int, default=70)
+    p.add_argument("--height", type=int, default=20)
+    p.set_defaults(fn=cmd_place)
+
+    p = sub.add_parser("route", help="place and route a circuit")
+    p.add_argument("circuit")
+    p.add_argument("--engine", choices=_ENGINES, default="hbtree")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pitch", type=float, default=0.5)
+    p.add_argument("--retries", type=int, default=10)
+    p.set_defaults(fn=cmd_route)
+
+    p = sub.add_parser("table1", help="regenerate the Table-I comparison")
+    p.add_argument("--circuit", choices=sorted(TABLE1_MODULE_COUNTS), default=None)
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("sizing", help="run a Fig.-10 sizing flow")
+    p.add_argument("--flow", choices=("plain", "aware"), default="aware")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_sizing)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Axis-aligned rectangles and points.
+
+The whole library works on axis-aligned geometry in an abstract unit
+(conventionally micrometres).  ``Rect`` is the single geometric primitive
+shared by placements, contours, templates and parasitic extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the layout plane."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return this point moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def mirrored_x(self, axis: float) -> "Point":
+        """Return this point mirrored about the vertical line ``x = axis``."""
+        return Point(2.0 * axis - self.x, self.y)
+
+    def mirrored_y(self, axis: float) -> "Point":
+        """Return this point mirrored about the horizontal line ``y = axis``."""
+        return Point(self.x, 2.0 * axis - self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x0, x1] x [y0, y1]``.
+
+    Degenerate (zero width/height) rectangles are permitted; negative
+    extents are not.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(
+                f"malformed Rect: ({self.x0}, {self.y0}, {self.x1}, {self.y1})"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_size(cls, x: float, y: float, width: float, height: float) -> "Rect":
+        """Build a rectangle from its lower-left corner and size."""
+        return cls(x, y, x + width, y + height)
+
+    @classmethod
+    def bounding(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Bounding box of a non-empty iterable of rectangles."""
+        it = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("Rect.bounding() of an empty iterable") from None
+        x0, y0, x1, y1 = first.x0, first.y0, first.x1, first.y1
+        for r in it:
+            x0 = min(x0, r.x0)
+            y0 = min(y0, r.y0)
+            x1 = max(x1, r.x1)
+            y1 = max(y1, r.y1)
+        return cls(x0, y0, x1, y1)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Height divided by width (``inf`` for zero width)."""
+        if self.width == 0:
+            return math.inf
+        return self.height / self.width
+
+    # -- predicates --------------------------------------------------------
+
+    def overlaps(self, other: "Rect", *, strict: bool = True) -> bool:
+        """True if the rectangles share interior area.
+
+        With ``strict=False`` touching edges also count as an overlap.
+        """
+        if strict:
+            return (
+                self.x0 < other.x1
+                and other.x0 < self.x1
+                and self.y0 < other.y1
+                and other.y0 < self.y1
+            )
+        return (
+            self.x0 <= other.x1
+            and other.x0 <= self.x1
+            and self.y0 <= other.y1
+            and other.y0 <= self.y1
+        )
+
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary."""
+        return self.x0 <= p.x <= self.x1 and self.y0 <= p.y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies fully inside (or on the boundary of) self."""
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    # -- transforms --------------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return this rectangle moved by ``(dx, dy)``."""
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def moved_to(self, x: float, y: float) -> "Rect":
+        """Return this rectangle with its lower-left corner at ``(x, y)``."""
+        return Rect.from_size(x, y, self.width, self.height)
+
+    def mirrored_x(self, axis: float) -> "Rect":
+        """Mirror about the vertical line ``x = axis``."""
+        return Rect(2.0 * axis - self.x1, self.y0, 2.0 * axis - self.x0, self.y1)
+
+    def mirrored_y(self, axis: float) -> "Rect":
+        """Mirror about the horizontal line ``y = axis``."""
+        return Rect(self.x0, 2.0 * axis - self.y1, self.x1, 2.0 * axis - self.y0)
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Intersection rectangle, or ``None`` when disjoint."""
+        x0 = max(self.x0, other.x0)
+        y0 = max(self.y0, other.y0)
+        x1 = min(self.x1, other.x1)
+        y1 = min(self.y1, other.y1)
+        if x1 < x0 or y1 < y0:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Bounding box of self and ``other``."""
+        return Rect(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )
+
+    def inflated(self, margin: float) -> "Rect":
+        """Grow (or shrink, for negative margin) by ``margin`` on all sides."""
+        return Rect(
+            self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin
+        )
+
+    def corners(self) -> Iterator[Point]:
+        """Iterate the four corners counter-clockwise from lower-left."""
+        yield Point(self.x0, self.y0)
+        yield Point(self.x1, self.y0)
+        yield Point(self.x1, self.y1)
+        yield Point(self.x0, self.y1)
+
+
+def total_area(rects: Iterable[Rect]) -> float:
+    """Sum of individual rectangle areas (overlap counted twice)."""
+    return sum(r.area for r in rects)
+
+
+def any_overlap(rects: list[Rect], *, tol: float = 1e-9) -> bool:
+    """True if any two rectangles in the list overlap by more than ``tol``.
+
+    Uses a sweep over x-sorted rectangles; adequate for the list sizes
+    handled by placement checkers (hundreds of modules).
+    """
+    order = sorted(range(len(rects)), key=lambda i: rects[i].x0)
+    active: list[int] = []
+    for i in order:
+        r = rects[i]
+        active = [j for j in active if rects[j].x1 > r.x0 + tol]
+        for j in active:
+            o = rects[j]
+            if (
+                r.x0 + tol < o.x1
+                and o.x0 + tol < r.x1
+                and r.y0 + tol < o.y1
+                and o.y0 + tol < r.y1
+            ):
+                return True
+        active.append(i)
+    return False

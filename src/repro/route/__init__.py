@@ -1,0 +1,30 @@
+"""Analog routing substrate: two-layer maze routing with symmetric
+differential-pair routing (supporting section II's matched-parasitics
+argument)."""
+
+from .grid import HORIZONTAL, N_LAYERS, VERTICAL, GridPoint, RoutingGrid
+from .maze import RoutedPath, RoutingError, astar_connect
+from .router import (
+    RoutedNet,
+    Router,
+    RoutingResult,
+    pin_access,
+)
+from .symmetric import SymmetricRouteResult, route_symmetric_pair
+
+__all__ = [
+    "HORIZONTAL",
+    "N_LAYERS",
+    "VERTICAL",
+    "GridPoint",
+    "RoutedNet",
+    "RoutedPath",
+    "Router",
+    "RoutingError",
+    "RoutingGrid",
+    "RoutingResult",
+    "SymmetricRouteResult",
+    "astar_connect",
+    "pin_access",
+    "route_symmetric_pair",
+]

@@ -1,0 +1,154 @@
+"""Routing grid.
+
+A uniform two-layer grid over a placement region: layer 0 carries
+horizontal segments, layer 1 vertical segments, connected by vias.
+Module rectangles block both layers except over their own pins, which is
+the standard over-the-cell-free model for device-level analog routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..geometry import Placement, Rect
+
+#: Layers: 0 routes horizontally, 1 vertically.
+N_LAYERS = 2
+HORIZONTAL, VERTICAL = 0, 1
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class GridPoint:
+    """A grid node: (layer, column, row); ordered so it can serve as a
+    heap tiebreaker in the maze router."""
+
+    layer: int
+    col: int
+    row: int
+
+
+class RoutingGrid:
+    """Two-layer routing grid with obstacle and occupancy tracking."""
+
+    def __init__(self, region: Rect, pitch: float, *, halo: float = 0.0) -> None:
+        if pitch <= 0:
+            raise ValueError("pitch must be positive")
+        self.region = region
+        self.pitch = pitch
+        self.halo = halo
+        self.cols = max(2, int(region.width / pitch) + 1)
+        self.rows = max(2, int(region.height / pitch) + 1)
+        # blocked[layer][col][row]
+        self._blocked = [
+            [[False] * self.rows for _ in range(self.cols)] for _ in range(N_LAYERS)
+        ]
+        self._occupied: dict[tuple[int, int, int], str] = {}
+
+    # -- coordinate mapping -------------------------------------------------
+
+    def to_xy(self, point: GridPoint) -> tuple[float, float]:
+        """Physical coordinates of a grid node."""
+        return (
+            self.region.x0 + point.col * self.pitch,
+            self.region.y0 + point.row * self.pitch,
+        )
+
+    def snap(self, x: float, y: float, layer: int = 0) -> GridPoint:
+        """Nearest grid node to a physical location."""
+        col = round((x - self.region.x0) / self.pitch)
+        row = round((y - self.region.y0) / self.pitch)
+        col = min(self.cols - 1, max(0, col))
+        row = min(self.rows - 1, max(0, row))
+        return GridPoint(layer, col, row)
+
+    def in_bounds(self, layer: int, col: int, row: int) -> bool:
+        return 0 <= layer < N_LAYERS and 0 <= col < self.cols and 0 <= row < self.rows
+
+    # -- obstacles -----------------------------------------------------------
+
+    def block_rect(self, rect: Rect, *, layers: Iterable[int] = (0, 1)) -> None:
+        """Block all nodes under ``rect`` (inflated by the halo)."""
+        r = rect.inflated(self.halo)
+        c0 = max(0, int((r.x0 - self.region.x0) / self.pitch + 0.5))
+        c1 = min(self.cols - 1, int((r.x1 - self.region.x0) / self.pitch - 0.5 + 1))
+        r0 = max(0, int((r.y0 - self.region.y0) / self.pitch + 0.5))
+        r1 = min(self.rows - 1, int((r.y1 - self.region.y0) / self.pitch - 0.5 + 1))
+        for layer in layers:
+            for col in range(c0, c1 + 1):
+                for row in range(r0, r1 + 1):
+                    self._blocked[layer][col][row] = True
+
+    def unblock_point(self, point: GridPoint) -> None:
+        """Free one node (used to open pin accesses inside modules)."""
+        self._blocked[point.layer][point.col][point.row] = False
+
+    def is_free(self, layer: int, col: int, row: int, *, net: str | None = None) -> bool:
+        """A node is usable when in bounds, not blocked, and not occupied
+        by a different net."""
+        if not self.in_bounds(layer, col, row):
+            return False
+        if self._blocked[layer][col][row]:
+            return False
+        owner = self._occupied.get((layer, col, row))
+        return owner is None or owner == net
+
+    # -- occupancy -------------------------------------------------------------
+
+    def occupy(self, points: Iterable[GridPoint], net: str) -> None:
+        for p in points:
+            key = (p.layer, p.col, p.row)
+            owner = self._occupied.get(key)
+            if owner is not None and owner != net:
+                raise ValueError(f"node {key} already owned by {owner!r}")
+            self._occupied[key] = net
+
+    def release_net(self, net: str) -> None:
+        self._occupied = {k: v for k, v in self._occupied.items() if v != net}
+
+    def net_points(self, net: str) -> list[GridPoint]:
+        return [
+            GridPoint(*key) for key, owner in self._occupied.items() if owner == net
+        ]
+
+    def occupancy(self) -> int:
+        return len(self._occupied)
+
+    # -- neighbors ----------------------------------------------------------------
+
+    def neighbors(self, point: GridPoint, *, net: str | None = None) -> Iterator[GridPoint]:
+        """Legal moves: along the layer's direction, or a via."""
+        layer, col, row = point.layer, point.col, point.row
+        if layer == HORIZONTAL:
+            steps = ((col - 1, row), (col + 1, row))
+        else:
+            steps = ((col, row - 1), (col, row + 1))
+        for c, r in steps:
+            if self.is_free(layer, c, r, net=net):
+                yield GridPoint(layer, c, r)
+        other = 1 - layer
+        if self.is_free(other, col, row, net=net):
+            yield GridPoint(other, col, row)
+
+    @classmethod
+    def over_placement(
+        cls,
+        placement: Placement,
+        *,
+        pitch: float = 1.0,
+        margin: float = 2.0,
+        halo: float = 0.0,
+        blocked_layers: Iterable[int] = (HORIZONTAL,),
+    ) -> "RoutingGrid":
+        """Grid covering a placement plus a routing margin.
+
+        Modules block the layers in ``blocked_layers`` — by default only
+        the lower (horizontal) layer, i.e. the vertical layer may route
+        over the cells, which keeps compact analog placements routable.
+        """
+        bb = placement.bounding_box().inflated(margin)
+        grid = cls(bb, pitch, halo=halo)
+        layers = tuple(blocked_layers)
+        for pm in placement:
+            grid.block_rect(pm.rect, layers=layers)
+        return grid

@@ -1,0 +1,112 @@
+"""Maze routing (Lee/A*) on the two-layer grid.
+
+Multi-pin nets are routed by iterative tree growth: the first pin seeds
+the tree, and each further pin is connected by an A* search from the
+existing tree (all tree nodes start the frontier at cost 0).  Via moves
+carry a configurable penalty so the router prefers straight wires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from .grid import GridPoint, RoutingGrid
+
+VIA_COST = 3.0
+STEP_COST = 1.0
+
+
+class RoutingError(RuntimeError):
+    """Raised when no legal path exists for a connection."""
+
+
+@dataclass(frozen=True)
+class RoutedPath:
+    """One pin-to-tree connection."""
+
+    points: tuple[GridPoint, ...]
+
+    @property
+    def wirelength(self) -> int:
+        """Number of grid steps (excluding vias)."""
+        return sum(
+            1
+            for a, b in zip(self.points, self.points[1:])
+            if a.layer == b.layer
+        )
+
+    @property
+    def vias(self) -> int:
+        return sum(
+            1
+            for a, b in zip(self.points, self.points[1:])
+            if a.layer != b.layer
+        )
+
+
+def astar_connect(
+    grid: RoutingGrid,
+    sources: Sequence[GridPoint],
+    target: GridPoint,
+    *,
+    net: str | None = None,
+) -> RoutedPath:
+    """Cheapest path from any source node to the target.
+
+    Cost: STEP_COST per grid step, VIA_COST per layer change; the
+    heuristic is the Manhattan distance (admissible), so paths are
+    optimal under the cost model.
+    """
+    if not sources:
+        raise ValueError("need at least one source")
+
+    def h(p: GridPoint) -> float:
+        return (abs(p.col - target.col) + abs(p.row - target.row)) * STEP_COST
+
+    best: dict[tuple[int, int, int], float] = {}
+    parent: dict[tuple[int, int, int], GridPoint | None] = {}
+    frontier: list[tuple[float, float, GridPoint]] = []
+    for s in sources:
+        key = (s.layer, s.col, s.row)
+        best[key] = 0.0
+        parent[key] = None
+        heapq.heappush(frontier, (h(s), 0.0, s))
+
+    target_keys = {
+        (layer, target.col, target.row) for layer in (0, 1)
+        if grid.is_free(layer, target.col, target.row, net=net)
+    }
+    if not target_keys:
+        raise RoutingError(f"target {target} is blocked")
+
+    while frontier:
+        _, g, node = heapq.heappop(frontier)
+        key = (node.layer, node.col, node.row)
+        if g > best.get(key, float("inf")):
+            continue
+        if key in target_keys:
+            return RoutedPath(tuple(_backtrack(parent, node)))
+        for nxt in grid.neighbors(node, net=net):
+            step = VIA_COST if nxt.layer != node.layer else STEP_COST
+            ng = g + step
+            nkey = (nxt.layer, nxt.col, nxt.row)
+            if ng < best.get(nkey, float("inf")):
+                best[nkey] = ng
+                parent[nkey] = node
+                heapq.heappush(frontier, (ng + h(nxt), ng, nxt))
+
+    raise RoutingError(f"no path to {target}")
+
+
+def _backtrack(parent, node: GridPoint) -> list[GridPoint]:
+    path = [node]
+    while True:
+        prev = parent[(node.layer, node.col, node.row)]
+        if prev is None:
+            break
+        path.append(prev)
+        node = prev
+    path.reverse()
+    return path

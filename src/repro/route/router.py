@@ -1,0 +1,266 @@
+"""Net-level router over a placement.
+
+Routes every net of a circuit over the two-layer grid: pins are opened
+at module-boundary access points, nets are processed short-first
+(cheaper nets commit first, the classic sequential scheme of the
+device-level tools the paper cites), and each routed net becomes an
+obstacle for the following ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry import Net, PlacedModule, Placement
+from .grid import GridPoint, RoutingGrid
+from .maze import RoutedPath, RoutingError, astar_connect
+
+#: Electrical estimates per grid step of routed wire.
+WIRE_CAP_PER_UM = 0.22   # fF/µm
+WIRE_RES_PER_UM = 0.08   # ohm/µm
+VIA_RES = 2.0            # ohm per via
+
+
+@dataclass(frozen=True)
+class RoutedNet:
+    """A fully routed net."""
+
+    name: str
+    paths: tuple[RoutedPath, ...]
+    pitch: float
+
+    @property
+    def wirelength(self) -> float:
+        """Physical wirelength in µm."""
+        return sum(p.wirelength for p in self.paths) * self.pitch
+
+    @property
+    def vias(self) -> int:
+        return sum(p.vias for p in self.paths)
+
+    @property
+    def capacitance(self) -> float:
+        """Estimated wiring capacitance, fF."""
+        return self.wirelength * WIRE_CAP_PER_UM
+
+    @property
+    def resistance(self) -> float:
+        """Estimated end-to-end resistance bound, ohm."""
+        return self.wirelength * WIRE_RES_PER_UM + self.vias * VIA_RES
+
+    def points(self) -> list[GridPoint]:
+        return [pt for path in self.paths for pt in path.points]
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing all nets of a circuit."""
+
+    routed: dict[str, RoutedNet] = field(default_factory=dict)
+    failed: list[str] = field(default_factory=list)
+
+    @property
+    def total_wirelength(self) -> float:
+        return sum(net.wirelength for net in self.routed.values())
+
+    @property
+    def total_vias(self) -> int:
+        return sum(net.vias for net in self.routed.values())
+
+    @property
+    def success_rate(self) -> float:
+        total = len(self.routed) + len(self.failed)
+        return len(self.routed) / total if total else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.routed)} nets routed, {len(self.failed)} failed, "
+            f"wirelength {self.total_wirelength:.1f} um, {self.total_vias} vias"
+        )
+
+
+def pin_access(
+    grid: RoutingGrid,
+    module: PlacedModule,
+    index: int = 0,
+    count: int = 1,
+    *,
+    net: str = "",
+) -> GridPoint:
+    """One of ``count`` pin access nodes distributed along the module's
+    top edge, opened on both layers and *reserved* for ``net`` so no
+    other wire can seal the terminal off.
+
+    When the snapped node is already reserved (narrow module, several
+    nets), the terminal shifts along the edge to the next free column.
+    """
+    rect = module.rect
+    frac = (index + 1) / (count + 1)
+    # candidate edges in preference order: top, bottom, left, right
+    edges = (
+        (rect.x0 + frac * rect.width, rect.y1, "h"),
+        (rect.x0 + frac * rect.width, rect.y0, "h"),
+        (rect.x0, rect.y0 + frac * rect.height, "v"),
+        (rect.x1, rect.y0 + frac * rect.height, "v"),
+    )
+    for x, y, axis in edges:
+        point = grid.snap(x, y)
+        if axis == "h":
+            lo = grid.snap(rect.x0, y).col
+            hi = grid.snap(rect.x1, y).col
+        else:
+            lo = grid.snap(x, rect.y0).row
+            hi = grid.snap(x, rect.y1).row
+        for offset in range(hi - lo + 1):
+            for direction in (1, -1):
+                if axis == "h":
+                    col, row = point.col + direction * offset, point.row
+                    if not (lo <= col <= hi):
+                        continue
+                else:
+                    col, row = point.col, point.row + direction * offset
+                    if not (lo <= row <= hi):
+                        continue
+                if not grid.in_bounds(0, col, row):
+                    continue
+                nodes = [GridPoint(layer, col, row) for layer in (0, 1)]
+                if not all(
+                    grid.is_free(n.layer, n.col, n.row, net=net)
+                    or grid._blocked[n.layer][n.col][n.row]
+                    for n in nodes
+                ):
+                    continue  # owned by another net
+                for node in nodes:
+                    grid.unblock_point(node)
+                if all(grid.is_free(n.layer, n.col, n.row, net=net) for n in nodes):
+                    if net:
+                        # reserve the terminal itself only; the layer-1
+                        # node above stays shared, otherwise stacked pins
+                        # seal whole routing columns
+                        grid.occupy([GridPoint(0, col, row)], net)
+                    return GridPoint(0, col, row)
+    raise RoutingError(f"no free terminal for {module.name!r}/{net!r}")
+
+
+class Router:
+    """Sequential two-layer maze router for a placed circuit."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        nets: tuple[Net, ...],
+        *,
+        pitch: float = 1.0,
+        margin: float = 4.0,
+        halo: float = 0.0,
+    ) -> None:
+        self._placement = placement
+        self._nets = nets
+        self.grid = RoutingGrid.over_placement(
+            placement, pitch=pitch, margin=margin, halo=halo
+        )
+        # Every net attached to a module gets its own terminal along the
+        # module's top edge.
+        nets_of: dict[str, list[str]] = {pm.name: [] for pm in placement}
+        for net in nets:
+            for pin in net.pins:
+                if pin in nets_of:
+                    nets_of[pin].append(net.name)
+        self._pins: dict[tuple[str, str], GridPoint] = {}
+        for pm in placement:
+            attached = nets_of[pm.name] or [""]
+            for index, net_name in enumerate(attached):
+                self._pins[(pm.name, net_name)] = pin_access(
+                    self.grid, pm, index, len(attached), net=net_name
+                )
+
+    def pin(self, module: str, net: str = "") -> GridPoint:
+        """The terminal of ``module`` serving ``net`` (first terminal when
+        the net is unspecified)."""
+        if (module, net) in self._pins:
+            return self._pins[(module, net)]
+        for (mod, _), point in self._pins.items():
+            if mod == module:
+                return point
+        raise KeyError(module)
+
+    def route_net(self, net: Net) -> RoutedNet:
+        """Route one net as a Steiner-ish tree (iterative pin attachment)."""
+        pins = [
+            self._pins[(p, net.name)]
+            for p in net.pins
+            if (p, net.name) in self._pins
+        ]
+        if len(pins) < 2:
+            return RoutedNet(net.name, (), self.grid.pitch)
+        tree: list[GridPoint] = [GridPoint(0, pins[0].col, pins[0].row)]
+        paths: list[RoutedPath] = []
+        for pin_pt in pins[1:]:
+            path = astar_connect(self.grid, tree, pin_pt, net=net.name)
+            paths.append(path)
+            tree.extend(path.points)
+        routed = RoutedNet(net.name, tuple(paths), self.grid.pitch)
+        self.grid.occupy(routed.points(), net.name)
+        return routed
+
+    def route_all(self, *, order: str = "short-first", retries: int = 5) -> RoutingResult:
+        """Route every net; ``order`` is ``short-first``, ``long-first``
+        or ``given``.
+
+        On failures, a rip-up-and-retry pass releases all wires (pin
+        reservations stay) and routes the previously-failed nets first —
+        the standard sequential-router escape from ordering conflicts.
+        """
+        nets = list(self._nets)
+        if order == "short-first":
+            nets.sort(key=lambda n: n.hpwl(self._placement))
+        elif order == "long-first":
+            nets.sort(key=lambda n: -n.hpwl(self._placement))
+        elif order != "given":
+            raise ValueError(f"unknown order {order!r}")
+
+        import random as _random
+
+        result = self._route_pass(nets)
+        best = result
+        best_order = list(nets)
+        hard_nets: set[str] = set(result.failed)
+        rng = _random.Random(0xBEEF)
+        for attempt in range(retries):
+            if not result.failed:
+                break
+            hard_nets |= set(result.failed)
+            failed_first = [n for n in nets if n.name in hard_nets]
+            rest = [n for n in nets if n.name not in hard_nets]
+            if attempt >= 1:
+                # diversify: failed nets first in random order, rest shuffled
+                rng.shuffle(failed_first)
+                rng.shuffle(rest)
+            order_now = failed_first + rest
+            self._release_wires(nets)
+            result = self._route_pass(order_now)
+            if len(result.failed) < len(best.failed):
+                best = result
+                best_order = order_now
+        if len(result.failed) > len(best.failed):
+            # re-realize the best pass (wires on the grid must match it)
+            self._release_wires(nets)
+            result = self._route_pass(best_order)
+        return result
+
+    def _route_pass(self, nets: list[Net]) -> RoutingResult:
+        result = RoutingResult()
+        for net in nets:
+            try:
+                result.routed[net.name] = self.route_net(net)
+            except RoutingError:
+                result.failed.append(net.name)
+        return result
+
+    def _release_wires(self, nets: list[Net]) -> None:
+        """Release all routed wires but keep the pin reservations."""
+        for net in nets:
+            self.grid.release_net(net.name)
+        for (_, net_name), point in self._pins.items():
+            if net_name:
+                self.grid.occupy([GridPoint(0, point.col, point.row)], net_name)

@@ -1,0 +1,109 @@
+"""Symmetric routing of differential net pairs.
+
+Section II: "The main reason of symmetric placement (and routing, as
+well) is to match the layout-induced parasitics in the two halves of a
+group of devices."  Given a symmetric placement, a differential net
+pair is routed by routing one net and *mirroring* its path about the
+symmetry axis — the mirrored net then has identical wirelength and via
+count, hence identical estimated parasitics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Net
+from .grid import GridPoint
+from .maze import RoutedPath, RoutingError
+from .router import RoutedNet, Router
+
+
+@dataclass(frozen=True)
+class SymmetricRouteResult:
+    """A routed differential pair with its mismatch metrics."""
+
+    left: RoutedNet
+    right: RoutedNet
+    mirrored: bool
+
+    @property
+    def wirelength_mismatch(self) -> float:
+        return abs(self.left.wirelength - self.right.wirelength)
+
+    @property
+    def capacitance_mismatch(self) -> float:
+        return abs(self.left.capacitance - self.right.capacitance)
+
+    @property
+    def resistance_mismatch(self) -> float:
+        return abs(self.left.resistance - self.right.resistance)
+
+
+def _mirror_column(router: Router, axis_x: float, *, snap_axis: bool) -> int:
+    """The constant K with mirrored column = K - col.
+
+    With ``snap_axis`` (the default) the axis snaps to the nearest grid
+    half-column: the realized mirror is then exact in grid space — and
+    therefore exactly parasitic-matched — within pitch/4 of the requested
+    physical axis.  Without snapping, misaligned axes are rejected.
+    """
+    grid = router.grid
+    k2 = 2.0 * (axis_x - grid.region.x0) / grid.pitch
+    k = round(k2)
+    if not snap_axis and abs(k2 - k) > 1e-6:
+        raise RoutingError(
+            f"symmetry axis x={axis_x:g} is not aligned to the routing grid"
+        )
+    return k
+
+
+def route_symmetric_pair(
+    router: Router,
+    net_a: Net,
+    net_b: Net,
+    axis_x: float,
+    *,
+    snap_axis: bool = True,
+) -> SymmetricRouteResult:
+    """Route ``net_a`` freely, then realize ``net_b`` as its mirror image.
+
+    Falls back to independent routing (``mirrored=False``) when the
+    mirrored path is blocked; callers can compare the resulting parasitic
+    mismatch (the whole point of symmetric routing).
+    """
+    k = _mirror_column(router, axis_x, snap_axis=snap_axis)
+    routed_a = router.route_net(net_a)
+
+    mirrored_paths = []
+    feasible = True
+    for path in routed_a.paths:
+        points = tuple(
+            GridPoint(p.layer, k - p.col, p.row) for p in path.points
+        )
+        if not all(
+            router.grid.is_free(p.layer, p.col, p.row, net=net_b.name)
+            for p in points
+        ):
+            feasible = False
+            break
+        mirrored_paths.append(RoutedPath(points))
+
+    if feasible:
+        # the mirror must land exactly on net_b's own terminals,
+        # otherwise the mirrored wires would not connect the net
+        covered = {
+            (p.col, p.row) for path in mirrored_paths for p in path.points
+        }
+        pins_b = [
+            router.pin(module, net_b.name)
+            for module in net_b.pins
+        ]
+        feasible = all((p.col, p.row) in covered for p in pins_b)
+
+    if feasible:
+        routed_b = RoutedNet(net_b.name, tuple(mirrored_paths), router.grid.pitch)
+        router.grid.occupy(routed_b.points(), net_b.name)
+        return SymmetricRouteResult(routed_a, routed_b, mirrored=True)
+
+    routed_b = router.route_net(net_b)
+    return SymmetricRouteResult(routed_a, routed_b, mirrored=False)

@@ -1,0 +1,131 @@
+"""Symmetry-preserving move set for sequence-pair annealing.
+
+Section II: "it is sufficient to start the exploration with an initial
+sequence-pair which is symmetric-feasible ... and to design the move-set
+such that property (1) is preserved after each move."  Every move below
+therefore ends with an S-F *repair* of beta (which is a no-op whenever
+the raw move already preserved the property — e.g. coupled swaps of
+symmetric counterparts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from ..circuit import SymmetryGroup
+from ..geometry import ModuleSet, Orientation
+from .seqpair import SequencePair
+from .symmetry import make_symmetric_feasible
+
+
+@dataclass(frozen=True)
+class PlacementState:
+    """Annealing state: an S-F sequence-pair plus per-module orientation
+    and shape-variant choices."""
+
+    sp: SequencePair
+    orientations: Mapping[str, Orientation] = field(default_factory=dict)
+    variants: Mapping[str, int] = field(default_factory=dict)
+
+
+class SymmetricMoveSet:
+    """Random S-F-preserving perturbations of a :class:`PlacementState`.
+
+    Moves (chosen with fixed weights):
+
+    * swap two modules in alpha (coupled counterpart swap via repair);
+    * swap two modules in beta;
+    * swap two modules in both sequences (module exchange);
+    * rotate a rotatable module (symmetric pairs rotate together);
+    * change the shape variant of a soft module (pairs change together).
+    """
+
+    def __init__(
+        self,
+        modules: ModuleSet,
+        groups: Sequence[SymmetryGroup] = (),
+        *,
+        allow_rotation: bool = True,
+    ) -> None:
+        self._modules = modules
+        self._groups = tuple(groups)
+        self._names = list(modules.names())
+        self._sym_of: dict[str, str] = {}
+        for g in self._groups:
+            for m in g.members():
+                self._sym_of[m] = g.sym(m)
+        self._rotatable = [
+            n for n in self._names if modules[n].rotatable
+        ] if allow_rotation else []
+        self._soft = [n for n in self._names if len(modules[n].variants) > 1]
+
+    # -- MoveSet protocol ---------------------------------------------------
+
+    def propose(self, state: PlacementState, rng: random.Random) -> PlacementState:
+        ops = [self._swap_alpha, self._swap_beta, self._swap_both]
+        weights = [3.0, 3.0, 2.0]
+        if self._rotatable:
+            ops.append(self._rotate)
+            weights.append(1.5)
+        if self._soft:
+            ops.append(self._reshape)
+            weights.append(1.5)
+        (op,) = rng.choices(ops, weights=weights, k=1)
+        return op(state, rng)
+
+    def initial_state(self, rng: random.Random) -> PlacementState:
+        """A random S-F starting state."""
+        sp = make_symmetric_feasible(SequencePair.random(self._names, rng), self._groups)
+        return PlacementState(sp)
+
+    # -- individual moves ------------------------------------------------------
+
+    def _repair(self, sp: SequencePair) -> SequencePair:
+        return make_symmetric_feasible(sp, self._groups)
+
+    def _two_names(self, rng: random.Random) -> tuple[str, str]:
+        return tuple(rng.sample(self._names, 2))  # type: ignore[return-value]
+
+    def _swap_alpha(self, state: PlacementState, rng: random.Random) -> PlacementState:
+        a, b = self._two_names(rng)
+        sp = state.sp.with_alpha_swap(state.sp.alpha_index(a), state.sp.alpha_index(b))
+        return replace(state, sp=self._repair(sp))
+
+    def _swap_beta(self, state: PlacementState, rng: random.Random) -> PlacementState:
+        a, b = self._two_names(rng)
+        sp = state.sp.with_beta_swap(state.sp.beta_index(a), state.sp.beta_index(b))
+        return replace(state, sp=self._repair(sp))
+
+    def _swap_both(self, state: PlacementState, rng: random.Random) -> PlacementState:
+        a, b = self._two_names(rng)
+        return replace(state, sp=self._repair(state.sp.with_both_swap(a, b)))
+
+    def _rotate(self, state: PlacementState, rng: random.Random) -> PlacementState:
+        name = rng.choice(self._rotatable)
+        orientations = dict(state.orientations)
+
+        def flip(n: str) -> None:
+            current = orientations.get(n, Orientation.R0)
+            orientations[n] = (
+                Orientation.R90 if current == Orientation.R0 else Orientation.R0
+            )
+
+        flip(name)
+        counterpart = self._sym_of.get(name)
+        if counterpart is not None and counterpart != name:
+            flip(counterpart)
+        return replace(state, orientations=orientations)
+
+    def _reshape(self, state: PlacementState, rng: random.Random) -> PlacementState:
+        name = rng.choice(self._soft)
+        n_variants = len(self._modules[name].variants)
+        variants = dict(state.variants)
+        choice = rng.randrange(n_variants)
+        variants[name] = choice
+        counterpart = self._sym_of.get(name)
+        if counterpart is not None and counterpart != name:
+            if len(self._modules[counterpart].variants) == n_variants:
+                variants[counterpart] = choice
+        return replace(state, variants=variants)

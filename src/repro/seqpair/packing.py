@@ -1,0 +1,157 @@
+"""Sequence-pair to placement conversion (packing).
+
+Two packers are provided:
+
+* :func:`pack_longest_path` — the textbook O(n^2) evaluation via longest
+  paths in the horizontal/vertical constraint graphs; used as the
+  reference implementation.
+* :func:`pack_lcs` — the fast weighted longest-common-subsequence
+  evaluation in the spirit of FAST-SP [26], realized with a Fenwick
+  (binary indexed) tree for prefix-maximum queries, O(n log n) per code
+  evaluation.  The paper quotes O(G * n log log n) with a van Emde Boas
+  style priority queue; on laptop-scale instances the log n / log log n
+  difference is immaterial (see DESIGN.md substitutions) and both packers
+  produce *identical* coordinates (tested against each other).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..geometry import (
+    Module,
+    ModuleSet,
+    Orientation,
+    PlacedModule,
+    Placement,
+    Rect,
+)
+from .seqpair import SequencePair
+
+
+class _FenwickMax:
+    """Fenwick tree over positions 0..n-1 supporting point update with
+    ``max`` and prefix-maximum query; values never decrease."""
+
+    __slots__ = ("_tree", "_n")
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._tree = [0.0] * (n + 1)
+
+    def update(self, i: int, value: float) -> None:
+        """Raise position ``i`` to at least ``value``."""
+        i += 1
+        while i <= self._n:
+            if self._tree[i] < value:
+                self._tree[i] = value
+            i += i & (-i)
+
+    def prefix_max(self, i: int) -> float:
+        """Maximum over positions 0..i-1 (0 when i == 0)."""
+        best = 0.0
+        while i > 0:
+            if self._tree[i] > best:
+                best = self._tree[i]
+            i -= i & (-i)
+        return best
+
+
+def _footprints(
+    sp: SequencePair,
+    modules: ModuleSet,
+    orientations: Mapping[str, Orientation] | None,
+    variants: Mapping[str, int] | None,
+) -> dict[str, tuple[float, float]]:
+    sizes: dict[str, tuple[float, float]] = {}
+    for name in sp.names:
+        module: Module = modules[name]
+        variant = variants.get(name, 0) if variants else 0
+        orient = orientations.get(name, Orientation.R0) if orientations else Orientation.R0
+        sizes[name] = module.footprint(variant, orient)
+    return sizes
+
+
+def _to_placement(
+    sp: SequencePair,
+    modules: ModuleSet,
+    xs: dict[str, float],
+    ys: dict[str, float],
+    sizes: dict[str, tuple[float, float]],
+    orientations: Mapping[str, Orientation] | None,
+    variants: Mapping[str, int] | None,
+) -> Placement:
+    placed = []
+    for name in sp.names:
+        w, h = sizes[name]
+        orient = orientations.get(name, Orientation.R0) if orientations else Orientation.R0
+        variant = variants.get(name, 0) if variants else 0
+        placed.append(
+            PlacedModule(
+                modules[name],
+                Rect.from_size(xs[name], ys[name], w, h),
+                variant=variant,
+                orientation=orient,
+            )
+        )
+    return Placement.of(placed)
+
+
+def pack_lcs(
+    sp: SequencePair,
+    modules: ModuleSet,
+    orientations: Mapping[str, Orientation] | None = None,
+    variants: Mapping[str, int] | None = None,
+) -> Placement:
+    """Pack a sequence-pair via weighted-LCS, O(n log n).
+
+    X coordinates: process modules in alpha order; the x of module ``b``
+    is the maximum of ``x(a) + w(a)`` over already-processed modules
+    ``a`` with a smaller beta index (exactly the modules left of ``b``).
+    Y coordinates: the same with alpha reversed and heights.
+    """
+    sizes = _footprints(sp, modules, orientations, variants)
+    n = len(sp)
+
+    xs: dict[str, float] = {}
+    tree = _FenwickMax(n)
+    for name in sp.alpha:
+        b = sp.beta_index(name)
+        x = tree.prefix_max(b)
+        xs[name] = x
+        tree.update(b, x + sizes[name][0])
+
+    ys: dict[str, float] = {}
+    tree = _FenwickMax(n)
+    for name in reversed(sp.alpha):
+        b = sp.beta_index(name)
+        y = tree.prefix_max(b)
+        ys[name] = y
+        tree.update(b, y + sizes[name][1])
+
+    return _to_placement(sp, modules, xs, ys, sizes, orientations, variants)
+
+
+def pack_longest_path(
+    sp: SequencePair,
+    modules: ModuleSet,
+    orientations: Mapping[str, Orientation] | None = None,
+    variants: Mapping[str, int] | None = None,
+) -> Placement:
+    """Reference O(n^2) packer via explicit constraint-graph longest paths."""
+    sizes = _footprints(sp, modules, orientations, variants)
+    names = list(sp.names)
+
+    xs = {name: 0.0 for name in names}
+    for b_name in sp.alpha:  # alpha order is a topological order of "left-of"
+        for a_name in names:
+            if a_name != b_name and sp.left_of(a_name, b_name):
+                xs[b_name] = max(xs[b_name], xs[a_name] + sizes[a_name][0])
+
+    ys = {name: 0.0 for name in names}
+    for b_name in reversed(sp.alpha):  # reverse alpha is topological for "below"
+        for a_name in names:
+            if a_name != b_name and sp.below(a_name, b_name):
+                ys[b_name] = max(ys[b_name], ys[a_name] + sizes[a_name][1])
+
+    return _to_placement(sp, modules, xs, ys, sizes, orientations, variants)

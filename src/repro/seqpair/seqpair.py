@@ -1,0 +1,122 @@
+"""The sequence-pair topological representation (Murata et al. [22]).
+
+A sequence-pair ``(alpha, beta)`` encodes the relative position of every
+pair of modules: ``a`` is *left of* ``b`` when ``a`` precedes ``b`` in
+both sequences, and *below* ``b`` when ``a`` follows ``b`` in ``alpha``
+but precedes it in ``beta``.  Every sequence-pair corresponds to at
+least one feasible (overlap-free) placement, which is what makes the
+representation attractive for analog placement (section II).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+
+class Relation(Enum):
+    """Relative position of module ``a`` with respect to module ``b``."""
+
+    LEFT_OF = "left-of"
+    RIGHT_OF = "right-of"
+    BELOW = "below"
+    ABOVE = "above"
+
+
+@dataclass(frozen=True)
+class SequencePair:
+    """An immutable sequence-pair over a set of module names."""
+
+    alpha: tuple[str, ...]
+    beta: tuple[str, ...]
+    _alpha_inv: dict[str, int] = field(compare=False, hash=False, default_factory=dict)
+    _beta_inv: dict[str, int] = field(compare=False, hash=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if sorted(self.alpha) != sorted(self.beta):
+            raise ValueError("alpha and beta must be permutations of the same names")
+        if len(set(self.alpha)) != len(self.alpha):
+            raise ValueError("duplicate names in sequence-pair")
+        object.__setattr__(self, "_alpha_inv", {m: i for i, m in enumerate(self.alpha)})
+        object.__setattr__(self, "_beta_inv", {m: i for i, m in enumerate(self.beta)})
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def identity(cls, names: Sequence[str]) -> "SequencePair":
+        """Both sequences in the given order (a horizontal row)."""
+        t = tuple(names)
+        return cls(t, t)
+
+    @classmethod
+    def random(cls, names: Iterable[str], rng: random.Random) -> "SequencePair":
+        """Uniformly random sequence-pair."""
+        a = list(names)
+        b = list(a)
+        rng.shuffle(a)
+        rng.shuffle(b)
+        return cls(tuple(a), tuple(b))
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.alpha)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.alpha
+
+    def alpha_index(self, name: str) -> int:
+        """Position of ``name`` in alpha (the paper's ``alpha^-1``)."""
+        return self._alpha_inv[name]
+
+    def beta_index(self, name: str) -> int:
+        """Position of ``name`` in beta (the paper's ``beta^-1``)."""
+        return self._beta_inv[name]
+
+    def relation(self, a: str, b: str) -> Relation:
+        """Geometric relation of ``a`` with respect to ``b``."""
+        if a == b:
+            raise ValueError("relation of a module with itself is undefined")
+        a_before_in_alpha = self._alpha_inv[a] < self._alpha_inv[b]
+        a_before_in_beta = self._beta_inv[a] < self._beta_inv[b]
+        if a_before_in_alpha and a_before_in_beta:
+            return Relation.LEFT_OF
+        if not a_before_in_alpha and not a_before_in_beta:
+            return Relation.RIGHT_OF
+        if not a_before_in_alpha and a_before_in_beta:
+            return Relation.BELOW
+        return Relation.ABOVE
+
+    def left_of(self, a: str, b: str) -> bool:
+        return (
+            self._alpha_inv[a] < self._alpha_inv[b]
+            and self._beta_inv[a] < self._beta_inv[b]
+        )
+
+    def below(self, a: str, b: str) -> bool:
+        return (
+            self._alpha_inv[a] > self._alpha_inv[b]
+            and self._beta_inv[a] < self._beta_inv[b]
+        )
+
+    # -- derived sequence-pairs ----------------------------------------------------
+
+    def with_alpha_swap(self, i: int, j: int) -> "SequencePair":
+        """Swap positions ``i`` and ``j`` of alpha."""
+        a = list(self.alpha)
+        a[i], a[j] = a[j], a[i]
+        return SequencePair(tuple(a), self.beta)
+
+    def with_beta_swap(self, i: int, j: int) -> "SequencePair":
+        """Swap positions ``i`` and ``j`` of beta."""
+        b = list(self.beta)
+        b[i], b[j] = b[j], b[i]
+        return SequencePair(self.alpha, tuple(b))
+
+    def with_both_swap(self, a_name: str, b_name: str) -> "SequencePair":
+        """Swap two modules in both sequences (exchanges their locations)."""
+        sp = self.with_alpha_swap(self._alpha_inv[a_name], self._alpha_inv[b_name])
+        return sp.with_beta_swap(self._beta_inv[a_name], self._beta_inv[b_name])

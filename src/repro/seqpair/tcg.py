@@ -1,0 +1,211 @@
+"""Transitive closure graphs (Lin & Chang [15]).
+
+Section I lists TCGs among the non-slicing topological representations.
+A TCG is a pair of directed acyclic graphs (Ch, Cv): an edge a→b in Ch
+means *a left of b*, in Cv *a below b*.  Validity requires the two
+closures to partition all module pairs — exactly the geometric
+information a sequence-pair carries, which is why the two representations
+are interconvertible.
+
+Provided here: the representation with its validity checks, packing via
+longest paths, and lossless conversion from/to sequence-pairs (tested to
+pack identically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..geometry import ModuleSet, Orientation, PlacedModule, Placement, Rect
+from .seqpair import Relation, SequencePair
+
+
+@dataclass(frozen=True)
+class TransitiveClosureGraph:
+    """A validated TCG over a set of module names.
+
+    ``horizontal`` / ``vertical`` map each module to the set of modules
+    it is left-of / below (the *closed* relation, not a reduction).
+    """
+
+    names: tuple[str, ...]
+    horizontal: Mapping[str, frozenset[str]]
+    vertical: Mapping[str, frozenset[str]]
+    _order: tuple[str, ...] = field(compare=False, hash=False, default=())
+
+    def __post_init__(self) -> None:
+        name_set = set(self.names)
+        if len(name_set) != len(self.names):
+            raise ValueError("duplicate module names")
+        for rel in (self.horizontal, self.vertical):
+            if set(rel) != name_set:
+                raise ValueError("relation must cover every module")
+            for a, succ in rel.items():
+                unknown = succ - name_set
+                if unknown:
+                    raise ValueError(f"unknown successors {sorted(unknown)}")
+                if a in succ:
+                    raise ValueError(f"self-loop at {a!r}")
+        self._check_partition()
+        self._check_closure(self.horizontal, "horizontal")
+        self._check_closure(self.vertical, "vertical")
+        object.__setattr__(self, "_order", self._topological_order())
+
+    # -- validity -----------------------------------------------------------
+
+    def _check_partition(self) -> None:
+        """Every unordered pair must be related in exactly one graph,
+        in exactly one direction."""
+        for i, a in enumerate(self.names):
+            for b in self.names[i + 1:]:
+                relations = (
+                    (b in self.horizontal[a])
+                    + (a in self.horizontal[b])
+                    + (b in self.vertical[a])
+                    + (a in self.vertical[b])
+                )
+                if relations != 1:
+                    raise ValueError(
+                        f"pair ({a!r}, {b!r}) has {relations} relations; "
+                        "a TCG needs exactly one"
+                    )
+
+    @staticmethod
+    def _check_closure(rel: Mapping[str, frozenset[str]], label: str) -> None:
+        """The relation must equal its own transitive closure."""
+        for a in rel:
+            for b in rel[a]:
+                missing = rel[b] - rel[a]
+                if missing:
+                    raise ValueError(
+                        f"{label} relation not transitively closed: "
+                        f"{a!r} -> {b!r} -> {sorted(missing)}"
+                    )
+
+    def _topological_order(self) -> tuple[str, ...]:
+        """Topological order of the horizontal graph (used for packing);
+        also proves acyclicity."""
+        indegree = {n: 0 for n in self.names}
+        for a in self.names:
+            for b in self.horizontal[a]:
+                indegree[b] += 1
+        frontier = [n for n in self.names if indegree[n] == 0]
+        order = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for b in self.horizontal[node]:
+                indegree[b] -= 1
+                if indegree[b] == 0:
+                    frontier.append(b)
+        if len(order) != len(self.names):
+            raise ValueError("horizontal relation has a cycle")
+        return tuple(order)
+
+    # -- conversions ----------------------------------------------------------
+
+    @classmethod
+    def from_sequence_pair(cls, sp: SequencePair) -> "TransitiveClosureGraph":
+        """The TCG carrying exactly the sequence-pair's relations."""
+        horizontal = {}
+        vertical = {}
+        names = sp.names
+        for a in names:
+            h, v = set(), set()
+            for b in names:
+                if a == b:
+                    continue
+                rel = sp.relation(a, b)
+                if rel is Relation.LEFT_OF:
+                    h.add(b)
+                elif rel is Relation.BELOW:
+                    v.add(b)
+            horizontal[a] = frozenset(h)
+            vertical[a] = frozenset(v)
+        return cls(tuple(names), horizontal, vertical)
+
+    def to_sequence_pair(self) -> SequencePair:
+        """A sequence-pair with the same relations.
+
+        In a sequence-pair, the modules preceding x in alpha are exactly
+        those *left of* or *above* x, and those preceding x in beta are
+        the ones *left of* or *below* x — so the closure cardinalities
+        give each module's positions directly.
+        """
+        lefts = {
+            n: sum(1 for m in self.names if n in self.horizontal[m])
+            for n in self.names
+        }
+        belows = {
+            n: sum(1 for m in self.names if n in self.vertical[m])
+            for n in self.names
+        }
+        # a -> b in Cv means a below b, so "modules above x" are exactly
+        # x's successors in Cv.
+        aboves = {n: len(self.vertical[n]) for n in self.names}
+        alpha = sorted(self.names, key=lambda n: lefts[n] + aboves[n])
+        beta = sorted(self.names, key=lambda n: lefts[n] + belows[n])
+        return SequencePair(tuple(alpha), tuple(beta))
+
+    # -- packing ------------------------------------------------------------------
+
+    def pack(
+        self,
+        modules: ModuleSet,
+        orientations: Mapping[str, Orientation] | None = None,
+        variants: Mapping[str, int] | None = None,
+    ) -> Placement:
+        """Longest-path packing over both closure graphs."""
+        sizes = {}
+        for name in self.names:
+            variant = variants.get(name, 0) if variants else 0
+            orient = (
+                orientations.get(name, Orientation.R0) if orientations else Orientation.R0
+            )
+            sizes[name] = modules[name].footprint(variant, orient)
+
+        xs = {n: 0.0 for n in self.names}
+        for a in self._order:
+            for b in self.horizontal[a]:
+                xs[b] = max(xs[b], xs[a] + sizes[a][0])
+
+        ys = {n: 0.0 for n in self.names}
+        for a in self._vertical_order():
+            for b in self.vertical[a]:
+                ys[b] = max(ys[b], ys[a] + sizes[a][1])
+
+        placed = []
+        for name in self.names:
+            w, h = sizes[name]
+            orient = (
+                orientations.get(name, Orientation.R0) if orientations else Orientation.R0
+            )
+            variant = variants.get(name, 0) if variants else 0
+            placed.append(
+                PlacedModule(
+                    modules[name],
+                    Rect.from_size(xs[name], ys[name], w, h),
+                    variant=variant,
+                    orientation=orient,
+                )
+            )
+        return Placement.of(placed)
+
+    def _vertical_order(self) -> list[str]:
+        indegree = {n: 0 for n in self.names}
+        for a in self.names:
+            for b in self.vertical[a]:
+                indegree[b] += 1
+        frontier = [n for n in self.names if indegree[n] == 0]
+        order = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for b in self.vertical[node]:
+                indegree[b] -= 1
+                if indegree[b] == 0:
+                    frontier.append(b)
+        if len(order) != len(self.names):
+            raise ValueError("vertical relation has a cycle")
+        return order

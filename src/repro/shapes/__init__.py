@@ -1,0 +1,30 @@
+"""Shape functions and deterministic placement (paper section IV)."""
+
+from .deterministic import (
+    DeterministicConfig,
+    DeterministicPlacer,
+    DeterministicResult,
+)
+from .enumeration import (
+    enumerate_common_centroid,
+    enumerate_plain,
+    enumerate_symmetric,
+)
+from .profiles import horizontal_contact_offset, vertical_contact_offset
+from .shape import Shape, pareto_prune
+from .shape_function import ShapeFunction, add_shape_functions
+
+__all__ = [
+    "DeterministicConfig",
+    "DeterministicPlacer",
+    "DeterministicResult",
+    "Shape",
+    "ShapeFunction",
+    "add_shape_functions",
+    "enumerate_common_centroid",
+    "enumerate_plain",
+    "enumerate_symmetric",
+    "horizontal_contact_offset",
+    "pareto_prune",
+    "vertical_contact_offset",
+]

@@ -1,0 +1,109 @@
+"""Shapes: (width, height) tuples that can realize their placement.
+
+A *shape function* entry in the paper is a (w, h) tuple; *enhanced*
+shape functions additionally store the B*-tree (equivalently, the
+placement) that realizes the shape, enabling geometry-aware additions.
+
+Realization is lazy: a regular (RSF) addition only does O(1) bounding
+box arithmetic and records how to build the placement; the placement is
+materialized just once, for the shape finally selected.  Enhanced (ESF)
+additions must materialize operands immediately — they need the module
+geometry to compute contact offsets — which is exactly the runtime
+premium Table I reports for ESF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..geometry import Placement
+
+
+@dataclass(frozen=True)
+class _Composition:
+    """Deferred recipe: place ``right`` at (dx, dy) next to ``left``."""
+
+    left: "Shape"
+    right: "Shape"
+    dx: float
+    dy: float
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One realizable bounding box.
+
+    Exactly one of ``concrete`` (a placement, normalized) or ``recipe``
+    (a deferred composition) backs the shape.
+    """
+
+    width: float
+    height: float
+    concrete: Placement | None = None
+    recipe: _Composition | None = None
+    _cache: list = field(default_factory=list, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"non-positive shape {self.width}x{self.height}")
+        if (self.concrete is None) == (self.recipe is None):
+            raise ValueError("shape needs exactly one of concrete/recipe")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def dominates(self, other: "Shape", *, tol: float = 1e-9) -> bool:
+        """True if this shape is no larger in both dimensions.
+
+        The paper: "placements which have a greater height, while having
+        the same or even a greater width than some other shape ... are
+        considered to be redundant and therefore removed."
+        """
+        return self.width <= other.width + tol and self.height <= other.height + tol
+
+    # -- realization -------------------------------------------------------------
+
+    def placement(self) -> Placement:
+        """Materialize (and cache) the placement realizing this shape."""
+        if self.concrete is not None:
+            return self.concrete
+        if self._cache:
+            return self._cache[0]
+        r = self.recipe
+        built = (
+            r.left.placement()
+            .merged_with(r.right.placement().translated(r.dx, r.dy))
+            .normalized()
+        )
+        self._cache.append(built)
+        return built
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def of_placement(cls, placement: Placement) -> "Shape":
+        p = placement.normalized()
+        bb = p.bounding_box()
+        return cls(bb.width, bb.height, concrete=p)
+
+    @classmethod
+    def composed(cls, left: "Shape", right: "Shape", dx: float, dy: float) -> "Shape":
+        """Deferred composition; bounding box from arithmetic only."""
+        width = max(left.width, dx + right.width) - min(0.0, dx)
+        height = max(left.height, dy + right.height) - min(0.0, dy)
+        return cls(width, height, recipe=_Composition(left, right, dx, dy))
+
+
+def pareto_prune(shapes: Iterable[Shape], *, tol: float = 1e-9) -> list[Shape]:
+    """Remove dominated shapes; result sorted by increasing width
+    (and thus strictly decreasing height)."""
+    ordered = sorted(shapes, key=lambda s: (s.width, s.height))
+    kept: list[Shape] = []
+    best_height = float("inf")
+    for shape in ordered:
+        if shape.height < best_height - tol:
+            kept.append(shape)
+            best_height = shape.height
+    return kept

@@ -1,0 +1,165 @@
+"""Shape functions: regular (RSF) and enhanced (ESF) additions.
+
+A shape function is a Pareto staircase of realizable shapes.  Adding two
+shape functions combines every shape of one with every shape of the
+other and prunes dominated results:
+
+* **regular** addition (Otten [23]) stacks bounding rectangles:
+  horizontally ``(w1 + w2, max(h1, h2))``;
+* **enhanced** addition (Strasser et al. [25]) slides the operands into
+  contact using their stored placements, so shapes can interleave and
+  the sum can be narrower than ``w1 + w2`` — the Fig. 7 ``w_imp``.
+
+Both additions produce valid placements for every result shape; only
+the tightness differs.  The enhanced variant inspects module geometry
+(O(n1 * n2) per shape pair), which is the runtime premium Table I
+reports (about an order of magnitude).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..geometry import Module, Orientation, PlacedModule, Placement, Rect
+from .profiles import horizontal_contact_offset, vertical_contact_offset
+from .shape import Shape, pareto_prune
+
+
+@dataclass(frozen=True)
+class ShapeFunction:
+    """An immutable Pareto staircase of shapes."""
+
+    shapes: tuple[Shape, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ValueError("shape function needs at least one shape")
+        widths = [s.width for s in self.shapes]
+        heights = [s.height for s in self.shapes]
+        if widths != sorted(widths) or heights != sorted(heights, reverse=True):
+            raise ValueError("shapes must form a Pareto staircase (use .of())")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def of(cls, shapes: Iterable[Shape]) -> "ShapeFunction":
+        """Build from arbitrary shapes (pruned to the Pareto staircase)."""
+        pruned = pareto_prune(shapes)
+        if not pruned:
+            raise ValueError("no shapes given")
+        return cls(tuple(pruned))
+
+    @classmethod
+    def from_module(cls, module: Module, *, rotations: bool = True) -> "ShapeFunction":
+        """Leaf shape function: the module's variants (and rotations)."""
+        shapes = []
+        for vi, variant in enumerate(module.variants):
+            orients = [Orientation.R0]
+            if rotations and module.rotatable and variant.width != variant.height:
+                orients.append(Orientation.R90)
+            for orient in orients:
+                w, h = variant.oriented(orient)
+                placement = Placement.of(
+                    [PlacedModule(module, Rect.from_size(0, 0, w, h), vi, orient)]
+                )
+                shapes.append(Shape(w, h, placement))
+        return cls.of(shapes)
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def __iter__(self) -> Iterator[Shape]:
+        return iter(self.shapes)
+
+    def min_area_shape(self) -> Shape:
+        """The smallest-bounding-rectangle shape (Table I's metric)."""
+        return min(self.shapes, key=lambda s: s.area)
+
+    def staircase(self) -> list[tuple[float, float]]:
+        """(w, h) pairs in staircase order — the Fig. 8 plot data."""
+        return [(s.width, s.height) for s in self.shapes]
+
+    def truncated(self, max_shapes: int) -> "ShapeFunction":
+        """Keep at most ``max_shapes`` staircase points (uniform stride,
+        endpoints preserved) to bound combination cost."""
+        if max_shapes < 1:
+            raise ValueError("max_shapes must be >= 1")
+        if len(self.shapes) <= max_shapes:
+            return self
+        if max_shapes == 1:
+            return ShapeFunction((self.min_area_shape(),))
+        n = len(self.shapes)
+        picks = sorted({round(i * (n - 1) / (max_shapes - 1)) for i in range(max_shapes)})
+        return ShapeFunction(tuple(self.shapes[i] for i in picks))
+
+
+# ---------------------------------------------------------------------------
+# Additions
+# ---------------------------------------------------------------------------
+
+Combiner = Callable[[Shape, Shape], Shape]
+
+
+def _regular_h(a: Shape, b: Shape) -> Shape:
+    # O(1): bounding rectangles side by side, placement deferred.
+    return Shape.composed(a, b, a.width, 0.0)
+
+
+def _regular_v(a: Shape, b: Shape) -> Shape:
+    return Shape.composed(a, b, 0.0, a.height)
+
+
+def _enhanced_h(a: Shape, b: Shape) -> Shape:
+    # O(n1 * n2): operands materialized and slid into contact (Fig. 7).
+    offset = horizontal_contact_offset(a.placement(), b.placement())
+    moved = b.placement().translated(offset, 0.0)
+    return Shape.of_placement(a.placement().merged_with(moved))
+
+
+def _enhanced_v(a: Shape, b: Shape) -> Shape:
+    offset = vertical_contact_offset(a.placement(), b.placement())
+    moved = b.placement().translated(0.0, offset)
+    return Shape.of_placement(a.placement().merged_with(moved))
+
+
+def add_shape_functions(
+    f: ShapeFunction,
+    g: ShapeFunction,
+    *,
+    enhanced: bool,
+    direction: str = "both",
+    max_shapes: int | None = None,
+) -> ShapeFunction:
+    """Add two shape functions.
+
+    ``direction`` is ``"h"``, ``"v"`` or ``"both"`` (both compositions,
+    merged and pruned).  With ``enhanced=True`` operands are slid into
+    contact via their placements; enhanced additions also try both
+    operand orders, since contact offsets are not symmetric.
+    """
+    if direction not in ("h", "v", "both"):
+        raise ValueError("direction must be 'h', 'v' or 'both'")
+    combos: list[tuple[Combiner, ShapeFunction, ShapeFunction]] = []
+    h_comb: Combiner = _enhanced_h if enhanced else _regular_h
+    v_comb: Combiner = _enhanced_v if enhanced else _regular_v
+    if direction in ("h", "both"):
+        combos.append((h_comb, f, g))
+        if enhanced:
+            combos.append((h_comb, g, f))
+    if direction in ("v", "both"):
+        combos.append((v_comb, f, g))
+        if enhanced:
+            combos.append((v_comb, g, f))
+
+    results: list[Shape] = []
+    for combine, left, right in combos:
+        for a in left:
+            for b in right:
+                results.append(combine(a, b))
+    out = ShapeFunction.of(results)
+    if max_shapes is not None:
+        out = out.truncated(max_shapes)
+    return out

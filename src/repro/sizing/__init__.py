@@ -1,0 +1,74 @@
+"""Layout-aware analog sizing (paper section V)."""
+
+from .amplifier import (
+    CONTINUOUS_BOUNDS,
+    FOLD_BOUNDS,
+    LOAD_CAP_FF,
+    FoldedCascodeSizing,
+)
+from .layout_aware import (
+    FlowResult,
+    default_specs,
+    electrical_sizing,
+    layout_aware_sizing,
+)
+from .mos import (
+    MOS_TECH,
+    MosOperatingPoint,
+    gate_drain_cap,
+    gate_source_cap,
+    intrinsic_gain,
+    junction_caps,
+    operating_point,
+    output_conductance,
+    overdrive,
+    transconductance,
+)
+from .optimizer import OptimizerConfig, SizingOptimizer, SizingOutcome
+from .parasitics import Parasitics, extract
+from .performance import Performance, evaluate
+from .specs import Sense, Spec, SpecSet
+from .template import (
+    TEMPLATE_NETS,
+    TemplateLayout,
+    cap_footprint,
+    device_footprint,
+    generate_layout,
+)
+from .to_circuit import sizing_to_circuit
+
+__all__ = [
+    "CONTINUOUS_BOUNDS",
+    "FOLD_BOUNDS",
+    "LOAD_CAP_FF",
+    "MOS_TECH",
+    "TEMPLATE_NETS",
+    "FlowResult",
+    "FoldedCascodeSizing",
+    "MosOperatingPoint",
+    "OptimizerConfig",
+    "Parasitics",
+    "Performance",
+    "Sense",
+    "SizingOptimizer",
+    "SizingOutcome",
+    "Spec",
+    "SpecSet",
+    "TemplateLayout",
+    "cap_footprint",
+    "default_specs",
+    "device_footprint",
+    "electrical_sizing",
+    "evaluate",
+    "extract",
+    "gate_drain_cap",
+    "gate_source_cap",
+    "generate_layout",
+    "intrinsic_gain",
+    "junction_caps",
+    "operating_point",
+    "output_conductance",
+    "overdrive",
+    "sizing_to_circuit",
+    "transconductance",
+]

@@ -1,0 +1,122 @@
+"""The fully-differential folded-cascode amplifier of Fig. 10.
+
+Device roles (one half of the differential circuit; primes mirrored):
+
+* ``M0``  — NMOS tail source, carries ``2 * i_in``;
+* ``M1/M2`` — NMOS input pair, ``i_in`` each;
+* ``M3/M4`` — PMOS current sources, ``i_in + i_casc`` each;
+* ``M5/M6`` — PMOS cascodes, ``i_casc`` each;
+* ``M7/M8`` — NMOS cascodes, ``i_casc`` each;
+* ``M9/M10`` — NMOS current sinks, ``i_casc`` each;
+* ``CL1/CL2`` — load capacitors.
+
+The sizing vector holds per-role widths/lengths, the two branch
+currents, and per-role folding factors (the *geometric* design variables
+of the layout-aware flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+#: (low, high) bounds of the continuous sizing variables.
+CONTINUOUS_BOUNDS: dict[str, tuple[float, float]] = {
+    "w_in": (10.0, 600.0),
+    "l_in": (0.35, 2.0),
+    "w_tail": (10.0, 600.0),
+    "l_tail": (0.5, 4.0),
+    "w_src_p": (10.0, 800.0),
+    "l_src_p": (0.5, 4.0),
+    "w_casc_p": (10.0, 600.0),
+    "l_casc_p": (0.35, 2.0),
+    "w_casc_n": (5.0, 400.0),
+    "l_casc_n": (0.35, 2.0),
+    "w_sink_n": (10.0, 600.0),
+    "l_sink_n": (0.5, 4.0),
+    "i_in": (20.0, 500.0),
+    "i_casc": (20.0, 500.0),
+}
+
+#: Folding-factor variables (geometric): role -> (low, high).
+FOLD_BOUNDS: dict[str, tuple[int, int]] = {
+    "nf_in": (1, 32),
+    "nf_tail": (1, 32),
+    "nf_src_p": (1, 32),
+    "nf_casc_p": (1, 32),
+    "nf_casc_n": (1, 32),
+    "nf_sink_n": (1, 32),
+}
+
+#: Load capacitance per output, fF (a fixed requirement of the testbench).
+LOAD_CAP_FF = 1000.0
+
+
+@dataclass(frozen=True)
+class FoldedCascodeSizing:
+    """One point of the sizing space."""
+
+    w_in: float = 120.0
+    l_in: float = 0.5
+    w_tail: float = 80.0
+    l_tail: float = 1.0
+    w_src_p: float = 160.0
+    l_src_p: float = 1.0
+    w_casc_p: float = 120.0
+    l_casc_p: float = 0.5
+    w_casc_n: float = 60.0
+    l_casc_n: float = 0.5
+    w_sink_n: float = 80.0
+    l_sink_n: float = 1.0
+    i_in: float = 100.0
+    i_casc: float = 100.0
+    nf_in: int = 1
+    nf_tail: int = 1
+    nf_src_p: int = 1
+    nf_casc_p: int = 1
+    nf_casc_n: int = 1
+    nf_sink_n: int = 1
+
+    def clamped(self) -> "FoldedCascodeSizing":
+        """Project every variable into its bounds."""
+        updates: dict[str, float | int] = {}
+        for name, (lo, hi) in CONTINUOUS_BOUNDS.items():
+            updates[name] = min(hi, max(lo, getattr(self, name)))
+        for name, (lo, hi) in FOLD_BOUNDS.items():
+            updates[name] = min(hi, max(lo, int(getattr(self, name))))
+        return replace(self, **updates)
+
+    def with_values(self, values: Mapping[str, float | int]) -> "FoldedCascodeSizing":
+        return replace(self, **values).clamped()
+
+    def as_dict(self) -> dict[str, float | int]:
+        out: dict[str, float | int] = {}
+        for name in CONTINUOUS_BOUNDS:
+            out[name] = getattr(self, name)
+        for name in FOLD_BOUNDS:
+            out[name] = getattr(self, name)
+        return out
+
+    # -- derived per-device views -------------------------------------------------
+
+    def device_table(self) -> list[dict]:
+        """Rows of (name, role, pmos, w, l, nf, ids) for all 11 devices."""
+        rows = []
+
+        def add(name, role, pmos, w, l, nf, ids):
+            rows.append(
+                {"name": name, "role": role, "pmos": pmos, "w": w, "l": l, "nf": nf, "ids": ids}
+            )
+
+        add("M0", "tail", False, self.w_tail, self.l_tail, self.nf_tail, 2 * self.i_in)
+        for m in ("M1", "M2"):
+            add(m, "input", False, self.w_in, self.l_in, self.nf_in, self.i_in)
+        for m in ("M3", "M4"):
+            add(m, "src_p", True, self.w_src_p, self.l_src_p, self.nf_src_p, self.i_in + self.i_casc)
+        for m in ("M5", "M6"):
+            add(m, "casc_p", True, self.w_casc_p, self.l_casc_p, self.nf_casc_p, self.i_casc)
+        for m in ("M7", "M8"):
+            add(m, "casc_n", False, self.w_casc_n, self.l_casc_n, self.nf_casc_n, self.i_casc)
+        for m in ("M9", "M10"):
+            add(m, "sink_n", False, self.w_sink_n, self.l_sink_n, self.nf_sink_n, self.i_casc)
+        return rows

@@ -1,0 +1,128 @@
+"""The two Fig.-10 flows: plain electrical sizing vs. layout-aware sizing.
+
+* :func:`electrical_sizing` — optimizes the electrical variables only,
+  evaluating performances *without* layout parasitics (the optimistic
+  pre-layout view).  The layout is generated once afterwards; the
+  returned result includes the post-extraction performances, which is
+  where the spec failures of Fig. 10(a) appear.
+* :func:`layout_aware_sizing` — includes the geometric variables
+  (folding factors) in the optimization, generates the template and
+  extracts parasitics inside every cost evaluation, and optimizes area
+  and aspect ratio alongside the electrical objectives (Fig. 10(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .amplifier import FoldedCascodeSizing
+from .optimizer import OptimizerConfig, SizingOptimizer
+from .parasitics import Parasitics, extract
+from .performance import Performance, evaluate
+from .specs import Sense, Spec, SpecSet
+from .template import TemplateLayout, generate_layout
+
+
+def default_specs() -> SpecSet:
+    """The spec set of the reproduction's Fig.-10 experiment."""
+    return SpecSet(
+        (
+            Spec("dc_gain_db", Sense.AT_LEAST, 68.0, "dB"),
+            Spec("gbw_mhz", Sense.AT_LEAST, 60.0, "MHz"),
+            Spec("phase_margin_deg", Sense.AT_LEAST, 60.0, "deg"),
+            Spec("slew_rate_v_us", Sense.AT_LEAST, 60.0, "V/us"),
+            Spec("swing_v", Sense.AT_LEAST, 1.5, "V"),
+            Spec("power_mw", Sense.AT_MOST, 2.2, "mW"),
+        )
+    )
+
+
+@dataclass
+class FlowResult:
+    """Everything the Fig.-10 comparison reports for one flow."""
+
+    name: str
+    sizing: FoldedCascodeSizing
+    layout: TemplateLayout
+    parasitics: Parasitics
+    nominal: Performance            # as the flow itself evaluated it
+    extracted: Performance          # with layout parasitics included
+    specs: SpecSet
+    evaluations: int
+    runtime_s: float
+    extraction_s: float
+
+    @property
+    def extraction_fraction(self) -> float:
+        return self.extraction_s / self.runtime_s if self.runtime_s else 0.0
+
+    def extracted_violations(self) -> list[str]:
+        return self.specs.violations(self.extracted.as_dict())
+
+    def meets_specs_post_layout(self) -> bool:
+        return not self.extracted_violations()
+
+    def report(self) -> str:
+        lines = [
+            f"flow: {self.name}",
+            f"layout: {self.layout.width:.1f} x {self.layout.height:.1f} um "
+            f"(area {self.layout.area:.0f} um^2, aspect {self.layout.aspect_ratio:.2f})",
+            f"evaluations: {self.evaluations}, runtime {self.runtime_s:.2f}s, "
+            f"extraction {100 * self.extraction_fraction:.0f}% of runtime",
+            "post-extraction performances:",
+            self.specs.report(self.extracted.as_dict()),
+        ]
+        return "\n".join(lines)
+
+
+def electrical_sizing(
+    specs: SpecSet | None = None, *, seed: int = 0, iterations_scale: int = 1
+) -> FlowResult:
+    """Fig. 10(a): sizing with no geometrical or parasitic considerations."""
+    specs = specs or default_specs()
+    config = OptimizerConfig(seed=seed, iterations_scale=iterations_scale)
+    optimizer = SizingOptimizer(specs, config, use_parasitics=False, use_geometry=False)
+    outcome = optimizer.run()
+    layout = generate_layout(outcome.sizing)
+    parasitics = extract(outcome.sizing, layout)
+    return FlowResult(
+        name="electrical-only",
+        sizing=outcome.sizing,
+        layout=layout,
+        parasitics=parasitics,
+        nominal=outcome.performance,
+        extracted=evaluate(outcome.sizing, parasitics),
+        specs=specs,
+        evaluations=outcome.evaluations,
+        runtime_s=outcome.runtime_s,
+        extraction_s=outcome.extraction_s,
+    )
+
+
+def layout_aware_sizing(
+    specs: SpecSet | None = None, *, seed: int = 0, iterations_scale: int = 1
+) -> FlowResult:
+    """Fig. 10(b): parasitic-aware + geometrically-constrained sizing."""
+    specs = specs or default_specs()
+    config = OptimizerConfig(
+        seed=seed,
+        iterations_scale=iterations_scale,
+        area_weight=0.5,
+        aspect_weight=0.8,
+    )
+    optimizer = SizingOptimizer(specs, config, use_parasitics=True, use_geometry=True)
+    outcome = optimizer.run()
+    layout = generate_layout(outcome.sizing)
+    parasitics = extract(outcome.sizing, layout)
+    return FlowResult(
+        name="layout-aware",
+        sizing=outcome.sizing,
+        layout=layout,
+        parasitics=parasitics,
+        nominal=outcome.performance,
+        extracted=evaluate(outcome.sizing, parasitics),
+        specs=specs,
+        evaluations=outcome.evaluations,
+        runtime_s=outcome.runtime_s,
+        extraction_s=outcome.extraction_s,
+    )

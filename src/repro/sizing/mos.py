@@ -1,0 +1,119 @@
+"""Simplified MOS transistor model.
+
+This is the *simulated substrate* replacing SPICE in the layout-aware
+sizing flow (section V): a long-channel square-law model with channel
+length modulation and layout-dependent junction capacitances.  The model
+deliberately exposes the terms the layout-aware technique exploits —
+"different foldings change the junction capacitances of a MOS
+transistor" — while staying analytic and fast.
+
+Units: µm, µA, V, fF, MHz-compatible (1/(2π·R[MΩ]·C[fF]) ≈ GHz·1e3 —
+we keep everything in µA/V/fF and convert where needed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Synthetic 0.35 µm-class technology constants.
+MOS_TECH = {
+    "kp_n": 170.0,      # µA/V², NMOS transconductance factor
+    "kp_p": 58.0,       # µA/V², PMOS
+    "vth_n": 0.50,      # V
+    "vth_p": 0.55,      # V
+    "lambda0": 0.06,    # 1/V per µm of L (channel-length modulation ∝ 1/L)
+    "cox": 4.5,         # fF/µm², gate oxide capacitance
+    "cj": 0.90,         # fF/µm², junction area capacitance
+    "cjsw": 0.25,       # fF/µm, junction sidewall capacitance
+    "l_diff": 0.85,     # µm, source/drain diffusion length
+    "vdd": 3.3,         # V supply
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MosOperatingPoint:
+    """Small-signal quantities of one MOS device at a bias point."""
+
+    gm: float      # µA/V
+    gds: float     # µA/V
+    vov: float     # V, overdrive
+    cgs: float     # fF
+    cgd: float     # fF
+    cdb: float     # fF
+    csb: float     # fF
+
+
+def overdrive(ids: float, w: float, l: float, *, pmos: bool = False) -> float:
+    """Overdrive voltage ``V_ov = sqrt(2 I_D / (k' W/L))``."""
+    if ids <= 0 or w <= 0 or l <= 0:
+        raise ValueError("ids, w, l must be positive")
+    kp = MOS_TECH["kp_p"] if pmos else MOS_TECH["kp_n"]
+    return math.sqrt(2.0 * ids / (kp * w / l))
+
+
+def transconductance(ids: float, w: float, l: float, *, pmos: bool = False) -> float:
+    """``gm = sqrt(2 k' (W/L) I_D)`` in µA/V."""
+    kp = MOS_TECH["kp_p"] if pmos else MOS_TECH["kp_n"]
+    return math.sqrt(2.0 * kp * (w / l) * ids)
+
+
+def output_conductance(ids: float, l: float) -> float:
+    """``gds = lambda I_D`` with ``lambda = lambda0 / L`` (µA/V)."""
+    return MOS_TECH["lambda0"] / l * ids
+
+
+def gate_source_cap(w: float, l: float) -> float:
+    """Saturation-region ``C_gs = (2/3) W L C_ox`` (fF)."""
+    return (2.0 / 3.0) * w * l * MOS_TECH["cox"]
+
+
+def gate_drain_cap(w: float) -> float:
+    """Overlap capacitance ``C_gd ≈ 0.35 fF/µm · W`` (fF)."""
+    return 0.35 * w
+
+
+def junction_caps(w: float, fingers: int) -> tuple[float, float]:
+    """(C_db, C_sb) in fF for a device of width ``w`` folded into
+    ``fingers`` fingers.
+
+    A folded device has ``fingers + 1`` diffusion stripes of width
+    ``w / fingers``; alternating stripes are drains and sources, and
+    interior stripes are *shared* between two fingers.  Folding therefore
+    cuts the drain junction capacitance roughly in half per doubling —
+    the layout effect that parasitic-aware sizing trades against the
+    wider footprint of more fingers.
+    """
+    if fingers < 1:
+        raise ValueError("fingers must be >= 1")
+    strip_w = w / fingers
+    ld = MOS_TECH["l_diff"]
+    cj, cjsw = MOS_TECH["cj"], MOS_TECH["cjsw"]
+    n_drain = fingers // 2 + fingers % 2  # drains: ceil(nf / 2) stripes
+    n_source = fingers // 2 + 1           # sources: floor(nf / 2) + 1 stripes
+    area = strip_w * ld
+    perim = 2.0 * (strip_w + ld)
+    cdb = n_drain * (area * cj + perim * cjsw)
+    csb = n_source * (area * cj + perim * cjsw)
+    return cdb, csb
+
+
+def operating_point(
+    ids: float, w: float, l: float, *, fingers: int = 1, pmos: bool = False
+) -> MosOperatingPoint:
+    """Full small-signal evaluation of one device."""
+    cdb, csb = junction_caps(w, fingers)
+    return MosOperatingPoint(
+        gm=transconductance(ids, w, l, pmos=pmos),
+        gds=output_conductance(ids, l),
+        vov=overdrive(ids, w, l, pmos=pmos),
+        cgs=gate_source_cap(w, l),
+        cgd=gate_drain_cap(w),
+        cdb=cdb,
+        csb=csb,
+    )
+
+
+def intrinsic_gain(ids: float, w: float, l: float, *, pmos: bool = False) -> float:
+    """``gm / gds`` of a single device."""
+    return transconductance(ids, w, l, pmos=pmos) / output_conductance(ids, l)

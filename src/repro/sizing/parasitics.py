@@ -1,0 +1,63 @@
+"""Parasitic extraction over template layouts.
+
+Section V: "the values of layout parasitics are computed concurrently
+with sizing, by using specific layout information (e.g., the possible
+implementation style of a group of MOS transistors) and actual device
+sizes."  Extraction here sums, per circuit node, the layout-dependent
+junction capacitances (which depend on the folding factors) and the
+wiring capacitance estimated from the template's net lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .amplifier import FoldedCascodeSizing
+from .mos import gate_drain_cap, junction_caps
+from .template import TemplateLayout
+
+
+@dataclass(frozen=True, slots=True)
+class Parasitics:
+    """Node capacitances added by the layout, fF (per half circuit).
+
+    ``c_out``  — at the amplifier output (adds to the load);
+    ``c_fold`` — at the folding node (source of the PMOS cascode), which
+    sets the non-dominant pole and hence the phase margin.
+    """
+
+    c_out: float
+    c_fold: float
+
+    @classmethod
+    def zero(cls) -> "Parasitics":
+        return cls(0.0, 0.0)
+
+
+def extract(sizing: FoldedCascodeSizing, layout: TemplateLayout) -> Parasitics:
+    """Extract the performance-relevant node parasitics of one half.
+
+    Output node: drain junctions + gate-drain overlaps of the two
+    cascodes (M6, M8) plus the output net wiring.
+    Folding node: drain junctions of the input device (M2) and the PMOS
+    source (M4), the cascode's source junction, plus wiring.
+    """
+    cdb_casc_p, csb_casc_p = junction_caps(sizing.w_casc_p, sizing.nf_casc_p)
+    cdb_casc_n, _ = junction_caps(sizing.w_casc_n, sizing.nf_casc_n)
+    cdb_in, _ = junction_caps(sizing.w_in, sizing.nf_in)
+    cdb_src_p, _ = junction_caps(sizing.w_src_p, sizing.nf_src_p)
+
+    c_out = (
+        cdb_casc_p
+        + gate_drain_cap(sizing.w_casc_p)
+        + cdb_casc_n
+        + gate_drain_cap(sizing.w_casc_n)
+        + layout.wire_cap("outp")
+    )
+    c_fold = (
+        cdb_in
+        + cdb_src_p
+        + csb_casc_p
+        + layout.wire_cap("foldp")
+    )
+    return Parasitics(c_out=c_out, c_fold=c_fold)

@@ -1,0 +1,92 @@
+"""Performance specifications.
+
+The layout-aware sizing loop (section V) evaluates "thousands of
+different circuit sizings ... to find the sizing that best fits all
+performance specifications (like dc-gain higher than 50dB) and design
+objectives (such as minimizing area and power consumption)".  This
+module models specs with margins so optimizers can use smooth penalty
+terms and reports can show pass/fail per spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping
+
+
+class Sense(Enum):
+    """Whether a performance must stay above or below its bound."""
+
+    AT_LEAST = ">="
+    AT_MOST = "<="
+
+
+@dataclass(frozen=True, slots=True)
+class Spec:
+    """One specification on a named performance."""
+
+    performance: str
+    sense: Sense
+    bound: float
+    unit: str = ""
+
+    def margin(self, value: float) -> float:
+        """Normalized signed margin: positive = satisfied.
+
+        ``(value - bound) / |bound|`` for AT_LEAST, negated for AT_MOST.
+        """
+        scale = abs(self.bound) if self.bound else 1.0
+        if self.sense is Sense.AT_LEAST:
+            return (value - self.bound) / scale
+        return (self.bound - value) / scale
+
+    def is_met(self, value: float, *, tol: float = 0.0) -> bool:
+        return self.margin(value) >= -tol
+
+    def describe(self, value: float) -> str:
+        status = "PASS" if self.is_met(value) else "FAIL"
+        return (
+            f"{self.performance:>12s} {self.sense.value} {self.bound:g} {self.unit:<6s}"
+            f" measured {value:10.4g} {self.unit:<6s} [{status}]"
+        )
+
+
+@dataclass(frozen=True)
+class SpecSet:
+    """A collection of specs evaluated against a performance mapping."""
+
+    specs: tuple[Spec, ...]
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def margins(self, performances: Mapping[str, float]) -> dict[str, float]:
+        return {s.performance: s.margin(performances[s.performance]) for s in self.specs}
+
+    def violations(self, performances: Mapping[str, float], *, tol: float = 0.0) -> list[str]:
+        """Names of failed specs."""
+        return [
+            s.performance
+            for s in self.specs
+            if not s.is_met(performances[s.performance], tol=tol)
+        ]
+
+    def all_met(self, performances: Mapping[str, float], *, tol: float = 0.0) -> bool:
+        return not self.violations(performances, tol=tol)
+
+    def penalty(self, performances: Mapping[str, float]) -> float:
+        """Sum of negative margins (0 when every spec is met) — the
+        constraint part of the optimizer cost."""
+        total = 0.0
+        for s in self.specs:
+            m = s.margin(performances[s.performance])
+            if m < 0:
+                total -= m
+        return total
+
+    def report(self, performances: Mapping[str, float]) -> str:
+        return "\n".join(s.describe(performances[s.performance]) for s in self.specs)

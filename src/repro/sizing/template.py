@@ -1,0 +1,156 @@
+"""Procedural layout template for the folded-cascode amplifier.
+
+Replaces the Cadence PCELLS / SKILL template generators of section V
+with a pure-Python equivalent exposing the same interface: a sizing
+vector (electrical + geometric parameters) maps to a placed layout in
+well under a millisecond, so layout generation can run inside every
+iteration of the sizing loop.
+
+The template is row-based, mirroring typical analog op-amp templates:
+
+    row 3 (top):    CL1  CL2                      (load capacitors)
+    row 2:          M3   M5  |  M6   M4           (PMOS, mirrored)
+    row 1:          M1   M7  |  M8   M2           (NMOS signal path)
+    row 0 (bottom): M9   M0  M10                  (NMOS sinks + tail)
+
+Rows are centered on a common vertical axis, so the differential halves
+are symmetric by construction — the template encodes the expertise that
+section V credits templates with ("very efficient at encapsulating
+design expertise").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..geometry import Module, PlacedModule, Placement, Rect
+from .amplifier import LOAD_CAP_FF, FoldedCascodeSizing
+from .mos import MOS_TECH
+
+#: Inter-device spacing inside a row and between rows, µm.
+DEVICE_SPACING = 2.0
+ROW_SPACING = 3.0
+
+#: Capacitor density, fF/µm² (poly-poly).
+CAP_DENSITY = 1.0
+
+#: Estimated wiring capacitance per µm of net length, fF/µm.
+WIRE_CAP_PER_UM = 0.22
+
+_ROWS: tuple[tuple[str, ...], ...] = (
+    ("M9", "M0", "M10"),
+    ("M1", "M7", "M8", "M2"),
+    ("M3", "M5", "M6", "M4"),
+    ("CL1", "CL2"),
+)
+
+#: Nets whose wiring parasitics matter for the performance model.
+TEMPLATE_NETS: dict[str, tuple[str, ...]] = {
+    "outp": ("M6", "M8", "CL1"),
+    "outn": ("M5", "M7", "CL2"),
+    "foldp": ("M2", "M4", "M6"),
+    "foldn": ("M1", "M3", "M5"),
+    "tail": ("M0", "M1", "M2"),
+}
+
+
+def device_footprint(w: float, l: float, nf: int) -> tuple[float, float]:
+    """MOS footprint under folding: ``nf`` gate fingers side by side.
+
+    Width grows with fingers (gate + contact pitch per finger), height is
+    the finger strip length plus diffusion/well surround.
+    """
+    if nf < 1:
+        raise ValueError("nf must be >= 1")
+    finger_pitch = l + 1.6
+    width = nf * finger_pitch + 1.0
+    height = w / nf + 3.2
+    return width, height
+
+
+def cap_footprint(value_ff: float) -> tuple[float, float]:
+    side = math.sqrt(value_ff / CAP_DENSITY)
+    return side, side
+
+
+@dataclass(frozen=True)
+class TemplateLayout:
+    """A generated layout instance.
+
+    Geometry (footprints and lower-left positions) is computed eagerly
+    and cheaply; the full :class:`Placement` object is materialized
+    lazily, since the sizing loop only needs the bounding box and net
+    lengths (thousands of instantiations per optimization run).
+    """
+
+    width: float
+    height: float
+    net_lengths: dict[str, float]
+    rects: dict[str, Rect]
+    _cache: list = field(default_factory=list, compare=False, repr=False)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def aspect_ratio(self) -> float:
+        return self.height / self.width if self.width else float("inf")
+
+    def wire_cap(self, net: str) -> float:
+        """Estimated wiring capacitance of a template net, fF."""
+        return self.net_lengths[net] * WIRE_CAP_PER_UM
+
+    def placement(self) -> Placement:
+        """Materialize (and cache) the placement for rendering/analysis."""
+        if self._cache:
+            return self._cache[0]
+        placed = [
+            PlacedModule(Module.hard(name, r.width, r.height, rotatable=False), r)
+            for name, r in self.rects.items()
+        ]
+        built = Placement.of(placed)
+        self._cache.append(built)
+        return built
+
+
+def generate_layout(sizing: FoldedCascodeSizing) -> TemplateLayout:
+    """Instantiate the template for a sizing vector."""
+    footprints: dict[str, tuple[float, float]] = {}
+    for row in sizing.device_table():
+        footprints[row["name"]] = device_footprint(row["w"], row["l"], row["nf"])
+    footprints["CL1"] = cap_footprint(LOAD_CAP_FF)
+    footprints["CL2"] = cap_footprint(LOAD_CAP_FF)
+
+    rects: dict[str, Rect] = {}
+    centers: dict[str, tuple[float, float]] = {}
+    y = 0.0
+    total_width = max(
+        sum(footprints[n][0] for n in row) + DEVICE_SPACING * (len(row) - 1)
+        for row in _ROWS
+    )
+    for row in _ROWS:
+        row_width = sum(footprints[n][0] for n in row) + DEVICE_SPACING * (len(row) - 1)
+        row_height = max(footprints[n][1] for n in row)
+        x = (total_width - row_width) / 2.0  # center the row on the axis
+        for name in row:
+            w, h = footprints[name]
+            rects[name] = Rect.from_size(x, y, w, h)
+            centers[name] = (x + w / 2.0, y + h / 2.0)
+            x += w + DEVICE_SPACING
+        y += row_height + ROW_SPACING
+    height = y - ROW_SPACING
+
+    net_lengths = {}
+    for net, pins in TEMPLATE_NETS.items():
+        xs = [centers[p][0] for p in pins]
+        ys = [centers[p][1] for p in pins]
+        net_lengths[net] = (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    return TemplateLayout(
+        width=total_width,
+        height=height,
+        net_lengths=net_lengths,
+        rects=rects,
+    )

@@ -1,0 +1,62 @@
+"""Bridge from sizing to placement: a sized folded-cascode amplifier as
+a placeable :class:`~repro.circuit.Circuit`.
+
+The template of section V fixes the floorplan; this bridge instead hands
+the *sized devices* to the topological placers of sections II-IV, with
+the differential symmetry constraints the schematic implies.  Examples
+use it to run the complete flow: size -> place -> route.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, HierarchyNode, SymmetryGroup
+from ..geometry import Module, Net
+from .amplifier import LOAD_CAP_FF, FoldedCascodeSizing
+from .template import cap_footprint, device_footprint
+
+
+def sizing_to_circuit(sizing: FoldedCascodeSizing, *, name: str = "folded-cascode") -> Circuit:
+    """Build the placement problem for a sized amplifier.
+
+    Devices become hard modules at their folded footprints; matched
+    device pairs become symmetry groups; the hierarchy mirrors the
+    schematic's basic module sets (input pair, PMOS sources, PMOS/NMOS
+    cascodes, sinks, tail + loads).
+    """
+    modules: dict[str, Module] = {}
+    for row in sizing.device_table():
+        w, h = device_footprint(row["w"], row["l"], row["nf"])
+        modules[row["name"]] = Module.hard(row["name"], w, h, rotatable=False)
+    for cap in ("CL1", "CL2"):
+        w, h = cap_footprint(LOAD_CAP_FF)
+        modules[cap] = Module.hard(cap, w, h, rotatable=False)
+
+    def sym_node(node_name: str, left: str, right: str) -> HierarchyNode:
+        return HierarchyNode(
+            node_name,
+            modules=[modules[left], modules[right]],
+            constraint=SymmetryGroup(f"sym-{node_name}", pairs=((left, right),)),
+        )
+
+    dp = sym_node("DP", "M1", "M2")
+    src = sym_node("SRC", "M3", "M4")
+    casc_p = sym_node("CASC-P", "M5", "M6")
+    casc_n = sym_node("CASC-N", "M7", "M8")
+    sink = sym_node("SINK", "M9", "M10")
+    loads = sym_node("LOADS", "CL1", "CL2")
+    core = HierarchyNode("CORE", children=[dp, src, casc_p, casc_n, sink])
+    top = HierarchyNode(name.upper(), modules=[modules["M0"]], children=[core, loads])
+
+    nets = (
+        Net("inp", ("M1", "M2"), weight=2.0),
+        Net("tail", ("M0", "M1", "M2")),
+        Net("foldp", ("M2", "M4", "M6"), weight=2.0),
+        Net("foldn", ("M1", "M3", "M5"), weight=2.0),
+        Net("outp", ("M6", "M8", "CL1"), weight=2.0),
+        Net("outn", ("M5", "M7", "CL2"), weight=2.0),
+        Net("cascn-gate", ("M7", "M8")),
+        Net("sink-gate", ("M9", "M10")),
+        Net("sink-drain-p", ("M8", "M9")),
+        Net("sink-drain-n", ("M7", "M10")),
+    )
+    return Circuit(name, top, nets=nets)

@@ -1,0 +1,16 @@
+"""Slicing floorplans (normalized Polish expressions) — the baseline
+representation the paper argues against for analog layout (section I)."""
+
+from .packing import pack_slicing, shape_function_of
+from .placer import SlicingPlacer, SlicingPlacerConfig, SlicingPlacerResult
+from .polish import OPERATORS, PolishExpression
+
+__all__ = [
+    "OPERATORS",
+    "PolishExpression",
+    "SlicingPlacer",
+    "SlicingPlacerConfig",
+    "SlicingPlacerResult",
+    "pack_slicing",
+    "shape_function_of",
+]

@@ -1,0 +1,204 @@
+"""Normalized Polish expressions — the slicing floorplan model.
+
+Section I: early tools (ILAC [24]) used the slicing layout model, where
+"cells are organized in a set of slices whose direction and nesting are
+recorded in a slicing tree or, equivalently, in a normalized Polish
+expression"; the paper then argues this representation "limits the set
+of reachable layout topologies, degrading the layout density especially
+when cells are very different in size".  We implement the model so the
+claim can be measured (see ``benchmarks/bench_slicing.py``).
+
+A Polish expression is a postfix string over module names and the
+operators ``H`` (horizontal cut: right operand stacked *above* the
+left) and ``V`` (vertical cut: right operand placed *right of* the
+left).  It is *normalized* when no two consecutive operators are equal
+(no redundant encodings of the same slicing tree).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+OPERATORS = ("H", "V")
+
+
+@dataclass(frozen=True)
+class PolishExpression:
+    """An immutable normalized Polish expression."""
+
+    tokens: tuple[str, ...]
+    _operand_count: int = field(compare=False, hash=False, default=0)
+
+    def __post_init__(self) -> None:
+        operands = [t for t in self.tokens if t not in OPERATORS]
+        operators = [t for t in self.tokens if t in OPERATORS]
+        if len(operands) == 0:
+            raise ValueError("Polish expression needs at least one operand")
+        if len(operators) != len(operands) - 1:
+            raise ValueError(
+                f"malformed expression: {len(operands)} operands need "
+                f"{len(operands) - 1} operators, got {len(operators)}"
+            )
+        if len(set(operands)) != len(operands):
+            raise ValueError("duplicate operands")
+        # balloting property: every prefix has more operands than operators
+        balance = 0
+        for token in self.tokens:
+            balance += 1 if token not in OPERATORS else -1
+            if balance < 1:
+                raise ValueError("balloting property violated")
+        object.__setattr__(self, "_operand_count", len(operands))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def row(cls, names: Sequence[str]) -> "PolishExpression":
+        """All modules side by side: ``a b V c V ...``."""
+        tokens: list[str] = [names[0]]
+        for name in names[1:]:
+            tokens += [name, "V"]
+        return cls(tuple(tokens))
+
+    @classmethod
+    def random(cls, names: Iterable[str], rng: random.Random) -> "PolishExpression":
+        """A random normalized expression via random slicing-tree shape."""
+        pool: list[tuple[str, ...]] = [(n,) for n in names]
+        rng.shuffle(pool)
+        while len(pool) > 1:
+            i = rng.randrange(len(pool) - 1)
+            left = pool.pop(i)
+            right = pool.pop(i)
+            op = rng.choice(OPERATORS)
+            pool.insert(i, left + right + (op,))
+        expr = cls(pool[0])
+        return expr.normalized()
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def operands(self) -> tuple[str, ...]:
+        return tuple(t for t in self.tokens if t not in OPERATORS)
+
+    @property
+    def n_modules(self) -> int:
+        return self._operand_count
+
+    def is_normalized(self) -> bool:
+        """No two equal consecutive operators."""
+        for a, b in zip(self.tokens, self.tokens[1:]):
+            if a in OPERATORS and a == b:
+                return False
+        return True
+
+    def normalized(self) -> "PolishExpression":
+        """The canonical (normalized) expression of the same floorplan.
+
+        Slicing composition is associative per direction — ``A V (B V C)``
+        and ``(A V B) V C`` describe the same left-to-right arrangement —
+        so same-operator chains are re-associated left-skewed, which is
+        exactly the form whose postfix has no two equal consecutive
+        operators at a right child.
+        """
+        tree = _parse(self.tokens)
+        tree = _left_skew(tree)
+        return PolishExpression(tuple(_postfix(tree)))
+
+    # -- moves (Wong-Liu) ------------------------------------------------------
+
+    def swap_adjacent_operands(self, rng: random.Random) -> "PolishExpression":
+        """M1: swap two adjacent operands."""
+        idx = [i for i, t in enumerate(self.tokens) if t not in OPERATORS]
+        if len(idx) < 2:
+            return self
+        k = rng.randrange(len(idx) - 1)
+        i, j = idx[k], idx[k + 1]
+        tokens = list(self.tokens)
+        tokens[i], tokens[j] = tokens[j], tokens[i]
+        return PolishExpression(tuple(tokens))
+
+    def complement_chain(self, rng: random.Random) -> "PolishExpression":
+        """M2: complement a maximal chain of operators (H<->V)."""
+        chains = self._operator_chains()
+        if not chains:
+            return self
+        start, end = rng.choice(chains)
+        tokens = list(self.tokens)
+        for i in range(start, end):
+            tokens[i] = "H" if tokens[i] == "V" else "V"
+        return PolishExpression(tuple(tokens))
+
+    def swap_operand_operator(self, rng: random.Random) -> "PolishExpression":
+        """M3: swap an adjacent operand/operator pair, keeping the
+        expression valid (balloting) and normalized; returns self when no
+        valid M3 move exists."""
+        candidates = []
+        for i in range(len(self.tokens) - 1):
+            a, b = self.tokens[i], self.tokens[i + 1]
+            if (a in OPERATORS) == (b in OPERATORS):
+                continue
+            tokens = list(self.tokens)
+            tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+            try:
+                moved = PolishExpression(tuple(tokens))
+            except ValueError:
+                continue
+            if moved.is_normalized():
+                candidates.append(moved)
+        if not candidates:
+            return self
+        return rng.choice(candidates)
+
+    def _operator_chains(self) -> list[tuple[int, int]]:
+        """Maximal [start, end) runs of operator tokens."""
+        chains = []
+        i = 0
+        while i < len(self.tokens):
+            if self.tokens[i] in OPERATORS:
+                j = i
+                while j < len(self.tokens) and self.tokens[j] in OPERATORS:
+                    j += 1
+                chains.append((i, j))
+                i = j
+            else:
+                i += 1
+        return chains
+
+
+# -- slicing-tree helpers (nested tuples: leaf = name, node = (op, l, r)) ----
+
+
+def _parse(tokens: Sequence[str]):
+    stack: list = []
+    for token in tokens:
+        if token in OPERATORS:
+            right = stack.pop()
+            left = stack.pop()
+            stack.append((token, left, right))
+        else:
+            stack.append(token)
+    return stack[0]
+
+
+def _left_skew(node):
+    """Re-associate same-operator chains to the left (canonical form)."""
+    if isinstance(node, str):
+        return node
+    op, left, right = node
+    right = _left_skew(right)
+    # rotate while the right child uses the same operator
+    while isinstance(right, tuple) and right[0] == op:
+        _, rl, rr = right
+        left = (op, left, rl)
+        right = rr
+    # the rotations may have attached same-op subtrees under `left`
+    left = _left_skew(left)
+    return (op, left, right)
+
+
+def _postfix(node) -> list[str]:
+    if isinstance(node, str):
+        return [node]
+    op, left, right = node
+    return _postfix(left) + _postfix(right) + [op]

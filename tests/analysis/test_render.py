@@ -1,0 +1,49 @@
+"""Tests for ASCII rendering."""
+
+from repro.analysis import render_placement, render_shape_functions, staircase_table
+from repro.circuit import fig1_modules, fig1_sequence_pair
+from repro.geometry import Module, PlacedModule, Placement, Rect
+from repro.seqpair import SequencePair, pack_symmetric
+from repro.shapes import ShapeFunction
+
+
+class TestRenderPlacement:
+    def test_empty(self):
+        assert "empty" in render_placement(Placement.empty())
+
+    def test_modules_appear(self):
+        p = Placement.of(
+            [
+                PlacedModule(Module.hard("alpha", 4, 4), Rect.from_size(0, 0, 4, 4)),
+                PlacedModule(Module.hard("beta", 4, 4), Rect.from_size(4, 0, 4, 4)),
+            ]
+        )
+        art = render_placement(p, width=40, height=10)
+        assert "a" in art
+        assert "b" in art
+        assert "+" in art
+
+    def test_fits_requested_box(self):
+        mods, group = fig1_modules()
+        sp = SequencePair(*fig1_sequence_pair())
+        p = pack_symmetric(sp, mods, [group])
+        art = render_placement(p, width=50, height=12)
+        lines = art.split("\n")
+        assert len(lines) <= 12
+        assert all(len(line) <= 50 for line in lines)
+
+
+class TestRenderShapeFunctions:
+    def test_markers_and_legend(self):
+        sf1 = ShapeFunction.from_module(Module.hard("a", 2, 8))
+        sf2 = ShapeFunction.from_module(Module.hard("b", 3, 6))
+        art = render_shape_functions({"ESF": sf1, "RSF": sf2})
+        assert "E" in art
+        assert "R" in art
+        assert "ESF" in art  # legend
+
+    def test_staircase_table(self):
+        sf = ShapeFunction.from_module(Module.hard("a", 2, 8))
+        table = staircase_table({"f": sf})
+        assert "w=" in table
+        assert "area=" in table

@@ -1,0 +1,73 @@
+"""Tests for the search-space combinatorics."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    bstar_space,
+    bstar_space_table,
+    flat_enumeration_size,
+    hierarchical_enumeration_size,
+    log10_factorial,
+    reduction_factor,
+    sequence_pair_report,
+)
+from repro.circuit import SymmetryGroup, fig1_modules
+
+
+class TestSequencePairReport:
+    def test_paper_numbers(self):
+        _, group = fig1_modules()
+        report = sequence_pair_report(7, [group])
+        assert report.total_codes == 25_401_600
+        assert report.sf_codes == 35_280
+        assert report.reduction == pytest.approx(0.9986, abs=1e-4)
+
+    def test_describe_contains_numbers(self):
+        _, group = fig1_modules()
+        text = sequence_pair_report(7, [group]).describe()
+        assert "35,280" in text
+        assert "99.86" in text
+
+    def test_no_groups_no_reduction(self):
+        report = sequence_pair_report(4, [])
+        assert report.reduction == 0.0
+
+
+class TestBStarSpace:
+    def test_paper_number(self):
+        assert bstar_space(8) == 57_657_600
+
+    def test_table_monotone(self):
+        table = bstar_space_table(10)
+        assert len(table) == 10
+        counts = [c for _, c in table]
+        assert counts == sorted(counts)
+
+
+class TestHierarchicalBounding:
+    def test_sum_vs_product(self):
+        """Hierarchical bounding: enumerate 3 sets of 3 modules instead of
+        one set of 9 — orders of magnitude fewer placements."""
+        sizes = [3, 3, 3]
+        hier = hierarchical_enumeration_size(sizes)
+        flat = flat_enumeration_size(sizes)
+        assert hier == 3 * 30
+        assert flat == bstar_space(9)
+        assert reduction_factor(sizes) > 1e6
+
+    def test_single_set_no_reduction(self):
+        assert reduction_factor([4]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_factor([])
+
+
+class TestLog10Factorial:
+    def test_matches_exact_small(self):
+        for n in (1, 5, 10, 20):
+            assert log10_factorial(n) == pytest.approx(
+                math.log10(math.factorial(n)), rel=1e-9
+            )

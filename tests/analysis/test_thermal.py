@@ -1,0 +1,106 @@
+"""Tests for the thermal gradient model (section II motivation)."""
+
+import pytest
+
+from repro.analysis import ThermalModel, field_sample, render_field
+from repro.circuit import SymmetryGroup
+from repro.geometry import Module, PlacedModule, Placement, Point, Rect
+
+
+def place(name, x, y, w=4.0, h=4.0):
+    return PlacedModule(Module.hard(name, w, h), Rect.from_size(x, y, w, h))
+
+
+@pytest.fixture
+def symmetric_placement():
+    """Radiator centered on the axis x = 10, sensitive pair mirrored."""
+    return Placement.of(
+        [place("hot", 8, 10), place("a", 0, 0), place("b", 16, 0)]
+    )
+
+
+@pytest.fixture
+def asymmetric_placement():
+    """Same modules, pair at different distances from the radiator."""
+    return Placement.of(
+        [place("hot", 8, 10), place("a", 4, 0), place("b", 16, 0)]
+    )
+
+
+@pytest.fixture
+def model():
+    return ThermalModel(power={"hot": 10.0})
+
+
+class TestField:
+    def test_peak_at_source(self, model, symmetric_placement):
+        center = symmetric_placement["hot"].rect.center
+        t_center = model.temperature_at(center, symmetric_placement)
+        t_far = model.temperature_at(Point(100.0, 100.0), symmetric_placement)
+        assert t_center > t_far > 0.0
+
+    def test_radial_decay(self, model, symmetric_placement):
+        center = symmetric_placement["hot"].rect.center
+        temps = [
+            model.temperature_at(Point(center.x + r, center.y), symmetric_placement)
+            for r in (0.0, 5.0, 20.0, 80.0)
+        ]
+        assert temps == sorted(temps, reverse=True)
+
+    def test_isothermal_circles(self, model, symmetric_placement):
+        """Equal distance -> equal temperature (the paper's picture)."""
+        c = symmetric_placement["hot"].rect.center
+        t1 = model.temperature_at(Point(c.x + 7, c.y), symmetric_placement)
+        t2 = model.temperature_at(Point(c.x, c.y + 7), symmetric_placement)
+        assert t1 == pytest.approx(t2)
+
+    def test_superposition(self, symmetric_placement):
+        one = ThermalModel(power={"hot": 10.0})
+        double = ThermalModel(power={"hot": 20.0})
+        p = Point(0.0, 0.0)
+        assert double.temperature_at(p, symmetric_placement) == pytest.approx(
+            2 * one.temperature_at(p, symmetric_placement)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel(power={"hot": -1.0})
+        with pytest.raises(ValueError):
+            ThermalModel(power={}, decay=0.0)
+
+
+class TestMismatch:
+    def test_symmetric_pair_has_no_mismatch(self, model, symmetric_placement):
+        """Section II: symmetric placement relative to the radiator(s)
+        sees identical temperatures."""
+        group = SymmetryGroup("g", pairs=(("a", "b"),))
+        assert model.pair_mismatch("a", "b", symmetric_placement) == pytest.approx(0.0)
+        assert model.is_thermally_balanced(group, symmetric_placement, tol=1e-9)
+
+    def test_asymmetric_pair_mismatches(self, model, asymmetric_placement):
+        group = SymmetryGroup("g", pairs=(("a", "b"),))
+        assert model.pair_mismatch("a", "b", asymmetric_placement) > 0.01
+        assert not model.is_thermally_balanced(group, asymmetric_placement)
+
+    def test_total_mismatch_sums_groups(self, model, asymmetric_placement):
+        g = SymmetryGroup("g", pairs=(("a", "b"),))
+        assert model.total_mismatch((g,), asymmetric_placement) == pytest.approx(
+            model.pair_mismatch("a", "b", asymmetric_placement)
+        )
+
+    def test_radiators_sorted_by_power(self, symmetric_placement):
+        model = ThermalModel(power={"hot": 10.0, "warm": 2.0, "cold": 0.0})
+        assert model.radiators() == ["hot", "warm"]
+
+
+class TestRendering:
+    def test_field_sample_shape(self, model, symmetric_placement):
+        rows = field_sample(model, symmetric_placement, nx=10, ny=5)
+        assert len(rows) == 5
+        assert all(len(r) == 10 for r in rows)
+
+    def test_render_is_hot_near_source(self, model, symmetric_placement):
+        art = render_field(model, symmetric_placement, width=30, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert "@" in art  # hottest glyph appears somewhere

@@ -1,0 +1,119 @@
+"""Tests for ASF-B*-trees (symmetry islands)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bstar import ASFBStarTree, ASFMoveSet
+from repro.circuit import SymmetryGroup
+from repro.geometry import Module, ModuleSet
+from tests.strategies import symmetric_problems
+
+
+def island_problem():
+    mods = ModuleSet.of(
+        [
+            Module.hard("a", 3, 2, rotatable=False),
+            Module.hard("b", 3, 2, rotatable=False),
+            Module.hard("c", 2, 4, rotatable=False),
+            Module.hard("d", 2, 4, rotatable=False),
+            Module.hard("s", 4, 2, rotatable=False),
+        ]
+    )
+    group = SymmetryGroup("g", pairs=(("a", "b"), ("c", "d")), self_symmetric=("s",))
+    return mods, group
+
+
+class TestASFConstruction:
+    def test_initial_is_valid(self):
+        mods, group = island_problem()
+        asf = ASFBStarTree.initial(group, random.Random(0))
+        asf.validate()
+
+    def test_tree_spans_representatives(self):
+        mods, group = island_problem()
+        asf = ASFBStarTree.initial(group, random.Random(1))
+        assert set(asf.tree.nodes()) == {"b", "d", "s"}
+
+    def test_selfsym_root_spine(self):
+        mods, group = island_problem()
+        for seed in range(10):
+            asf = ASFBStarTree.initial(group, random.Random(seed))
+            assert asf.tree.root == "s"
+
+
+class TestIslandPacking:
+    def test_island_is_exactly_symmetric(self):
+        mods, group = island_problem()
+        for seed in range(20):
+            asf = ASFBStarTree.initial(group, random.Random(seed))
+            island = asf.pack(mods)
+            assert island.is_overlap_free()
+            assert group.symmetry_error(island) == pytest.approx(0.0, abs=1e-9)
+
+    def test_axis_at_zero(self):
+        mods, group = island_problem()
+        asf = ASFBStarTree.initial(group, random.Random(3))
+        island = asf.pack(mods)
+        assert group.axis_of(island) == pytest.approx(0.0, abs=1e-9)
+
+    def test_selfsym_straddles_axis(self):
+        mods, group = island_problem()
+        asf = ASFBStarTree.initial(group, random.Random(4))
+        island = asf.pack(mods)
+        rect = island["s"].rect
+        assert rect.x0 == pytest.approx(-rect.x1)
+
+    def test_all_modules_present(self):
+        mods, group = island_problem()
+        asf = ASFBStarTree.initial(group, random.Random(5))
+        island = asf.pack(mods)
+        assert set(p.name for p in island) == {"a", "b", "c", "d", "s"}
+
+    def test_pairs_only_group(self):
+        mods = ModuleSet.of(
+            [Module.hard("a", 2, 2, rotatable=False), Module.hard("b", 2, 2, rotatable=False)]
+        )
+        group = SymmetryGroup("g", pairs=(("a", "b"),))
+        asf = ASFBStarTree.initial(group, random.Random(0))
+        island = asf.pack(mods)
+        assert island.is_overlap_free()
+        assert group.symmetry_error(island) == pytest.approx(0.0, abs=1e-9)
+
+    @given(symmetric_problems(max_free=0), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_random_groups_always_symmetric(self, problem, seed):
+        mods, group = problem
+        asf = ASFBStarTree.initial(group, random.Random(seed))
+        asf.validate()
+        island = asf.pack(mods)
+        assert island.is_overlap_free()
+        assert group.symmetry_error(island) <= 1e-9
+
+
+class TestASFMoves:
+    @given(symmetric_problems(max_free=0), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_moves_preserve_validity_and_symmetry(self, problem, seed):
+        mods, group = problem
+        moves = ASFMoveSet(mods, group)
+        rng = random.Random(seed)
+        state = moves.initial_state(rng)
+        for _ in range(15):
+            state = moves.propose(state, rng)
+            state.validate()
+            island = state.pack(mods)
+            assert island.is_overlap_free()
+            assert group.symmetry_error(island) <= 1e-9
+
+    def test_moves_do_not_mutate(self):
+        mods, group = island_problem()
+        moves = ASFMoveSet(mods, group)
+        rng = random.Random(0)
+        state = moves.initial_state(rng)
+        before = sorted(state.tree.left.items())
+        for _ in range(10):
+            moves.propose(state, rng)
+        assert sorted(state.tree.left.items()) == before

@@ -1,0 +1,117 @@
+"""Tests for the common-centroid placement generator (Fig. 3a)."""
+
+import pytest
+
+from repro.bstar import (
+    CommonCentroidError,
+    common_centroid_placement,
+    grid_options,
+    n_variants,
+)
+from repro.circuit import CommonCentroidGroup
+from repro.geometry import Module, ModuleSet
+
+
+def cc_problem(units_a=2, units_b=2, w=2.0, h=2.0):
+    names_a = tuple(f"A{i}" for i in range(units_a))
+    names_b = tuple(f"B{i}" for i in range(units_b))
+    mods = ModuleSet.of(
+        [Module.hard(n, w, h, rotatable=False) for n in names_a + names_b]
+    )
+    group = CommonCentroidGroup("cc", units=(("A", names_a), ("B", names_b)))
+    return mods, group
+
+
+class TestGridOptions:
+    def test_four_units(self):
+        _, group = cc_problem(2, 2)
+        assert set(grid_options(group)) == {(1, 4), (2, 2)}
+        assert n_variants(group) == 2
+
+    def test_eight_units(self):
+        _, group = cc_problem(4, 4)
+        assert set(grid_options(group)) == {(1, 8), (2, 4)}
+
+
+class TestPointSymmetricStyle:
+    @pytest.mark.parametrize("units_a,units_b", [(2, 2), (4, 4), (2, 4), (4, 2)])
+    def test_centroids_coincide(self, units_a, units_b):
+        mods, group = cc_problem(units_a, units_b)
+        for variant in range(n_variants(group)):
+            p = common_centroid_placement(group, mods, variant=variant)
+            assert p.is_overlap_free()
+            assert group.centroid_error(p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_units_placed(self):
+        mods, group = cc_problem(2, 2)
+        p = common_centroid_placement(group, mods)
+        assert len(p) == 4
+
+    def test_odd_unit_count_rejected(self):
+        mods = ModuleSet.of(
+            [Module.hard(n, 2, 2) for n in ("A0", "A1", "A2", "B0")]
+        )
+        group = CommonCentroidGroup("cc", units=(("A", ("A0", "A1", "A2")), ("B", ("B0",))))
+        with pytest.raises(CommonCentroidError):
+            common_centroid_placement(group, mods)
+
+    def test_mismatched_footprints_rejected(self):
+        mods = ModuleSet.of(
+            [
+                Module.hard("A0", 2, 2),
+                Module.hard("A1", 2, 2),
+                Module.hard("B0", 3, 2),
+                Module.hard("B1", 3, 2),
+            ]
+        )
+        group = CommonCentroidGroup("cc", units=(("A", ("A0", "A1")), ("B", ("B0", "B1"))))
+        with pytest.raises(CommonCentroidError):
+            common_centroid_placement(group, mods)
+
+
+class TestRowInterdigitatedStyle:
+    def test_fig3a_pattern(self):
+        """2 devices x 4 units on 2 x 4: the A B B A / B A A B pattern."""
+        mods, group = cc_problem(4, 4)
+        p = common_centroid_placement(group, mods, variant=1, style="row-interdigitated")
+        assert p.is_overlap_free()
+        assert group.centroid_error(p) == pytest.approx(0.0, abs=1e-9)
+        # read the bottom row pattern left to right
+        bottom = sorted(
+            (pm for pm in p if pm.rect.y0 == 0.0), key=lambda pm: pm.rect.x0
+        )
+        pattern = "".join(pm.name[0] for pm in bottom)
+        assert pattern == "ABBA"
+
+    def test_single_row_palindrome(self):
+        mods, group = cc_problem(4, 4)
+        p = common_centroid_placement(group, mods, variant=0, style="row-interdigitated")
+        assert group.centroid_error(p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_two_devices(self):
+        names = ("A0", "A1", "B0", "B1", "C0", "C1")
+        mods = ModuleSet.of([Module.hard(n, 2, 2) for n in names])
+        group = CommonCentroidGroup(
+            "cc", units=(("A", names[:2]), ("B", names[2:4]), ("C", names[4:]))
+        )
+        with pytest.raises(CommonCentroidError):
+            common_centroid_placement(group, mods, style="row-interdigitated")
+
+    def test_unknown_style_rejected(self):
+        mods, group = cc_problem()
+        with pytest.raises(CommonCentroidError):
+            common_centroid_placement(group, mods, style="diagonal")
+
+
+class TestThreeDevices:
+    def test_point_symmetric_three_devices(self):
+        names_a, names_b, names_c = ("A0", "A1"), ("B0", "B1"), ("C0", "C1")
+        mods = ModuleSet.of(
+            [Module.hard(n, 2, 2) for n in names_a + names_b + names_c]
+        )
+        group = CommonCentroidGroup(
+            "cc", units=(("A", names_a), ("B", names_b), ("C", names_c))
+        )
+        p = common_centroid_placement(group, mods)
+        assert p.is_overlap_free()
+        assert group.centroid_error(p) == pytest.approx(0.0, abs=1e-9)

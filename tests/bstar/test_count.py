@@ -1,0 +1,57 @@
+"""Tests for B*-tree counting (the section-IV search-space argument)."""
+
+import pytest
+
+from repro.bstar import catalan, count_bstar_trees, enumerate_bstar_trees
+from tests.strategies import names
+
+
+class TestCatalan:
+    def test_known_values(self):
+        assert [catalan(n) for n in range(7)] == [1, 1, 2, 5, 14, 42, 132]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            catalan(-1)
+
+
+class TestClosedForm:
+    def test_paper_number_for_8_modules(self):
+        """Section IV: 'the number of possible placements for 8 modules
+        is already 57,657,600'."""
+        assert count_bstar_trees(8) == 57_657_600
+
+    def test_small_values(self):
+        assert count_bstar_trees(1) == 1
+        assert count_bstar_trees(2) == 4
+        assert count_bstar_trees(3) == 30
+
+
+class TestEnumerationMatchesClosedForm:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_enumeration_count(self, n):
+        trees = list(enumerate_bstar_trees(names(n)))
+        expected = count_bstar_trees(n) if n else 1
+        assert len(trees) == expected
+
+    def test_enumerated_trees_are_valid_and_distinct(self):
+        seen = set()
+        for tree in enumerate_bstar_trees(names(3)):
+            tree.validate()
+            assert set(tree.nodes()) == set(names(3))
+            key = (tree.root, tuple(sorted(tree.left.items())), tuple(sorted(tree.right.items())))
+            assert key not in seen
+            seen.add(key)
+
+    def test_enumerated_placements_distinct_for_two(self):
+        """The four trees over two labeled modules give the four
+        relative arrangements."""
+        from repro.bstar import pack
+        from repro.geometry import Module, ModuleSet
+
+        mods = ModuleSet.of([Module.hard("a", 2, 1), Module.hard("b", 1, 2)])
+        arrangements = set()
+        for tree in enumerate_bstar_trees(["a", "b"]):
+            p = pack(tree, mods)
+            arrangements.add((p["a"].rect.x0, p["a"].rect.y0, p["b"].rect.x0, p["b"].rect.y0))
+        assert len(arrangements) == 4

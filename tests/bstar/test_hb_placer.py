@@ -1,0 +1,115 @@
+"""Tests for the HB*-tree hierarchical placement and placers."""
+
+import random
+
+import pytest
+
+from repro.bstar import (
+    BStarPlacer,
+    BStarPlacerConfig,
+    HBStarTreePlacement,
+    HierarchicalPlacer,
+)
+from repro.circuit import fig2_design, miller_opamp, simple_testcase
+
+
+def quick_config(seed=0):
+    return BStarPlacerConfig(seed=seed, alpha=0.85, steps_per_epoch=20, t_final=1e-3)
+
+
+class TestHBPacking:
+    def test_pack_contains_all_modules(self, fig2):
+        hb = HBStarTreePlacement(fig2.hierarchy, fig2.modules())
+        state = hb.initial_state(random.Random(0))
+        p = hb.pack(state)
+        assert {pm.name for pm in p} == set(fig2.modules().names())
+
+    def test_pack_overlap_free(self, fig2):
+        hb = HBStarTreePlacement(fig2.hierarchy, fig2.modules())
+        for seed in range(10):
+            state = hb.initial_state(random.Random(seed))
+            p = hb.pack(state)
+            assert p.is_overlap_free(), f"seed {seed}"
+
+    def test_islands_and_arrays_by_construction(self, fig2):
+        """Symmetry and common-centroid constraints hold for *every*
+        state, not just annealed ones — that is the point of the
+        formulation."""
+        hb = HBStarTreePlacement(fig2.hierarchy, fig2.modules())
+        constraints = fig2.constraints()
+        for seed in range(10):
+            state = hb.initial_state(random.Random(seed))
+            p = hb.pack(state)
+            for g in constraints.symmetry:
+                assert g.symmetry_error(p) <= 1e-6
+            for g in constraints.common_centroid:
+                assert g.centroid_error(p) <= 1e-6
+
+    def test_perturb_keeps_feasibility(self, fig2):
+        hb = HBStarTreePlacement(fig2.hierarchy, fig2.modules())
+        rng = random.Random(1)
+        state = hb.initial_state(rng)
+        constraints = fig2.constraints()
+        for _ in range(25):
+            state = hb.propose(state, rng)
+            p = hb.pack(state)
+            assert p.is_overlap_free()
+            for g in constraints.symmetry:
+                assert g.symmetry_error(p) <= 1e-6
+
+    def test_perturb_does_not_mutate(self, fig2):
+        hb = HBStarTreePlacement(fig2.hierarchy, fig2.modules())
+        rng = random.Random(2)
+        state = hb.initial_state(rng)
+        p_before = hb.pack(state).positions()
+        for _ in range(10):
+            hb.propose(state, rng)
+        assert hb.pack(state).positions() == p_before
+
+    def test_level_items(self, fig2):
+        hb = HBStarTreePlacement(fig2.hierarchy, fig2.modules())
+        top_items = hb.level_items(fig2.hierarchy)
+        assert "SYM" in top_items
+        assert "PROX" in top_items
+        assert "B" in top_items
+
+
+class TestHierarchicalPlacer:
+    def test_fig2_end_to_end(self, fig2):
+        result = HierarchicalPlacer(fig2, quick_config()).run()
+        p = result.placement
+        assert p.is_overlap_free()
+        assert fig2.constraints().violations(p) == []
+        assert p.area_usage() < 2.5
+
+    def test_miller_end_to_end(self, miller):
+        result = HierarchicalPlacer(miller, quick_config()).run()
+        p = result.placement
+        assert p.is_overlap_free()
+        for g in miller.constraints().symmetry:
+            assert g.symmetry_error(p) <= 1e-6
+
+    def test_deterministic(self, fig2):
+        r1 = HierarchicalPlacer(fig2, quick_config(9)).run()
+        r2 = HierarchicalPlacer(fig2, quick_config(9)).run()
+        assert r1.placement.positions() == r2.placement.positions()
+
+    def test_synthesized_circuit(self):
+        c = simple_testcase(12, seed=4)
+        result = HierarchicalPlacer(c, quick_config()).run()
+        p = result.placement
+        assert p.is_overlap_free()
+        for g in c.constraints().symmetry:
+            assert g.symmetry_error(p) <= 1e-6
+
+
+class TestFlatBStarPlacer:
+    def test_optimizes_small_set(self, small_modules):
+        result = BStarPlacer(small_modules, config=quick_config()).run()
+        assert result.placement.is_overlap_free()
+        assert result.placement.area_usage() < 2.0
+
+    def test_deterministic(self, small_modules):
+        r1 = BStarPlacer(small_modules, config=quick_config(5)).run()
+        r2 = BStarPlacer(small_modules, config=quick_config(5)).run()
+        assert r1.placement.positions() == r2.placement.positions()

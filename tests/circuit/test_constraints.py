@@ -1,0 +1,168 @@
+"""Tests for the layout constraint model."""
+
+import pytest
+
+from repro.circuit import (
+    CommonCentroidGroup,
+    ConstraintSet,
+    ProximityGroup,
+    SymmetryGroup,
+    symmetry_group_of_pairs,
+)
+from repro.geometry import Module, PlacedModule, Placement, Rect
+
+
+def place(name, x, y, w=2.0, h=2.0):
+    return PlacedModule(Module.hard(name, w, h), Rect.from_size(x, y, w, h))
+
+
+class TestSymmetryGroup:
+    def test_members_and_sym(self):
+        g = SymmetryGroup("g", pairs=(("a", "b"),), self_symmetric=("s",))
+        assert set(g.members()) == {"a", "b", "s"}
+        assert g.sym("a") == "b"
+        assert g.sym("b") == "a"
+        assert g.sym("s") == "s"
+        assert g.size == 3
+
+    def test_unknown_member_raises(self):
+        g = SymmetryGroup("g", pairs=(("a", "b"),))
+        with pytest.raises(KeyError):
+            g.sym("zz")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetryGroup("g", pairs=(("a", "a"),))
+        with pytest.raises(ValueError):
+            SymmetryGroup("g", pairs=(("a", "b"),), self_symmetric=("a",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetryGroup("g")
+
+    def test_perfectly_symmetric_placement(self):
+        p = Placement.of(
+            [place("a", 0, 0), place("b", 8, 0), place("s", 4, 5)]
+        )
+        g = SymmetryGroup("g", pairs=(("a", "b"),), self_symmetric=("s",))
+        assert g.axis_of(p) == pytest.approx(5.0)
+        assert g.symmetry_error(p) == pytest.approx(0.0)
+        assert g.is_satisfied(p)
+
+    def test_x_asymmetry_detected(self):
+        p = Placement.of([place("a", 0, 0), place("b", 9, 0), place("s", 4, 5)])
+        g = SymmetryGroup("g", pairs=(("a", "b"),), self_symmetric=("s",))
+        assert g.symmetry_error(p) > 0
+        assert not g.is_satisfied(p)
+
+    def test_y_mismatch_detected(self):
+        p = Placement.of([place("a", 0, 0), place("b", 8, 1)])
+        g = SymmetryGroup("g", pairs=(("a", "b"),))
+        assert not g.is_satisfied(p)
+
+    def test_unplaced_group_raises(self):
+        g = SymmetryGroup("g", pairs=(("a", "b"),))
+        with pytest.raises(ValueError):
+            g.axis_of(Placement.empty())
+
+    def test_convenience_constructor(self):
+        g = symmetry_group_of_pairs("g", ("a", "b"), selfsym=["s"])
+        assert g.size == 3
+
+
+class TestCommonCentroidGroup:
+    def group(self):
+        return CommonCentroidGroup(
+            "cc", units=(("A", ("A1", "A2")), ("B", ("B1", "B2")))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommonCentroidGroup("cc", units=(("A", ("A1",)),))  # single device
+        with pytest.raises(ValueError):
+            CommonCentroidGroup("cc", units=(("A", ("x",)), ("B", ("x",))))  # reuse
+        with pytest.raises(ValueError):
+            CommonCentroidGroup("cc", units=(("A", ()), ("B", ("b",))))  # empty
+
+    def test_abba_pattern_satisfies(self):
+        # A B B A in one row: both centroids at the middle.
+        p = Placement.of(
+            [place("A1", 0, 0), place("B1", 2, 0), place("B2", 4, 0), place("A2", 6, 0)]
+        )
+        g = self.group()
+        assert g.centroid_error(p) == pytest.approx(0.0)
+        assert g.is_satisfied(p)
+
+    def test_aabb_pattern_fails(self):
+        p = Placement.of(
+            [place("A1", 0, 0), place("A2", 2, 0), place("B1", 4, 0), place("B2", 6, 0)]
+        )
+        assert not self.group().is_satisfied(p)
+
+    def test_centroids_reported(self):
+        p = Placement.of(
+            [place("A1", 0, 0), place("B1", 2, 0), place("B2", 4, 0), place("A2", 6, 0)]
+        )
+        cents = self.group().centroids(p)
+        assert cents["A"] == pytest.approx((4.0, 1.0))
+        assert cents["B"] == pytest.approx((4.0, 1.0))
+
+
+class TestProximityGroup:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProximityGroup("p", ())
+        with pytest.raises(ValueError):
+            ProximityGroup("p", ("a", "a"))
+
+    def test_touching_cluster_connected(self):
+        p = Placement.of([place("a", 0, 0), place("b", 2, 0), place("c", 2, 2)])
+        assert ProximityGroup("p", ("a", "b", "c")).is_satisfied(p)
+
+    def test_split_cluster_detected(self):
+        p = Placement.of([place("a", 0, 0), place("b", 10, 0)])
+        assert not ProximityGroup("p", ("a", "b")).is_satisfied(p)
+
+    def test_margin_bridges_gaps(self):
+        p = Placement.of([place("a", 0, 0), place("b", 3, 0)])  # 1 um gap
+        assert not ProximityGroup("p", ("a", "b")).is_satisfied(p)
+        assert ProximityGroup("p", ("a", "b"), margin=1.0).is_satisfied(p)
+
+    def test_single_member_trivially_connected(self):
+        p = Placement.of([place("a", 0, 0)])
+        assert ProximityGroup("p", ("a",)).is_satisfied(p)
+
+    def test_chain_connectivity(self):
+        # a-b touch, b-c touch, a-c do not: still one cluster.
+        p = Placement.of([place("a", 0, 0), place("b", 2, 0), place("c", 4, 0)])
+        assert ProximityGroup("p", ("a", "b", "c")).is_satisfied(p)
+
+
+class TestConstraintSet:
+    def test_violations(self):
+        g = SymmetryGroup("sym", pairs=(("a", "b"),))
+        prox = ProximityGroup("prox", ("a", "b"))
+        cs = ConstraintSet(symmetry=(g,), proximity=(prox,))
+        good = Placement.of([place("a", 0, 0), place("b", 2, 0)])
+        bad = Placement.of([place("a", 0, 0), place("b", 7, 3)])
+        assert cs.violations(good) == []
+        assert set(cs.violations(bad)) == {"sym", "prox"}
+
+    def test_duplicate_names_rejected(self):
+        g1 = SymmetryGroup("x", pairs=(("a", "b"),))
+        g2 = ProximityGroup("x", ("c",))
+        with pytest.raises(ValueError):
+            ConstraintSet(symmetry=(g1,), proximity=(g2,))
+
+    def test_constrained_modules(self):
+        cs = ConstraintSet(
+            symmetry=(SymmetryGroup("s", pairs=(("a", "b"),)),),
+            proximity=(ProximityGroup("p", ("c",)),),
+        )
+        assert cs.constrained_modules() == frozenset({"a", "b", "c"})
+
+    def test_merged_with(self):
+        cs1 = ConstraintSet(symmetry=(SymmetryGroup("s1", pairs=(("a", "b"),)),))
+        cs2 = ConstraintSet(proximity=(ProximityGroup("p1", ("c",)),))
+        merged = cs1.merged_with(cs2)
+        assert len(merged.all()) == 2

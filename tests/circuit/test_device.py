@@ -1,0 +1,97 @@
+"""Tests for the device model."""
+
+import pytest
+
+from repro.circuit import Device, DeviceType, matched_pair
+
+
+class TestDeviceValidation:
+    def test_mos_needs_dimensions(self):
+        with pytest.raises(ValueError):
+            Device("m", DeviceType.NMOS, width=0.0, length=0.5)
+        with pytest.raises(ValueError):
+            Device("m", DeviceType.NMOS, width=10.0, length=0.0)
+
+    def test_mos_needs_fingers(self):
+        with pytest.raises(ValueError):
+            Device("m", DeviceType.NMOS, width=10.0, length=0.5, fingers=0)
+
+    def test_passive_needs_value(self):
+        with pytest.raises(ValueError):
+            Device("c", DeviceType.CAPACITOR, value=0.0)
+
+    def test_is_mos(self):
+        assert Device("m", DeviceType.PMOS, width=1, length=1).is_mos
+        assert not Device("c", DeviceType.CAPACITOR, value=100.0).is_mos
+
+
+class TestFootprints:
+    def test_cap_is_square(self):
+        w, h = Device("c", DeviceType.CAPACITOR, value=400.0).footprint()
+        assert w == pytest.approx(h)
+        assert w * h == pytest.approx(400.0)  # density 1 fF/um^2
+
+    def test_mos_folding_tradeoff(self):
+        dev = Device("m", DeviceType.NMOS, width=40.0, length=0.5)
+        w1, h1 = dev.footprint(1)
+        w4, h4 = dev.footprint(4)
+        assert w4 > w1       # more fingers -> wider
+        assert h4 < h1       # ... but shorter
+
+    def test_mos_footprint_positive(self):
+        dev = Device("m", DeviceType.PMOS, width=5.0, length=1.0)
+        w, h = dev.footprint()
+        assert w > 0 and h > 0
+
+    def test_resistor_footprint(self):
+        w, h = Device("r", DeviceType.RESISTOR, value=5000.0).footprint()
+        assert w > 0 and h > 0
+
+    def test_invalid_fingers(self):
+        dev = Device("m", DeviceType.NMOS, width=10.0, length=0.5)
+        with pytest.raises(ValueError):
+            dev.footprint(0)
+
+
+class TestFoldingVariants:
+    def test_distinct_variants(self):
+        dev = Device("m", DeviceType.NMOS, width=32.0, length=0.5)
+        variants = dev.folding_variants(max_fingers=8)
+        assert len(variants) >= 3
+        sizes = {(v.width, v.height) for v in variants}
+        assert len(sizes) == len(variants)
+
+    def test_strip_width_limit(self):
+        # W = 2, L = 1: folding beyond nf=2 would make strips shorter than L
+        dev = Device("m", DeviceType.NMOS, width=2.0, length=1.0)
+        variants = dev.folding_variants(max_fingers=8)
+        assert all(int(v.tag.split("=")[1]) <= 2 for v in variants)
+
+    def test_passive_single_variant(self):
+        dev = Device("c", DeviceType.CAPACITOR, value=100.0)
+        assert len(dev.folding_variants()) == 1
+
+
+class TestToModule:
+    def test_hard_module(self):
+        dev = Device("m", DeviceType.NMOS, width=10.0, length=0.5, fingers=2)
+        m = dev.to_module()
+        assert m.is_hard
+        assert m.name == "m"
+        assert m.variants[0].tag == "nf=2"
+
+    def test_soft_module(self):
+        dev = Device("m", DeviceType.NMOS, width=32.0, length=0.5)
+        m = dev.to_module(soft=True)
+        assert len(m.variants) > 1
+
+    def test_rotatable_flag(self):
+        dev = Device("m", DeviceType.NMOS, width=10.0, length=0.5)
+        assert not dev.to_module(rotatable=False).rotatable
+
+
+class TestMatchedPair:
+    def test_names_and_matching(self):
+        a, b = matched_pair("mp", DeviceType.PMOS, 20.0, 0.5, fingers=2)
+        assert (a.name, b.name) == ("mpa", "mpb")
+        assert a.footprint() == b.footprint()

@@ -1,0 +1,118 @@
+"""Tests for the benchmark circuit library."""
+
+import pytest
+
+from repro.circuit import (
+    TABLE1_MODULE_COUNTS,
+    fig1_modules,
+    fig1_sequence_pair,
+    fig2_design,
+    miller_opamp,
+    simple_testcase,
+    synthesize_circuit,
+    table1_circuit,
+    table1_circuits,
+)
+
+
+class TestFig1:
+    def test_modules_and_group(self):
+        modules, group = fig1_modules()
+        assert set(modules.names()) == set("ABCDEFG")
+        assert group.pairs == (("C", "D"), ("B", "G"))
+        assert group.self_symmetric == ("A", "F")
+
+    def test_pairs_matched(self):
+        modules, group = fig1_modules()
+        for a, b in group.pairs:
+            assert modules[a].footprint() == modules[b].footprint()
+
+    def test_sequence_pair_matches_paper(self):
+        alpha, beta = fig1_sequence_pair()
+        assert "".join(alpha) == "EBAFCDG"
+        assert "".join(beta) == "EBCDFAG"
+
+
+class TestMillerOpamp:
+    def test_structure(self):
+        c = miller_opamp()
+        assert c.n_modules == 9
+        assert {n.name for n in c.hierarchy.walk()} == {
+            "OPAMP", "CORE", "DP", "CM1", "CM2",
+        }
+        # Fig. 6 basic module sets
+        assert {m.name for m in c.hierarchy.find("DP").modules} == {"P1", "P2"}
+        assert {m.name for m in c.hierarchy.find("CM2").modules} == {"P5", "P6", "P7"}
+
+    def test_constraints(self):
+        c = miller_opamp()
+        cs = c.constraints()
+        assert len(cs.symmetry) == 3
+        names = {g.name for g in cs.symmetry}
+        assert names == {"sym-DP", "sym-CM1", "sym-CM2"}
+
+    def test_nets_reference_modules(self):
+        c = miller_opamp()
+        names = set(c.modules().names())
+        for net in c.nets:
+            assert set(net.pins) <= names
+
+
+class TestFig2:
+    def test_constraint_mix(self):
+        c = fig2_design()
+        cs = c.constraints()
+        assert len(cs.symmetry) == 1
+        assert len(cs.common_centroid) == 2
+        assert len(cs.proximity) == 1
+
+    def test_valid(self):
+        c = fig2_design()
+        c.hierarchy.validate()
+
+
+class TestTable1Circuits:
+    @pytest.mark.parametrize("key,count", sorted(TABLE1_MODULE_COUNTS.items()))
+    def test_module_counts_match_paper(self, key, count):
+        assert table1_circuit(key).n_modules == count
+
+    def test_all_six(self):
+        assert len(table1_circuits()) == 6
+
+    def test_deterministic(self):
+        a = table1_circuit("folded_cascode")
+        b = table1_circuit("folded_cascode")
+        assert a.modules().names() == b.modules().names()
+        for m1, m2 in zip(a.modules(), b.modules()):
+            assert m1.variants == m2.variants
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            table1_circuit("nope")
+
+    def test_symmetry_pairs_are_matched(self):
+        c = table1_circuit("lnamixbias")
+        modules = c.modules()
+        for group in c.constraints().symmetry:
+            for a, b in group.pairs:
+                assert modules[a].footprint() == modules[b].footprint()
+
+    def test_size_heterogeneity(self):
+        # Analog circuits mix large caps with small transistors (section I).
+        c = table1_circuit("biasynth")
+        areas = [m.area for m in c.modules()]
+        assert max(areas) / min(areas) > 10.0
+
+
+class TestSynthesizer:
+    @pytest.mark.parametrize("n", [1, 2, 5, 17])
+    def test_exact_module_count(self, n):
+        assert synthesize_circuit("t", n, seed=3).n_modules == n
+
+    def test_hierarchy_valid(self):
+        c = synthesize_circuit("t", 30, seed=9)
+        c.hierarchy.validate()
+
+    def test_simple_testcase(self):
+        c = simple_testcase(8, seed=1)
+        assert c.n_modules == 8

@@ -1,0 +1,65 @@
+"""Tests for the Circuit container."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    ConstraintSet,
+    HierarchyNode,
+    ProximityGroup,
+    SymmetryGroup,
+)
+from repro.geometry import Module, Net
+
+
+def simple_hierarchy():
+    return HierarchyNode(
+        "top",
+        modules=[Module.hard("a", 2, 2), Module.hard("b", 2, 2)],
+        children=[
+            HierarchyNode(
+                "sub",
+                modules=[Module.hard("c", 3, 1), Module.hard("d", 3, 1)],
+                constraint=SymmetryGroup("s", pairs=(("c", "d"),)),
+            )
+        ],
+    )
+
+
+class TestCircuit:
+    def test_modules_view(self):
+        c = Circuit("t", simple_hierarchy())
+        assert set(c.modules().names()) == {"a", "b", "c", "d"}
+        assert c.n_modules == 4
+        assert c.module("a").width == 2
+
+    def test_constraints_from_hierarchy(self):
+        c = Circuit("t", simple_hierarchy())
+        cs = c.constraints()
+        assert [g.name for g in cs.symmetry] == ["s"]
+
+    def test_extra_constraints_merged(self):
+        extra = ConstraintSet(proximity=(ProximityGroup("p", ("a", "b")),))
+        c = Circuit("t", simple_hierarchy(), extra_constraints=extra)
+        cs = c.constraints()
+        assert len(cs.symmetry) == 1
+        assert len(cs.proximity) == 1
+
+    def test_net_validation(self):
+        with pytest.raises(ValueError):
+            Circuit("t", simple_hierarchy(), nets=(Net("n", ("a", "ghost")),))
+
+    def test_extra_constraint_validation(self):
+        extra = ConstraintSet(proximity=(ProximityGroup("p", ("ghost",)),))
+        with pytest.raises(ValueError):
+            Circuit("t", simple_hierarchy(), extra_constraints=extra)
+
+    def test_total_module_area(self):
+        c = Circuit("t", simple_hierarchy())
+        assert c.total_module_area() == pytest.approx(4 + 4 + 3 + 3)
+
+    def test_summary_mentions_counts(self):
+        c = Circuit("t", simple_hierarchy())
+        s = c.summary()
+        assert "4 modules" in s
+        assert "1 symmetry" in s

@@ -1,0 +1,44 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuit import fig1_modules, fig2_design, miller_opamp
+from repro.geometry import Module, ModuleSet
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_modules() -> ModuleSet:
+    """Five hard modules with mixed sizes."""
+    return ModuleSet.of(
+        [
+            Module.hard("a", 4.0, 3.0),
+            Module.hard("b", 2.0, 5.0),
+            Module.hard("c", 6.0, 2.0),
+            Module.hard("d", 3.0, 3.0),
+            Module.hard("e", 1.0, 7.0),
+        ]
+    )
+
+
+@pytest.fixture
+def fig1():
+    return fig1_modules()
+
+
+@pytest.fixture
+def miller():
+    return miller_opamp()
+
+
+@pytest.fixture
+def fig2():
+    return fig2_design()

@@ -1,0 +1,85 @@
+"""Tests for modules and module sets."""
+
+import pytest
+
+from repro.geometry import Module, ModuleSet, Orientation, ShapeVariant
+
+
+class TestShapeVariant:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ShapeVariant(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ShapeVariant(1.0, -2.0)
+
+    def test_area(self):
+        assert ShapeVariant(2.0, 3.0).area == 6.0
+
+    def test_oriented(self):
+        v = ShapeVariant(2.0, 3.0)
+        assert v.oriented(Orientation.R0) == (2.0, 3.0)
+        assert v.oriented(Orientation.R90) == (3.0, 2.0)
+
+
+class TestModule:
+    def test_hard_module(self):
+        m = Module.hard("a", 4.0, 2.0)
+        assert m.is_hard
+        assert m.width == 4.0
+        assert m.height == 2.0
+        assert m.area == 8.0
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Module("", (ShapeVariant(1, 1),))
+
+    def test_requires_variants(self):
+        with pytest.raises(ValueError):
+            Module("a", ())
+
+    def test_soft_module_preserves_area(self):
+        m = Module.soft("s", 36.0, aspect_ratios=(0.5, 1.0, 2.0))
+        assert not m.is_hard
+        assert len(m.variants) == 3
+        for v in m.variants:
+            assert v.area == pytest.approx(36.0)
+
+    def test_soft_module_aspect(self):
+        m = Module.soft("s", 16.0, aspect_ratios=(4.0,))
+        v = m.variants[0]
+        assert v.height / v.width == pytest.approx(4.0)
+
+    def test_soft_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            Module.soft("s", -1.0)
+        with pytest.raises(ValueError):
+            Module.soft("s", 4.0, aspect_ratios=(0.0,))
+
+    def test_footprint_variant_orientation(self):
+        m = Module("a", (ShapeVariant(2, 3), ShapeVariant(1, 6)))
+        assert m.footprint(0, Orientation.R0) == (2, 3)
+        assert m.footprint(1, Orientation.R90) == (6, 1)
+
+    def test_min_area(self):
+        m = Module("a", (ShapeVariant(2, 3), ShapeVariant(1, 4)))
+        assert m.min_area() == 4.0
+
+
+class TestModuleSet:
+    def test_lookup(self, small_modules):
+        assert small_modules["a"].width == 4.0
+        assert "b" in small_modules
+        assert "zz" not in small_modules
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ModuleSet.of([Module.hard("a", 1, 1), Module.hard("a", 2, 2)])
+
+    def test_len_iter_names(self, small_modules):
+        assert len(small_modules) == 5
+        assert small_modules.names() == ("a", "b", "c", "d", "e")
+        assert [m.name for m in small_modules] == list(small_modules.names())
+
+    def test_total_module_area(self, small_modules):
+        expected = 4 * 3 + 2 * 5 + 6 * 2 + 3 * 3 + 1 * 7
+        assert small_modules.total_module_area() == expected

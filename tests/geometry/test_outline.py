@@ -1,0 +1,97 @@
+"""Tests for rectilinear union geometry (wells and guard rings)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, union_area, union_perimeter, well_report
+
+coords = st.floats(0.0, 50.0)
+sizes = st.floats(0.5, 20.0)
+
+
+@st.composite
+def rect_lists(draw, max_rects=6):
+    n = draw(st.integers(1, max_rects))
+    return [
+        Rect.from_size(draw(coords), draw(coords), draw(sizes), draw(sizes))
+        for _ in range(n)
+    ]
+
+
+class TestUnionArea:
+    def test_single_rect(self):
+        assert union_area([Rect(0, 0, 4, 3)]) == pytest.approx(12.0)
+
+    def test_disjoint_sum(self):
+        assert union_area([Rect(0, 0, 2, 2), Rect(5, 5, 7, 7)]) == pytest.approx(8.0)
+
+    def test_overlap_counted_once(self):
+        assert union_area([Rect(0, 0, 4, 4), Rect(2, 0, 6, 4)]) == pytest.approx(24.0)
+
+    def test_contained_rect_free(self):
+        assert union_area([Rect(0, 0, 10, 10), Rect(2, 2, 5, 5)]) == pytest.approx(100.0)
+
+    def test_empty(self):
+        assert union_area([]) == 0.0
+        assert union_area([Rect(0, 0, 0, 5)]) == 0.0
+
+    @given(rect_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, rects):
+        area = union_area(rects)
+        assert area <= sum(r.area for r in rects) + 1e-6
+        assert area >= max(r.area for r in rects) - 1e-6
+
+    @given(rect_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_under_union(self, rects):
+        assert union_area(rects) >= union_area(rects[:-1]) - 1e-9 if len(rects) > 1 else True
+
+
+class TestUnionPerimeter:
+    def test_single_rect(self):
+        assert union_perimeter([Rect(0, 0, 4, 3)]) == pytest.approx(14.0)
+
+    def test_two_abutting_merge(self):
+        # 4x2 total from two 2x2 squares side by side
+        p = union_perimeter([Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)])
+        assert p == pytest.approx(12.0)
+
+    def test_l_shape(self):
+        # L from 4x2 bottom and 2x4 left: outline 4+2+2+2+2+4 = 16
+        p = union_perimeter([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)])
+        assert p == pytest.approx(16.0)
+
+    def test_disjoint_adds(self):
+        p = union_perimeter([Rect(0, 0, 2, 2), Rect(10, 10, 12, 12)])
+        assert p == pytest.approx(16.0)
+
+    @given(rect_lists(max_rects=4))
+    @settings(max_examples=40, deadline=None)
+    def test_at_most_sum_of_perimeters(self, rects):
+        total = sum(2 * (r.width + r.height) for r in rects)
+        assert union_perimeter(rects) <= total + 1e-6
+
+
+class TestWellReport:
+    def test_tight_cluster_saves_area(self):
+        """Fig. 3c: devices sharing a well beat separate wells."""
+        cluster = [Rect(0, 0, 3, 3), Rect(3, 0, 6, 3), Rect(0, 3, 3, 6)]
+        report = well_report(cluster, well_margin=1.0, ring_width=0.5)
+        assert report.sharing_saving > 0.0
+        assert report.guard_ring_area > 0.0
+
+    def test_far_apart_no_saving(self):
+        spread = [Rect(0, 0, 2, 2), Rect(50, 50, 52, 52)]
+        report = well_report(spread, well_margin=1.0)
+        assert report.sharing_saving == pytest.approx(0.0)
+
+    def test_saving_grows_with_proximity(self):
+        tight = well_report([Rect(0, 0, 3, 3), Rect(3, 0, 6, 3)], well_margin=1.0)
+        loose = well_report([Rect(0, 0, 3, 3), Rect(8, 0, 11, 3)], well_margin=1.0)
+        assert tight.sharing_saving > loose.sharing_saving
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            well_report([Rect(0, 0, 1, 1)], well_margin=-1.0)

@@ -1,0 +1,165 @@
+"""Unit and property tests for rectangles and points."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, any_overlap, total_area
+
+coords = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+sizes = st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x, y = draw(coords), draw(coords)
+    w, h = draw(sizes), draw(sizes)
+    return Rect.from_size(x, y, w, h)
+
+
+class TestPoint:
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_mirror_x_twice_is_identity(self):
+        p = Point(3.0, 4.0)
+        assert p.mirrored_x(10.0).mirrored_x(10.0) == p
+
+    def test_mirror_y(self):
+        assert Point(3.0, 4.0).mirrored_y(0.0) == Point(3.0, -4.0)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+
+class TestRectBasics:
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_from_size(self):
+        r = Rect.from_size(1.0, 2.0, 3.0, 4.0)
+        assert (r.x0, r.y0, r.x1, r.y1) == (1.0, 2.0, 4.0, 6.0)
+        assert r.width == 3.0
+        assert r.height == 4.0
+        assert r.area == 12.0
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2.0, 1.0)
+
+    def test_aspect_ratio(self):
+        assert Rect(0, 0, 4, 2).aspect_ratio == pytest.approx(0.5)
+        assert Rect(0, 0, 0, 2).aspect_ratio == math.inf
+
+    def test_bounding(self):
+        bb = Rect.bounding([Rect(0, 0, 1, 1), Rect(5, -2, 6, 3)])
+        assert bb == Rect(0, -2, 6, 3)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_corners_ccw(self):
+        corners = list(Rect(0, 0, 2, 1).corners())
+        assert corners == [Point(0, 0), Point(2, 0), Point(2, 1), Point(0, 1)]
+
+
+class TestRectPredicates:
+    def test_overlap_strict_vs_touching(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0, 4, 2)  # shares an edge
+        assert not a.overlaps(b)
+        assert a.overlaps(b, strict=False)
+
+    def test_overlap_positive(self):
+        assert Rect(0, 0, 3, 3).overlaps(Rect(2, 2, 5, 5))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(5, 5, 6, 6), strict=False)
+
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(1, 1))
+        assert not r.contains_point(Point(2.1, 1))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 5, 5))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(5, 5, 11, 6))
+
+
+class TestRectTransforms:
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_moved_to(self):
+        assert Rect(5, 5, 7, 8).moved_to(0, 0) == Rect(0, 0, 2, 3)
+
+    def test_mirror_x_preserves_size(self):
+        r = Rect(1, 2, 4, 7)
+        m = r.mirrored_x(10.0)
+        assert m.width == r.width
+        assert m.height == r.height
+        assert m.y0 == r.y0
+
+    def test_mirror_x_geometry(self):
+        # [1, 4] mirrored about x=5 becomes [6, 9]
+        assert Rect(1, 0, 4, 1).mirrored_x(5.0) == Rect(6, 0, 9, 1)
+
+    def test_mirror_y_geometry(self):
+        assert Rect(0, 1, 1, 4).mirrored_y(5.0) == Rect(0, 6, 1, 9)
+
+    def test_intersection(self):
+        assert Rect(0, 0, 3, 3).intersection(Rect(2, 2, 5, 5)) == Rect(2, 2, 3, 3)
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_inflated(self):
+        assert Rect(1, 1, 2, 2).inflated(0.5) == Rect(0.5, 0.5, 2.5, 2.5)
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(rects(), rects())
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects(), coords, coords)
+    def test_translation_preserves_area(self, r, dx, dy):
+        assert r.translated(dx, dy).area == pytest.approx(r.area, abs=1e-6)
+
+    @given(rects(), coords)
+    def test_mirror_involution(self, r, axis):
+        m = r.mirrored_x(axis).mirrored_x(axis)
+        assert m.x0 == pytest.approx(r.x0, abs=1e-6)
+        assert m.x1 == pytest.approx(r.x1, abs=1e-6)
+
+
+class TestHelpers:
+    def test_total_area(self):
+        assert total_area([Rect(0, 0, 2, 2), Rect(0, 0, 1, 1)]) == 5.0
+
+    def test_any_overlap_detects(self):
+        assert any_overlap([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)])
+
+    def test_any_overlap_touching_ok(self):
+        assert not any_overlap([Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)])
+
+    def test_any_overlap_empty(self):
+        assert not any_overlap([])
+
+    def test_any_overlap_many_disjoint(self):
+        rects = [Rect.from_size(3.0 * i, 0.0, 2.0, 2.0) for i in range(50)]
+        assert not any_overlap(rects)

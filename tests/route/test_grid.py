@@ -1,0 +1,110 @@
+"""Tests for the routing grid."""
+
+import pytest
+
+from repro.geometry import Module, PlacedModule, Placement, Rect
+from repro.route import HORIZONTAL, VERTICAL, GridPoint, RoutingGrid
+
+
+@pytest.fixture
+def grid():
+    return RoutingGrid(Rect(0, 0, 10, 10), pitch=1.0)
+
+
+class TestGridBasics:
+    def test_dimensions(self, grid):
+        assert grid.cols == 11
+        assert grid.rows == 11
+
+    def test_bad_pitch(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(Rect(0, 0, 10, 10), pitch=0.0)
+
+    def test_coordinate_roundtrip(self, grid):
+        p = grid.snap(3.2, 6.8)
+        x, y = grid.to_xy(p)
+        assert x == pytest.approx(3.0)
+        assert y == pytest.approx(7.0)
+
+    def test_snap_clamps(self, grid):
+        p = grid.snap(-100.0, 100.0)
+        assert p.col == 0
+        assert p.row == grid.rows - 1
+
+    def test_in_bounds(self, grid):
+        assert grid.in_bounds(0, 0, 0)
+        assert grid.in_bounds(1, 10, 10)
+        assert not grid.in_bounds(0, 11, 0)
+        assert not grid.in_bounds(2, 0, 0)
+
+
+class TestObstacles:
+    def test_block_rect(self, grid):
+        grid.block_rect(Rect(2, 2, 5, 5), layers=(0,))
+        assert not grid.is_free(0, 3, 3)
+        assert grid.is_free(1, 3, 3)  # other layer untouched
+        assert grid.is_free(0, 1, 3)  # outside
+
+    def test_halo(self):
+        grid = RoutingGrid(Rect(0, 0, 10, 10), pitch=1.0, halo=1.0)
+        grid.block_rect(Rect(4, 4, 6, 6), layers=(0,))
+        assert not grid.is_free(0, 3, 5)  # inside the halo
+
+    def test_unblock_point(self, grid):
+        grid.block_rect(Rect(2, 2, 5, 5), layers=(0,))
+        grid.unblock_point(GridPoint(0, 3, 3))
+        assert grid.is_free(0, 3, 3)
+
+
+class TestOccupancy:
+    def test_occupy_and_owner(self, grid):
+        grid.occupy([GridPoint(0, 1, 1)], "netA")
+        assert not grid.is_free(0, 1, 1)
+        assert grid.is_free(0, 1, 1, net="netA")
+        assert not grid.is_free(0, 1, 1, net="netB")
+
+    def test_conflicting_occupy_raises(self, grid):
+        grid.occupy([GridPoint(0, 1, 1)], "netA")
+        with pytest.raises(ValueError):
+            grid.occupy([GridPoint(0, 1, 1)], "netB")
+
+    def test_release(self, grid):
+        grid.occupy([GridPoint(0, 1, 1), GridPoint(1, 2, 2)], "netA")
+        grid.release_net("netA")
+        assert grid.is_free(0, 1, 1)
+        assert grid.occupancy() == 0
+
+    def test_net_points(self, grid):
+        pts = [GridPoint(0, 1, 1), GridPoint(1, 2, 2)]
+        grid.occupy(pts, "netA")
+        assert sorted(grid.net_points("netA")) == sorted(pts)
+
+
+class TestNeighbors:
+    def test_layer_directionality(self, grid):
+        h = list(grid.neighbors(GridPoint(HORIZONTAL, 5, 5)))
+        assert GridPoint(HORIZONTAL, 4, 5) in h
+        assert GridPoint(HORIZONTAL, 6, 5) in h
+        assert GridPoint(HORIZONTAL, 5, 4) not in h  # no vertical on layer 0
+        assert GridPoint(VERTICAL, 5, 5) in h         # via
+
+        v = list(grid.neighbors(GridPoint(VERTICAL, 5, 5)))
+        assert GridPoint(VERTICAL, 5, 4) in v
+        assert GridPoint(VERTICAL, 5, 6) in v
+        assert GridPoint(VERTICAL, 4, 5) not in v
+
+    def test_neighbors_respect_occupancy(self, grid):
+        grid.occupy([GridPoint(0, 6, 5)], "other")
+        h = list(grid.neighbors(GridPoint(0, 5, 5), net="mine"))
+        assert GridPoint(0, 6, 5) not in h
+
+
+class TestOverPlacement:
+    def test_blocks_lower_layer_only(self):
+        p = Placement.of(
+            [PlacedModule(Module.hard("a", 4, 4), Rect.from_size(0, 0, 4, 4))]
+        )
+        grid = RoutingGrid.over_placement(p, pitch=1.0, margin=2.0)
+        inner = grid.snap(2.0, 2.0)
+        assert not grid.is_free(0, inner.col, inner.row)
+        assert grid.is_free(1, inner.col, inner.row)

@@ -1,0 +1,85 @@
+"""Tests for the A* maze router."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.route import GridPoint, RoutingError, RoutingGrid, astar_connect
+
+
+@pytest.fixture
+def grid():
+    return RoutingGrid(Rect(0, 0, 20, 20), pitch=1.0)
+
+
+class TestAstar:
+    def test_straight_horizontal(self, grid):
+        path = astar_connect(grid, [GridPoint(0, 0, 5)], GridPoint(0, 10, 5))
+        assert path.points[0] == GridPoint(0, 0, 5)
+        assert path.points[-1].col == 10
+        assert path.wirelength == 10
+        assert path.vias == 0
+
+    def test_l_shape_needs_one_via(self, grid):
+        path = astar_connect(grid, [GridPoint(0, 0, 0)], GridPoint(0, 5, 5))
+        # horizontal + via + vertical (+ possible via back to reach target
+        # on layer 0, but target on layer 1 is also accepted)
+        assert path.vias >= 1
+        assert path.wirelength == 10
+
+    def test_path_is_connected(self, grid):
+        path = astar_connect(grid, [GridPoint(0, 2, 2)], GridPoint(0, 9, 13))
+        for a, b in zip(path.points, path.points[1:]):
+            manhattan = abs(a.col - b.col) + abs(a.row - b.row)
+            if a.layer == b.layer:
+                assert manhattan == 1
+            else:
+                assert manhattan == 0  # via
+
+    def test_avoids_blocked_region(self, grid):
+        # wall on both layers across the middle, with a gap at row 18
+        for row in range(0, 18):
+            for layer in (0, 1):
+                grid._blocked[layer][10][row] = True
+        path = astar_connect(grid, [GridPoint(0, 0, 5)], GridPoint(0, 20, 5))
+        assert any(p.row >= 18 for p in path.points), "must detour over the wall"
+
+    def test_unreachable_raises(self, grid):
+        for row in range(grid.rows):
+            for layer in (0, 1):
+                grid._blocked[layer][10][row] = True
+        with pytest.raises(RoutingError):
+            astar_connect(grid, [GridPoint(0, 0, 5)], GridPoint(0, 20, 5))
+
+    def test_blocked_target_raises(self, grid):
+        for layer in (0, 1):
+            grid._blocked[layer][10][10] = True
+        with pytest.raises(RoutingError):
+            astar_connect(grid, [GridPoint(0, 0, 0)], GridPoint(0, 10, 10))
+
+    def test_multi_source_picks_closest(self, grid):
+        sources = [GridPoint(0, 0, 0), GridPoint(0, 18, 10)]
+        path = astar_connect(grid, sources, GridPoint(0, 19, 10))
+        assert path.points[0] == GridPoint(0, 18, 10)
+        assert path.wirelength == 1
+
+    def test_no_sources_rejected(self, grid):
+        with pytest.raises(ValueError):
+            astar_connect(grid, [], GridPoint(0, 0, 0))
+
+    def test_respects_other_nets(self, grid):
+        # other net occupies a full double-layer wall except one gap
+        wall = []
+        for row in range(grid.rows):
+            if row == 15:
+                continue
+            for layer in (0, 1):
+                wall.append(GridPoint(layer, 10, row))
+        grid.occupy(wall, "other")
+        path = astar_connect(grid, [GridPoint(0, 0, 5)], GridPoint(0, 20, 5), net="mine")
+        assert any(p.col == 10 and p.row == 15 for p in path.points)
+
+    def test_optimal_under_cost_model(self, grid):
+        # straight line must be preferred over any detour
+        path = astar_connect(grid, [GridPoint(1, 5, 0)], GridPoint(1, 5, 12))
+        assert path.wirelength == 12
+        assert path.vias == 0

@@ -1,0 +1,153 @@
+"""Tests for the net-level router and symmetric pair routing."""
+
+import pytest
+
+from repro.bstar import BStarPlacerConfig, HierarchicalPlacer
+from repro.circuit import SymmetryGroup, fig2_design, miller_opamp
+from repro.geometry import Module, Net, PlacedModule, Placement, Rect
+from repro.route import Router, route_symmetric_pair
+
+
+def two_block_placement():
+    pm = lambda n, x, y: PlacedModule(Module.hard(n, 4, 4), Rect.from_size(x, y, 4, 4))
+    return Placement.of([pm("a", 0, 0), pm("b", 12, 0)])
+
+
+class TestRouterBasics:
+    def test_single_net(self):
+        p = two_block_placement()
+        router = Router(p, (Net("n", ("a", "b")),), pitch=1.0)
+        result = router.route_all()
+        assert result.failed == []
+        net = result.routed["n"]
+        assert net.wirelength > 0
+        assert net.capacitance > 0
+        assert net.resistance > 0
+
+    def test_wires_avoid_modules_on_layer0(self):
+        p = two_block_placement()
+        router = Router(p, (Net("n", ("a", "b")),), pitch=1.0)
+        result = router.route_all()
+        blocked_nodes = [
+            pt
+            for pt in result.routed["n"].points()
+            if pt.layer == 0 and router.grid._blocked[0][pt.col][pt.row]
+        ]
+        assert blocked_nodes == []
+
+    def test_multi_pin_net_is_tree(self):
+        pm = lambda n, x, y: PlacedModule(Module.hard(n, 3, 3), Rect.from_size(x, y, 3, 3))
+        p = Placement.of([pm("a", 0, 0), pm("b", 10, 0), pm("c", 5, 10)])
+        router = Router(p, (Net("n", ("a", "b", "c")),), pitch=1.0)
+        result = router.route_all()
+        assert result.failed == []
+        assert len(result.routed["n"].paths) == 2  # two attachments
+
+    def test_distinct_terminals_per_net(self):
+        p = two_block_placement()
+        nets = (Net("n1", ("a", "b")), Net("n2", ("a", "b")))
+        router = Router(p, nets, pitch=1.0)
+        assert router.pin("a", "n1") != router.pin("a", "n2")
+        result = router.route_all()
+        assert result.failed == []
+
+    def test_nets_do_not_share_nodes(self):
+        p = two_block_placement()
+        nets = (Net("n1", ("a", "b")), Net("n2", ("a", "b")))
+        router = Router(p, nets, pitch=1.0)
+        result = router.route_all()
+        pts1 = {(q.layer, q.col, q.row) for q in result.routed["n1"].points()}
+        pts2 = {(q.layer, q.col, q.row) for q in result.routed["n2"].points()}
+        assert not (pts1 & pts2)
+
+    def test_bad_order_rejected(self):
+        p = two_block_placement()
+        router = Router(p, (Net("n", ("a", "b")),))
+        with pytest.raises(ValueError):
+            router.route_all(order="sideways")
+
+
+class TestRouterOnCircuits:
+    def test_fig2_fully_routed(self):
+        circuit = fig2_design()
+        placement = HierarchicalPlacer(
+            circuit, BStarPlacerConfig(seed=5, alpha=0.9, steps_per_epoch=30)
+        ).run().placement
+        router = Router(placement, circuit.nets, pitch=0.5)
+        result = router.route_all()
+        assert result.failed == []
+        assert result.success_rate == 1.0
+        assert result.total_wirelength > 0
+
+    def test_miller_fully_routed_at_fine_pitch(self):
+        circuit = miller_opamp()
+        from repro.seqpair import PlacerConfig, SequencePairPlacer
+
+        placement = SequencePairPlacer.for_circuit(
+            circuit, PlacerConfig(seed=3, alpha=0.9, steps_per_epoch=40)
+        ).run().placement
+        router = Router(placement, circuit.nets, pitch=0.25)
+        result = router.route_all(retries=10)
+        assert result.failed == []
+
+
+class TestSymmetricRouting:
+    def symmetric_setup(self):
+        """A mirrored placement with a differential net pair."""
+        pm = lambda n, x, y, w, h: PlacedModule(
+            Module.hard(n, w, h), Rect.from_size(x, y, w, h)
+        )
+        # axis at x = 10; pairs (inL, inR) and (ldL, ldR)
+        placement = Placement.of(
+            [
+                pm("inL", 2, 0, 4, 4),
+                pm("inR", 14, 0, 4, 4),
+                pm("ldL", 2, 10, 4, 4),
+                pm("ldR", 14, 10, 4, 4),
+            ]
+        )
+        nets = (Net("sigL", ("inL", "ldL")), Net("sigR", ("inR", "ldR")))
+        return placement, nets
+
+    def test_mirrored_routing_matches_parasitics(self):
+        placement, nets = self.symmetric_setup()
+        router = Router(placement, nets, pitch=1.0)
+        result = route_symmetric_pair(router, nets[0], nets[1], axis_x=10.0)
+        assert result.mirrored
+        assert result.wirelength_mismatch == pytest.approx(0.0)
+        assert result.capacitance_mismatch == pytest.approx(0.0)
+        assert result.resistance_mismatch == pytest.approx(0.0)
+
+    def test_mirrored_path_is_geometric_mirror(self):
+        placement, nets = self.symmetric_setup()
+        router = Router(placement, nets, pitch=1.0)
+        result = route_symmetric_pair(router, nets[0], nets[1], axis_x=10.0)
+        k = round(2 * (10.0 - router.grid.region.x0) / router.grid.pitch)
+        left_pts = {(p.layer, p.col, p.row) for p in result.left.points()}
+        right_pts = {(p.layer, p.col, p.row) for p in result.right.points()}
+        assert {(l, k - c, r) for l, c, r in left_pts} == right_pts
+
+    def test_misaligned_axis_rejected_when_strict(self):
+        placement, nets = self.symmetric_setup()
+        router = Router(placement, nets, pitch=1.0)
+        from repro.route import RoutingError
+
+        with pytest.raises(RoutingError):
+            route_symmetric_pair(
+                router, nets[0], nets[1], axis_x=10.3, snap_axis=False
+            )
+
+    def test_misaligned_axis_snaps_or_falls_back(self):
+        """With a snapped axis the pair either mirrors exactly or falls
+        back to independent routing — never a disconnected route."""
+        placement, nets = self.symmetric_setup()
+        router = Router(placement, nets, pitch=1.0)
+        result = route_symmetric_pair(router, nets[0], nets[1], axis_x=10.3)
+        if result.mirrored:
+            assert result.wirelength_mismatch == pytest.approx(0.0)
+        # both nets must connect their own pins either way
+        for routed, net in ((result.left, nets[0]), (result.right, nets[1])):
+            covered = {(p.col, p.row) for p in routed.points()}
+            for module in net.pins:
+                pin = router.pin(module, net.name)
+                assert (pin.col, pin.row) in covered

@@ -1,0 +1,70 @@
+"""Enumeration tests verifying the counting lemma exactly."""
+
+import pytest
+
+from repro.circuit import SymmetryGroup
+from repro.seqpair import (
+    all_sequence_pairs,
+    count_sf_bruteforce,
+    count_sf_closed_form,
+    count_sf_semi_enumerated,
+    sf_count_upper_bound,
+)
+
+
+class TestAllSequencePairs:
+    def test_count_is_n_factorial_squared(self):
+        assert sum(1 for _ in all_sequence_pairs(["a", "b", "c"])) == 36
+
+
+class TestBruteForceMatchesClosedForm:
+    @pytest.mark.parametrize(
+        "names,group",
+        [
+            (["a", "b"], SymmetryGroup("g", pairs=(("a", "b"),))),
+            (["a", "b", "c"], SymmetryGroup("g", pairs=(("a", "b"),))),
+            (["a", "b", "c"], SymmetryGroup("g", self_symmetric=("a", "b"))),
+            (
+                ["a", "b", "s", "x"],
+                SymmetryGroup("g", pairs=(("a", "b"),), self_symmetric=("s",)),
+            ),
+            (
+                ["a", "b", "c", "d"],
+                SymmetryGroup("g", pairs=(("a", "b"), ("c", "d"))),
+            ),
+        ],
+    )
+    def test_lemma_exact_for_one_group(self, names, group):
+        brute = count_sf_bruteforce(names, [group])
+        closed = count_sf_closed_form(len(names), [group])
+        assert brute == closed
+        assert brute == sf_count_upper_bound(len(names), [group])
+
+    def test_two_disjoint_groups(self):
+        names = ["a", "b", "s", "t"]
+        groups = [
+            SymmetryGroup("g1", pairs=(("a", "b"),)),
+            SymmetryGroup("g2", self_symmetric=("s", "t")),
+        ]
+        assert count_sf_bruteforce(names, groups) == count_sf_closed_form(4, groups)
+
+    def test_no_groups(self):
+        names = ["a", "b", "c"]
+        assert count_sf_bruteforce(names, []) == 36
+
+
+class TestSemiEnumeration:
+    def test_matches_bruteforce_small(self):
+        names = ["a", "b", "c", "d"]
+        group = SymmetryGroup("g", pairs=(("a", "b"),), self_symmetric=("c",))
+        assert count_sf_semi_enumerated(names, [group]) == count_sf_bruteforce(
+            names, [group]
+        )
+
+    def test_paper_n7_number(self):
+        """The n = 7 count of section II, via alpha enumeration."""
+        names = list("ABCDEFG")
+        group = SymmetryGroup(
+            "gamma", pairs=(("C", "D"), ("B", "G")), self_symmetric=("A", "F")
+        )
+        assert count_sf_semi_enumerated(names, [group]) == 35_280

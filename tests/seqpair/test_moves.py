@@ -1,0 +1,85 @@
+"""Tests for the symmetry-preserving move set."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Module, ModuleSet, Orientation
+from repro.seqpair import SymmetricMoveSet, is_symmetric_feasible
+from tests.strategies import symmetric_problems
+
+
+class TestInitialState:
+    @given(symmetric_problems(), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_initial_state_is_sf(self, problem, seed):
+        mods, group = problem
+        moves = SymmetricMoveSet(mods, [group])
+        state = moves.initial_state(random.Random(seed))
+        assert is_symmetric_feasible(state.sp, [group])
+
+
+class TestMovesPreserveSF:
+    @given(symmetric_problems(), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_long_move_chains_stay_sf(self, problem, seed):
+        """Section II: the move set must preserve property (1) after each
+        move."""
+        mods, group = problem
+        moves = SymmetricMoveSet(mods, [group])
+        rng = random.Random(seed)
+        state = moves.initial_state(rng)
+        for _ in range(30):
+            state = moves.propose(state, rng)
+            assert is_symmetric_feasible(state.sp, [group])
+
+    @given(symmetric_problems(), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_moves_do_not_mutate_input(self, problem, seed):
+        mods, group = problem
+        moves = SymmetricMoveSet(mods, [group])
+        rng = random.Random(seed)
+        state = moves.initial_state(rng)
+        alpha, beta = state.sp.alpha, state.sp.beta
+        moves.propose(state, rng)
+        assert state.sp.alpha == alpha
+        assert state.sp.beta == beta
+
+
+class TestRotationCoupling:
+    def test_pair_rotates_together(self):
+        mods = ModuleSet.of(
+            [
+                Module.hard("a", 2, 4, rotatable=True),
+                Module.hard("b", 2, 4, rotatable=True),
+            ]
+        )
+        from repro.circuit import SymmetryGroup
+
+        group = SymmetryGroup("g", pairs=(("a", "b"),))
+        moves = SymmetricMoveSet(mods, [group])
+        rng = random.Random(0)
+        state = moves.initial_state(rng)
+        for _ in range(200):
+            state = moves.propose(state, rng)
+            oa = state.orientations.get("a", Orientation.R0)
+            ob = state.orientations.get("b", Orientation.R0)
+            assert oa == ob, "pair members must rotate together"
+
+    def test_variant_changes_coupled(self):
+        mods = ModuleSet.of(
+            [
+                Module.soft("a", 16.0, aspect_ratios=(1.0, 2.0), rotatable=False),
+                Module.soft("b", 16.0, aspect_ratios=(1.0, 2.0), rotatable=False),
+            ]
+        )
+        from repro.circuit import SymmetryGroup
+
+        group = SymmetryGroup("g", pairs=(("a", "b"),))
+        moves = SymmetricMoveSet(mods, [group])
+        rng = random.Random(1)
+        state = moves.initial_state(rng)
+        for _ in range(200):
+            state = moves.propose(state, rng)
+            assert state.variants.get("a", 0) == state.variants.get("b", 0)

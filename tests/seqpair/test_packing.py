@@ -1,0 +1,114 @@
+"""Tests for sequence-pair packing (both packers)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Module, ModuleSet, Orientation
+from repro.seqpair import SequencePair, pack_lcs, pack_longest_path
+from tests.strategies import module_sets, names
+
+
+def modules_for(sp, w=2.0, h=3.0):
+    return ModuleSet.of([Module.hard(n, w, h) for n in sp.names])
+
+
+class TestKnownPlacements:
+    def test_single_module_at_origin(self):
+        sp = SequencePair.identity(["a"])
+        p = pack_lcs(sp, modules_for(sp))
+        assert p["a"].rect.x0 == 0.0
+        assert p["a"].rect.y0 == 0.0
+
+    def test_identity_is_a_row(self):
+        sp = SequencePair.identity(["a", "b", "c"])
+        p = pack_lcs(sp, modules_for(sp, w=2.0))
+        assert p["a"].rect.x0 == 0.0
+        assert p["b"].rect.x0 == 2.0
+        assert p["c"].rect.x0 == 4.0
+        assert all(pm.rect.y0 == 0.0 for pm in p)
+
+    def test_reversed_alpha_is_a_stack(self):
+        sp = SequencePair(("c", "b", "a"), ("a", "b", "c"))
+        p = pack_lcs(sp, modules_for(sp, h=3.0))
+        assert p["a"].rect.y0 == 0.0
+        assert p["b"].rect.y0 == 3.0
+        assert p["c"].rect.y0 == 6.0
+        assert all(pm.rect.x0 == 0.0 for pm in p)
+
+    def test_mixed_example(self):
+        # b left of a (both sequences), c above a: (b, a) / (b, a) with c...
+        sp = SequencePair(("c", "b", "a"), ("b", "c", "a"))
+        mods = modules_for(sp, w=2.0, h=2.0)
+        p = pack_lcs(sp, mods)
+        # relations: b left-of a; c above b?; c: alpha before b, beta after b -> above b
+        assert sp.left_of("b", "a")
+        assert sp.below("b", "c")
+        assert p["b"].rect.x1 <= p["a"].rect.x0 + 1e-9
+        assert p["b"].rect.y1 <= p["c"].rect.y0 + 1e-9
+
+    def test_orientation_applies(self):
+        sp = SequencePair.identity(["a", "b"])
+        mods = ModuleSet.of([Module.hard("a", 2, 6), Module.hard("b", 2, 6)])
+        p = pack_lcs(sp, mods, orientations={"a": Orientation.R90})
+        assert p["a"].rect.width == 6
+        assert p["b"].rect.x0 == pytest.approx(6.0)
+
+    def test_variants_apply(self):
+        sp = SequencePair.identity(["a"])
+        mods = ModuleSet.of([Module.soft("a", 16.0, aspect_ratios=(1.0, 4.0))])
+        p = pack_lcs(sp, mods, variants={"a": 1})
+        assert p["a"].rect.height / p["a"].rect.width == pytest.approx(4.0)
+
+
+class TestPackingInvariants:
+    @given(module_sets(min_size=1, max_size=9), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_free_and_compact(self, mods, pyrng):
+        import random as _r
+
+        rng = _r.Random(pyrng.randint(0, 10**9))
+        sp = SequencePair.random(mods.names(), rng)
+        p = pack_lcs(sp, mods)
+        assert p.is_overlap_free()
+        bb = p.bounding_box()
+        assert bb.x0 == 0.0 and bb.y0 == 0.0
+
+    @given(module_sets(min_size=1, max_size=9), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_packers_agree(self, mods, pyrng):
+        import random as _r
+
+        rng = _r.Random(pyrng.randint(0, 10**9))
+        sp = SequencePair.random(mods.names(), rng)
+        fast = pack_lcs(sp, mods)
+        slow = pack_longest_path(sp, mods)
+        for name in mods.names():
+            assert fast[name].rect.x0 == pytest.approx(slow[name].rect.x0)
+            assert fast[name].rect.y0 == pytest.approx(slow[name].rect.y0)
+
+    @given(module_sets(min_size=2, max_size=8), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_relations_respected(self, mods, pyrng):
+        import random as _r
+
+        rng = _r.Random(pyrng.randint(0, 10**9))
+        sp = SequencePair.random(mods.names(), rng)
+        p = pack_lcs(sp, mods)
+        ns = list(mods.names())
+        for i, a in enumerate(ns):
+            for b in ns[i + 1:]:
+                if sp.left_of(a, b):
+                    assert p[a].rect.x1 <= p[b].rect.x0 + 1e-9
+                elif sp.left_of(b, a):
+                    assert p[b].rect.x1 <= p[a].rect.x0 + 1e-9
+                elif sp.below(a, b):
+                    assert p[a].rect.y1 <= p[b].rect.y0 + 1e-9
+                else:
+                    assert p[b].rect.y1 <= p[a].rect.y0 + 1e-9
+
+    def test_area_lower_bound(self):
+        sp = SequencePair.identity(names(5))
+        mods = ModuleSet.of([Module.hard(n, 2, 2) for n in names(5)])
+        p = pack_lcs(sp, mods)
+        assert p.area >= mods.total_module_area()

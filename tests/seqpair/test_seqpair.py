@@ -1,0 +1,98 @@
+"""Tests for the sequence-pair representation."""
+
+import random
+
+import pytest
+from hypothesis import given
+
+from repro.seqpair import Relation, SequencePair
+from tests.strategies import sequence_pairs
+
+
+class TestConstruction:
+    def test_identity(self):
+        sp = SequencePair.identity(["a", "b", "c"])
+        assert sp.alpha == sp.beta == ("a", "b", "c")
+
+    def test_mismatched_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(("a", "b"), ("a", "c"))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(("a", "a"), ("a", "a"))
+
+    def test_random_is_permutation(self):
+        sp = SequencePair.random(["a", "b", "c", "d"], random.Random(0))
+        assert sorted(sp.alpha) == sorted(sp.beta) == ["a", "b", "c", "d"]
+
+    def test_indices(self):
+        sp = SequencePair(("a", "b", "c"), ("c", "a", "b"))
+        assert sp.alpha_index("b") == 1
+        assert sp.beta_index("b") == 2
+
+
+class TestRelations:
+    def test_left_of(self):
+        sp = SequencePair(("a", "b"), ("a", "b"))
+        assert sp.relation("a", "b") is Relation.LEFT_OF
+        assert sp.relation("b", "a") is Relation.RIGHT_OF
+        assert sp.left_of("a", "b")
+
+    def test_below(self):
+        sp = SequencePair(("b", "a"), ("a", "b"))
+        assert sp.relation("a", "b") is Relation.BELOW
+        assert sp.relation("b", "a") is Relation.ABOVE
+        assert sp.below("a", "b")
+
+    def test_self_relation_raises(self):
+        sp = SequencePair.identity(["a", "b"])
+        with pytest.raises(ValueError):
+            sp.relation("a", "a")
+
+    @given(sequence_pairs(min_size=2, max_size=8))
+    def test_every_pair_has_exactly_one_relation(self, sp):
+        names = sp.names
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                r_ab = sp.relation(a, b)
+                r_ba = sp.relation(b, a)
+                opposite = {
+                    Relation.LEFT_OF: Relation.RIGHT_OF,
+                    Relation.RIGHT_OF: Relation.LEFT_OF,
+                    Relation.BELOW: Relation.ABOVE,
+                    Relation.ABOVE: Relation.BELOW,
+                }
+                assert r_ba is opposite[r_ab]
+
+
+class TestSwaps:
+    def test_alpha_swap(self):
+        sp = SequencePair(("a", "b", "c"), ("a", "b", "c"))
+        swapped = sp.with_alpha_swap(0, 2)
+        assert swapped.alpha == ("c", "b", "a")
+        assert swapped.beta == sp.beta
+
+    def test_beta_swap(self):
+        sp = SequencePair(("a", "b", "c"), ("a", "b", "c"))
+        swapped = sp.with_beta_swap(0, 1)
+        assert swapped.beta == ("b", "a", "c")
+        assert swapped.alpha == sp.alpha
+
+    def test_both_swap_exchanges_positions(self):
+        sp = SequencePair(("a", "b", "c"), ("c", "b", "a"))
+        swapped = sp.with_both_swap("a", "c")
+        assert swapped.alpha == ("c", "b", "a")
+        assert swapped.beta == ("a", "b", "c")
+
+    def test_swaps_do_not_mutate(self):
+        sp = SequencePair(("a", "b"), ("a", "b"))
+        sp.with_alpha_swap(0, 1)
+        assert sp.alpha == ("a", "b")
+
+    @given(sequence_pairs(min_size=2, max_size=8))
+    def test_double_swap_is_identity(self, sp):
+        a, b = sp.names[0], sp.names[1]
+        back = sp.with_both_swap(a, b).with_both_swap(a, b)
+        assert back.alpha == sp.alpha
+        assert back.beta == sp.beta

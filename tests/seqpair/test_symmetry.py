@@ -1,0 +1,163 @@
+"""Tests for symmetric-feasible codes, the counting lemma, and
+symmetric packing — the core of paper section II."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import SymmetryGroup, fig1_modules, fig1_sequence_pair
+from repro.seqpair import (
+    SequencePair,
+    is_symmetric_feasible,
+    make_symmetric_feasible,
+    pack_symmetric,
+    random_symmetric_feasible,
+    search_space_reduction,
+    sf_count_upper_bound,
+    sf_violations,
+    total_sequence_pairs,
+)
+from tests.strategies import symmetric_problems
+
+
+class TestSFPredicate:
+    def test_paper_example_is_sf(self):
+        _, group = fig1_modules()
+        sp = SequencePair(*fig1_sequence_pair())
+        assert is_symmetric_feasible(sp, [group])
+        assert sf_violations(sp, [group]) == []
+
+    def test_perturbed_paper_example_is_not_sf(self):
+        _, group = fig1_modules()
+        alpha, beta = fig1_sequence_pair()
+        # swap C and G in beta only: breaks property (1)
+        beta = list(beta)
+        i, j = beta.index("C"), beta.index("G")
+        beta[i], beta[j] = beta[j], beta[i]
+        sp = SequencePair(alpha, tuple(beta))
+        assert not is_symmetric_feasible(sp, [group])
+        assert sf_violations(sp, [group])
+
+    def test_pair_same_order_in_both_sequences(self):
+        # (a, b) symmetric pair: same order in alpha and beta => S-F.
+        g = SymmetryGroup("g", pairs=(("a", "b"),))
+        assert is_symmetric_feasible(SequencePair(("a", "b"), ("a", "b")), [g])
+        assert is_symmetric_feasible(SequencePair(("b", "a"), ("b", "a")), [g])
+        assert not is_symmetric_feasible(SequencePair(("a", "b"), ("b", "a")), [g])
+
+    def test_no_groups_always_sf(self):
+        sp = SequencePair(("a", "b"), ("b", "a"))
+        assert is_symmetric_feasible(sp, [])
+
+
+class TestSFConstruction:
+    @given(symmetric_problems(), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_repair_produces_sf(self, problem, seed):
+        mods, group = problem
+        rng = random.Random(seed)
+        sp = SequencePair.random(mods.names(), rng)
+        repaired = make_symmetric_feasible(sp, [group])
+        assert is_symmetric_feasible(repaired, [group])
+
+    @given(symmetric_problems(), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_repair_keeps_alpha(self, problem, seed):
+        mods, group = problem
+        rng = random.Random(seed)
+        sp = SequencePair.random(mods.names(), rng)
+        repaired = make_symmetric_feasible(sp, [group])
+        assert repaired.alpha == sp.alpha
+
+    @given(symmetric_problems(), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_repair_is_idempotent(self, problem, seed):
+        mods, group = problem
+        rng = random.Random(seed)
+        sp = random_symmetric_feasible(mods.names(), [group], rng)
+        again = make_symmetric_feasible(sp, [group])
+        assert again.alpha == sp.alpha
+        assert again.beta == sp.beta
+
+    def test_repair_only_touches_group_members(self):
+        g = SymmetryGroup("g", pairs=(("a", "b"),))
+        sp = SequencePair(("x", "a", "y", "b"), ("b", "x", "a", "y"))
+        repaired = make_symmetric_feasible(sp, [g])
+        # non-members keep their beta slots
+        assert repaired.beta[1] == "x"
+        assert repaired.beta[3] == "y"
+
+
+class TestCountingLemma:
+    def test_paper_numbers(self):
+        """n = 7, one group with p = 2 pairs and s = 2 self-symmetric:
+        35,280 S-F codes of 25,401,600, a 99.86% reduction."""
+        _, group = fig1_modules()
+        assert total_sequence_pairs(7) == 25_401_600
+        assert sf_count_upper_bound(7, [group]) == 35_280
+        assert search_space_reduction(7, [group]) == pytest.approx(0.9986, abs=1e-4)
+
+    def test_formula_shape(self):
+        # one pair in a 2-cell problem: (2!)^2 / 2! = 2
+        g = SymmetryGroup("g", pairs=(("a", "b"),))
+        assert sf_count_upper_bound(2, [g]) == 2
+
+    def test_multiple_groups(self):
+        g1 = SymmetryGroup("g1", pairs=(("a", "b"),))
+        g2 = SymmetryGroup("g2", self_symmetric=("s", "t"))
+        import math
+
+        expected = math.factorial(4) ** 2 // (math.factorial(2) * math.factorial(2))
+        assert sf_count_upper_bound(4, [g1, g2]) == expected
+
+
+class TestSymmetricPacking:
+    def test_fig1_reproduction(self):
+        mods, group = fig1_modules()
+        sp = SequencePair(*fig1_sequence_pair())
+        p = pack_symmetric(sp, mods, [group])
+        assert p.is_overlap_free()
+        assert group.symmetry_error(p) == pytest.approx(0.0, abs=1e-6)
+        # E is the leftmost cell, like in Fig. 1.
+        assert p["E"].rect.x0 == 0.0
+        # C is left of D (the pair straddles the axis).
+        assert p["C"].rect.x1 <= p["D"].rect.x0
+
+    @given(symmetric_problems(), st.integers(0, 10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_symmetric_packing_properties(self, problem, seed):
+        """For any S-F code: packing is overlap-free, exactly symmetric,
+        and respects the sequence-pair left-of relations."""
+        mods, group = problem
+        rng = random.Random(seed)
+        sp = random_symmetric_feasible(mods.names(), [group], rng)
+        p = pack_symmetric(sp, mods, [group])
+        assert p.is_overlap_free()
+        assert group.symmetry_error(p) <= 1e-6
+
+    @given(symmetric_problems(), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_no_worse_than_double_packing(self, problem, seed):
+        """Symmetric legalization never shrinks below the unconstrained
+        packing's bounding box."""
+        from repro.seqpair import pack_lcs
+
+        mods, group = problem
+        rng = random.Random(seed)
+        sp = random_symmetric_feasible(mods.names(), [group], rng)
+        sym = pack_symmetric(sp, mods, [group])
+        plain = pack_lcs(sp, mods)
+        assert sym.width >= plain.width - 1e-9
+        assert sym.height >= plain.height - 1e-9
+
+    def test_mismatched_pair_footprints_rejected(self):
+        from repro.geometry import Module, ModuleSet
+        from repro.seqpair import SymmetricPackingError
+
+        mods = ModuleSet.of([Module.hard("a", 2, 2), Module.hard("b", 3, 2)])
+        g = SymmetryGroup("g", pairs=(("a", "b"),))
+        sp = SequencePair(("a", "b"), ("a", "b"))
+        with pytest.raises(SymmetricPackingError):
+            pack_symmetric(sp, mods, [g])

@@ -1,0 +1,107 @@
+"""Tests for transitive closure graphs and their sequence-pair duality."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Module, ModuleSet
+from repro.seqpair import SequencePair, TransitiveClosureGraph, pack_lcs
+from tests.strategies import module_sets, names
+
+
+def tcg_row(ns):
+    """All modules in one row: a -> every later module in Ch."""
+    horizontal = {
+        n: frozenset(ns[i + 1:]) for i, n in enumerate(ns)
+    }
+    vertical = {n: frozenset() for n in ns}
+    return TransitiveClosureGraph(tuple(ns), horizontal, vertical)
+
+
+class TestValidation:
+    def test_row_is_valid(self):
+        tcg_row(names(4))
+
+    def test_missing_relation_rejected(self):
+        ns = ("a", "b")
+        with pytest.raises(ValueError):
+            TransitiveClosureGraph(
+                ns, {"a": frozenset(), "b": frozenset()}, {"a": frozenset(), "b": frozenset()}
+            )
+
+    def test_double_relation_rejected(self):
+        ns = ("a", "b")
+        with pytest.raises(ValueError):
+            TransitiveClosureGraph(
+                ns,
+                {"a": frozenset({"b"}), "b": frozenset()},
+                {"a": frozenset({"b"}), "b": frozenset()},
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            TransitiveClosureGraph(
+                ("a",), {"a": frozenset({"a"})}, {"a": frozenset()}
+            )
+
+    def test_not_closed_rejected(self):
+        # a->b, b->c but not a->c
+        ns = ("a", "b", "c")
+        with pytest.raises(ValueError):
+            TransitiveClosureGraph(
+                ns,
+                {
+                    "a": frozenset({"b"}),
+                    "b": frozenset({"c"}),
+                    "c": frozenset(),
+                },
+                {n: frozenset() for n in ns},
+            )
+
+    def test_cycle_rejected(self):
+        ns = ("a", "b")
+        with pytest.raises(ValueError):
+            TransitiveClosureGraph(
+                ns,
+                {"a": frozenset({"b"}), "b": frozenset({"a"})},
+                {n: frozenset() for n in ns},
+            )
+
+
+class TestConversion:
+    @given(st.integers(1, 9), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_sp_tcg_sp_roundtrip_preserves_relations(self, n, seed):
+        sp = SequencePair.random(names(n), random.Random(seed))
+        tcg = TransitiveClosureGraph.from_sequence_pair(sp)
+        back = tcg.to_sequence_pair()
+        for i, a in enumerate(sp.names):
+            for b in sp.names[i + 1:]:
+                assert sp.relation(a, b) == back.relation(a, b)
+
+    def test_row_roundtrip(self):
+        tcg = tcg_row(names(4))
+        sp = tcg.to_sequence_pair()
+        assert sp.alpha == sp.beta == tuple(names(4))
+
+
+class TestPacking:
+    @given(module_sets(min_size=1, max_size=9), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_packs_identically_to_sequence_pair(self, mods, seed):
+        """The same relations must yield the same placement."""
+        sp = SequencePair.random(mods.names(), random.Random(seed))
+        tcg = TransitiveClosureGraph.from_sequence_pair(sp)
+        p_sp = pack_lcs(sp, mods)
+        p_tcg = tcg.pack(mods)
+        for name in mods.names():
+            assert p_tcg[name].rect.x0 == pytest.approx(p_sp[name].rect.x0)
+            assert p_tcg[name].rect.y0 == pytest.approx(p_sp[name].rect.y0)
+
+    def test_pack_overlap_free(self):
+        mods = ModuleSet.of([Module.hard(n, 2 + i, 3, rotatable=False) for i, n in enumerate(names(5))])
+        sp = SequencePair.random(mods.names(), random.Random(5))
+        tcg = TransitiveClosureGraph.from_sequence_pair(sp)
+        assert tcg.pack(mods).is_overlap_free()

@@ -1,0 +1,58 @@
+"""Tests for the deterministic hierarchical placer (section IV flow)."""
+
+import pytest
+
+from repro.circuit import miller_opamp, simple_testcase, table1_circuit
+from repro.shapes import DeterministicConfig, DeterministicPlacer
+
+
+class TestDeterministicPlacer:
+    @pytest.mark.parametrize("enhanced", [True, False])
+    def test_miller_valid(self, miller, enhanced):
+        result = DeterministicPlacer(
+            miller, DeterministicConfig(enhanced=enhanced)
+        ).run()
+        p = result.placement
+        assert p.is_overlap_free()
+        assert len(p) == miller.n_modules
+        assert miller.constraints().violations(p) == []
+        assert result.area_usage == pytest.approx(p.area / miller.total_module_area())
+
+    def test_deterministic_given_config(self, miller):
+        r1 = DeterministicPlacer(miller, DeterministicConfig()).run()
+        r2 = DeterministicPlacer(miller, DeterministicConfig()).run()
+        assert r1.placement.positions() == r2.placement.positions()
+
+    def test_esf_never_worse_than_rsf(self):
+        for key in ("comparator_v2", "folded_cascode"):
+            c = table1_circuit(key)
+            esf = DeterministicPlacer(c, DeterministicConfig(enhanced=True)).run()
+            rsf = DeterministicPlacer(c, DeterministicConfig(enhanced=False)).run()
+            assert esf.area_usage <= rsf.area_usage + 1e-9, key
+
+    def test_node_shape_functions_recorded(self, miller):
+        result = DeterministicPlacer(miller, DeterministicConfig()).run()
+        assert "OPAMP" in result.node_shape_functions
+        assert "DP" in result.node_shape_functions
+
+    def test_symmetry_islands_in_result(self, miller):
+        result = DeterministicPlacer(miller, DeterministicConfig()).run()
+        for group in miller.constraints().symmetry:
+            assert group.symmetry_error(result.placement) <= 1e-6
+
+    def test_synthesized_circuit(self):
+        c = simple_testcase(10, seed=2)
+        result = DeterministicPlacer(c, DeterministicConfig()).run()
+        assert result.placement.is_overlap_free()
+        assert c.constraints().violations(result.placement) == []
+
+    def test_max_shapes_bounds_staircases(self, miller):
+        result = DeterministicPlacer(
+            miller, DeterministicConfig(max_shapes=4)
+        ).run()
+        for sf in result.node_shape_functions.values():
+            assert len(sf) <= 8  # two fold orders merged then pruned
+
+    def test_area_usage_above_one(self, miller):
+        result = DeterministicPlacer(miller, DeterministicConfig()).run()
+        assert result.area_usage >= 1.0

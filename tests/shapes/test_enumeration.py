@@ -1,0 +1,119 @@
+"""Tests for basic-module-set enumeration."""
+
+import pytest
+
+from repro.bstar import count_bstar_trees
+from repro.circuit import CommonCentroidGroup, SymmetryGroup
+from repro.geometry import Module, ModuleSet
+from repro.shapes import (
+    enumerate_common_centroid,
+    enumerate_plain,
+    enumerate_symmetric,
+)
+
+
+class TestEnumeratePlain:
+    def test_single_module(self):
+        mods = ModuleSet.of([Module.hard("a", 2, 6)])
+        sf = enumerate_plain(mods, ["a"])
+        assert set(sf.staircase()) == {(2.0, 6.0), (6.0, 2.0)}
+
+    def test_two_modules_contains_row_and_stack(self):
+        mods = ModuleSet.of(
+            [Module.hard("a", 2, 2, rotatable=False), Module.hard("b", 3, 3, rotatable=False)]
+        )
+        sf = enumerate_plain(mods, ["a", "b"])
+        stair = set(sf.staircase())
+        assert (5.0, 3.0) in stair  # row
+        assert (3.0, 5.0) in stair  # stack
+
+    def test_shapes_realizable_and_complete(self):
+        mods = ModuleSet.of(
+            [Module.hard(n, w, h, rotatable=False)
+             for n, w, h in (("a", 2, 4), ("b", 3, 2), ("c", 1, 1))]
+        )
+        sf = enumerate_plain(mods, ["a", "b", "c"])
+        for s in sf:
+            p = s.placement()
+            assert p.is_overlap_free()
+            assert len(p) == 3
+
+    def test_min_area_is_optimal_for_exhaustive(self):
+        """The enumerated minimum equals a direct scan over all trees."""
+        from repro.bstar import enumerate_bstar_trees, pack
+
+        mods = ModuleSet.of(
+            [Module.hard(n, w, h, rotatable=False)
+             for n, w, h in (("a", 2, 5), ("b", 3, 2), ("c", 4, 1))]
+        )
+        sf = enumerate_plain(mods, ["a", "b", "c"], rotations=False)
+        best = min(
+            pack(t, mods).area for t in enumerate_bstar_trees(["a", "b", "c"])
+        )
+        assert sf.min_area_shape().area == pytest.approx(best)
+
+    def test_sampling_path_for_large_sets(self):
+        mods = ModuleSet.of([Module.hard(f"m{i}", 2 + i % 3, 3, rotatable=False) for i in range(7)])
+        sf = enumerate_plain(mods, [m.name for m in mods], max_exhaustive=4, samples=50, seed=1)
+        assert len(sf) >= 1
+        for s in sf:
+            assert s.placement().is_overlap_free()
+
+    def test_empty_rejected(self):
+        mods = ModuleSet.of([Module.hard("a", 1, 1)])
+        with pytest.raises(ValueError):
+            enumerate_plain(mods, [])
+
+
+class TestEnumerateSymmetric:
+    def test_all_islands_symmetric(self):
+        mods = ModuleSet.of(
+            [
+                Module.hard("a", 3, 2, rotatable=False),
+                Module.hard("b", 3, 2, rotatable=False),
+                Module.hard("s", 4, 2, rotatable=False),
+            ]
+        )
+        group = SymmetryGroup("g", pairs=(("a", "b"),), self_symmetric=("s",))
+        sf = enumerate_symmetric(mods, group)
+        assert len(sf) >= 1
+        for s in sf:
+            island = s.placement()
+            assert island.is_overlap_free()
+            assert group.symmetry_error(island) <= 1e-9
+
+    def test_spine_orders_explored(self):
+        mods = ModuleSet.of(
+            [
+                Module.hard("s1", 6, 1, rotatable=False),
+                Module.hard("s2", 2, 3, rotatable=False),
+            ]
+        )
+        group = SymmetryGroup("g", self_symmetric=("s1", "s2"))
+        sf = enumerate_symmetric(mods, group)
+        # both stack orders give the same bounding box here; at least one shape
+        assert sf.min_area_shape().height == pytest.approx(4.0)
+        assert sf.min_area_shape().width == pytest.approx(6.0)
+
+    def test_sampling_path(self):
+        mods = ModuleSet.of(
+            [Module.hard(f"p{i}{side}", 2, 2, rotatable=False)
+             for i in range(3) for side in "ab"]
+        )
+        group = SymmetryGroup("g", pairs=tuple((f"p{i}a", f"p{i}b") for i in range(3)))
+        sf = enumerate_symmetric(mods, group, max_exhaustive=2, samples=30, seed=0)
+        for s in sf:
+            assert group.symmetry_error(s.placement()) <= 1e-9
+
+
+class TestEnumerateCommonCentroid:
+    def test_variants_and_validity(self):
+        names = ("A0", "A1", "B0", "B1")
+        mods = ModuleSet.of([Module.hard(n, 2, 2, rotatable=False) for n in names])
+        group = CommonCentroidGroup("cc", units=(("A", names[:2]), ("B", names[2:])))
+        sf = enumerate_common_centroid(mods, group)
+        assert len(sf) >= 1
+        for s in sf:
+            p = s.placement()
+            assert p.is_overlap_free()
+            assert group.centroid_error(p) <= 1e-9

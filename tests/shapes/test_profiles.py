@@ -1,0 +1,95 @@
+"""Tests for contact-offset computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Module, PlacedModule, Placement, Rect
+from repro.shapes import horizontal_contact_offset, vertical_contact_offset
+
+
+def block(name, x, y, w, h):
+    return PlacedModule(Module.hard(name, w, h), Rect.from_size(x, y, w, h))
+
+
+class TestHorizontalOffset:
+    def test_flat_faces_touch(self):
+        left = Placement.of([block("a", 0, 0, 2, 2)])
+        right = Placement.of([block("b", 0, 0, 2, 2)])
+        assert horizontal_contact_offset(left, right) == pytest.approx(2.0)
+
+    def test_notch_nesting(self):
+        # left: tall at x<2 plus low at 2..5 -> right block at y>=2 can enter
+        left = Placement.of([block("t", 0, 0, 2, 6), block("l", 2, 0, 3, 2)])
+        right = Placement.of([block("s", 0, 3, 2, 3)])
+        offset = horizontal_contact_offset(left, right)
+        assert offset == pytest.approx(2.0)  # clears the tall block only
+
+    def test_disjoint_y_ranges_align_left(self):
+        low = Placement.of([block("a", 0, 0, 3, 2)])
+        high = Placement.of([block("b", 0, 5, 2, 2)])
+        # no facing pair: operands share the left edge
+        assert horizontal_contact_offset(low, high) == pytest.approx(0.0)
+
+    def test_result_is_overlap_free(self):
+        left = Placement.of([block("t", 0, 0, 2, 6), block("l", 2, 0, 3, 2)])
+        right = Placement.of([block("s", 0, 3, 2, 3), block("u", 2, 0, 1, 2)])
+        d = horizontal_contact_offset(left, right)
+        merged = left.merged_with(right.translated(d, 0))
+        assert merged.is_overlap_free()
+
+
+class TestVerticalOffset:
+    def test_flat_faces(self):
+        bottom = Placement.of([block("a", 0, 0, 2, 2)])
+        top = Placement.of([block("b", 0, 0, 2, 2)])
+        assert vertical_contact_offset(bottom, top) == pytest.approx(2.0)
+
+    def test_skyline_nesting(self):
+        bottom = Placement.of([block("t", 0, 0, 2, 6), block("l", 2, 0, 3, 2)])
+        top = Placement.of([block("s", 2.5, 0, 2, 2)])
+        assert vertical_contact_offset(bottom, top) == pytest.approx(2.0)
+
+
+coords = st.floats(0.0, 20.0)
+dims = st.floats(0.5, 10.0)
+
+
+@st.composite
+def placements(draw, prefix, max_blocks=4):
+    n = draw(st.integers(1, max_blocks))
+    placed = []
+    x = 0.0
+    for i in range(n):
+        w, h = draw(dims), draw(dims)
+        y = draw(coords)
+        placed.append(block(f"{prefix}{i}", x, y, w, h))
+        x += w
+    return Placement.of(placed)
+
+
+class TestOffsetProperties:
+    @given(placements("a"), placements("b"))
+    @settings(max_examples=60, deadline=None)
+    def test_horizontal_contact_is_tight_and_legal(self, left, right):
+        d = horizontal_contact_offset(left, right)
+        merged = left.merged_with(right.translated(d, 0))
+        assert merged.is_overlap_free()
+        # tightness: some facing pair is in exact contact (otherwise the
+        # offset could be reduced), unless no modules face each other
+        facing = [
+            (a, b)
+            for a in left
+            for b in right
+            if a.rect.y0 < b.rect.y1 and b.rect.y0 < a.rect.y1
+        ]
+        if facing:
+            min_gap = min(b.rect.x0 + d - a.rect.x1 for a, b in facing)
+            assert min_gap == pytest.approx(0.0, abs=1e-9)
+
+    @given(placements("a"), placements("b"))
+    @settings(max_examples=60, deadline=None)
+    def test_vertical_contact_is_legal(self, bottom, top):
+        d = vertical_contact_offset(bottom, top)
+        merged = bottom.merged_with(top.translated(0, d))
+        assert merged.is_overlap_free()

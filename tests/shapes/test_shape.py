@@ -1,0 +1,92 @@
+"""Tests for shapes, dominance pruning and lazy realization."""
+
+import pytest
+
+from repro.geometry import Module, PlacedModule, Placement, Rect
+from repro.shapes import Shape, pareto_prune
+
+
+def shape(w, h, name="m"):
+    p = Placement.of(
+        [PlacedModule(Module.hard(name, w, h), Rect.from_size(0, 0, w, h))]
+    )
+    return Shape(w, h, concrete=p)
+
+
+class TestShapeBasics:
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            Shape(0.0, 1.0, concrete=Placement.empty())
+
+    def test_needs_exactly_one_backing(self):
+        with pytest.raises(ValueError):
+            Shape(1.0, 1.0)
+
+    def test_area(self):
+        assert shape(2, 3).area == 6.0
+
+    def test_dominates(self):
+        assert shape(2, 3).dominates(shape(2, 3))
+        assert shape(2, 3).dominates(shape(4, 3))
+        assert shape(2, 3).dominates(shape(2, 5))
+        assert not shape(2, 3).dominates(shape(1, 5))
+
+    def test_of_placement_normalizes(self):
+        p = Placement.of(
+            [PlacedModule(Module.hard("m", 2, 2), Rect.from_size(5, 7, 2, 2))]
+        )
+        s = Shape.of_placement(p)
+        assert s.width == 2.0
+        assert s.placement().bounding_box().x0 == 0.0
+
+
+class TestComposition:
+    def test_composed_bbox_arithmetic(self):
+        s = Shape.composed(shape(2, 3, "a"), shape(4, 1, "b"), dx=2.0, dy=0.0)
+        assert s.width == 6.0
+        assert s.height == 3.0
+
+    def test_composed_negative_offset(self):
+        s = Shape.composed(shape(2, 3, "a"), shape(2, 2, "b"), dx=-1.0, dy=0.0)
+        assert s.width == pytest.approx(3.0)
+
+    def test_realization_matches_bbox(self):
+        s = Shape.composed(shape(2, 3, "a"), shape(4, 1, "b"), dx=2.0, dy=3.0)
+        p = s.placement()
+        bb = p.bounding_box()
+        assert bb.width == pytest.approx(s.width)
+        assert bb.height == pytest.approx(s.height)
+        assert len(p) == 2
+
+    def test_realization_cached(self):
+        s = Shape.composed(shape(2, 3, "a"), shape(4, 1, "b"), dx=2.0, dy=0.0)
+        assert s.placement() is s.placement()
+
+    def test_nested_composition(self):
+        inner = Shape.composed(shape(2, 2, "a"), shape(2, 2, "b"), dx=2.0, dy=0.0)
+        outer = Shape.composed(inner, shape(4, 1, "c"), dx=0.0, dy=2.0)
+        p = outer.placement()
+        assert len(p) == 3
+        assert p.is_overlap_free()
+
+
+class TestParetoPrune:
+    def test_removes_dominated(self):
+        shapes = [shape(2, 3), shape(3, 3), shape(3, 2)]
+        kept = pareto_prune(shapes)
+        assert [(s.width, s.height) for s in kept] == [(2, 3), (3, 2)]
+
+    def test_keeps_staircase_sorted(self):
+        shapes = [shape(5, 1), shape(1, 5), shape(3, 3), shape(2, 4), shape(4, 2)]
+        kept = pareto_prune(shapes)
+        widths = [s.width for s in kept]
+        heights = [s.height for s in kept]
+        assert widths == sorted(widths)
+        assert heights == sorted(heights, reverse=True)
+
+    def test_equal_shapes_deduplicated(self):
+        kept = pareto_prune([shape(2, 2), shape(2, 2)])
+        assert len(kept) == 1
+
+    def test_empty(self):
+        assert pareto_prune([]) == []

@@ -1,0 +1,155 @@
+"""Tests for shape functions and their additions (RSF vs ESF)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Module, PlacedModule, Placement, Rect
+from repro.shapes import Shape, ShapeFunction, add_shape_functions
+
+
+def leaf(name, w, h, rotatable=True):
+    return ShapeFunction.from_module(Module.hard(name, w, h, rotatable=rotatable))
+
+
+class TestShapeFunctionBasics:
+    def test_from_module_with_rotation(self):
+        sf = leaf("a", 2, 6)
+        assert len(sf) == 2
+        assert sf.staircase() == [(2.0, 6.0), (6.0, 2.0)]
+
+    def test_from_module_no_rotation(self):
+        sf = leaf("a", 2, 6, rotatable=False)
+        assert sf.staircase() == [(2.0, 6.0)]
+
+    def test_square_module_single_shape(self):
+        assert len(leaf("a", 3, 3)) == 1
+
+    def test_soft_module_variants(self):
+        sf = ShapeFunction.from_module(
+            Module.soft("a", 16.0, aspect_ratios=(0.25, 1.0, 4.0), rotatable=False)
+        )
+        assert len(sf) == 3
+
+    def test_staircase_invariant_enforced(self):
+        s1 = Shape.of_placement(
+            Placement.of([PlacedModule(Module.hard("a", 2, 2), Rect(0, 0, 2, 2))])
+        )
+        s2 = Shape.of_placement(
+            Placement.of([PlacedModule(Module.hard("b", 3, 3), Rect(0, 0, 3, 3))])
+        )
+        with pytest.raises(ValueError):
+            ShapeFunction((s1, s2))  # s2 dominated, not a staircase
+        assert len(ShapeFunction.of([s1, s2])) == 1
+
+    def test_min_area_shape(self):
+        sf = leaf("a", 2, 8)  # shapes (2,8) and (8,2), equal area
+        assert sf.min_area_shape().area == 16.0
+
+    def test_truncated_keeps_endpoints(self):
+        mods = [Module.soft("a", 36.0, aspect_ratios=tuple(0.2 * k for k in range(1, 11)), rotatable=False)]
+        sf = ShapeFunction.from_module(mods[0])
+        t = sf.truncated(3)
+        assert len(t) == 3
+        assert t.shapes[0] == sf.shapes[0]
+        assert t.shapes[-1] == sf.shapes[-1]
+
+    def test_truncated_noop_when_small(self):
+        sf = leaf("a", 2, 6)
+        assert sf.truncated(10) is sf
+
+
+class TestRegularAddition:
+    def test_horizontal_bbox(self):
+        f = leaf("a", 2, 3, rotatable=False)
+        g = leaf("b", 4, 1, rotatable=False)
+        out = add_shape_functions(f, g, enhanced=False, direction="h")
+        assert out.staircase() == [(6.0, 3.0)]
+
+    def test_vertical_bbox(self):
+        f = leaf("a", 2, 3, rotatable=False)
+        g = leaf("b", 4, 1, rotatable=False)
+        out = add_shape_functions(f, g, enhanced=False, direction="v")
+        assert out.staircase() == [(4.0, 4.0)]
+
+    def test_both_directions_merge(self):
+        f = leaf("a", 2, 3, rotatable=False)
+        g = leaf("b", 4, 1, rotatable=False)
+        out = add_shape_functions(f, g, enhanced=False, direction="both")
+        assert set(out.staircase()) == {(6.0, 3.0), (4.0, 4.0)}
+
+    def test_result_realizable(self):
+        f = leaf("a", 2, 3)
+        g = leaf("b", 4, 1)
+        out = add_shape_functions(f, g, enhanced=False)
+        for s in out:
+            p = s.placement()
+            assert p.is_overlap_free()
+            assert len(p) == 2
+            bb = p.bounding_box()
+            assert bb.width == pytest.approx(s.width)
+            assert bb.height == pytest.approx(s.height)
+
+
+class TestEnhancedAddition:
+    def test_interleave_beats_bbox(self):
+        """The Fig. 7 situation: interlocking L-shaped operands overlap
+        their bounding boxes, saving w_imp over the regular addition."""
+        # left operand: tall block at x<2, low block at 2..5 -> notch top-right
+        left_pl = Placement.of(
+            [
+                PlacedModule(Module.hard("t", 2, 6, rotatable=False), Rect.from_size(0, 0, 2, 6)),
+                PlacedModule(Module.hard("l", 3, 2, rotatable=False), Rect.from_size(2, 0, 3, 2)),
+            ]
+        )
+        left = ShapeFunction((Shape.of_placement(left_pl),))
+        # right operand: high block on the left, low block indented right
+        # -> its lower-left corner is hollow and fits over the notch
+        right_pl = Placement.of(
+            [
+                PlacedModule(Module.hard("s", 2, 3, rotatable=False), Rect.from_size(0, 3, 2, 3)),
+                PlacedModule(Module.hard("u", 1, 3, rotatable=False), Rect.from_size(2, 0, 1, 3)),
+            ]
+        )
+        right = ShapeFunction((Shape.of_placement(right_pl),))
+
+        rsf = add_shape_functions(left, right, enhanced=False, direction="h")
+        esf = add_shape_functions(left, right, enhanced=True, direction="h")
+        # regular: 5 + 3 = 8 wide; enhanced: the operands interlock
+        assert rsf.min_area_shape().width == pytest.approx(8.0)
+        assert esf.min_area_shape().width < 8.0
+        assert esf.min_area_shape().placement().is_overlap_free()
+
+    def test_esf_never_worse_than_rsf_pairwise(self):
+        f = leaf("a", 2, 5)
+        g = leaf("b", 3, 4)
+        rsf = add_shape_functions(f, g, enhanced=False)
+        esf = add_shape_functions(f, g, enhanced=True)
+        # for every RSF shape there is an ESF shape dominating it
+        for r in rsf:
+            assert any(e.dominates(r) for e in esf)
+
+    @given(
+        st.floats(1.0, 9.0), st.floats(1.0, 9.0),
+        st.floats(1.0, 9.0), st.floats(1.0, 9.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_esf_results_always_valid(self, w1, h1, w2, h2):
+        f = leaf("a", w1, h1)
+        g = leaf("b", w2, h2)
+        out = add_shape_functions(f, g, enhanced=True)
+        for s in out:
+            p = s.placement()
+            assert p.is_overlap_free()
+            assert len(p) == 2
+
+    def test_max_shapes_cap(self):
+        f = leaf("a", 2, 6)
+        g = leaf("b", 3, 5)
+        out = add_shape_functions(f, g, enhanced=True, max_shapes=2)
+        assert len(out) <= 2
+
+    def test_bad_direction_rejected(self):
+        f = leaf("a", 2, 2)
+        with pytest.raises(ValueError):
+            add_shape_functions(f, f, enhanced=False, direction="diagonal")

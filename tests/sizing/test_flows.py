@@ -1,0 +1,114 @@
+"""Tests for the optimizer and the two Fig.-10 sizing flows.
+
+These are the integration tests of paper section V: the layout-aware
+flow must meet all specs *including parasitics* with a compact,
+near-square layout, while the electrical-only flow fails specs after
+extraction and wastes area.
+"""
+
+import pytest
+
+from repro.sizing import (
+    FoldedCascodeSizing,
+    OptimizerConfig,
+    SizingOptimizer,
+    default_specs,
+    electrical_sizing,
+    evaluate,
+    layout_aware_sizing,
+)
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return electrical_sizing(seed=1)
+
+
+@pytest.fixture(scope="module")
+def aware():
+    return layout_aware_sizing(seed=1)
+
+
+class TestOptimizer:
+    def test_improves_spec_penalty(self):
+        specs = default_specs()
+        config = OptimizerConfig(seed=0)
+        opt = SizingOptimizer(specs, config, use_parasitics=False, use_geometry=False)
+        start = FoldedCascodeSizing().clamped()
+        outcome = opt.run(start)
+        assert outcome.cost <= opt.cost(start)
+        assert outcome.evaluations > 1000
+
+    def test_deterministic(self):
+        specs = default_specs()
+        runs = [
+            SizingOptimizer(
+                specs, OptimizerConfig(seed=7), use_parasitics=False, use_geometry=False
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].sizing == runs[1].sizing
+
+    def test_extraction_timer_only_when_used(self):
+        specs = default_specs()
+        no_layout = SizingOptimizer(
+            specs, OptimizerConfig(seed=0), use_parasitics=False, use_geometry=False
+        ).run()
+        with_layout = SizingOptimizer(
+            specs, OptimizerConfig(seed=0), use_parasitics=True, use_geometry=True
+        ).run()
+        assert no_layout.extraction_s == 0.0
+        assert with_layout.extraction_s > 0.0
+        assert 0.0 < with_layout.extraction_fraction < 1.0
+
+
+class TestFig10Comparison:
+    def test_plain_flow_meets_own_view(self, plain):
+        """The electrical-only flow believes it met the specs..."""
+        assert plain.specs.violations(plain.nominal.as_dict()) == []
+
+    def test_plain_flow_fails_post_extraction(self, plain):
+        """...but fails once layout parasitics are included (Fig. 10a)."""
+        assert plain.extracted_violations() != []
+
+    def test_aware_flow_meets_specs_post_extraction(self, aware):
+        """Layout-aware sizing holds all specs with parasitics (Fig. 10b)."""
+        assert aware.extracted_violations() == []
+        assert aware.meets_specs_post_layout()
+
+    def test_aware_layout_is_near_square(self, aware):
+        assert 0.5 <= aware.layout.aspect_ratio <= 2.0
+
+    def test_plain_layout_is_skewed(self, plain):
+        skew = max(plain.layout.aspect_ratio, 1 / plain.layout.aspect_ratio)
+        assert skew > 2.0
+
+    def test_aware_layout_smaller(self, plain, aware):
+        assert aware.layout.area < plain.layout.area
+
+    def test_extraction_fraction_moderate(self, aware):
+        """Extraction (incl. template generation) stays a workable share
+        of the loop — the point of the paper's '17%' observation."""
+        assert 0.02 < aware.extraction_fraction < 0.8
+
+    def test_aware_uses_folding(self, aware):
+        """The geometric variables are actually exercised: at least one
+        device group ends up folded."""
+        folds = [
+            aware.sizing.nf_in,
+            aware.sizing.nf_tail,
+            aware.sizing.nf_src_p,
+            aware.sizing.nf_casc_p,
+            aware.sizing.nf_casc_n,
+            aware.sizing.nf_sink_n,
+        ]
+        assert max(folds) > 1
+
+    def test_reports_render(self, plain, aware):
+        assert "electrical-only" in plain.report()
+        assert "layout-aware" in aware.report()
+        assert "PASS" in aware.report()
+
+    def test_extracted_matches_reevaluation(self, aware):
+        again = evaluate(aware.sizing, aware.parasitics)
+        assert again.gbw_mhz == pytest.approx(aware.extracted.gbw_mhz)

@@ -1,0 +1,113 @@
+"""Tests for the MOS device model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sizing import (
+    MOS_TECH,
+    intrinsic_gain,
+    junction_caps,
+    operating_point,
+    output_conductance,
+    overdrive,
+    transconductance,
+)
+
+ids_ = st.floats(1.0, 500.0)
+ws = st.floats(1.0, 500.0)
+ls = st.floats(0.35, 4.0)
+
+
+class TestSquareLaw:
+    def test_gm_known_value(self):
+        # gm = sqrt(2 * kp * (W/L) * Id)
+        gm = transconductance(100.0, 100.0, 1.0)
+        assert gm == pytest.approx((2 * MOS_TECH["kp_n"] * 100 * 100) ** 0.5)
+
+    def test_pmos_weaker(self):
+        assert transconductance(100.0, 50.0, 1.0, pmos=True) < transconductance(
+            100.0, 50.0, 1.0
+        )
+
+    @given(ids_, ws, ls)
+    @settings(max_examples=40, deadline=None)
+    def test_gm_id_vov_identity(self, ids, w, l):
+        """Square law: gm = 2 Id / Vov."""
+        gm = transconductance(ids, w, l)
+        vov = overdrive(ids, w, l)
+        assert gm == pytest.approx(2.0 * ids / vov, rel=1e-9)
+
+    @given(ids_, ws, ls)
+    @settings(max_examples=40, deadline=None)
+    def test_gm_monotone_in_current(self, ids, w, l):
+        assert transconductance(2 * ids, w, l) > transconductance(ids, w, l)
+
+    def test_gds_scales_inverse_l(self):
+        assert output_conductance(100.0, 2.0) == pytest.approx(
+            output_conductance(100.0, 1.0) / 2.0
+        )
+
+    def test_intrinsic_gain_grows_with_l(self):
+        assert intrinsic_gain(100.0, 50.0, 2.0) > intrinsic_gain(100.0, 50.0, 0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            overdrive(-1.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            overdrive(1.0, 0.0, 1.0)
+
+
+class TestJunctionCaps:
+    def test_folding_reduces_drain_cap(self):
+        """The key layout-aware effect: folding shares drain diffusions,
+        roughly halving C_db (the 1 -> 2 finger step is the big win;
+        beyond that the sidewall perimeter keeps it flat)."""
+        cdb1, _ = junction_caps(100.0, 1)
+        cdb2, _ = junction_caps(100.0, 2)
+        cdb4, _ = junction_caps(100.0, 4)
+        assert cdb2 < 0.6 * cdb1
+        assert cdb4 < 0.6 * cdb1
+
+    def test_one_finger_values(self):
+        w = 10.0
+        cdb, csb = junction_caps(w, 1)
+        ld, cj, cjsw = MOS_TECH["l_diff"], MOS_TECH["cj"], MOS_TECH["cjsw"]
+        expected = w * ld * cj + 2 * (w + ld) * cjsw
+        assert cdb == pytest.approx(expected)
+        # one finger: one drain, two sources? no - one drain, one source strip
+        # each side: sources = floor(1/2)+1 = 1
+        assert csb == pytest.approx(expected)
+
+    def test_drain_source_stripe_counts(self):
+        # nf=4: drains = 2, sources = 3
+        cdb, csb = junction_caps(40.0, 4)
+        assert csb > cdb
+
+    def test_invalid_fingers(self):
+        with pytest.raises(ValueError):
+            junction_caps(10.0, 0)
+
+    @given(ws, st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_caps_positive(self, w, nf):
+        cdb, csb = junction_caps(w, nf)
+        assert cdb > 0 and csb > 0
+
+
+class TestOperatingPoint:
+    def test_full_evaluation(self):
+        op = operating_point(100.0, 50.0, 0.5, fingers=2)
+        assert op.gm > 0
+        assert op.gds > 0
+        assert op.vov > 0
+        assert op.cgs > 0
+        assert op.cgd > 0
+        assert op.cdb > 0
+
+    def test_fingers_affect_only_junctions(self):
+        op1 = operating_point(100.0, 50.0, 0.5, fingers=1)
+        op4 = operating_point(100.0, 50.0, 0.5, fingers=4)
+        assert op1.gm == op4.gm
+        assert op1.cgs == op4.cgs
+        assert op4.cdb < op1.cdb

@@ -1,0 +1,110 @@
+"""Tests for the amplifier performance model and parasitic extraction."""
+
+import pytest
+
+from repro.sizing import (
+    FoldedCascodeSizing,
+    Parasitics,
+    evaluate,
+    extract,
+    generate_layout,
+)
+from repro.sizing.performance import ac_model
+
+
+@pytest.fixture
+def nominal():
+    return FoldedCascodeSizing().clamped()
+
+
+class TestEvaluate:
+    def test_reasonable_numbers(self, nominal):
+        perf = evaluate(nominal)
+        assert 40.0 < perf.dc_gain_db < 140.0
+        assert 1.0 < perf.gbw_mhz < 1000.0
+        assert 0.0 < perf.phase_margin_deg < 90.0
+        assert perf.slew_rate_v_us > 0
+        assert 0.0 < perf.swing_v < 3.3
+        assert perf.power_mw > 0
+
+    def test_parasitics_degrade_bandwidth(self, nominal):
+        clean = evaluate(nominal)
+        loaded = evaluate(nominal, Parasitics(c_out=500.0, c_fold=0.0))
+        assert loaded.gbw_mhz < clean.gbw_mhz
+        assert loaded.slew_rate_v_us < clean.slew_rate_v_us
+
+    def test_fold_node_parasitics_degrade_phase_margin(self, nominal):
+        clean = evaluate(nominal)
+        loaded = evaluate(nominal, Parasitics(c_out=0.0, c_fold=400.0))
+        assert loaded.phase_margin_deg < clean.phase_margin_deg
+        # dc quantities untouched
+        assert loaded.dc_gain_db == pytest.approx(clean.dc_gain_db)
+        assert loaded.power_mw == pytest.approx(clean.power_mw)
+
+    def test_longer_channels_more_gain(self, nominal):
+        short = nominal.with_values({"l_in": 0.35, "l_casc_p": 0.35, "l_casc_n": 0.35})
+        long = nominal.with_values({"l_in": 1.0, "l_casc_p": 1.0, "l_casc_n": 1.0})
+        assert evaluate(long).dc_gain_db > evaluate(short).dc_gain_db
+
+    def test_more_current_more_power_and_slew(self, nominal):
+        hot = nominal.with_values({"i_in": 300.0, "i_casc": 300.0})
+        assert evaluate(hot).power_mw > evaluate(nominal).power_mw
+        assert evaluate(hot).slew_rate_v_us > evaluate(nominal).slew_rate_v_us
+
+    def test_as_dict_keys(self, nominal):
+        d = evaluate(nominal).as_dict()
+        assert set(d) == {
+            "dc_gain_db",
+            "gbw_mhz",
+            "phase_margin_deg",
+            "slew_rate_v_us",
+            "swing_v",
+            "power_mw",
+        }
+
+
+class TestAcModel:
+    def test_crossover_consistent_with_gbw(self, nominal):
+        model = ac_model(nominal)
+        f_u, pm = model.unity_gain_crossover()
+        # |H(j f_u)| == 1 by definition of the crossover
+        assert abs(model.response([f_u])[0]) == pytest.approx(1.0, rel=1e-2)
+        assert 0.0 < pm < 90.0
+
+    def test_two_pole_rolloff(self, nominal):
+        model = ac_model(nominal)
+        low = abs(model.response([model.p1_mhz / 100.0])[0])
+        assert low == pytest.approx(model.a0, rel=1e-3)
+        mid = abs(model.response([model.p1_mhz * 10.0])[0])
+        assert mid < model.a0 / 5.0
+
+    def test_parasitics_lower_p2(self, nominal):
+        clean = ac_model(nominal)
+        loaded = ac_model(nominal, Parasitics(c_out=0.0, c_fold=300.0))
+        assert loaded.p2_mhz < clean.p2_mhz
+
+
+class TestExtraction:
+    def test_extraction_positive(self, nominal):
+        layout = generate_layout(nominal)
+        p = extract(nominal, layout)
+        assert p.c_out > 0
+        assert p.c_fold > 0
+
+    def test_folding_reduces_extracted_output_cap(self, nominal):
+        flat = nominal.with_values({"nf_casc_p": 1, "nf_casc_n": 1})
+        folded = nominal.with_values({"nf_casc_p": 8, "nf_casc_n": 8})
+        p_flat = extract(flat, generate_layout(flat))
+        p_folded = extract(folded, generate_layout(folded))
+        assert p_folded.c_out < p_flat.c_out
+
+    def test_wider_devices_more_parasitics(self, nominal):
+        small = nominal.with_values({"w_casc_p": 20.0, "w_casc_n": 10.0})
+        big = nominal.with_values({"w_casc_p": 400.0, "w_casc_n": 300.0})
+        p_small = extract(small, generate_layout(small))
+        p_big = extract(big, generate_layout(big))
+        assert p_big.c_out > p_small.c_out
+
+    def test_zero(self):
+        z = Parasitics.zero()
+        assert z.c_out == 0.0 and z.c_fold == 0.0

@@ -1,0 +1,69 @@
+"""Tests for the spec model."""
+
+import pytest
+
+from repro.sizing import Sense, Spec, SpecSet
+
+
+class TestSpec:
+    def test_at_least_margin(self):
+        s = Spec("gain", Sense.AT_LEAST, 60.0, "dB")
+        assert s.margin(66.0) == pytest.approx(0.1)
+        assert s.margin(54.0) == pytest.approx(-0.1)
+        assert s.is_met(60.0)
+        assert not s.is_met(59.9)
+
+    def test_at_most_margin(self):
+        s = Spec("power", Sense.AT_MOST, 2.0, "mW")
+        assert s.margin(1.8) == pytest.approx(0.1)
+        assert s.margin(2.2) == pytest.approx(-0.1)
+        assert s.is_met(2.0)
+        assert not s.is_met(2.01)
+
+    def test_tolerance(self):
+        s = Spec("gain", Sense.AT_LEAST, 60.0)
+        assert s.is_met(59.9, tol=0.01)
+
+    def test_describe(self):
+        s = Spec("gain", Sense.AT_LEAST, 60.0, "dB")
+        assert "PASS" in s.describe(70.0)
+        assert "FAIL" in s.describe(50.0)
+
+
+class TestSpecSet:
+    def make(self):
+        return SpecSet(
+            (
+                Spec("gain", Sense.AT_LEAST, 60.0, "dB"),
+                Spec("power", Sense.AT_MOST, 2.0, "mW"),
+            )
+        )
+
+    def test_violations(self):
+        specs = self.make()
+        assert specs.violations({"gain": 70.0, "power": 1.0}) == []
+        assert specs.violations({"gain": 50.0, "power": 3.0}) == ["gain", "power"]
+        assert specs.all_met({"gain": 60.0, "power": 2.0})
+
+    def test_penalty_zero_when_met(self):
+        specs = self.make()
+        assert specs.penalty({"gain": 70.0, "power": 1.0}) == 0.0
+
+    def test_penalty_sums_negative_margins(self):
+        specs = self.make()
+        p = specs.penalty({"gain": 54.0, "power": 2.2})
+        assert p == pytest.approx(0.1 + 0.1)
+
+    def test_margins_keyed_by_performance(self):
+        m = self.make().margins({"gain": 66.0, "power": 1.8})
+        assert set(m) == {"gain", "power"}
+
+    def test_report_lines(self):
+        report = self.make().report({"gain": 66.0, "power": 2.5})
+        assert report.count("\n") == 1
+        assert "FAIL" in report
+
+    def test_len_iter(self):
+        specs = self.make()
+        assert len(specs) == 2
+        assert [s.performance for s in specs] == ["gain", "power"]

@@ -1,0 +1,111 @@
+"""Tests for the procedural layout template."""
+
+import pytest
+
+from repro.sizing import (
+    TEMPLATE_NETS,
+    FoldedCascodeSizing,
+    cap_footprint,
+    device_footprint,
+    generate_layout,
+)
+
+
+class TestFootprints:
+    def test_folding_tradeoff(self):
+        w1, h1 = device_footprint(100.0, 0.5, 1)
+        w4, h4 = device_footprint(100.0, 0.5, 4)
+        assert w4 > w1
+        assert h4 < h1
+
+    def test_area_roughly_preserved_by_folding(self):
+        # folding redistributes area; gross area stays within 3x
+        a1 = device_footprint(100.0, 0.5, 1)
+        a8 = device_footprint(100.0, 0.5, 8)
+        assert a1[0] * a1[1] < 3 * a8[0] * a8[1]
+        assert a8[0] * a8[1] < 3 * a1[0] * a1[1]
+
+    def test_invalid_fingers(self):
+        with pytest.raises(ValueError):
+            device_footprint(10.0, 0.5, 0)
+
+    def test_cap_square(self):
+        w, h = cap_footprint(900.0)
+        assert w == h == pytest.approx(30.0)
+
+
+class TestGeneratedLayout:
+    def test_all_devices_present(self):
+        layout = generate_layout(FoldedCascodeSizing())
+        names = set(layout.rects)
+        expected = {f"M{i}" for i in range(11)} | {"CL1", "CL2"}
+        assert names == expected
+
+    def test_no_overlaps(self):
+        layout = generate_layout(FoldedCascodeSizing())
+        assert layout.placement().is_overlap_free()
+
+    def test_differential_symmetry_of_rows(self):
+        """The template centers rows: mirrored devices sit at mirrored x."""
+        layout = generate_layout(FoldedCascodeSizing())
+        axis = layout.width / 2.0
+        for left, right in (("M1", "M2"), ("M7", "M8"), ("M3", "M4"), ("M5", "M6")):
+            lc = layout.rects[left].center.x
+            rc = layout.rects[right].center.x
+            assert lc + rc == pytest.approx(2 * axis, abs=1e-6)
+
+    def test_net_lengths_positive(self):
+        layout = generate_layout(FoldedCascodeSizing())
+        for net in TEMPLATE_NETS:
+            assert layout.net_lengths[net] > 0
+            assert layout.wire_cap(net) > 0
+
+    def test_folding_compacts_tall_layouts(self):
+        tall = generate_layout(FoldedCascodeSizing(nf_in=1, nf_src_p=1, nf_sink_n=1))
+        folded = generate_layout(
+            FoldedCascodeSizing(
+                nf_in=8, nf_tail=8, nf_src_p=8, nf_casc_p=8, nf_casc_n=8, nf_sink_n=8
+            )
+        )
+        assert folded.height < tall.height
+        assert folded.aspect_ratio < tall.aspect_ratio
+
+    def test_area_and_aspect(self):
+        layout = generate_layout(FoldedCascodeSizing())
+        assert layout.area == pytest.approx(layout.width * layout.height)
+        assert layout.aspect_ratio == pytest.approx(layout.height / layout.width)
+
+    def test_placement_cached(self):
+        layout = generate_layout(FoldedCascodeSizing())
+        assert layout.placement() is layout.placement()
+
+
+class TestSizingVector:
+    def test_clamping(self):
+        s = FoldedCascodeSizing(w_in=1e9, i_in=-5.0, nf_in=1000).clamped()
+        assert s.w_in == 600.0
+        assert s.i_in == 20.0
+        assert s.nf_in == 32
+
+    def test_with_values(self):
+        s = FoldedCascodeSizing().with_values({"w_in": 50.0})
+        assert s.w_in == 50.0
+
+    def test_device_table_complete(self):
+        rows = FoldedCascodeSizing().device_table()
+        assert len(rows) == 11
+        names = {r["name"] for r in rows}
+        assert names == {f"M{i}" for i in range(11)}
+
+    def test_branch_currents(self):
+        s = FoldedCascodeSizing(i_in=80.0, i_casc=120.0)
+        table = {r["name"]: r for r in s.device_table()}
+        assert table["M0"]["ids"] == pytest.approx(160.0)
+        assert table["M3"]["ids"] == pytest.approx(200.0)
+        assert table["M9"]["ids"] == pytest.approx(120.0)
+
+    def test_as_dict_roundtrip(self):
+        s = FoldedCascodeSizing(w_in=42.0)
+        d = s.as_dict()
+        assert d["w_in"] == 42.0
+        assert FoldedCascodeSizing().with_values(d).w_in == 42.0

@@ -1,0 +1,64 @@
+"""Tests for the sizing -> placement bridge and the full flow."""
+
+import pytest
+
+from repro.bstar import BStarPlacerConfig, HierarchicalPlacer
+from repro.sizing import FoldedCascodeSizing, device_footprint, sizing_to_circuit
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return sizing_to_circuit(FoldedCascodeSizing().clamped())
+
+
+class TestBridge:
+    def test_all_devices_and_caps_present(self, circuit):
+        names = set(circuit.modules().names())
+        assert names == {f"M{i}" for i in range(11)} | {"CL1", "CL2"}
+
+    def test_footprints_follow_folding(self):
+        folded = sizing_to_circuit(
+            FoldedCascodeSizing(nf_in=4).clamped(), name="folded"
+        )
+        w, h = device_footprint(120.0, 0.5, 4)
+        assert folded.module("M1").footprint() == (w, h)
+
+    def test_symmetry_groups_cover_pairs(self, circuit):
+        groups = circuit.constraints().symmetry
+        pairs = {p for g in groups for p in g.pairs}
+        assert ("M1", "M2") in pairs
+        assert ("M5", "M6") in pairs
+        assert ("CL1", "CL2") in pairs
+        assert len(groups) == 6
+
+    def test_nets_reference_modules(self, circuit):
+        names = set(circuit.modules().names())
+        for net in circuit.nets:
+            assert set(net.pins) <= names
+
+    def test_hierarchy_valid(self, circuit):
+        circuit.hierarchy.validate()
+        assert circuit.hierarchy.depth() == 3
+
+
+class TestFullFlowPlacement:
+    def test_placement_meets_all_constraints(self, circuit):
+        placer = HierarchicalPlacer(
+            circuit, BStarPlacerConfig(seed=7, alpha=0.88, steps_per_epoch=25)
+        )
+        placement = placer.run().placement
+        assert placement.is_overlap_free()
+        assert circuit.constraints().violations(placement) == []
+
+    def test_topological_placement_beats_template(self):
+        """The fixed row template trades area for regularity; the
+        topological placer should pack the same modules tighter."""
+        from repro.sizing import generate_layout
+
+        sizing = FoldedCascodeSizing(nf_in=4, nf_src_p=4, nf_sink_n=4).clamped()
+        template = generate_layout(sizing)
+        circuit = sizing_to_circuit(sizing)
+        placement = HierarchicalPlacer(
+            circuit, BStarPlacerConfig(seed=3, alpha=0.9, steps_per_epoch=30)
+        ).run().placement
+        assert placement.area < template.area

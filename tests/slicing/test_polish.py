@@ -1,0 +1,107 @@
+"""Tests for normalized Polish expressions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.slicing import OPERATORS, PolishExpression
+from repro.slicing.packing import pack_slicing
+from repro.geometry import Module, ModuleSet
+from tests.strategies import names
+
+
+class TestValidation:
+    def test_single_operand(self):
+        e = PolishExpression(("a",))
+        assert e.n_modules == 1
+
+    def test_row_constructor(self):
+        e = PolishExpression.row(["a", "b", "c"])
+        assert e.tokens == ("a", "b", "V", "c", "V")
+        assert e.is_normalized()
+
+    def test_operator_count_checked(self):
+        with pytest.raises(ValueError):
+            PolishExpression(("a", "b"))
+        with pytest.raises(ValueError):
+            PolishExpression(("a", "V"))
+
+    def test_balloting_checked(self):
+        with pytest.raises(ValueError):
+            PolishExpression(("a", "V", "b"))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            PolishExpression(("a", "a", "V"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PolishExpression(())
+
+
+class TestNormalization:
+    def test_right_skew_normalized(self):
+        # a (b c V) V  ->  (a b V) c V
+        e = PolishExpression(("a", "b", "c", "V", "V"))
+        n = e.normalized()
+        assert n.tokens == ("a", "b", "V", "c", "V")
+        assert n.is_normalized()
+
+    def test_normalization_preserves_floorplan(self):
+        mods = ModuleSet.of(
+            [Module.hard(n, 2 + i, 3, rotatable=False) for i, n in enumerate("abc")]
+        )
+        e = PolishExpression(("a", "b", "c", "V", "V"))
+        p1 = pack_slicing(e, mods, rotations=False)
+        p2 = pack_slicing(e.normalized(), mods, rotations=False)
+        assert p1.bounding_box() == p2.bounding_box()
+
+    @given(st.integers(1, 12), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_random_is_normalized_permutation(self, n, seed):
+        ns = names(n)
+        e = PolishExpression.random(ns, random.Random(seed))
+        assert e.is_normalized()
+        assert sorted(e.operands) == sorted(ns)
+
+
+class TestMoves:
+    @given(st.integers(2, 10), st.integers(0, 10**6), st.integers(0, 2))
+    @settings(max_examples=80, deadline=None)
+    def test_moves_keep_validity(self, n, seed, which):
+        rng = random.Random(seed)
+        e = PolishExpression.random(names(n), rng)
+        moved = [
+            e.swap_adjacent_operands,
+            e.complement_chain,
+            e.swap_operand_operator,
+        ][which](rng)
+        # constructing the result re-validates balloting and counts
+        assert sorted(moved.operands) == sorted(e.operands)
+
+    def test_operand_swap_changes_two_positions(self):
+        e = PolishExpression.row(["a", "b", "c"])
+        moved = e.swap_adjacent_operands(random.Random(0))
+        diffs = [i for i, (x, y) in enumerate(zip(e.tokens, moved.tokens)) if x != y]
+        assert len(diffs) == 2
+
+    def test_complement_flips_operators_only(self):
+        e = PolishExpression.row(["a", "b", "c"])
+        moved = e.complement_chain(random.Random(0))
+        assert moved.operands == e.operands
+        flipped = [
+            (x, y)
+            for x, y in zip(e.tokens, moved.tokens)
+            if x != y
+        ]
+        assert flipped
+        assert all(x in OPERATORS and y in OPERATORS for x, y in flipped)
+
+    def test_m3_keeps_normalization(self):
+        rng = random.Random(3)
+        e = PolishExpression.random(names(6), rng)
+        for _ in range(30):
+            e = e.swap_operand_operator(rng)
+            assert e.is_normalized()

@@ -1,0 +1,78 @@
+"""Shared hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+import random
+import string
+
+from hypothesis import strategies as st
+
+from repro.circuit import SymmetryGroup
+from repro.geometry import Module, ModuleSet
+from repro.seqpair import SequencePair
+
+
+def names(n: int) -> list[str]:
+    """Deterministic distinct module names m0..m{n-1}."""
+    return [f"m{i}" for i in range(n)]
+
+
+@st.composite
+def module_sets(draw, min_size: int = 1, max_size: int = 10) -> ModuleSet:
+    """Module sets with analog-typical size spread."""
+    n = draw(st.integers(min_size, max_size))
+    modules = []
+    for i in range(n):
+        w = draw(st.floats(0.5, 50.0, allow_nan=False, allow_infinity=False))
+        h = draw(st.floats(0.5, 50.0, allow_nan=False, allow_infinity=False))
+        rotatable = draw(st.booleans())
+        modules.append(Module.hard(f"m{i}", w, h, rotatable=rotatable))
+    return ModuleSet.of(modules)
+
+
+@st.composite
+def sequence_pairs(draw, min_size: int = 1, max_size: int = 10) -> SequencePair:
+    n = draw(st.integers(min_size, max_size))
+    ns = names(n)
+    alpha = draw(st.permutations(ns))
+    beta = draw(st.permutations(ns))
+    return SequencePair(tuple(alpha), tuple(beta))
+
+
+@st.composite
+def symmetric_problems(
+    draw, max_pairs: int = 3, max_selfsym: int = 2, max_free: int = 3
+) -> tuple[ModuleSet, SymmetryGroup]:
+    """A module set plus one symmetry group over part of it.
+
+    Pair members get matched (equal) footprints, as placement symmetry
+    requires.
+    """
+    n_pairs = draw(st.integers(1, max_pairs))
+    n_self = draw(st.integers(0, max_selfsym))
+    n_free = draw(st.integers(0, max_free))
+    modules = []
+    pairs = []
+    dims = st.floats(1.0, 30.0, allow_nan=False, allow_infinity=False)
+    for i in range(n_pairs):
+        w, h = draw(dims), draw(dims)
+        a, b = f"p{i}a", f"p{i}b"
+        modules.append(Module.hard(a, w, h, rotatable=False))
+        modules.append(Module.hard(b, w, h, rotatable=False))
+        pairs.append((a, b))
+    selfsym = []
+    for i in range(n_self):
+        w, h = draw(dims), draw(dims)
+        s = f"s{i}"
+        modules.append(Module.hard(s, w, h, rotatable=False))
+        selfsym.append(s)
+    for i in range(n_free):
+        w, h = draw(dims), draw(dims)
+        modules.append(Module.hard(f"f{i}", w, h, rotatable=False))
+    group = SymmetryGroup("g", tuple(pairs), tuple(selfsym))
+    return ModuleSet.of(modules), group
+
+
+@st.composite
+def seeded_rng(draw) -> random.Random:
+    return random.Random(draw(st.integers(0, 2**31)))

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_place_defaults(self):
+        args = build_parser().parse_args(["place", "miller_opamp"])
+        assert args.engine == "hbtree"
+        assert args.seed == 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place", "x", "--engine", "magic"])
+
+
+class TestCommands:
+    def test_circuits_lists_all(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "miller-opamp" in out
+        assert "lnamixbias" in out
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["place", "not-a-circuit"])
+
+    @pytest.mark.parametrize("engine", ["seqpair", "hbtree", "deterministic", "slicing"])
+    def test_place_engines(self, engine, capsys):
+        code = main(["place", "miller_opamp", "--engine", engine, "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "area usage" in out
+        if engine != "slicing":  # slicing ignores symmetry constraints
+            assert code == 0
+            assert "violations: none" in out
+
+    def test_route_command(self, capsys):
+        code = main(["route", "fig2", "--seed", "5", "--pitch", "0.5"])
+        out = capsys.readouterr().out
+        assert "nets routed" in out
+        assert code == 0
+
+    def test_table1_single_circuit(self, capsys):
+        assert main(["table1", "--circuit", "comparator_v2"]) == 0
+        out = capsys.readouterr().out
+        assert "comparator_v2" in out
+        assert "%" in out
+
+    def test_sizing_aware_meets_specs(self, capsys):
+        assert main(["sizing", "--flow", "aware"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_sizing_plain_fails_specs(self, capsys):
+        assert main(["sizing", "--flow", "plain"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out

@@ -1,0 +1,112 @@
+"""Cross-module integration tests: every engine against every testcase.
+
+These exercise the full paths a user of the library would take — circuit
+in, legal constrained placement out — across all three placement engines
+and the sizing flow.
+"""
+
+import pytest
+
+from repro.bstar import BStarPlacerConfig, HierarchicalPlacer
+from repro.circuit import (
+    fig2_design,
+    miller_opamp,
+    simple_testcase,
+    table1_circuit,
+)
+from repro.seqpair import PlacerConfig, SequencePairPlacer
+from repro.shapes import DeterministicConfig, DeterministicPlacer
+
+
+def assert_legal(circuit, placement):
+    assert placement.is_overlap_free(), "modules overlap"
+    assert {pm.name for pm in placement} == set(circuit.modules().names())
+    for group in circuit.constraints().symmetry:
+        assert group.symmetry_error(placement) <= 1e-6, group.name
+    for group in circuit.constraints().common_centroid:
+        assert group.centroid_error(placement) <= 1e-6, group.name
+
+
+class TestAllEnginesOnMiller:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return miller_opamp()
+
+    def test_sequence_pair_engine(self, circuit):
+        result = SequencePairPlacer.for_circuit(
+            circuit, PlacerConfig(seed=1, alpha=0.88, steps_per_epoch=30)
+        ).run()
+        assert_legal(circuit, result.placement)
+
+    def test_hierarchical_engine(self, circuit):
+        result = HierarchicalPlacer(
+            circuit, BStarPlacerConfig(seed=1, alpha=0.88, steps_per_epoch=30)
+        ).run()
+        assert_legal(circuit, result.placement)
+
+    def test_deterministic_engine(self, circuit):
+        result = DeterministicPlacer(circuit, DeterministicConfig()).run()
+        assert_legal(circuit, result.placement)
+
+    def test_engines_comparable_quality(self, circuit):
+        """All three engines land in a sane density band for this cell."""
+        sp = SequencePairPlacer.for_circuit(
+            circuit, PlacerConfig(seed=1, alpha=0.88, steps_per_epoch=30)
+        ).run().placement
+        det = DeterministicPlacer(circuit, DeterministicConfig()).run().placement
+        for p in (sp, det):
+            assert 1.0 <= p.area_usage() < 1.8
+
+
+class TestAllEnginesOnFig2:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return fig2_design()
+
+    def test_hierarchical_engine(self, circuit):
+        result = HierarchicalPlacer(
+            circuit, BStarPlacerConfig(seed=2, alpha=0.88, steps_per_epoch=30)
+        ).run()
+        assert_legal(circuit, result.placement)
+        for group in circuit.constraints().proximity:
+            assert group.is_satisfied(result.placement), group.name
+
+    def test_deterministic_engine(self, circuit):
+        result = DeterministicPlacer(circuit, DeterministicConfig()).run()
+        assert_legal(circuit, result.placement)
+
+
+class TestSynthesizedCircuits:
+    @pytest.mark.parametrize("n,seed", [(6, 0), (11, 1), (16, 2)])
+    def test_deterministic_on_random_circuits(self, n, seed):
+        circuit = simple_testcase(n, seed)
+        result = DeterministicPlacer(circuit, DeterministicConfig()).run()
+        assert_legal(circuit, result.placement)
+
+    @pytest.mark.parametrize("n,seed", [(6, 3), (10, 4)])
+    def test_hierarchical_on_random_circuits(self, n, seed):
+        circuit = simple_testcase(n, seed)
+        result = HierarchicalPlacer(
+            circuit, BStarPlacerConfig(seed=seed, alpha=0.85, steps_per_epoch=20)
+        ).run()
+        assert_legal(circuit, result.placement)
+
+    @pytest.mark.parametrize("n,seed", [(7, 5), (9, 6)])
+    def test_sequence_pair_on_random_circuits(self, n, seed):
+        circuit = simple_testcase(n, seed)
+        result = SequencePairPlacer.for_circuit(
+            circuit, PlacerConfig(seed=seed, alpha=0.85, steps_per_epoch=20)
+        ).run()
+        assert_legal(circuit, result.placement)
+
+
+class TestTable1Smoke:
+    """One mid-size Table-I circuit end to end through the section-IV flow."""
+
+    def test_folded_cascode_esf_vs_rsf(self):
+        circuit = table1_circuit("folded_cascode")
+        esf = DeterministicPlacer(circuit, DeterministicConfig(enhanced=True)).run()
+        rsf = DeterministicPlacer(circuit, DeterministicConfig(enhanced=False)).run()
+        assert_legal(circuit, esf.placement)
+        assert_legal(circuit, rsf.placement)
+        assert esf.area_usage <= rsf.area_usage + 1e-9

@@ -1,0 +1,89 @@
+"""End-to-end place-and-route invariants on randomized circuits.
+
+For any synthesized circuit, after placement by any engine and routing:
+
+* routed wires never cross module interiors on the blocked layer;
+* no two nets share a grid node;
+* every routed net's wires touch all of its pins' terminals;
+* reported wirelength equals the geometric length of the paths.
+"""
+
+import pytest
+
+from repro.bstar import BStarPlacerConfig, HierarchicalPlacer
+from repro.circuit import simple_testcase
+from repro.route import Router
+from repro.seqpair import PlacerConfig, SequencePairPlacer
+
+
+def place(circuit, seed):
+    return HierarchicalPlacer(
+        circuit, BStarPlacerConfig(seed=seed, alpha=0.88, steps_per_epoch=25)
+    ).run().placement
+
+
+@pytest.mark.parametrize("n,seed", [(6, 0), (9, 1), (12, 2), (15, 3)])
+class TestPlaceAndRouteInvariants:
+    @pytest.fixture
+    def routed(self, n, seed):
+        circuit = simple_testcase(n, seed)
+        placement = place(circuit, seed)
+        router = Router(placement, circuit.nets, pitch=0.5)
+        result = router.route_all(retries=10)
+        return circuit, placement, router, result
+
+    def test_wires_clear_of_blockages(self, routed):
+        _, _, router, result = routed
+        for net in result.routed.values():
+            for pt in net.points():
+                assert not router.grid._blocked[pt.layer][pt.col][pt.row], (
+                    f"net {net.name} crosses a blocked node {pt}"
+                )
+
+    def test_no_node_sharing_between_nets(self, routed):
+        _, _, _, result = routed
+        seen: dict[tuple, str] = {}
+        for net in result.routed.values():
+            for pt in net.points():
+                key = (pt.layer, pt.col, pt.row)
+                owner = seen.setdefault(key, net.name)
+                assert owner == net.name, f"{key} shared by {owner} and {net.name}"
+
+    def test_routed_nets_touch_their_pins(self, routed):
+        circuit, _, router, result = routed
+        nets_by_name = {net.name: net for net in circuit.nets}
+        for name, routed_net in result.routed.items():
+            if not routed_net.paths:
+                continue
+            covered = {(p.col, p.row) for p in routed_net.points()}
+            for module in nets_by_name[name].pins:
+                pin = router.pin(module, name)
+                assert (pin.col, pin.row) in covered, (
+                    f"net {name} does not reach pin of {module}"
+                )
+
+    def test_wirelength_accounting(self, routed):
+        _, _, router, result = routed
+        for net in result.routed.values():
+            geometric = sum(
+                (abs(a.col - b.col) + abs(a.row - b.row)) * router.grid.pitch
+                for path in net.paths
+                for a, b in zip(path.points, path.points[1:])
+                if a.layer == b.layer
+            )
+            assert net.wirelength == pytest.approx(geometric)
+
+    def test_mostly_routable(self, routed):
+        _, _, _, result = routed
+        assert result.success_rate >= 0.8
+
+
+class TestSequencePairPlaceAndRoute:
+    def test_seqpair_placement_routes_too(self):
+        circuit = simple_testcase(8, 5)
+        placement = SequencePairPlacer.for_circuit(
+            circuit, PlacerConfig(seed=5, alpha=0.88, steps_per_epoch=25)
+        ).run().placement
+        router = Router(placement, circuit.nets, pitch=0.5)
+        result = router.route_all(retries=10)
+        assert result.success_rate >= 0.8

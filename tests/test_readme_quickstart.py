@@ -1,0 +1,16 @@
+"""The README quickstart must actually work as written."""
+
+from repro.analysis import render_placement
+from repro.circuit import miller_opamp
+from repro.seqpair import PlacerConfig, SequencePairPlacer
+
+
+def test_readme_quickstart_runs():
+    circuit = miller_opamp()
+    placer = SequencePairPlacer.for_circuit(circuit, PlacerConfig(seed=7))
+    result = placer.run()
+
+    art = render_placement(result.placement)
+    assert art.strip()
+    assert result.placement.area_usage() >= 1.0
+    assert circuit.constraints().violations(result.placement) == []
