@@ -1,0 +1,153 @@
+"""Perf kernel — annealing steps/sec, object path vs flat kernel.
+
+Measures the end-to-end simulated-annealing step rate of the flat
+B*-tree placer through both evaluation tiers:
+
+* **object path** — every step packs a full :class:`Placement` of
+  ``PlacedModule`` records and evaluates ``_CostModel`` on it (how the
+  placer worked before ``repro.perf``);
+* **kernel path** — every step runs :class:`repro.perf.BStarKernel`:
+  flat coordinates, precomputed footprints, reusable skyline.
+
+Both paths drive the *same* annealer, moves, schedule and seed, and
+must land on a bit-identical best cost (asserted) — the kernel buys
+speed, not different answers.  Results are written to
+``BENCH_perf_kernel.json`` at the repo root so the steps/sec trajectory
+is tracked from PR to PR.
+
+Run standalone:   python benchmarks/bench_perf_kernel.py
+Run under pytest: pytest benchmarks/bench_perf_kernel.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.anneal import Annealer, GeometricSchedule
+from repro.bstar import BStarPlacer, BStarPlacerConfig
+from repro.bstar.packing import pack
+from repro.bstar.perturb import BStarMoveSet
+from repro.bstar.placer import _CostModel
+from repro.geometry import Module, ModuleSet, Net
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf_kernel.json"
+
+#: the acceptance bar for this benchmark (flat placer, 50 modules)
+TARGET_SPEEDUP = 5.0
+
+
+def problem(n: int, seed: int = 0) -> tuple[ModuleSet, tuple[Net, ...]]:
+    """``n`` hard modules with ``~n`` random two-pin nets."""
+    rng = random.Random(seed)
+    modules = ModuleSet.of(
+        [Module.hard(f"m{i}", rng.uniform(1, 10), rng.uniform(1, 10)) for i in range(n)]
+    )
+    names = modules.names()
+    nets = []
+    for i in range(n):
+        a, b = names[rng.randrange(n)], names[rng.randrange(n)]
+        if a != b:
+            nets.append(Net(f"n{i}", (a, b)))
+    return modules, tuple(nets)
+
+
+def measure(n: int, config: BStarPlacerConfig, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` steps/sec for both evaluation tiers."""
+    modules, nets = problem(n)
+    placer = BStarPlacer(modules, nets, config)
+    reference = _CostModel(modules, nets, (), config)
+
+    def object_cost(state):
+        return reference(pack(state.tree, modules, state.orientations, state.variants))
+
+    moves = BStarMoveSet(modules)
+    schedule = GeometricSchedule(
+        t_initial=config.t_initial,
+        t_final=config.t_final,
+        alpha=config.alpha,
+        steps_per_epoch=config.steps_per_epoch,
+    )
+
+    def run_once(cost_fn) -> tuple[float, float]:
+        rng = random.Random(config.seed)
+        annealer = Annealer(cost_fn, moves, schedule, rng)
+        initial = moves.initial_state(rng)
+        t0 = time.perf_counter()
+        outcome = annealer.run(initial)
+        elapsed = time.perf_counter() - t0
+        return outcome.stats.steps / elapsed, outcome.best_cost
+
+    old_sps, new_sps = 0.0, 0.0
+    old_cost = new_cost = None
+    for _ in range(repeats):
+        sps, old_cost = run_once(object_cost)
+        old_sps = max(old_sps, sps)
+        sps, new_cost = run_once(placer.cost)
+        new_sps = max(new_sps, sps)
+    assert old_cost == new_cost, (
+        f"kernel diverged from object path: {old_cost} vs {new_cost}"
+    )
+    return {
+        "modules": n,
+        "nets": len(nets),
+        "object_steps_per_sec": round(old_sps, 1),
+        "kernel_steps_per_sec": round(new_sps, 1),
+        "speedup": round(new_sps / old_sps, 2),
+        "best_cost_identical": True,
+    }
+
+
+def run(fast: bool = False) -> dict:
+    """Measure all sizes; write ``BENCH_perf_kernel.json``; return results."""
+    if fast:
+        # bounded steps for the smoke runner: a shorter schedule, fewer
+        # repeats — still exercises both tiers and the identity assert
+        config = BStarPlacerConfig(seed=0, alpha=0.85, t_final=1e-3)
+        sizes, repeats = (50,), 1
+    else:
+        config = BStarPlacerConfig(seed=0)
+        sizes, repeats = (50, 100), 3
+
+    results = {
+        "benchmark": "perf_kernel_steps_per_sec",
+        "mode": "fast" if fast else "full",
+        "python": platform.python_version(),
+        "runs": [measure(n, config, repeats) for n in sizes],
+    }
+    if not fast:
+        # Only full runs update the tracked artifact.
+        JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    header = f"{'modules':>8} {'object steps/s':>15} {'kernel steps/s':>15} {'speedup':>8}"
+    lines = [header]
+    for row in results["runs"]:
+        lines.append(
+            f"{row['modules']:>8} {row['object_steps_per_sec']:>15,.0f} "
+            f"{row['kernel_steps_per_sec']:>15,.0f} {row['speedup']:>7.2f}x"
+        )
+    results["table"] = "\n".join(lines)
+    return results
+
+
+def test_perf_kernel_report(emit, benchmark):
+    """Smoke-tier run: both paths agree and the kernel is clearly faster."""
+    results = benchmark.pedantic(lambda: run(fast=True), rounds=1, iterations=1)
+    emit("perf_kernel", results["table"])
+    for row in results["runs"]:
+        assert row["best_cost_identical"]
+        # the full-run bar is TARGET_SPEEDUP; leave headroom for the
+        # noisier bounded-step smoke configuration
+        assert row["speedup"] >= 2.0
+
+
+if __name__ == "__main__":
+    outcome = run(fast=False)
+    print(outcome["table"])
+    print(f"\nwritten: {JSON_PATH}")
+    at_50 = next(r for r in outcome["runs"] if r["modules"] == 50)
+    status = "MET" if at_50["speedup"] >= TARGET_SPEEDUP else "MISSED"
+    print(f"target >={TARGET_SPEEDUP:.0f}x at 50 modules: {status} ({at_50['speedup']:.2f}x)")

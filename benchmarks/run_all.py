@@ -1,0 +1,54 @@
+"""One-command benchmark runner (smoke mode by default).
+
+``pytest benchmarks`` does not collect ``bench_*.py`` files (they don't
+match the default test-file pattern), so regressions in bench scripts
+used to go unnoticed until someone ran a file by hand.  This runner
+enumerates every ``bench_*.py`` and executes them through pytest:
+
+* default (smoke): ``--benchmark-disable`` — every benchmarked body
+  runs exactly once with bounded steps, so the whole suite finishes in
+  a couple of minutes and import/runtime breakage is caught;
+* ``--full``: pytest-benchmark timing enabled (slow, for real numbers).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # smoke
+    PYTHONPATH=src python benchmarks/run_all.py -k packers # one suite
+    PYTHONPATH=src python benchmarks/run_all.py --full     # timed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="enable pytest-benchmark timing (slow); default is a one-pass smoke run",
+    )
+    parser.add_argument("-k", default=None, help="pytest -k expression to select suites")
+    args = parser.parse_args(argv)
+
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if not files:
+        print("no bench_*.py files found", file=sys.stderr)
+        return 2
+    pytest_args = [str(f) for f in files] + ["-q"]
+    if not args.full:
+        pytest_args.append("--benchmark-disable")
+    if args.k:
+        pytest_args += ["-k", args.k]
+    return pytest.main(pytest_args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,8 @@ in Topological Approaches*, DATE 2009.  The package provides:
 * :mod:`repro.sizing` — layout-aware sizing with layout templates and
   in-loop parasitic extraction (section V);
 * :mod:`repro.anneal` — the shared simulated-annealing engine;
+* :mod:`repro.perf` — the flat-coordinate evaluation kernel the
+  annealing hot loops run on (bit-identical to the object tier);
 * :mod:`repro.analysis` — search-space combinatorics and rendering.
 """
 

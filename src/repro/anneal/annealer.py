@@ -104,24 +104,36 @@ class Annealer(Generic[State]):
         if self._auto_t0:
             t_scale = self._warmup_scale(initial, current_cost)
 
+        # Hot loop: hoist every attribute lookup that is invariant per
+        # step; bookkeeping that only the final value of matters
+        # (final_temperature) is folded out of the loop.
+        temperature_at = self._schedule.temperature
+        propose = self._moves.propose
+        cost_of = self._cost
+        random_unit = rng.random
+        exp = math.exp
+        trace_every = self._trace_every
+        temperature = 0.0
+
         total = self._schedule.total_steps
         for step in range(total):
-            temperature = self._schedule.temperature(step) * t_scale
-            candidate = self._moves.propose(current, rng)
-            candidate_cost = self._cost(candidate)
+            temperature = temperature_at(step) * t_scale
+            candidate = propose(current, rng)
+            candidate_cost = cost_of(candidate)
             delta = candidate_cost - current_cost
 
-            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-300)):
+            if delta <= 0 or random_unit() < exp(-delta / max(temperature, 1e-300)):
                 current, current_cost = candidate, candidate_cost
                 stats.accepted += 1
                 if current_cost < best_cost:
                     best, best_cost = current, current_cost
                     stats.improved += 1
-            stats.steps += 1
-            if self._trace_every and step % self._trace_every == 0:
+            if trace_every and step % trace_every == 0:
                 stats.cost_trace.append(current_cost)
-            stats.final_temperature = temperature
 
+        stats.steps = total
+        if total:
+            stats.final_temperature = temperature
         stats.best_cost = best_cost
         return AnnealingResult(best_state=best, best_cost=best_cost, stats=stats)
 
@@ -152,10 +164,10 @@ class WeightedMoveSet(Generic[State]):
             raise ValueError("weights must be non-negative with positive sum")
         self._moves = moves
         self._weights = weights
+        self._generators = [m for _, m in moves]
 
     def propose(self, state: State, rng: random.Random) -> State:
-        generators = [m for _, m in self._moves]
-        (chosen,) = rng.choices(generators, weights=self._weights, k=1)
+        (chosen,) = rng.choices(self._generators, weights=self._weights, k=1)
         return chosen.propose(state, rng)
 
 

@@ -25,6 +25,15 @@ class Contour:
     def __init__(self) -> None:
         self._segments: list[_Segment] = [_Segment(0.0, float("inf"), 0.0)]
 
+    def reset(self) -> None:
+        """Return to the flat initial skyline (amortized O(1)), so one
+        contour instance can serve many packs (see ``pack_sizes``)."""
+        del self._segments[1:]
+        first = self._segments[0]
+        first.x0 = 0.0
+        first.x1 = float("inf")
+        first.y = 0.0
+
     def height_over(self, x0: float, x1: float) -> float:
         """Maximum contour height over the open interval (x0, x1)."""
         if x1 <= x0:

@@ -31,6 +31,13 @@ from ..circuit import (
     SymmetryGroup,
 )
 from ..geometry import ModuleSet, Placement, Rect
+from ..perf.coords import (
+    Coords,
+    bounding_of,
+    normalize_coords,
+    placement_to_coords,
+)
+from ..perf.kernel import Skyline, pack_tree_coords
 from .asf import ASFBStarTree, ASFMoveSet
 from .common_centroid import common_centroid_placement, n_variants
 from .packing import pack_sizes
@@ -73,6 +80,9 @@ class HBStarTreePlacement:
         self._modules = modules
         self._nodes: dict[str, HierarchyNode] = {n.name: n for n in hierarchy.walk()}
         self._asf_moves: dict[str, ASFMoveSet] = {}
+        # Levels pack strictly bottom-up, so one reusable skyline serves
+        # every level of every coordinate-tier pack.
+        self._skyline = Skyline()
         for node in hierarchy.walk():
             if isinstance(node.constraint, SymmetryGroup):
                 self._asf_moves[node.name] = ASFMoveSet(modules, node.constraint)
@@ -164,6 +174,64 @@ class HBStarTreePlacement:
                 )
             )
         return merged
+
+    # -- packing, coordinate tier -------------------------------------------------
+
+    def pack_coords(self, state: HBState) -> Coords:
+        """Flat-coordinate twin of :meth:`pack` for the annealing loop.
+
+        Same recursion, same arithmetic, but the per-level merge moves
+        4-tuples between dicts instead of building intermediate
+        ``Placement`` objects — only the small symmetry-island and
+        common-centroid sub-placements still go through the object tier.
+        Coordinates are bit-identical to ``pack(state)``.
+        """
+        return normalize_coords(self._pack_node_coords(self._hierarchy, state))
+
+    def _pack_node_coords(self, node: HierarchyNode, state: HBState) -> Coords:
+        level = state.levels[node.name]
+        sub_coords: dict[str, Coords] = {}
+
+        for child in node.children:
+            sub_coords[child.name] = normalize_coords(
+                self._pack_node_coords(child, state)
+            )
+
+        if isinstance(node.constraint, SymmetryGroup):
+            island = level.asf.pack(self._modules).normalized()
+            sub_coords[_ISLAND] = placement_to_coords(island)
+        elif isinstance(node.constraint, CommonCentroidGroup):
+            array = placement_to_coords(
+                common_centroid_placement(
+                    node.constraint, self._modules, variant=level.cc_variant
+                ).normalized()
+            )
+            if _ISLAND in level.tree:
+                sub_coords[_ISLAND] = array
+            else:
+                # The level consists of the array alone.
+                return array
+
+        sizes: dict[str, tuple[float, float]] = {}
+        for item in level.tree.nodes():
+            inner = sub_coords.get(item)
+            if inner is not None:
+                x0, y0, x1, y1 = bounding_of(inner.values())
+                sizes[item] = (x1 - x0, y1 - y0)
+            else:
+                sizes[item] = self._modules[item].footprint()
+        rects = pack_tree_coords(level.tree, sizes, self._skyline)
+
+        out: Coords = {}
+        for item, rect in rects.items():
+            inner = sub_coords.get(item)
+            if inner is not None:
+                dx, dy = rect[0], rect[1]
+                for name, (a, b, c, d) in inner.items():
+                    out[name] = (a + dx, b + dy, c + dx, d + dy)
+            else:
+                out[item] = rect
+        return out
 
     # -- perturbation ------------------------------------------------------------
 

@@ -15,32 +15,50 @@ from .contour import Contour
 from .tree import BStarTree
 
 
-def pack_sizes(tree: BStarTree, sizes: Mapping[str, tuple[float, float]]) -> dict[str, Rect]:
+def pack_sizes(
+    tree: BStarTree,
+    sizes: Mapping[str, tuple[float, float]],
+    contour: Contour | None = None,
+) -> dict[str, Rect]:
     """Pack raw (w, h) footprints; returns name -> placed rect.
+
+    Pass a ``contour`` to reuse its storage across calls (it is reset
+    first); by default a fresh one is allocated.
 
     Pre-order traversal: a left child starts at its parent's right edge,
     a right child at its parent's left edge; y is the contour height over
     the module's x span.  The result is compacted and overlap-free by
     construction.
+
+    The traversal is iterative (explicit stack) so degenerate chain trees
+    of tens of thousands of modules pack without hitting the interpreter
+    recursion limit.
     """
     rects: dict[str, Rect] = {}
     if tree.root is None:
         return rects
-    contour = Contour()
+    if contour is None:
+        contour = Contour()
+    else:
+        contour.reset()
+    tree_left, tree_right = tree.left, tree.right
 
-    def visit(name: str, x: float) -> None:
+    # Explicit pre-order stack; the right child is pushed first so the
+    # whole left subtree is packed before it, exactly as the recursive
+    # formulation did.
+    stack: list[tuple[str, float]] = [(tree.root, 0.0)]
+    while stack:
+        name, x = stack.pop()
         w, h = sizes[name]
         y = contour.height_over(x, x + w)
         rects[name] = Rect.from_size(x, y, w, h)
         contour.place(x, x + w, y + h)
-        left = tree.left[name]
-        if left is not None:
-            visit(left, x + w)
-        right = tree.right[name]
+        right = tree_right[name]
         if right is not None:
-            visit(right, x)
-
-    visit(tree.root, 0.0)
+            stack.append((right, x))
+        left = tree_left[name]
+        if left is not None:
+            stack.append((left, x + w))
     return rects
 
 

@@ -35,11 +35,7 @@ class BStarMoveSet:
             [n for n in self._names if modules[n].rotatable] if allow_rotation else []
         )
         self._soft = [n for n in self._names if len(modules[n].variants) > 1]
-
-    def initial_state(self, rng: random.Random) -> BStarState:
-        return BStarState(BStarTree.random(self._names, rng))
-
-    def propose(self, state: BStarState, rng: random.Random) -> BStarState:
+        # The op/weight tables depend only on the module set — build once.
         ops = [self._move, self._swap]
         weights = [4.0, 4.0]
         if self._rotatable:
@@ -48,7 +44,14 @@ class BStarMoveSet:
         if self._soft:
             ops.append(self._reshape)
             weights.append(1.5)
-        (op,) = rng.choices(ops, weights=weights, k=1)
+        self._ops = ops
+        self._weights = weights
+
+    def initial_state(self, rng: random.Random) -> BStarState:
+        return BStarState(BStarTree.random(self._names, rng))
+
+    def propose(self, state: BStarState, rng: random.Random) -> BStarState:
+        (op,) = rng.choices(self._ops, weights=self._weights, k=1)
         return op(state, rng)
 
     # -- moves ---------------------------------------------------------------

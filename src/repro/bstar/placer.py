@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..anneal import Annealer, AnnealingStats, GeometricSchedule
 from ..circuit import Circuit, ProximityGroup
 from ..geometry import ModuleSet, Net, Placement, total_hpwl
+from ..perf import BStarKernel, FastCostModel
 from .hb_tree import HBStarTreePlacement, HBState
 from .packing import pack
 from .perturb import BStarMoveSet, BStarState
@@ -43,7 +44,14 @@ class BStarPlacerResult:
 
 
 class _CostModel:
-    """Shared area / wirelength / aspect / proximity cost."""
+    """Shared area / wirelength / aspect / proximity cost.
+
+    This is the *reference* (object-tier) evaluation; the annealing hot
+    loops use :class:`repro.perf.FastCostModel`, which computes the same
+    bit-identical cost from flat coordinates.  Kept as the ground truth
+    the equivalence tests in ``tests/perf/`` compare against, and for
+    callers that already hold a :class:`Placement`.
+    """
 
     def __init__(
         self,
@@ -87,12 +95,13 @@ class BStarPlacer:
         self._modules = modules
         self._config = config or BStarPlacerConfig()
         self._moves = BStarMoveSet(modules)
-        self._cost_model = _CostModel(modules, nets, (), self._config)
+        # The annealing loop evaluates through the flat kernel: packed
+        # coordinates and cost with no Placement/PlacedModule churn,
+        # bit-identical to evaluating _CostModel over pack().
+        self._kernel = BStarKernel(modules, nets, (), self._config)
 
     def cost(self, state: BStarState) -> float:
-        return self._cost_model(
-            pack(state.tree, self._modules, state.orientations, state.variants)
-        )
+        return self._kernel.cost(state.tree, state.orientations, state.variants)
 
     def run(self) -> BStarPlacerResult:
         cfg = self._config
@@ -123,7 +132,9 @@ class HierarchicalPlacer:
         self._modules = circuit.modules()
         self._hb = HBStarTreePlacement(circuit.hierarchy, self._modules)
         constraints = circuit.constraints()
-        self._cost_model = _CostModel(
+        # Hot-loop twin of _CostModel, fed by the forest's
+        # flat-coordinate packer (bit-identical results).
+        self._fast_cost = FastCostModel(
             self._modules, circuit.nets, constraints.proximity, self._config
         )
 
@@ -131,7 +142,7 @@ class HierarchicalPlacer:
         return self._hb.pack(state)
 
     def cost(self, state: HBState) -> float:
-        return self._cost_model(self._hb.pack(state))
+        return self._fast_cost(self._hb.pack_coords(state))
 
     def run(self) -> BStarPlacerResult:
         cfg = self._config

@@ -57,6 +57,7 @@ class Placement:
 
     placed: tuple[PlacedModule, ...]
     _by_name: dict[str, PlacedModule] = field(compare=False, hash=False, default_factory=dict)
+    _bbox: "Rect | None" = field(compare=False, hash=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         by_name = {p.name: p for p in self.placed}
@@ -98,9 +99,17 @@ class Placement:
     # -- metrics -------------------------------------------------------------
 
     def bounding_box(self) -> Rect:
-        if not self.placed:
-            return Rect(0.0, 0.0, 0.0, 0.0)
-        return Rect.bounding(p.rect for p in self.placed)
+        """Bounding rectangle of all placed modules (cached lazily —
+        the placement is immutable, so one scan serves every later
+        ``area``/``width``/``height`` access)."""
+        bb = self._bbox
+        if bb is None:
+            if not self.placed:
+                bb = Rect(0.0, 0.0, 0.0, 0.0)
+            else:
+                bb = Rect.bounding(p.rect for p in self.placed)
+            object.__setattr__(self, "_bbox", bb)
+        return bb
 
     @property
     def area(self) -> float:

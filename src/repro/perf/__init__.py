@@ -1,0 +1,60 @@
+"""Fast evaluation kernel for the annealing hot loops.
+
+Two-tier design
+===============
+
+Every placer in this library is a simulated-annealing loop around a
+``pack -> cost`` evaluation.  The *rich* object model — frozen
+:class:`~repro.geometry.PlacedModule` records inside an immutable
+:class:`~repro.geometry.Placement`, footprints re-validated on
+construction — is exactly right at the API boundary, but it is pure
+overhead when the annealer only needs a scalar cost: tens of thousands
+of evaluations each allocated a full object graph just to fold it into
+four floats.
+
+This package is the lower tier.  Inside the loop a placement is nothing
+but *flat coordinates* — ``name -> (x0, y0, x1, y1)`` — packed straight
+from the B*-tree with precomputed footprints and evaluated by a cost
+model whose net pins were resolved once up front.  The arithmetic is
+bit-for-bit the same as the object path (verified by the equivalence
+tests in ``tests/perf/``), so annealing trajectories are unchanged; a
+real :class:`~repro.geometry.Placement` is materialized only for the
+best/final state.
+
+Modules
+-------
+
+``coords``
+    The flat coordinate representation and conversions to/from the rich
+    :class:`~repro.geometry.Placement`.
+``cost``
+    Area / HPWL / aspect / proximity cost straight off flat coordinates,
+    with nets pre-resolved to pin lists.
+``kernel``
+    The B*-tree packing kernel: iterative traversal, reusable skyline,
+    per-(module, variant, orientation) footprint table.
+"""
+
+from .coords import (
+    Coords,
+    bounding_of,
+    coords_to_placement,
+    normalize_coords,
+    placement_to_coords,
+)
+from .cost import FastCostModel, hpwl_of, resolve_nets
+from .kernel import BStarKernel, Skyline, pack_tree_coords
+
+__all__ = [
+    "BStarKernel",
+    "Coords",
+    "FastCostModel",
+    "Skyline",
+    "bounding_of",
+    "coords_to_placement",
+    "hpwl_of",
+    "normalize_coords",
+    "pack_tree_coords",
+    "placement_to_coords",
+    "resolve_nets",
+]

@@ -1,0 +1,150 @@
+"""Placement cost straight from flat coordinates.
+
+:class:`FastCostModel` is the hot-loop twin of the placers' object-based
+cost: the same weighted area / wirelength / aspect / proximity sum, but
+computed from a :data:`~repro.perf.coords.Coords` table with no
+intermediate objects.  Net pins are resolved to name lists once at
+construction (dropping pins that can never be placed and nets left with
+fewer than two pins — those contribute exactly ``0.0`` either way), so
+each evaluation is a single pass of float arithmetic.
+
+Every formula reproduces the object path operation for operation —
+``(max - min) + (max - min)`` per net over ``(x0 + x1) / 2`` centers,
+``(x1 - x0) * (y1 - y0)`` for the bounding area — so costs agree bit
+for bit with ``_CostModel`` over ``pack()`` (see ``tests/perf/``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..circuit import ProximityGroup
+from ..circuit.constraints import _connected
+from ..geometry import ModuleSet, Net, Rect
+from .coords import Coords, bounding_of
+
+#: A net resolved against the placeable names: (weight, pin names).
+ResolvedNet = tuple[float, tuple[str, ...]]
+
+
+def resolve_nets(nets: Iterable[Net], names: Iterable[str]) -> list[ResolvedNet]:
+    """Pre-resolve net pins against the set of placeable module names.
+
+    Pins outside ``names`` are dropped (they can never appear in a
+    placement over these modules); nets left with fewer than two pins
+    always contribute zero wirelength and are dropped entirely.
+    """
+    known = set(names)
+    resolved: list[ResolvedNet] = []
+    for net in nets:
+        pins = tuple(p for p in net.pins if p in known)
+        if len(pins) >= 2:
+            resolved.append((net.weight, pins))
+    return resolved
+
+
+def hpwl_of(resolved: Sequence[ResolvedNet], coords: Coords) -> float:
+    """Weighted HPWL over module centers (mirrors :func:`total_hpwl`).
+
+    Two-pin nets — the overwhelming majority in practice — take a
+    branch-free fast path; the span |c1 - c2| equals max - min bit for
+    bit, so the result is unchanged.
+    """
+    total = 0.0
+    get = coords.get
+    for weight, pins in resolved:
+        if len(pins) == 2:
+            a = get(pins[0])
+            if a is None:
+                continue
+            b = get(pins[1])
+            if b is None:
+                continue
+            ax0, ay0, ax1, ay1 = a
+            bx0, by0, bx1, by1 = b
+            cax = (ax0 + ax1) / 2.0
+            cbx = (bx0 + bx1) / 2.0
+            cay = (ay0 + ay1) / 2.0
+            cby = (by0 + by1) / 2.0
+            dx = cax - cbx if cax >= cbx else cbx - cax
+            dy = cay - cby if cay >= cby else cby - cay
+            total += weight * (dx + dy)
+            continue
+        min_x = max_x = min_y = max_y = 0.0
+        count = 0
+        for pin in pins:
+            entry = get(pin)
+            if entry is None:
+                continue
+            x0, y0, x1, y1 = entry
+            cx = (x0 + x1) / 2.0
+            cy = (y0 + y1) / 2.0
+            if count == 0:
+                min_x = max_x = cx
+                min_y = max_y = cy
+            else:
+                if cx < min_x:
+                    min_x = cx
+                elif cx > max_x:
+                    max_x = cx
+                if cy < min_y:
+                    min_y = cy
+                elif cy > max_y:
+                    max_y = cy
+            count += 1
+        if count >= 2:
+            total += weight * ((max_x - min_x) + (max_y - min_y))
+    return total
+
+
+class FastCostModel:
+    """Area / wirelength / aspect / proximity cost over flat coordinates.
+
+    Drop-in twin of the placers' ``_CostModel``: identical weights,
+    identical normalization scales, identical float results — evaluated
+    on a coordinate table instead of a :class:`Placement`.
+
+    ``config`` is duck-typed: any object with ``area_weight``,
+    ``wirelength_weight``, ``aspect_weight``, ``proximity_weight`` and
+    ``target_aspect`` attributes (e.g. ``BStarPlacerConfig``).
+    """
+
+    def __init__(
+        self,
+        modules: ModuleSet,
+        nets: tuple[Net, ...],
+        proximity: tuple[ProximityGroup, ...],
+        config,
+    ) -> None:
+        self._config = config
+        self._has_nets = bool(nets)
+        self._resolved = resolve_nets(nets, modules.names())
+        self._proximity = proximity
+        self._area_scale = max(modules.total_module_area(), 1e-12)
+        self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
+
+    def __call__(self, coords: Coords) -> float:
+        cfg = self._config
+        bx0, by0, bx1, by1 = bounding_of(coords.values())
+        width = bx1 - bx0
+        height = by1 - by0
+        cost = cfg.area_weight * (width * height) / self._area_scale
+        if self._has_nets and cfg.wirelength_weight:
+            cost += cfg.wirelength_weight * hpwl_of(self._resolved, coords) / self._wl_scale
+        if cfg.aspect_weight and width > 0 and height > 0:
+            ratio = height / width
+            deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
+            cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
+        if cfg.proximity_weight:
+            for group in self._proximity:
+                if not proximity_satisfied(group, coords):
+                    cost += cfg.proximity_weight
+        return cost
+
+
+def proximity_satisfied(group: ProximityGroup, coords: Coords, *, tol: float = 1e-6) -> bool:
+    """Coordinate-table twin of :meth:`ProximityGroup.is_satisfied`."""
+    rects = [Rect(*coords[m]) for m in group.members_ if m in coords]
+    if len(rects) <= 1:
+        return True
+    return _connected(rects, group.margin + tol)

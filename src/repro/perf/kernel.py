@@ -1,0 +1,213 @@
+"""The B*-tree packing kernel: tree -> flat coordinates, no objects.
+
+The kernel packs a :class:`~repro.bstar.BStarTree` straight into a
+:data:`~repro.perf.coords.Coords` table:
+
+* footprints are precomputed per (module, variant, orientation) at
+  construction, so the loop does two dict lookups instead of a
+  ``Module.footprint`` call per node;
+* the traversal is iterative (explicit stack) — degenerate chain trees
+  of any depth pack without recursion;
+* the skyline is a reusable, tuple-based structure with an O(1) reset,
+  so one kernel instance serves an entire annealing run with no
+  per-step allocation beyond the output dict.
+
+Coordinates are bit-identical to ``repro.bstar.packing.pack`` — same
+traversal order, same ``x + w`` / ``y + h`` arithmetic, same exact
+min/max skyline queries (verified in ``tests/perf/``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..circuit import ProximityGroup
+from ..geometry import ModuleSet, Net, Orientation, Placement
+from .coords import Coords, coords_to_placement
+from .cost import FastCostModel
+
+_INF = float("inf")
+
+
+class Skyline:
+    """Contour over x >= 0 as a contiguous list of (x0, x1, y) tuples.
+
+    Functional twin of :class:`repro.bstar.Contour`, tuned for the hot
+    loop: no segment objects, no sorting (splits are emitted in order),
+    no equal-height merging (heights are unaffected), and a cheap
+    :meth:`reset` so one instance serves a whole annealing run.
+    """
+
+    __slots__ = ("_segs",)
+
+    def __init__(self) -> None:
+        self._segs: list[tuple[float, float, float]] = [(0.0, _INF, 0.0)]
+
+    def reset(self) -> None:
+        """Return to the flat initial skyline."""
+        self._segs[:] = ((0.0, _INF, 0.0),)
+
+    def height_over(self, x0: float, x1: float) -> float:
+        """Maximum height over the open interval (x0, x1)."""
+        best = 0.0
+        for s0, s1, y in self._segs:
+            if s1 <= x0:
+                continue
+            if s0 >= x1:
+                break
+            if y > best:
+                best = y
+        return best
+
+    def raise_over(self, x0: float, x1: float, h: float) -> float:
+        """Fused query-and-place: return the height over (x0, x1) and
+        raise the skyline to ``height + h`` there, in one scan with an
+        in-place splice (the packing inner loop calls only this)."""
+        segs = self._segs
+        i = 0
+        while segs[i][1] <= x0:
+            i += 1
+        j = i
+        best = 0.0
+        n = len(segs)
+        while j < n:
+            s0, s1, y = segs[j]
+            if s0 >= x1:
+                break
+            if y > best:
+                best = y
+            j += 1
+        first = segs[i]
+        last = segs[j - 1]
+        mid: list[tuple[float, float, float]] = []
+        if first[0] < x0:
+            mid.append((first[0], x0, first[2]))
+        mid.append((x0, x1, best + h))
+        if last[1] > x1:
+            mid.append((x1, last[1], last[2]))
+        segs[i:j] = mid
+        return best
+
+def pack_tree_coords(
+    tree,
+    sizes: Mapping[str, tuple[float, float]],
+    skyline: Skyline | None = None,
+) -> Coords:
+    """Pack raw (w, h) footprints into a coordinate table.
+
+    Flat twin of :func:`repro.bstar.packing.pack_sizes`: identical
+    traversal order (pre-order, left subtree before right) and identical
+    arithmetic, returning 4-tuples instead of :class:`Rect` objects.
+    Pass a ``skyline`` to reuse its storage across calls.
+    """
+    out: Coords = {}
+    root = tree.root
+    if root is None:
+        return out
+    if skyline is None:
+        skyline = Skyline()
+    else:
+        skyline.reset()
+    tree_left, tree_right = tree.left, tree.right
+    raise_over = skyline.raise_over
+    stack: list[tuple[str, float]] = [(root, 0.0)]
+    while stack:
+        name, x = stack.pop()
+        w, h = sizes[name]
+        x1 = x + w
+        y = raise_over(x, x1, h)
+        out[name] = (x, y, x1, y + h)
+        right = tree_right[name]
+        if right is not None:
+            stack.append((right, x))
+        left = tree_left[name]
+        if left is not None:
+            stack.append((left, x1))
+    return out
+
+
+class BStarKernel:
+    """Reusable pack-and-cost engine for B*-tree annealing.
+
+    Construct once per placement problem; every annealing step then calls
+    :meth:`cost` (or :meth:`pack`), which touches only precomputed
+    tables, the reusable skyline and one output dict.  The rich
+    :class:`Placement` is materialized by :meth:`placement` for the
+    best/final state only.
+    """
+
+    def __init__(
+        self,
+        modules: ModuleSet,
+        nets: tuple[Net, ...] = (),
+        proximity: tuple[ProximityGroup, ...] = (),
+        config=None,
+    ) -> None:
+        self._modules = modules
+        self._skyline = Skyline()
+        self._cost_model = FastCostModel(modules, nets, proximity, config) if config is not None else None
+        # footprint table: name -> variant index -> orientation -> (w, h)
+        self._footprints: dict[str, list[dict[Orientation, tuple[float, float]]]] = {
+            m.name: [
+                {o: m.footprint(v, o) for o in Orientation}
+                for v in range(len(m.variants))
+            ]
+            for m in modules
+        }
+        # default footprints (variant 0, R0): the pack loop copies this
+        # table and overrides only the explicitly rotated/reshaped
+        # modules, so the per-node work is a single dict lookup.
+        self._default_sizes: dict[str, tuple[float, float]] = {
+            m.name: self._footprints[m.name][0][Orientation.R0] for m in modules
+        }
+
+    def pack(
+        self,
+        tree,
+        orientations: Mapping[str, Orientation] | None = None,
+        variants: Mapping[str, int] | None = None,
+    ) -> Coords:
+        """Pack a tree into flat coordinates (bit-identical to ``pack()``)."""
+        sizes = self._default_sizes
+        if orientations or variants:
+            # Copy-on-default: one C-level dict copy, then override the
+            # handful of modules with a non-default variant/orientation.
+            footprints = self._footprints
+            sizes = sizes.copy()
+            if orientations:
+                for name, orient in orientations.items():
+                    variant = variants.get(name, 0) if variants else 0
+                    sizes[name] = footprints[name][variant][orient]
+            if variants:
+                for name, variant in variants.items():
+                    if not orientations or name not in orientations:
+                        sizes[name] = footprints[name][variant][Orientation.R0]
+        return pack_tree_coords(tree, sizes, self._skyline)
+
+    def cost(
+        self,
+        tree,
+        orientations: Mapping[str, Orientation] | None = None,
+        variants: Mapping[str, int] | None = None,
+    ) -> float:
+        """Pack and evaluate in one step (requires a ``config``)."""
+        if self._cost_model is None:
+            raise ValueError("BStarKernel was built without a cost config")
+        return self._cost_model(self.pack(tree, orientations, variants))
+
+    def cost_of(self, coords: Coords) -> float:
+        """Evaluate an already-packed coordinate table."""
+        if self._cost_model is None:
+            raise ValueError("BStarKernel was built without a cost config")
+        return self._cost_model(coords)
+
+    def placement(
+        self,
+        tree,
+        orientations: Mapping[str, Orientation] | None = None,
+        variants: Mapping[str, int] | None = None,
+    ) -> Placement:
+        """Materialize the rich :class:`Placement` (boundary tier)."""
+        return coords_to_placement(
+            self.pack(tree, orientations, variants), self._modules, orientations, variants
+        )

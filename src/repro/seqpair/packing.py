@@ -97,20 +97,16 @@ def _to_placement(
     return Placement.of(placed)
 
 
-def pack_lcs(
+def pack_lcs_coords(
     sp: SequencePair,
-    modules: ModuleSet,
-    orientations: Mapping[str, Orientation] | None = None,
-    variants: Mapping[str, int] | None = None,
-) -> Placement:
-    """Pack a sequence-pair via weighted-LCS, O(n log n).
+    sizes: Mapping[str, tuple[float, float]],
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Weighted-LCS evaluation on raw footprints; returns (xs, ys).
 
-    X coordinates: process modules in alpha order; the x of module ``b``
-    is the maximum of ``x(a) + w(a)`` over already-processed modules
-    ``a`` with a smaller beta index (exactly the modules left of ``b``).
-    Y coordinates: the same with alpha reversed and heights.
+    The coordinate-tier core of :func:`pack_lcs`: no ``Placement`` is
+    built, so annealing loops can evaluate codes allocation-free and
+    materialize a placement for the winning state only.
     """
-    sizes = _footprints(sp, modules, orientations, variants)
     n = len(sp)
 
     xs: dict[str, float] = {}
@@ -129,6 +125,24 @@ def pack_lcs(
         ys[name] = y
         tree.update(b, y + sizes[name][1])
 
+    return xs, ys
+
+
+def pack_lcs(
+    sp: SequencePair,
+    modules: ModuleSet,
+    orientations: Mapping[str, Orientation] | None = None,
+    variants: Mapping[str, int] | None = None,
+) -> Placement:
+    """Pack a sequence-pair via weighted-LCS, O(n log n).
+
+    X coordinates: process modules in alpha order; the x of module ``b``
+    is the maximum of ``x(a) + w(a)`` over already-processed modules
+    ``a`` with a smaller beta index (exactly the modules left of ``b``).
+    Y coordinates: the same with alpha reversed and heights.
+    """
+    sizes = _footprints(sp, modules, orientations, variants)
+    xs, ys = pack_lcs_coords(sp, sizes)
     return _to_placement(sp, modules, xs, ys, sizes, orientations, variants)
 
 

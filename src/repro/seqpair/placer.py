@@ -12,9 +12,10 @@ from dataclasses import dataclass
 
 from ..anneal import Annealer, AnnealingStats, GeometricSchedule
 from ..circuit import Circuit, SymmetryGroup
-from ..geometry import ModuleSet, Net, Placement, total_hpwl
+from ..geometry import ModuleSet, Net, Placement
+from ..perf import bounding_of, hpwl_of, resolve_nets
 from .moves import PlacementState, SymmetricMoveSet
-from .symmetry import SymmetricPackingError, pack_symmetric
+from .symmetry import SymmetricPackingError, pack_symmetric, pack_symmetric_coords
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,9 @@ class SequencePairPlacer:
         # Normalize the cost terms so weights are size-independent.
         self._area_scale = max(modules.total_module_area(), 1e-12)
         self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
+        # Net pins resolved once; the annealing loop evaluates codes on
+        # flat coordinates and never builds intermediate placements.
+        self._resolved_nets = resolve_nets(nets, modules.names())
 
     @classmethod
     def for_circuit(cls, circuit: Circuit, config: PlacerConfig | None = None) -> "SequencePairPlacer":
@@ -80,17 +84,35 @@ class SequencePairPlacer:
         )
 
     def cost(self, state: PlacementState) -> float:
+        """Cost of a state, evaluated on the coordinate tier.
+
+        Bit-identical to evaluating ``self.pack(state)`` through the
+        object-based formula (the packed rectangles are the same floats;
+        see ``tests/perf/``), but no ``Placement`` is allocated.
+        """
         cfg = self._config
         try:
-            placement = self.pack(state)
+            xs, ys, sizes = pack_symmetric_coords(
+                state.sp, self._modules, self._groups, state.orientations, state.variants
+            )
         except SymmetricPackingError:
             return float("inf")
-        bb = placement.bounding_box()
-        cost = cfg.area_weight * bb.area / self._area_scale
+        coords: dict[str, tuple[float, float, float, float]] = {}
+        for name in state.sp.names:
+            w, h = sizes[name]
+            x0, y0 = xs[name], ys[name]
+            coords[name] = (x0, y0, x0 + w, y0 + h)
+        if coords:
+            min_x, min_y, max_x, max_y = bounding_of(coords.values())
+        else:
+            min_x = min_y = max_x = max_y = 0.0
+        width = max_x - min_x
+        height = max_y - min_y
+        cost = cfg.area_weight * (width * height) / self._area_scale
         if self._nets and cfg.wirelength_weight:
-            cost += cfg.wirelength_weight * total_hpwl(self._nets, placement) / self._wl_scale
-        if cfg.aspect_weight and bb.width > 0:
-            ratio = bb.height / bb.width
+            cost += cfg.wirelength_weight * hpwl_of(self._resolved_nets, coords) / self._wl_scale
+        if cfg.aspect_weight and width > 0:
+            ratio = height / width
             deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
             cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
         return cost

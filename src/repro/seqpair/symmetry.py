@@ -18,7 +18,7 @@ from typing import Iterable, Mapping, Sequence
 
 from ..circuit import SymmetryGroup
 from ..geometry import ModuleSet, Orientation, PlacedModule, Placement, Rect
-from .packing import pack_lcs
+from .packing import _footprints, pack_lcs, pack_lcs_coords
 from .seqpair import SequencePair
 
 
@@ -206,7 +206,7 @@ def _solve_x_exact(
         xs[name] = float(result.x[index[name]])
 
 
-def pack_symmetric(
+def pack_symmetric_coords(
     sp: SequencePair,
     modules: ModuleSet,
     groups: Sequence[SymmetryGroup],
@@ -215,8 +215,14 @@ def pack_symmetric(
     *,
     max_iterations: int = 200,
     tol: float = 1e-9,
-) -> Placement:
-    """Build an overlap-free placement with exact mirror symmetry.
+) -> tuple[dict[str, float], dict[str, float], dict[str, tuple[float, float]]]:
+    """Coordinate-tier core of :func:`pack_symmetric`.
+
+    Returns ``(xs, ys, sizes)`` — lower-left corners plus the (w, h) each
+    module occupies — without building any ``Placement``; the annealing
+    loop evaluates codes on these and materializes a placement for the
+    best state only.  Raises :class:`SymmetricPackingError` exactly as
+    :func:`pack_symmetric` does.
 
     Starting from the minimal packing, coordinates are raised by monotone
     constraint propagation until both the sequence-pair non-overlap
@@ -230,10 +236,17 @@ def pack_symmetric(
     converges; with an S-F code it reaches an exact fixpoint (property
     (1) is precisely the condition making the constraints compatible).
     """
-    base = pack_lcs(sp, modules, orientations, variants)
-    sizes = {p.name: (p.rect.width, p.rect.height) for p in base}
-    xs = {p.name: p.rect.x0 for p in base}
-    ys = {p.name: p.rect.y0 for p in base}
+    footprints = _footprints(sp, modules, orientations, variants)
+    xs, ys = pack_lcs_coords(sp, footprints)
+    # Sizes as measured off the packed rectangles: ``(x + w) - x`` can
+    # differ from ``w`` in the last ulp, and the historical object path
+    # used the rectangle-derived value — keep it so results stay
+    # bit-identical.
+    sizes: dict[str, tuple[float, float]] = {}
+    for name in sp.names:
+        w, h = footprints[name]
+        x, y = xs[name], ys[name]
+        sizes[name] = ((x + w) - x, (y + h) - y)
     names = list(sp.names)
 
     for group in groups:
@@ -353,8 +366,35 @@ def pack_symmetric(
                 "is the sequence-pair S-F?"
             )
 
+    return xs, ys, sizes
+
+
+def pack_symmetric(
+    sp: SequencePair,
+    modules: ModuleSet,
+    groups: Sequence[SymmetryGroup],
+    orientations: Mapping[str, Orientation] | None = None,
+    variants: Mapping[str, int] | None = None,
+    *,
+    max_iterations: int = 200,
+    tol: float = 1e-9,
+) -> Placement:
+    """Build an overlap-free placement with exact mirror symmetry.
+
+    Object-tier wrapper over :func:`pack_symmetric_coords`; see there
+    for the algorithm.
+    """
+    xs, ys, sizes = pack_symmetric_coords(
+        sp,
+        modules,
+        groups,
+        orientations,
+        variants,
+        max_iterations=max_iterations,
+        tol=tol,
+    )
     placed = []
-    for name in names:
+    for name in sp.names:
         w, h = sizes[name]
         orient = orientations.get(name, Orientation.R0) if orientations else Orientation.R0
         variant = variants.get(name, 0) if variants else 0

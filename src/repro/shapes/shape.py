@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..geometry import Placement
+from ..perf.coords import normalize_coords, placement_to_coords
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,23 @@ class Shape:
         )
         self._cache.append(built)
         return built
+
+    def coords(self) -> dict[str, tuple[float, float, float, float]]:
+        """Flat ``name -> (x0, y0, x1, y1)`` of the realizing placement.
+
+        Same floats as :meth:`placement` (same merge/translate/normalize
+        arithmetic), but walking the recipe tree moves only 4-tuples —
+        no intermediate ``Placement`` objects.  This is what annealing
+        cost loops should call when they need module positions.
+        """
+        if self.concrete is not None:
+            return placement_to_coords(self.concrete)
+        r = self.recipe
+        merged = dict(r.left.coords())
+        dx, dy = r.dx, r.dy
+        for name, (x0, y0, x1, y1) in r.right.coords().items():
+            merged[name] = (x0 + dx, y0 + dy, x1 + dx, y1 + dy)
+        return normalize_coords(merged)
 
     # -- constructors ------------------------------------------------------------
 

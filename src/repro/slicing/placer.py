@@ -13,7 +13,8 @@ import random
 from dataclasses import dataclass
 
 from ..anneal import Annealer, AnnealingStats, FunctionMoveSet, GeometricSchedule
-from ..geometry import ModuleSet, Net, Placement, total_hpwl
+from ..geometry import ModuleSet, Net, Placement
+from ..perf import hpwl_of, resolve_nets
 from .packing import pack_slicing, shape_function_of
 from .polish import PolishExpression
 
@@ -54,6 +55,7 @@ class SlicingPlacer:
         self._config = config or SlicingPlacerConfig()
         self._area_scale = max(modules.total_module_area(), 1e-12)
         self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
+        self._resolved_nets = resolve_nets(nets, modules.names())
 
     def cost(self, expr: PolishExpression) -> float:
         cfg = self._config
@@ -63,8 +65,9 @@ class SlicingPlacer:
         best = sf.min_area_shape()
         cost = cfg.area_weight * best.area / self._area_scale
         if self._nets and cfg.wirelength_weight:
-            placement = best.placement()
-            cost += cfg.wirelength_weight * total_hpwl(self._nets, placement) / self._wl_scale
+            # Walk the recipe tree as flat coordinates; no Placement is
+            # materialized inside the annealing loop.
+            cost += cfg.wirelength_weight * hpwl_of(self._resolved_nets, best.coords()) / self._wl_scale
         return cost
 
     def _move(self, expr: PolishExpression, rng: random.Random) -> PolishExpression:

@@ -1,0 +1,210 @@
+"""Equivalence of the fast kernel against the object-tier pack/cost.
+
+The whole point of ``repro.perf`` is that the hot loop computes the
+*same floats* as the rich object path — these tests assert exact
+(bit-level, ``==``) equality of coordinates and costs over randomized
+trees, variants, orientations and hierarchies, so any drift between the
+two tiers fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bstar import (
+    BStarPlacer,
+    BStarPlacerConfig,
+    HBStarTreePlacement,
+    HierarchicalPlacer,
+)
+from repro.bstar.packing import pack
+from repro.bstar.placer import _CostModel
+from repro.bstar.tree import BStarTree
+from repro.circuit import fig2_design, miller_opamp, simple_testcase
+from repro.bstar.contour import Contour
+from repro.geometry import Module, ModuleSet, Net, Orientation
+from repro.perf import BStarKernel, FastCostModel, Skyline, placement_to_coords
+
+
+def _mixed_modules(n_hard: int = 12, n_soft: int = 8, seed: int = 0) -> ModuleSet:
+    rng = random.Random(seed)
+    mods = [
+        Module.hard(f"m{i}", rng.uniform(1, 10), rng.uniform(1, 10))
+        for i in range(n_hard)
+    ]
+    mods += [Module.soft(f"s{i}", rng.uniform(5, 40)) for i in range(n_soft)]
+    return ModuleSet.of(mods)
+
+
+def _random_nets(names, rng, n_two: int = 15, n_multi: int = 5) -> tuple[Net, ...]:
+    nets = []
+    for i in range(n_two):
+        a, b = rng.sample(names, 2)
+        nets.append(Net(f"n{i}", (a, b)))
+    for i in range(n_multi):
+        nets.append(Net(f"t{i}", tuple(rng.sample(names, 3))))
+    return tuple(nets)
+
+
+def _random_state(mods: ModuleSet, rng: random.Random):
+    names = mods.names()
+    tree = BStarTree.random(names, rng)
+    orientations = {
+        n: rng.choice((Orientation.R0, Orientation.R90))
+        for n in names
+        if rng.random() < 0.5
+    }
+    variants = {
+        m.name: rng.randrange(len(m.variants)) for m in mods if rng.random() < 0.5
+    }
+    return tree, orientations, variants
+
+
+class TestFlatKernel:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_coords_match_pack_exactly(self, seed):
+        mods = _mixed_modules(seed=seed)
+        rng = random.Random(seed)
+        kernel = BStarKernel(mods)
+        tree, orientations, variants = _random_state(mods, rng)
+        placement = pack(tree, mods, orientations, variants)
+        assert kernel.pack(tree, orientations, variants) == placement_to_coords(placement)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_cost_matches_cost_model_exactly(self, seed):
+        mods = _mixed_modules(seed=seed)
+        rng = random.Random(seed)
+        nets = _random_nets(mods.names(), rng)
+        config = BStarPlacerConfig(wirelength_weight=0.7, aspect_weight=0.2)
+        kernel = BStarKernel(mods, nets, (), config)
+        reference = _CostModel(mods, nets, (), config)
+        tree, orientations, variants = _random_state(mods, rng)
+        placement = pack(tree, mods, orientations, variants)
+        assert kernel.cost(tree, orientations, variants) == reference(placement)
+
+    def test_placement_materialization_round_trips(self):
+        mods = _mixed_modules()
+        rng = random.Random(3)
+        kernel = BStarKernel(mods)
+        tree, orientations, variants = _random_state(mods, rng)
+        rich = kernel.placement(tree, orientations, variants)
+        assert rich.positions() == pack(tree, mods, orientations, variants).positions()
+
+    def test_kernel_instance_is_reusable(self):
+        """One kernel (and its skyline) serves many packs, like one
+        annealing run reuses it for every step."""
+        mods = _mixed_modules()
+        kernel = BStarKernel(mods)
+        rng = random.Random(9)
+        for _ in range(30):
+            tree, orientations, variants = _random_state(mods, rng)
+            placement = pack(tree, mods, orientations, variants)
+            assert kernel.pack(tree, orientations, variants) == placement_to_coords(placement)
+
+    def test_placer_cost_is_kernel_cost(self, small_modules):
+        config = BStarPlacerConfig(seed=2)
+        placer = BStarPlacer(small_modules, config=config)
+        reference = _CostModel(small_modules, (), (), config)
+        rng = random.Random(0)
+        state = placer._moves.initial_state(rng)
+        for _ in range(25):
+            packed = pack(state.tree, small_modules, state.orientations, state.variants)
+            assert placer.cost(state) == reference(packed)
+            state = placer._moves.propose(state, rng)
+
+
+class TestSkylineAndContour:
+    def test_skyline_matches_contour(self):
+        """raise_over must agree with Contour's height_over + place."""
+        rng = random.Random(11)
+        skyline = Skyline()
+        contour = Contour()
+        for _ in range(200):
+            x0 = rng.uniform(0, 50)
+            x1 = x0 + rng.uniform(0.1, 10)
+            h = rng.uniform(0.1, 5)
+            expected = contour.height_over(x0, x1)
+            contour.place(x0, x1, expected + h)
+            assert skyline.raise_over(x0, x1, h) == expected
+            assert skyline.height_over(x0, x1) == contour.height_over(x0, x1)
+
+    def test_skyline_reset(self):
+        skyline = Skyline()
+        skyline.raise_over(0.0, 4.0, 3.0)
+        assert skyline.height_over(0.0, 4.0) == 3.0
+        skyline.reset()
+        assert skyline.height_over(0.0, 100.0) == 0.0
+
+    def test_contour_reset(self):
+        contour = Contour()
+        contour.place(1.0, 3.0, 2.5)
+        assert contour.max_height() == 2.5
+        contour.reset()
+        assert contour.max_height() == 0.0
+        assert contour.profile() == [(0.0, float("inf"), 0.0)]
+        # a reused contour packs exactly like a fresh one
+        contour.place(0.0, 2.0, 1.0)
+        fresh = Contour()
+        fresh.place(0.0, 2.0, 1.0)
+        assert contour.profile() == fresh.profile()
+
+    def test_pack_sizes_reuses_contour(self):
+        from repro.bstar.packing import pack_sizes
+
+        sizes = {"a": (2.0, 3.0), "b": (4.0, 1.0), "c": (1.0, 5.0)}
+        contour = Contour()
+        rng = random.Random(4)
+        for _ in range(10):
+            tree = BStarTree.random(tuple(sizes), rng)
+            assert pack_sizes(tree, sizes, contour) == pack_sizes(tree, sizes)
+
+
+class TestHierarchicalCoords:
+    @pytest.mark.parametrize(
+        "make",
+        [fig2_design, miller_opamp, lambda: simple_testcase(12, seed=4)],
+        ids=["fig2", "miller", "synth12"],
+    )
+    def test_pack_coords_matches_pack(self, make):
+        """Symmetry islands, common-centroid arrays and nested levels all
+        produce bit-identical coordinates on the flat tier."""
+        circuit = make()
+        hb = HBStarTreePlacement(circuit.hierarchy, circuit.modules())
+        rng = random.Random(0)
+        state = hb.initial_state(rng)
+        for _ in range(40):
+            assert hb.pack_coords(state) == placement_to_coords(hb.pack(state))
+            state = hb.propose(state, rng)
+
+    def test_placer_cost_matches_object_cost(self):
+        circuit = fig2_design()
+        config = BStarPlacerConfig()
+        placer = HierarchicalPlacer(circuit, config)
+        reference = _CostModel(
+            circuit.modules(), circuit.nets, circuit.constraints().proximity, config
+        )
+        rng = random.Random(1)
+        hb = placer._hb
+        state = hb.initial_state(rng)
+        for _ in range(40):
+            assert placer.cost(state) == reference(hb.pack(state))
+            state = hb.propose(state, rng)
+
+
+class TestFastCostModel:
+    def test_proximity_term_matches(self):
+        circuit = fig2_design()
+        config = BStarPlacerConfig(proximity_weight=3.5)
+        proximity = circuit.constraints().proximity
+        assert proximity, "fig2 should carry a proximity group"
+        fast = FastCostModel(circuit.modules(), circuit.nets, proximity, config)
+        reference = _CostModel(circuit.modules(), circuit.nets, proximity, config)
+        hb = HBStarTreePlacement(circuit.hierarchy, circuit.modules())
+        rng = random.Random(5)
+        state = hb.initial_state(rng)
+        for _ in range(20):
+            placement = hb.pack(state)
+            assert fast(placement_to_coords(placement)) == reference(placement)
+            state = hb.propose(state, rng)

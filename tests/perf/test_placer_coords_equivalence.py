@@ -1,0 +1,161 @@
+"""Coordinate-tier equivalence for the sequence-pair and slicing flows,
+plus the satellite behaviors (bounding-box cache, hoisted move tables)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuit import SymmetryGroup
+from repro.geometry import Module, ModuleSet, Net, Placement, Rect, total_hpwl
+from repro.perf import hpwl_of, placement_to_coords, resolve_nets
+from repro.seqpair import SequencePairPlacer
+from repro.seqpair.moves import SymmetricMoveSet
+from repro.seqpair.placer import PlacerConfig
+from repro.seqpair.symmetry import pack_symmetric, pack_symmetric_coords
+from repro.shapes import ShapeFunction
+from repro.slicing.packing import shape_function_of
+from repro.slicing.polish import PolishExpression
+
+
+def _sym_problem(seed=1, extra=10):
+    rng = random.Random(seed)
+    mods = ModuleSet.of(
+        [
+            Module.hard("a1", 4, 6),
+            Module.hard("a2", 4, 6),
+            Module.hard("c", 5, 3, rotatable=False),
+        ]
+        + [Module.hard(f"m{i}", rng.uniform(1, 8), rng.uniform(1, 8)) for i in range(extra)]
+    )
+    groups = (SymmetryGroup("g", pairs=(("a1", "a2"),), self_symmetric=("c",)),)
+    names = mods.names()
+    nets = tuple(
+        Net(f"n{i}", tuple(rng.sample(names, 2))) for i in range(8)
+    )
+    return mods, groups, nets
+
+
+class TestSeqPairCoords:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_coords_match_pack_symmetric(self, seed):
+        mods, groups, _ = _sym_problem(seed)
+        moves = SymmetricMoveSet(mods, groups)
+        rng = random.Random(seed)
+        state = moves.initial_state(rng)
+        for _ in range(15):
+            xs, ys, sizes = pack_symmetric_coords(
+                state.sp, mods, groups, state.orientations, state.variants
+            )
+            placement = pack_symmetric(
+                state.sp, mods, groups, state.orientations, state.variants
+            )
+            for p in placement:
+                assert (xs[p.name], ys[p.name]) == (p.rect.x0, p.rect.y0)
+                # sizes are measured at the base LCS position; the final
+                # rect edge is x0 + w with the *raised* x0 — compare the
+                # edges the cost path actually uses.
+                w, h = sizes[p.name]
+                assert (xs[p.name] + w, ys[p.name] + h) == (p.rect.x1, p.rect.y1)
+            state = moves.propose(state, rng)
+
+    def test_cost_matches_object_formula(self):
+        mods, groups, nets = _sym_problem()
+        config = PlacerConfig(wirelength_weight=0.5, aspect_weight=0.1)
+        placer = SequencePairPlacer(mods, groups, nets, config)
+
+        def reference(state):
+            placement = placer.pack(state)
+            bb = placement.bounding_box()
+            cost = config.area_weight * bb.area / placer._area_scale
+            if nets and config.wirelength_weight:
+                cost += (
+                    config.wirelength_weight
+                    * total_hpwl(nets, placement)
+                    / placer._wl_scale
+                )
+            if config.aspect_weight and bb.width > 0:
+                ratio = bb.height / bb.width
+                deviation = max(ratio, 1.0 / ratio) / max(config.target_aspect, 1e-12)
+                cost += config.aspect_weight * max(0.0, deviation - 1.0)
+            return cost
+
+        rng = random.Random(3)
+        state = placer._moves.initial_state(rng)
+        for _ in range(25):
+            assert placer.cost(state) == reference(state)
+            state = placer._moves.propose(state, rng)
+
+
+class TestSlicingCoords:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_shape_coords_match_placement(self, seed):
+        rng = random.Random(seed)
+        mods = ModuleSet.of(
+            [Module.hard(f"b{i}", rng.uniform(1, 9), rng.uniform(1, 9)) for i in range(9)]
+        )
+        expr = PolishExpression.random(mods.names(), rng)
+        sf = shape_function_of(expr, mods, max_shapes=16)
+        for shape in sf.shapes:
+            assert shape.coords() == placement_to_coords(shape.placement())
+
+    def test_module_shape_function_coords(self):
+        module = Module.soft("s", 24.0)
+        sf = ShapeFunction.from_module(module)
+        for shape in sf.shapes:
+            assert shape.coords() == placement_to_coords(shape.placement())
+
+
+class TestResolvedHpwl:
+    def test_matches_total_hpwl(self):
+        rng = random.Random(7)
+        mods = ModuleSet.of(
+            [Module.hard(f"m{i}", rng.uniform(1, 5), rng.uniform(1, 5)) for i in range(10)]
+        )
+        names = mods.names()
+        nets = tuple(
+            [Net(f"two{i}", tuple(rng.sample(names, 2)), weight=rng.uniform(0.5, 2)) for i in range(6)]
+            + [Net(f"multi{i}", tuple(rng.sample(names, 4))) for i in range(3)]
+            + [Net("ghost", ("m0", "nowhere"))]  # pin outside the module set
+        )
+        from repro.bstar.packing import pack
+        from repro.bstar.tree import BStarTree
+
+        placement = pack(BStarTree.random(names, rng), mods)
+        resolved = resolve_nets(nets, names)
+        assert hpwl_of(resolved, placement_to_coords(placement)) == total_hpwl(
+            nets, placement
+        )
+
+
+class TestSatellites:
+    def test_bounding_box_is_cached(self):
+        placement = Placement.of(
+            [
+                # PlacedModule is validated against the module footprint,
+                # so build through the real constructor path.
+            ]
+        )
+        assert placement.bounding_box() == Rect(0.0, 0.0, 0.0, 0.0)
+        mods = ModuleSet.of([Module.hard("a", 2, 3), Module.hard("b", 4, 1)])
+        from repro.bstar.packing import pack
+        from repro.bstar.tree import BStarTree
+
+        placement = pack(BStarTree.chain(("a", "b")), mods)
+        first = placement.bounding_box()
+        assert placement.bounding_box() is first  # same object: cached
+        assert placement.area == first.area
+        # transforms return fresh placements with fresh caches
+        moved = placement.translated(1.0, 2.0)
+        assert moved.bounding_box() == first.translated(1.0, 2.0)
+
+    def test_weighted_move_set_generators_hoisted(self):
+        from repro.anneal.annealer import FunctionMoveSet, WeightedMoveSet
+
+        bump = FunctionMoveSet(lambda s, rng: s + 1)
+        drop = FunctionMoveSet(lambda s, rng: s - 1)
+        moves = WeightedMoveSet([(1.0, bump), (0.0, drop)])
+        assert moves._generators == [bump, drop]
+        rng = random.Random(0)
+        assert all(moves.propose(0, rng) == 1 for _ in range(10))
