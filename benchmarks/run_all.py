@@ -10,11 +10,18 @@ enumerates every ``bench_*.py`` and executes them through pytest:
   a couple of minutes and import/runtime breakage is caught;
 * ``--full``: pytest-benchmark timing enabled (slow, for real numbers).
 
+After the suites pass, a **perf regression guard** runs the quick
+perf-kernel benchmark, appends a trajectory entry to
+``BENCH_perf_kernel.json`` (append, never overwrite), and exits
+non-zero if steps/s dropped more than 20% against the most recent
+comparable entry.  Skip it with ``--no-guard``.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py            # smoke
+    PYTHONPATH=src python benchmarks/run_all.py            # smoke + guard
     PYTHONPATH=src python benchmarks/run_all.py -k packers # one suite
     PYTHONPATH=src python benchmarks/run_all.py --full     # timed
+    PYTHONPATH=src python benchmarks/run_all.py --no-guard # suites only
 """
 
 from __future__ import annotations
@@ -28,6 +35,26 @@ import pytest
 BENCH_DIR = Path(__file__).resolve().parent
 
 
+def perf_guard() -> int:
+    """Quick perf-kernel run + trajectory append + >20% regression gate."""
+    sys.path.insert(0, str(BENCH_DIR))
+    import bench_perf_kernel
+
+    outcome = bench_perf_kernel.run(fast=True, write=True)
+    print(outcome["table"])
+    if outcome["appended"]:
+        print(f"trajectory entry appended: {bench_perf_kernel.JSON_PATH}")
+    if outcome["regressions"]:
+        # the regressed entry is deliberately NOT appended: the last
+        # good numbers stay the baseline until the regression is fixed
+        for problem in outcome["regressions"]:
+            print(f"REGRESSION (entry not appended): {problem}", file=sys.stderr)
+        return 3
+    print("perf guard: no steps/s regression > "
+          f"{100 * bench_perf_kernel.REGRESSION_THRESHOLD:.0f}%")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -36,6 +63,11 @@ def main(argv: list[str] | None = None) -> int:
         help="enable pytest-benchmark timing (slow); default is a one-pass smoke run",
     )
     parser.add_argument("-k", default=None, help="pytest -k expression to select suites")
+    parser.add_argument(
+        "--no-guard",
+        action="store_true",
+        help="skip the perf-kernel regression guard (and its trajectory append)",
+    )
     args = parser.parse_args(argv)
 
     files = sorted(BENCH_DIR.glob("bench_*.py"))
@@ -47,7 +79,12 @@ def main(argv: list[str] | None = None) -> int:
         pytest_args.append("--benchmark-disable")
     if args.k:
         pytest_args += ["-k", args.k]
-    return pytest.main(pytest_args)
+    code = pytest.main(pytest_args)
+    if code:
+        return int(code)
+    if args.no_guard:
+        return 0
+    return perf_guard()
 
 
 if __name__ == "__main__":

@@ -8,8 +8,15 @@
 3. **Route** the placed netlist with the two-layer maze router, with
    the differential output pair routed mirrored (section II).
 
+Every annealing loop below runs on the incremental evaluation engine
+(``docs/perf.md``): in-place perturbations with commit/rollback,
+dirty-suffix B*-tree repacking and delta-HPWL — bit-identical costs to
+a full repack, several times the steps/s.
+
 Run:  python examples/full_flow.py
 """
+
+import time
 
 from repro.analysis import render_placement
 from repro.bstar import BStarPlacerConfig, HierarchicalPlacer
@@ -32,7 +39,15 @@ def main() -> None:
     placer = HierarchicalPlacer(
         circuit, BStarPlacerConfig(seed=7, alpha=0.92, steps_per_epoch=50)
     )
-    placement = placer.run().placement
+    t0 = time.perf_counter()
+    result = placer.run()
+    elapsed = time.perf_counter() - t0
+    placement = result.placement
+    print(
+        f"annealed {result.stats.steps:,} steps in {elapsed:.2f}s "
+        f"({result.stats.steps / elapsed:,.0f} steps/s on the incremental engine, "
+        f"{100 * result.stats.acceptance_ratio:.0f}% accepted)"
+    )
     print(render_placement(placement, width=64, height=18))
     print(f"placed area {placement.area:.0f} um^2 "
           f"(template {flow.layout.area:.0f} um^2), "

@@ -5,7 +5,10 @@ from .annealer import (
     AnnealingResult,
     AnnealingStats,
     FunctionMoveSet,
+    IncrementalAnnealer,
+    IncrementalEngine,
     MoveSet,
+    StateEngine,
     WeightedMoveSet,
 )
 from .schedule import (
@@ -22,8 +25,11 @@ __all__ = [
     "CoolingSchedule",
     "FunctionMoveSet",
     "GeometricSchedule",
+    "IncrementalAnnealer",
+    "IncrementalEngine",
     "LinearSchedule",
     "MoveSet",
+    "StateEngine",
     "WeightedMoveSet",
     "initial_temperature_from_samples",
 ]

@@ -5,6 +5,23 @@ section III) share this engine.  The engine is deliberately ignorant of
 layout: it manipulates opaque *states* through a :class:`MoveSet` and a
 cost function, implementing stochastically controlled hill-climbing with
 best-state tracking.
+
+Two driving modes are provided:
+
+* :class:`Annealer` — the classic functional loop: ``propose`` returns a
+  brand-new state, the cost function evaluates it from scratch, and a
+  rejected candidate is simply dropped.
+* :class:`IncrementalAnnealer` — the incremental protocol: a single
+  mutable *engine* owns the current state and evaluates each
+  perturbation in place (``propose -> delta-eval -> commit/rollback``).
+  Rejection rolls the perturbation back instead of discarding a copied
+  state, so engines can reuse every cache that the move did not touch
+  (see :mod:`repro.perf.incremental`).
+
+Both loops consume randomness identically (one draw sequence per
+proposal plus one acceptance draw per uphill move), so an engine that
+mirrors a :class:`MoveSet`'s draws reproduces the functional loop's
+trajectory bit for bit.
 """
 
 from __future__ import annotations
@@ -146,6 +163,198 @@ class Annealer(Generic[State]):
             nxt_cost = self._cost(nxt)
             deltas.append(nxt_cost - cost)
             state, cost = nxt, nxt_cost
+        t0 = initial_temperature_from_samples(deltas)
+        base_t0 = self._schedule.temperature(0)
+        if base_t0 <= 0:
+            return 1.0
+        return t0 / base_t0
+
+
+class IncrementalEngine(Protocol):
+    """Mutable annealing state with propose/commit/rollback semantics.
+
+    An engine owns the *current* state.  ``propose`` applies one random
+    perturbation in place and returns the candidate cost (typically via
+    an incremental evaluation that touches only what the move changed).
+    Exactly one of ``commit`` / ``rollback`` follows every ``propose``:
+    ``commit`` keeps the perturbation (O(1) — the mutation already
+    happened), ``rollback`` restores exactly the entries the proposal
+    overwrote.  ``snapshot`` returns an immutable copy of the current
+    state for best-state tracking.
+    """
+
+    def initial_cost(self) -> float:
+        """Cost of the current (initial) state."""
+        ...
+
+    def reset(self, state: object) -> float:
+        """Adopt ``state`` as the current state; return its cost.
+
+        Used by the annealer to restore the pre-warmup state (the
+        warmup walk samples uphill deltas and is then discarded, exactly
+        like the functional loop's)."""
+        ...
+
+    def propose(self, rng: random.Random) -> float:
+        """Apply a random perturbation in place; return the candidate cost."""
+        ...
+
+    def commit(self) -> None:
+        """Accept the pending perturbation."""
+        ...
+
+    def rollback(self) -> None:
+        """Undo the pending perturbation, restoring the previous state."""
+        ...
+
+    def snapshot(self) -> object:
+        """An immutable copy of the current state (for best tracking)."""
+        ...
+
+
+class StateEngine(Generic[State]):
+    """Adapter: a functional ``MoveSet`` + cost as an incremental engine.
+
+    ``propose`` builds a candidate state through the move set (the input
+    state is never mutated), so ``rollback`` is O(1) — the candidate is
+    simply dropped — and ``commit`` swaps one reference.  Used by placers
+    whose packing is not (yet) incremental; it consumes randomness
+    exactly like :class:`Annealer` over the same move set, keeping
+    trajectories identical.
+    """
+
+    def __init__(self, cost: Callable[[State], float], moves: MoveSet[State], initial: State) -> None:
+        self._cost_fn = cost
+        self._moves = moves
+        self._current = initial
+        self._candidate: State | None = None
+
+    @property
+    def current(self) -> State:
+        return self._current
+
+    def initial_cost(self) -> float:
+        return self._cost_fn(self._current)
+
+    def reset(self, state: State) -> float:
+        self._current = state
+        self._candidate = None
+        return self._cost_fn(state)
+
+    def propose(self, rng: random.Random) -> float:
+        self._candidate = self._moves.propose(self._current, rng)
+        return self._cost_fn(self._candidate)
+
+    def commit(self) -> None:
+        self._current = self._candidate
+        self._candidate = None
+
+    def rollback(self) -> None:
+        self._candidate = None
+
+    def snapshot(self) -> State:
+        return self._current
+
+
+class IncrementalAnnealer:
+    """Simulated annealing over an :class:`IncrementalEngine`.
+
+    Drives the same accept/reject schedule as :class:`Annealer`, but the
+    state lives inside the engine: every step is ``propose`` followed by
+    ``commit`` (accepted) or ``rollback`` (rejected), with no state
+    copies anywhere in the loop.  Randomness is consumed exactly like
+    :class:`Annealer` (engine draws, then one acceptance draw for uphill
+    moves), so an engine mirroring a move set's draws reproduces the
+    functional trajectory bit for bit.
+    """
+
+    def __init__(
+        self,
+        engine: IncrementalEngine,
+        schedule: CoolingSchedule | None = None,
+        rng: random.Random | None = None,
+        *,
+        auto_t0: bool = True,
+        trace_every: int = 0,
+    ) -> None:
+        self._engine = engine
+        self._schedule = schedule or GeometricSchedule()
+        self._rng = rng or random.Random(0)
+        self._auto_t0 = auto_t0
+        self._trace_every = trace_every
+
+    def run(self, initial_cost: float | None = None) -> AnnealingResult:
+        """Anneal the engine's current state until the schedule ends."""
+        rng = self._rng
+        engine = self._engine
+        current_cost = (
+            initial_cost if initial_cost is not None else engine.initial_cost()
+        )
+        best, best_cost = engine.snapshot(), current_cost
+
+        stats = AnnealingStats(initial_cost=current_cost, best_cost=current_cost)
+
+        t_scale = 1.0
+        if self._auto_t0:
+            # Sample uphill deltas by walking random moves, then restore
+            # the starting state — the functional loop's warmup also
+            # rescales T0 from a discarded walk, and matching it keeps
+            # trajectories identical across the two drivers.
+            start = engine.snapshot()
+            t_scale = self._warmup(current_cost)
+            current_cost = engine.reset(start)
+
+        propose = engine.propose
+        commit = engine.commit
+        rollback = engine.rollback
+        random_unit = rng.random
+        exp = math.exp
+        trace_every = self._trace_every
+        temperature = 0.0
+
+        total = self._schedule.total_steps
+        # the schedule is stateless: materialize the temperature curve
+        # once (same floats as calling temperature(step) in the loop)
+        temperature_at = self._schedule.temperature
+        temperatures = [temperature_at(step) * t_scale for step in range(total)]
+        for step in range(total):
+            temperature = temperatures[step]
+            candidate_cost = propose(rng)
+            delta = candidate_cost - current_cost
+
+            if delta <= 0 or random_unit() < exp(-delta / max(temperature, 1e-300)):
+                commit()
+                current_cost = candidate_cost
+                stats.accepted += 1
+                if current_cost < best_cost:
+                    best_cost = current_cost
+                    best = engine.snapshot()
+                    stats.improved += 1
+            else:
+                rollback()
+            if trace_every and step % trace_every == 0:
+                stats.cost_trace.append(current_cost)
+
+        stats.steps = total
+        if total:
+            stats.final_temperature = temperature
+        stats.best_cost = best_cost
+        return AnnealingResult(best_state=best, best_cost=best_cost, stats=stats)
+
+    def _warmup(self, initial_cost: float, samples: int = 32) -> float:
+        """Sample uphill deltas by walking (and committing) random moves.
+
+        Mirrors :meth:`Annealer._warmup_scale`: every sampled move is
+        taken.  The caller restores the starting state afterwards.
+        """
+        engine = self._engine
+        deltas = []
+        cost = initial_cost
+        for _ in range(samples):
+            nxt_cost = engine.propose(self._rng)
+            deltas.append(nxt_cost - cost)
+            engine.commit()
+            cost = nxt_cost
         t0 = initial_temperature_from_samples(deltas)
         base_t0 = self._schedule.temperature(0)
         if base_t0 <= 0:

@@ -189,13 +189,29 @@ class HBStarTreePlacement:
         return normalize_coords(self._pack_node_coords(self._hierarchy, state))
 
     def _pack_node_coords(self, node: HierarchyNode, state: HBState) -> Coords:
-        level = state.levels[node.name]
         sub_coords: dict[str, Coords] = {}
-
         for child in node.children:
             sub_coords[child.name] = normalize_coords(
                 self._pack_node_coords(child, state)
             )
+        return self.pack_level_coords(node, state, sub_coords)
+
+    def pack_level_coords(
+        self,
+        node: HierarchyNode,
+        state: HBState,
+        sub_coords: dict[str, Coords],
+    ) -> Coords:
+        """Pack one hierarchy level given its children's subtree coords.
+
+        ``sub_coords`` maps child hierarchy-node names to their already
+        *normalized* subtree coordinate tables (exactly what the
+        recursion produces); constraint blocks (symmetry island /
+        common-centroid array) are added here.  Factored out of
+        :meth:`_pack_node_coords` so the incremental engine can feed
+        cached child tables without re-descending unchanged subtrees.
+        """
+        level = state.levels[node.name]
 
         if isinstance(node.constraint, SymmetryGroup):
             island = level.asf.pack(self._modules).normalized()
@@ -235,9 +251,16 @@ class HBStarTreePlacement:
 
     # -- perturbation ------------------------------------------------------------
 
-    def propose(self, state: HBState, rng: random.Random) -> HBState:
-        """Perturb one randomly selected tree of the forest (section III-B:
-        'one of the HB*-trees should be selected first')."""
+    def propose_level(
+        self, state: HBState, rng: random.Random
+    ) -> tuple[str, LevelState | None]:
+        """Draw one level perturbation: ``(level name, new level state)``.
+
+        Returns ``(name, None)`` when the selected level has no legal
+        move.  The draw sequence is shared by :meth:`propose` and the
+        incremental engine, so both walk the same trajectory for a
+        given rng.
+        """
         name = rng.choice(list(self._nodes))
         node = self._nodes[name]
         level = state.levels[name]
@@ -250,7 +273,7 @@ class HBStarTreePlacement:
         if isinstance(node.constraint, CommonCentroidGroup) and n_variants(node.constraint) > 1:
             choices.append("cc")
         if not choices:
-            return state
+            return name, None
         kind = rng.choice(choices)
 
         if kind == "tree":
@@ -262,6 +285,14 @@ class HBStarTreePlacement:
                 level,
                 cc_variant=(level.cc_variant + 1) % n_variants(node.constraint),
             )
+        return name, new_level
+
+    def propose(self, state: HBState, rng: random.Random) -> HBState:
+        """Perturb one randomly selected tree of the forest (section III-B:
+        'one of the HB*-trees should be selected first')."""
+        name, new_level = self.propose_level(state, rng)
+        if new_level is None:
+            return state
         levels = dict(state.levels)
         levels[name] = new_level
         return HBState(levels=levels)
@@ -280,4 +311,150 @@ class HBStarTreePlacement:
             out.remove(name)
             parent = rng.choice(list(out.nodes()))
             out.insert(name, parent, rng.choice(("left", "right")))
+        return out
+
+
+class HBIncrementalEngine:
+    """Incremental propose/commit/rollback engine for the HB*-tree forest.
+
+    Implements the :class:`repro.anneal.IncrementalEngine` protocol.  A
+    perturbation touches exactly one level, so only the path from that
+    level to the hierarchy root needs repacking: every other node's
+    subtree coordinates are served from a cache of normalized tables.
+    The merged root table is then diffed module-by-module against the
+    last committed placement and handed to
+    :class:`~repro.perf.cost.DeltaHPWL`, which rescans only the nets of
+    modules that actually moved.  Costs — and, for equal seeds, whole
+    annealing trajectories — are bit-identical to the non-cached
+    ``FastCostModel(hb.pack_coords(state))`` path (see ``tests/perf/``).
+    """
+
+    def __init__(
+        self,
+        hb: HBStarTreePlacement,
+        modules: ModuleSet,
+        nets=(),
+        proximity=(),
+        config=None,
+    ) -> None:
+        if config is None:
+            raise ValueError("HBIncrementalEngine requires a cost config")
+        from ..perf.cost import DeltaHPWL, FastCostModel
+
+        self._hb = hb
+        self._fast = FastCostModel(modules, nets, proximity, config)
+        self._track_wl = bool(nets) and bool(config.wirelength_weight)
+        self._delta = (
+            DeltaHPWL(self._fast.resolved_nets, modules.names())
+            if self._track_wl
+            else None
+        )
+        # hierarchy-node name -> parent name, for dirty-path invalidation
+        self._parents: dict[str, str | None] = {hb._hierarchy.name: None}
+        for node in hb._hierarchy.walk():
+            for child in node.children:
+                self._parents[child.name] = node.name
+        self._state: HBState | None = None
+        self._cache: dict[str, Coords] = {}
+        self._cost = float("inf")
+        # pending proposal
+        self._pending_state: HBState | None = None
+        self._pending_cost = float("inf")
+        self._overlay: dict[str, Coords] = {}
+        self._dirty: frozenset[str] = frozenset()
+        self._proposed = False
+
+    # -- setup ---------------------------------------------------------------
+
+    def reset(self, state: HBState) -> float:
+        """Adopt ``state``; build the full cache; return its cost."""
+        self._state = state
+        self._cache = {}
+        self._overlay = {}
+        self._dirty = frozenset(self._parents)
+        coords = self._pack_cached(self._hb._hierarchy, state)
+        self._cache.update(self._overlay)
+        self._overlay = {}
+        self._dirty = frozenset()
+        hpwl = self._delta.reset(coords) if self._delta is not None else None
+        self._cost = self._fast.evaluate(coords, hpwl=hpwl)
+        return self._cost
+
+    def initial_cost(self) -> float:
+        return self._cost
+
+    # -- protocol ------------------------------------------------------------
+
+    def propose(self, rng: random.Random) -> float:
+        if self._proposed:
+            raise RuntimeError("previous proposal not committed or rolled back")
+        name, new_level = self._hb.propose_level(self._state, rng)
+        self._proposed = True
+        if new_level is None:
+            self._pending_state = None
+            self._pending_cost = self._cost
+            return self._cost
+        levels = dict(self._state.levels)
+        levels[name] = new_level
+        candidate = HBState(levels=levels)
+        dirty = set()
+        walk: str | None = name
+        while walk is not None:
+            dirty.add(walk)
+            walk = self._parents[walk]
+        self._dirty = frozenset(dirty)
+        self._overlay = {}
+        coords = self._pack_cached(self._hb._hierarchy, candidate)
+        if self._delta is not None:
+            hpwl = self._delta.propose(coords)
+        else:
+            hpwl = None
+        self._pending_state = candidate
+        self._pending_cost = self._fast.evaluate(coords, hpwl=hpwl)
+        return self._pending_cost
+
+    def commit(self) -> None:
+        if self._pending_state is not None:
+            self._state = self._pending_state
+            self._cache.update(self._overlay)
+            if self._delta is not None:
+                self._delta.commit()
+        self._cost = self._pending_cost
+        self._clear_pending()
+
+    def rollback(self) -> None:
+        if self._pending_state is not None and self._delta is not None:
+            self._delta.rollback()
+        self._clear_pending()
+
+    def snapshot(self) -> HBState:
+        # HBState is frozen and level states are replaced, never
+        # mutated — the current state *is* the snapshot.
+        return self._state
+
+    # -- internals -----------------------------------------------------------
+
+    def _clear_pending(self) -> None:
+        self._pending_state = None
+        self._pending_cost = self._cost
+        self._overlay = {}
+        self._dirty = frozenset()
+        self._proposed = False
+
+    def _pack_cached(self, node, state: HBState) -> Coords:
+        """Normalized subtree coords for ``node``, cached off-path.
+
+        Matches ``normalize_coords(hb._pack_node_coords(node, state))``
+        bit for bit: unchanged subtrees return their cached table (the
+        same floats a recompute would produce), dirty ones recompute
+        through the shared :meth:`HBStarTreePlacement.pack_level_coords`.
+        """
+        name = node.name
+        if name not in self._dirty:
+            return self._cache[name]
+        sub_coords: dict[str, Coords] = {}
+        for child in node.children:
+            sub_coords[child.name] = self._pack_cached(child, state)
+        out = normalize_coords(self._hb.pack_level_coords(node, state, sub_coords))
+        self._overlay[name] = out
         return out

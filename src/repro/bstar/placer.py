@@ -11,11 +11,11 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..anneal import Annealer, AnnealingStats, GeometricSchedule
+from ..anneal import AnnealingStats, GeometricSchedule, IncrementalAnnealer
 from ..circuit import Circuit, ProximityGroup
 from ..geometry import ModuleSet, Net, Placement, total_hpwl
-from ..perf import BStarKernel, FastCostModel
-from .hb_tree import HBStarTreePlacement, HBState
+from ..perf import BStarKernel, FastCostModel, IncrementalBStarEngine
+from .hb_tree import HBIncrementalEngine, HBStarTreePlacement, HBState
 from .packing import pack
 from .perturb import BStarMoveSet, BStarState
 
@@ -93,11 +93,14 @@ class BStarPlacer:
         config: BStarPlacerConfig | None = None,
     ) -> None:
         self._modules = modules
+        self._nets = nets
         self._config = config or BStarPlacerConfig()
         self._moves = BStarMoveSet(modules)
-        # The annealing loop evaluates through the flat kernel: packed
-        # coordinates and cost with no Placement/PlacedModule churn,
-        # bit-identical to evaluating _CostModel over pack().
+        # Reference evaluation tier: packed coordinates and cost with no
+        # Placement/PlacedModule churn, bit-identical to evaluating
+        # _CostModel over pack().  The annealing loop itself runs the
+        # *incremental* engine (dirty-suffix repack + delta HPWL), whose
+        # costs are bit-identical to this kernel on every state.
         self._kernel = BStarKernel(modules, nets, (), self._config)
 
     def cost(self, state: BStarState) -> float:
@@ -112,8 +115,10 @@ class BStarPlacer:
             alpha=cfg.alpha,
             steps_per_epoch=cfg.steps_per_epoch,
         )
-        annealer = Annealer(self.cost, self._moves, schedule, rng)
-        outcome = annealer.run(self._moves.initial_state(rng))
+        engine = IncrementalBStarEngine(self._modules, self._nets, (), cfg)
+        engine.reset(self._moves.initial_state(rng))
+        annealer = IncrementalAnnealer(engine, schedule, rng)
+        outcome = annealer.run()
         best = pack(
             outcome.best_state.tree,
             self._modules,
@@ -131,11 +136,11 @@ class HierarchicalPlacer:
         self._config = config or BStarPlacerConfig()
         self._modules = circuit.modules()
         self._hb = HBStarTreePlacement(circuit.hierarchy, self._modules)
-        constraints = circuit.constraints()
+        self._constraints = circuit.constraints()
         # Hot-loop twin of _CostModel, fed by the forest's
         # flat-coordinate packer (bit-identical results).
         self._fast_cost = FastCostModel(
-            self._modules, circuit.nets, constraints.proximity, self._config
+            self._modules, circuit.nets, self._constraints.proximity, self._config
         )
 
     def pack(self, state: HBState) -> Placement:
@@ -153,7 +158,19 @@ class HierarchicalPlacer:
             alpha=cfg.alpha,
             steps_per_epoch=cfg.steps_per_epoch,
         )
-        annealer = Annealer(self.cost, self._hb, schedule, rng)
-        outcome = annealer.run(self._hb.initial_state(rng))
+        # Incremental forest engine: repacks only the perturbed level's
+        # root path (cached subtrees elsewhere) and delta-evaluates
+        # wirelength; draws and costs match the functional path bit for
+        # bit, so trajectories are unchanged — only faster.
+        engine = HBIncrementalEngine(
+            self._hb,
+            self._modules,
+            self._circuit.nets,
+            self._constraints.proximity,
+            cfg,
+        )
+        engine.reset(self._hb.initial_state(rng))
+        annealer = IncrementalAnnealer(engine, schedule, rng)
+        outcome = annealer.run()
         best = self._hb.pack(outcome.best_state)
         return BStarPlacerResult(best, outcome.best_cost, outcome.stats)

@@ -29,10 +29,15 @@ Modules
     :class:`~repro.geometry.Placement`.
 ``cost``
     Area / HPWL / aspect / proximity cost straight off flat coordinates,
-    with nets pre-resolved to pin lists.
+    with nets pre-resolved to pin lists; :class:`DeltaHPWL` keeps
+    per-net caches so only the nets touching moved modules are rescanned.
 ``kernel``
     The B*-tree packing kernel: iterative traversal, reusable skyline,
     per-(module, variant, orientation) footprint table.
+``incremental``
+    The dirty-suffix engine on top of the kernel: checkpointed skyline,
+    partial repack from the earliest perturbed pre-order position, and
+    the propose -> commit/rollback protocol the annealer drives.
 """
 
 from .coords import (
@@ -42,13 +47,17 @@ from .coords import (
     normalize_coords,
     placement_to_coords,
 )
-from .cost import FastCostModel, hpwl_of, resolve_nets
+from .cost import DeltaHPWL, FastCostModel, hpwl_of, resolve_nets
 from .kernel import BStarKernel, Skyline, pack_tree_coords
+from .incremental import FullRepackBStarEngine, IncrementalBStarEngine
 
 __all__ = [
     "BStarKernel",
     "Coords",
+    "DeltaHPWL",
     "FastCostModel",
+    "FullRepackBStarEngine",
+    "IncrementalBStarEngine",
     "Skyline",
     "bounding_of",
     "coords_to_placement",

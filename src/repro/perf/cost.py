@@ -8,6 +8,15 @@ construction (dropping pins that can never be placed and nets left with
 fewer than two pins — those contribute exactly ``0.0`` either way), so
 each evaluation is a single pass of float arithmetic.
 
+:class:`DeltaHPWL` is the *incremental* wirelength layer on top: it
+keeps one cached value per net plus a module -> incident-nets adjacency,
+recomputes only the nets touching modules that actually moved, and
+re-sums the per-net cache in net order — so the total stays bit
+identical to :func:`hpwl_of` while the per-step work shrinks to the
+perturbation's neighborhood.  When a move displaces most of the design
+it falls back to a numpy-vectorized batch recompute over precomputed
+pin-index arrays (IEEE-identical per-net values, same summation order).
+
 Every formula reproduces the object path operation for operation —
 ``(max - min) + (max - min)`` per net over ``(x0 + x1) / 2`` centers,
 ``(x1 - x0) * (y1 - y0)`` for the bounding area — so costs agree bit
@@ -17,6 +26,11 @@ for bit with ``_CostModel`` over ``pack()`` (see ``tests/perf/``).
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+try:  # numpy is a declared dependency, but keep the scalar path self-sufficient
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 from ..circuit import ProximityGroup
 from ..circuit.constraints import _connected
@@ -123,14 +137,37 @@ class FastCostModel:
         self._area_scale = max(modules.total_module_area(), 1e-12)
         self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
 
-    def __call__(self, coords: Coords) -> float:
+    @property
+    def resolved_nets(self) -> list[ResolvedNet]:
+        """The pre-resolved nets (shared with :class:`DeltaHPWL`)."""
+        return self._resolved
+
+    def evaluate(
+        self,
+        coords: Coords,
+        hpwl: float | None = None,
+        bounding: tuple[float, float, float, float] | None = None,
+    ) -> float:
+        """Cost of ``coords``; pass ``hpwl`` / ``bounding`` to reuse
+        incrementally maintained values.
+
+        A supplied ``hpwl`` must equal ``hpwl_of(self.resolved_nets,
+        coords)`` bit for bit (:class:`DeltaHPWL` guarantees this), and
+        a supplied ``bounding`` must equal ``bounding_of(
+        coords.values())`` the same way (the B*-tree engine reads it off
+        the packing skyline), so the result is identical either way.
+        """
         cfg = self._config
-        bx0, by0, bx1, by1 = bounding_of(coords.values())
+        if bounding is None:
+            bounding = bounding_of(coords.values())
+        bx0, by0, bx1, by1 = bounding
         width = bx1 - bx0
         height = by1 - by0
         cost = cfg.area_weight * (width * height) / self._area_scale
         if self._has_nets and cfg.wirelength_weight:
-            cost += cfg.wirelength_weight * hpwl_of(self._resolved, coords) / self._wl_scale
+            if hpwl is None:
+                hpwl = hpwl_of(self._resolved, coords)
+            cost += cfg.wirelength_weight * hpwl / self._wl_scale
         if cfg.aspect_weight and width > 0 and height > 0:
             ratio = height / width
             deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
@@ -141,6 +178,9 @@ class FastCostModel:
                     cost += cfg.proximity_weight
         return cost
 
+    def __call__(self, coords: Coords) -> float:
+        return self.evaluate(coords)
+
 
 def proximity_satisfied(group: ProximityGroup, coords: Coords, *, tol: float = 1e-6) -> bool:
     """Coordinate-table twin of :meth:`ProximityGroup.is_satisfied`."""
@@ -148,3 +188,267 @@ def proximity_satisfied(group: ProximityGroup, coords: Coords, *, tol: float = 1
     if len(rects) <= 1:
         return True
     return _connected(rects, group.margin + tol)
+
+
+def _net_value(weight: float, pins: tuple[str, ...], coords: Coords) -> float:
+    """One net's weighted HPWL — per-net twin of :func:`hpwl_of`.
+
+    Returns exactly the term :func:`hpwl_of` would add for this net
+    (``0.0`` when fewer than two pins are placed), so summing cached
+    per-net values in net order reproduces the total bit for bit.
+    """
+    get = coords.get
+    if len(pins) == 2:
+        a = get(pins[0])
+        if a is None:
+            return 0.0
+        b = get(pins[1])
+        if b is None:
+            return 0.0
+        ax0, ay0, ax1, ay1 = a
+        bx0, by0, bx1, by1 = b
+        cax = (ax0 + ax1) / 2.0
+        cbx = (bx0 + bx1) / 2.0
+        cay = (ay0 + ay1) / 2.0
+        cby = (by0 + by1) / 2.0
+        dx = cax - cbx if cax >= cbx else cbx - cax
+        dy = cay - cby if cay >= cby else cby - cay
+        return weight * (dx + dy)
+    min_x = max_x = min_y = max_y = 0.0
+    count = 0
+    for pin in pins:
+        entry = get(pin)
+        if entry is None:
+            continue
+        x0, y0, x1, y1 = entry
+        cx = (x0 + x1) / 2.0
+        cy = (y0 + y1) / 2.0
+        if count == 0:
+            min_x = max_x = cx
+            min_y = max_y = cy
+        else:
+            if cx < min_x:
+                min_x = cx
+            elif cx > max_x:
+                max_x = cx
+            if cy < min_y:
+                min_y = cy
+            elif cy > max_y:
+                max_y = cy
+        count += 1
+    if count >= 2:
+        return weight * ((max_x - min_x) + (max_y - min_y))
+    return 0.0
+
+
+class DeltaHPWL:
+    """Incremental weighted HPWL with commit/rollback semantics.
+
+    Maintains one cached value per resolved net and a module ->
+    incident-net adjacency.  A proposal recomputes only the nets
+    touching moved modules (undo-logged), then re-sums the cache *in net
+    order* — the float accumulation :func:`hpwl_of` performs — so totals
+    are bit-identical to a from-scratch evaluation of the same table.
+
+    Two proposal styles:
+
+    * ``propose(coords, moved=names)`` — the caller knows which modules
+      changed (the dirty-suffix B*-tree engine tracks them during the
+      partial repack; ``coords`` may be the same dict mutated in place);
+    * ``propose(coords)`` — diff ``coords`` against the last committed
+      table entry by entry (placers that repack into a fresh dict each
+      step, e.g. the HB*-tree forest and sequence-pair loops).
+
+    When a proposal touches more than ``batch_fraction`` of the nets on
+    a design with at least ``batch_min_nets`` of them, the whole cache
+    is rebuilt through the numpy pin-index batch path instead (one
+    vectorized pass; per-net values are IEEE-identical to the scalar
+    path, and the total is still summed in net order).
+    """
+
+    def __init__(
+        self,
+        resolved: Sequence[ResolvedNet],
+        names: Iterable[str],
+        *,
+        batch_fraction: float = 0.5,
+        batch_min_nets: int = 192,
+    ) -> None:
+        self._resolved = list(resolved)
+        self._names = list(names)
+        self._batch_fraction = batch_fraction
+        self._batch_min_nets = batch_min_nets
+        adj: dict[str, list[int]] = {}
+        for i, (_w, pins) in enumerate(self._resolved):
+            for pin in pins:
+                adj.setdefault(pin, []).append(i)
+        self._adj: dict[str, tuple[int, ...]] = {
+            name: tuple(nets) for name, nets in adj.items()
+        }
+        self._vals: list[float] = [0.0] * len(self._resolved)
+        self._base: Coords | None = None
+        # pending-proposal undo state: per-net log, or a whole-list swap
+        self._log: list[tuple[int, float]] | None = None
+        self._swapped_out: list[float] | None = None
+        self._pending_base: Coords | None = None
+        self._np_tables = None  # built lazily on first batch recompute
+
+    # -- full recompute -----------------------------------------------------
+
+    def reset(self, coords: Coords) -> float:
+        """Rebuild the whole cache for ``coords`` and return the total."""
+        self._log = None
+        self._swapped_out = None
+        self._pending_base = None
+        if self._batch_usable(coords) and len(self._resolved) >= self._batch_min_nets:
+            self._vals = self._batch_vals(coords)
+        else:
+            self._vals = [_net_value(w, pins, coords) for w, pins in self._resolved]
+        self._base = coords
+        return sum(self._vals)
+
+    # -- propose / commit / rollback ---------------------------------------
+
+    def propose(self, coords: Coords, moved: Iterable[str] | None = None) -> float:
+        """Update the cache for a candidate table; return the new total.
+
+        Must be followed by :meth:`commit` or :meth:`rollback` before
+        the next proposal.
+        """
+        if self._log is not None or self._swapped_out is not None:
+            raise RuntimeError("previous proposal not committed or rolled back")
+        adj_get = self._adj.get
+        affected: set[int] = set()
+        if moved is None:
+            base = self._base if self._base is not None else {}
+            base_get = base.get
+            for name, entry in coords.items():
+                if base_get(name) != entry:
+                    nets = adj_get(name)
+                    if nets:
+                        affected.update(nets)
+        else:
+            for name in moved:
+                nets = adj_get(name)
+                if nets:
+                    affected.update(nets)
+        n_nets = len(self._resolved)
+        if (
+            n_nets >= self._batch_min_nets
+            and len(affected) > self._batch_fraction * n_nets
+            and self._batch_usable(coords)
+        ):
+            self._swapped_out = self._vals
+            self._vals = self._batch_vals(coords)
+        else:
+            log: list[tuple[int, float]] = []
+            vals = self._vals
+            resolved = self._resolved
+            get = coords.get
+            for i in affected:
+                weight, pins = resolved[i]
+                # inlined 2-pin fast path (the overwhelming majority);
+                # arithmetic identical to hpwl_of / _net_value
+                if len(pins) == 2:
+                    a = get(pins[0])
+                    b = get(pins[1])
+                    if a is None or b is None:
+                        new = 0.0
+                    else:
+                        ax0, ay0, ax1, ay1 = a
+                        bx0, by0, bx1, by1 = b
+                        cax = (ax0 + ax1) / 2.0
+                        cbx = (bx0 + bx1) / 2.0
+                        cay = (ay0 + ay1) / 2.0
+                        cby = (by0 + by1) / 2.0
+                        dx = cax - cbx if cax >= cbx else cbx - cax
+                        dy = cay - cby if cay >= cby else cby - cay
+                        new = weight * (dx + dy)
+                else:
+                    new = _net_value(weight, pins, coords)
+                old = vals[i]
+                if new != old:
+                    log.append((i, old))
+                    vals[i] = new
+            self._log = log
+        self._pending_base = coords
+        return sum(self._vals)
+
+    def commit(self) -> None:
+        """Keep the pending proposal (no-op when none is pending)."""
+        if self._pending_base is not None:
+            self._base = self._pending_base
+        self._log = None
+        self._swapped_out = None
+        self._pending_base = None
+
+    def rollback(self) -> None:
+        """Restore the cache to the last committed proposal."""
+        if self._swapped_out is not None:
+            self._vals = self._swapped_out
+            self._swapped_out = None
+        elif self._log is not None:
+            vals = self._vals
+            for i, old in reversed(self._log):
+                vals[i] = old
+            self._log = None
+        self._pending_base = None
+
+    def total(self) -> float:
+        """The cached total (same accumulation order as :func:`hpwl_of`)."""
+        return sum(self._vals)
+
+    # -- numpy batch path ---------------------------------------------------
+
+    def _batch_usable(self, coords: Coords) -> bool:
+        # the vectorized path indexes every module unconditionally, so it
+        # needs numpy and a complete coordinate table
+        return _np is not None and len(coords) >= len(self._names)
+
+    def _build_np_tables(self):
+        index = {name: i for i, name in enumerate(self._names)}
+        two_a: list[int] = []
+        two_b: list[int] = []
+        two_w: list[float] = []
+        two_pos: list[int] = []
+        flat: list[int] = []
+        offsets: list[int] = []
+        multi_w: list[float] = []
+        multi_pos: list[int] = []
+        for i, (weight, pins) in enumerate(self._resolved):
+            if len(pins) == 2:
+                two_a.append(index[pins[0]])
+                two_b.append(index[pins[1]])
+                two_w.append(weight)
+                two_pos.append(i)
+            else:
+                offsets.append(len(flat))
+                flat.extend(index[p] for p in pins)
+                multi_w.append(weight)
+                multi_pos.append(i)
+        as_i = lambda xs: _np.asarray(xs, dtype=_np.intp)  # noqa: E731
+        as_f = lambda xs: _np.asarray(xs, dtype=_np.float64)  # noqa: E731
+        self._np_tables = (
+            as_i(two_a), as_i(two_b), as_f(two_w), as_i(two_pos),
+            as_i(flat), as_i(offsets), as_f(multi_w), as_i(multi_pos),
+        )
+        return self._np_tables
+
+    def _batch_vals(self, coords: Coords) -> list[float]:
+        tables = self._np_tables or self._build_np_tables()
+        two_a, two_b, two_w, two_pos, flat, offsets, multi_w, multi_pos = tables
+        arr = _np.array([coords[name] for name in self._names], dtype=_np.float64)
+        cx = (arr[:, 0] + arr[:, 2]) / 2.0
+        cy = (arr[:, 1] + arr[:, 3]) / 2.0
+        vals = _np.zeros(len(self._resolved), dtype=_np.float64)
+        if len(two_pos):
+            vals[two_pos] = two_w * (
+                _np.abs(cx[two_a] - cx[two_b]) + _np.abs(cy[two_a] - cy[two_b])
+            )
+        if len(multi_pos):
+            px = cx[flat]
+            py = cy[flat]
+            span_x = _np.maximum.reduceat(px, offsets) - _np.minimum.reduceat(px, offsets)
+            span_y = _np.maximum.reduceat(py, offsets) - _np.minimum.reduceat(py, offsets)
+            vals[multi_pos] = multi_w * (span_x + span_y)
+        return vals.tolist()

@@ -1,0 +1,498 @@
+"""Dirty-suffix incremental evaluation for B*-tree annealing.
+
+The PR-1 kernel made each annealing step cheap; this module makes each
+step *proportional to what the move changed*.  A B*-tree packs in
+pre-order, and a node's placement depends only on the nodes packed
+before it — so a perturbation that touches nodes at pre-order positions
+``>= k`` leaves the coordinate prefix ``[0, k)`` bit-identical.
+:class:`IncrementalBStarEngine` exploits that three ways:
+
+* **skyline checkpoints** — the packing skyline is snapshotted every
+  ``stride`` pre-order positions; a repack restores the checkpoint at
+  ``k // stride`` and replays at most ``stride - 1`` cached rectangles
+  instead of re-raising the whole prefix;
+* **O(depth) traversal resume** — the DFS stack at position ``k`` is
+  reconstructed from the perturbed tree's parent pointers and the
+  cached prefix coordinates (the pending right-siblings along the path
+  to ``k``'s predecessor), so the prefix is never re-walked;
+* **delta wirelength** — modules whose rectangle actually changed are
+  collected during the repack and handed to
+  :class:`~repro.perf.cost.DeltaHPWL`, which recomputes only their
+  incident nets.
+
+Every proposal is undo-logged (touched tree pointers, overwritten
+coordinates, refreshed checkpoints, changed net values), giving the
+``propose -> commit/rollback`` protocol of
+:class:`~repro.anneal.IncrementalAnnealer`: commit is O(1) — the
+mutation already happened — and rollback restores exactly what the
+proposal overwrote.  Costs are bit-identical to a full
+``pack_tree_coords`` + :class:`~repro.perf.cost.FastCostModel`
+evaluation of the same state (see ``tests/perf/``);
+:class:`FullRepackBStarEngine` is the same protocol with full
+re-evaluation, used to lock that equivalence over whole annealing runs.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import TYPE_CHECKING
+
+from ..circuit import ProximityGroup
+from ..geometry import ModuleSet, Net, Orientation
+from .coords import Coords
+from .cost import DeltaHPWL, FastCostModel
+from .kernel import BStarKernel, Skyline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..bstar.perturb import BStarState
+
+_INF = float("inf")
+
+
+def _perturb_module():
+    # Imported lazily: repro.perf must stay importable without pulling
+    # in repro.bstar (whose placers import repro.perf right back).
+    from ..bstar import perturb
+
+    return perturb
+
+
+class IncrementalBStarEngine:
+    """Incremental pack-and-cost engine for flat B*-tree annealing.
+
+    Implements the :class:`repro.anneal.IncrementalEngine` protocol.
+    Call :meth:`reset` with an initial :class:`BStarState` (the engine
+    keeps its own mutable copy), then drive it through
+    :class:`repro.anneal.IncrementalAnnealer`.
+    """
+
+    def __init__(
+        self,
+        modules: ModuleSet,
+        nets: tuple[Net, ...] = (),
+        proximity: tuple[ProximityGroup, ...] = (),
+        config=None,
+        *,
+        allow_rotation: bool = True,
+        stride: int = 8,
+    ) -> None:
+        if config is None:
+            raise ValueError("IncrementalBStarEngine requires a cost config")
+        perturb = _perturb_module()
+        self._state_cls = perturb.BStarState
+        self._moves = perturb.InPlaceBStarMoves(modules, allow_rotation=allow_rotation)
+        self._fast = FastCostModel(modules, nets, proximity, config)
+        self._track_wl = bool(nets) and bool(config.wirelength_weight)
+        self._delta = (
+            DeltaHPWL(self._fast.resolved_nets, modules.names())
+            if self._track_wl
+            else None
+        )
+        # share the kernel's footprint tables (same package, same tier)
+        self._kernel = BStarKernel(modules, nets, proximity, config)
+        self._footprints = self._kernel._footprints
+        self._stride = max(1, stride)
+        self._sky = Skyline()
+
+        # current state (mutable, owned by the engine)
+        self._tree = None
+        self._orients: dict[str, Orientation] = {}
+        self._variants: dict[str, int] = {}
+        self._sizes: dict[str, tuple[float, float]] = {}
+        self._coords: Coords = {}
+        self._order: list[str] = []
+        self._pos: dict[str, int] = {}
+        self._ckpts: list = []
+        self._cost = _INF
+
+        # pending-proposal undo state.  `order`/`pos` describe the
+        # *committed* state only: a proposal records the repacked
+        # pre-order in `_new_suffix` and commit splices it in, so
+        # rejected moves never touch (and never have to restore) them.
+        self._pending = False
+        self._pending_kind = ""
+        self._pending_cost = _INF
+        self._rec = None
+        self._size_undo: tuple[str, tuple[float, float]] | None = None
+        self._dirty_k = 0
+        self._new_suffix: list[str] = []
+        self._coord_log: list[tuple[str, tuple[float, float, float, float] | None]] = []
+        self._ckpt_log: list = []
+        self._moved: list[str] = []
+
+    # -- setup ---------------------------------------------------------------
+
+    def initial_state(self, rng: random.Random) -> BStarState:
+        return self._moves.initial_state(rng)
+
+    def reset(self, state: BStarState) -> float:
+        """Adopt ``state`` (copied into mutable form); return its cost."""
+        self._tree = state.tree.clone()
+        self._orients = dict(state.orientations)
+        self._variants = dict(state.variants)
+        self._sizes = dict(
+            self._kernel.resolved_sizes(self._orients, self._variants)
+        )
+        n = len(self._tree)
+        self._order = [""] * n
+        self._pos = {}
+        self._coords = {}
+        n_slots = ((n - 1) // self._stride + 1) if n else 1
+        self._ckpts = [([0.0], [0.0]) for _ in range(n_slots)]
+        self._pending = True  # satisfy the repack's logging paths
+        self._repack_suffix(0)
+        self._order[:] = self._new_suffix
+        for idx, name in enumerate(self._order):
+            self._pos[name] = idx
+        if self._delta is not None:
+            hpwl = self._delta.reset(self._coords)
+        else:
+            hpwl = None
+        self._cost = self._evaluate(hpwl)
+        self._clear_pending()
+        return self._cost
+
+    def initial_cost(self) -> float:
+        return self._cost
+
+    # -- protocol ------------------------------------------------------------
+
+    def propose(self, rng: random.Random) -> float:
+        """Apply one random move in place; return the candidate cost."""
+        if self._pending:
+            raise RuntimeError("previous proposal not committed or rolled back")
+        rec = self._moves.apply(self._tree, self._orients, self._variants, rng)
+        self._rec = rec
+        self._pending = True
+        kind = rec.kind
+        if kind == "noop":
+            self._pending_kind = "noop"
+            self._pending_cost = self._cost
+            return self._cost
+        if kind == "rotate" or kind == "reshape":
+            name = rec.a
+            wh = self._footprints[name][self._variants.get(name, 0)][
+                self._orients.get(name, Orientation.R0)
+            ]
+            old_wh = self._sizes[name]
+            if wh == old_wh:
+                # size-neutral move (square rotate, same-footprint
+                # variant): coordinates — hence cost — are unchanged
+                self._pending_kind = "neutral"
+                self._pending_cost = self._cost
+                return self._cost
+            self._size_undo = (name, old_wh)
+            self._sizes[name] = wh
+        else:
+            self._size_undo = None
+        self._pending_kind = "repack"
+        k = self._moves.dirty_index(rec, self._pos)
+        # only "move" (and the sibling-swap corner, which exchanges
+        # subtrees rather than slots) reshuffles the pre-order suffix
+        # unpredictably; a plain swap exchanges exactly two slots and
+        # rotate/reshape none, so the suffix name list is collected only
+        # when commit will need it
+        self._repack_suffix(
+            k, collect_order=kind == "move" or rec.sibling_swap
+        )
+        if self._delta is not None:
+            hpwl = self._delta.propose(self._coords, moved=self._moved)
+        else:
+            hpwl = None
+        self._pending_cost = self._evaluate(hpwl)
+        return self._pending_cost
+
+    def commit(self) -> None:
+        """Keep the pending move (the mutation already happened; only
+        the committed-state pre-order book-keeping is updated)."""
+        if self._pending_kind == "repack":
+            kind = self._rec.kind
+            if kind == "move" or self._rec.sibling_swap:
+                k = self._dirty_k
+                self._order[k:] = self._new_suffix
+                pos = self._pos
+                for idx, name in enumerate(self._new_suffix, k):
+                    pos[name] = idx
+            elif kind == "swap":
+                # a swap exchanges exactly two pre-order slots; every
+                # other node (including both subtrees, which moved
+                # wholesale) keeps its position
+                a, b = self._rec.a, self._rec.b
+                pos = self._pos
+                pa, pb = pos[a], pos[b]
+                order = self._order
+                order[pa], order[pb] = b, a
+                pos[a], pos[b] = pb, pa
+            # rotate/reshape leave the traversal order untouched
+            if self._delta is not None:
+                self._delta.commit()
+        self._cost = self._pending_cost
+        self._clear_pending()
+
+    def rollback(self) -> None:
+        """Undo the pending move, restoring exactly what it overwrote
+        (``order``/``pos`` still describe the committed state and need
+        no repair)."""
+        self._moves.undo(self._tree, self._orients, self._variants, self._rec)
+        if self._pending_kind == "repack":
+            if self._size_undo is not None:
+                name, wh = self._size_undo
+                self._sizes[name] = wh
+            coords = self._coords
+            for name, old in reversed(self._coord_log):
+                coords[name] = old
+            ckpts = self._ckpts
+            for slot, snap in self._ckpt_log:
+                ckpts[slot] = snap
+            if self._delta is not None:
+                self._delta.rollback()
+        self._clear_pending()
+
+    def snapshot(self) -> BStarState:
+        """An immutable copy of the current state (best tracking)."""
+        return self._state_cls(
+            tree=self._tree.clone(),
+            orientations=dict(self._orients),
+            variants=dict(self._variants),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _clear_pending(self) -> None:
+        self._pending = False
+        self._pending_kind = ""
+        self._rec = None
+        self._size_undo = None
+        self._new_suffix = []
+        self._coord_log = []
+        self._ckpt_log = []
+
+    def _evaluate(self, hpwl: float | None) -> float:
+        # the skyline after a (re)pack covers the whole design, so the
+        # bounding box falls out of it: packing anchors the root at the
+        # origin (min = 0.0 exactly) and the skyline's raised extent is
+        # max(x1) / max(y1) over the very same floats
+        sky = self._sky
+        bounding = (0.0, 0.0, sky.rightmost_edge(), sky.max_height())
+        return self._fast.evaluate(self._coords, hpwl=hpwl, bounding=bounding)
+
+    def _repack_suffix(self, k: int, collect_order: bool = True) -> None:
+        """Repack pre-order positions ``>= k`` (undo-logged).
+
+        Writes candidate coordinates (with per-entry undo), refreshes
+        skyline checkpoints past ``k`` (old snapshots logged), collects
+        moved modules for the HPWL delta and — when ``collect_order`` is
+        set — records the new pre-order tail in ``_new_suffix`` for
+        commit to splice in.
+        """
+        self._dirty_k = k
+        stride = self._stride
+        order = self._order
+        coords = self._coords
+        sizes = self._sizes
+        sky = self._sky
+        c = k // stride
+        ckpts = self._ckpts
+        sky.restore(ckpts[c])
+        # The skyline splice is inlined below (this is the hottest loop
+        # in the library); the logic is Skyline.raise_over verbatim.
+        starts = sky._starts
+        heights = sky._heights
+        bis_r = bisect_right
+        # replay the cached tail of the prefix (unchanged rectangles)
+        for idx in range(c * stride, k):
+            x, _y0, x1, y1 = coords[order[idx]]
+            i = bis_r(starts, x) - 1
+            j = i + 1
+            n_segs = len(starts)
+            while j < n_segs and starts[j] < x1:
+                j += 1
+            tail = heights[j - 1]
+            if starts[i] < x:
+                new_s = [starts[i], x]
+                new_h = [heights[i], y1]
+            else:
+                new_s = [x]
+                new_h = [y1]
+            end = starts[j] if j < len(starts) else _INF
+            if x1 < end:
+                new_s.append(x1)
+                new_h.append(tail)
+            starts[i:j] = new_s
+            heights[i:j] = new_h
+        coord_log: list = []
+        self._coord_log = coord_log
+        ckpt_log: list = []
+        self._ckpt_log = ckpt_log
+        new_suffix: list[str] = []
+        self._new_suffix = new_suffix
+        push_suffix = new_suffix.append if collect_order else None
+        moved = self._moved
+        moved.clear()
+        push_moved = moved.append
+        stack = self._stack_at(k)
+        push_stack = stack.append
+        pop_stack = stack.pop
+        tree = self._tree
+        tree_left, tree_right = tree.left, tree.right
+        coords_get = coords.get
+        next_ckpt = (c + 1) * stride
+        idx = k
+        while stack:
+            if idx == next_ckpt:
+                slot = idx // stride
+                ckpt_log.append((slot, ckpts[slot]))
+                ckpts[slot] = (starts.copy(), heights.copy())
+                next_ckpt += stride
+            name, x = pop_stack()
+            w, h = sizes[name]
+            x1 = x + w
+            # fused query-and-raise over (x, x1); a module spans only a
+            # couple of segments, so the end scans linearly
+            i = bis_r(starts, x) - 1
+            j = i + 1
+            n_segs = len(starts)
+            while j < n_segs and starts[j] < x1:
+                j += 1
+            if j - i == 1:
+                y = heights[i]
+            else:
+                y = max(heights[i:j])
+            top = y + h
+            tail = heights[j - 1]
+            if starts[i] < x:
+                new_s = [starts[i], x]
+                new_h = [heights[i], top]
+            else:
+                new_s = [x]
+                new_h = [top]
+            end = starts[j] if j < len(starts) else _INF
+            if x1 < end:
+                new_s.append(x1)
+                new_h.append(tail)
+            starts[i:j] = new_s
+            heights[i:j] = new_h
+            entry = (x, y, x1, top)
+            old = coords_get(name)
+            if entry != old:
+                coord_log.append((name, old))
+                coords[name] = entry
+                push_moved(name)
+            if push_suffix is not None:
+                push_suffix(name)
+            idx += 1
+            right = tree_right[name]
+            if right is not None:
+                push_stack((right, x))
+            left = tree_left[name]
+            if left is not None:
+                push_stack((left, x1))
+        assert idx == len(order), "suffix repack lost nodes (tree corrupted?)"
+
+    def _stack_at(self, k: int) -> list[tuple[str, float]]:
+        """The packing DFS stack just before pre-order position ``k``.
+
+        Rebuilt in O(depth) from the perturbed tree: walking up from the
+        prefix's last node ``u = order[k-1]``, every ancestor left-edge
+        with a pending right child contributes one stack entry (at the
+        ancestor's cached x), topped by ``u``'s own pending children.
+        All nodes consulted live in the unchanged prefix, so their
+        cached coordinates are valid.
+        """
+        tree = self._tree
+        if k == 0:
+            root = tree.root
+            return [] if root is None else [(root, 0.0)]
+        coords = self._coords
+        left, right, parent = tree.left, tree.right, tree.parent
+        u = self._order[k - 1]
+        pending: list[tuple[str, float]] = []  # nearest-ancestor first
+        child = u
+        node = parent[u]
+        while node is not None:
+            if left[node] == child:
+                r = right[node]
+                if r is not None:
+                    pending.append((r, coords[node][0]))
+            child = node
+            node = parent[node]
+        pending.reverse()
+        cu = coords[u]
+        r = right[u]
+        if r is not None:
+            pending.append((r, cu[0]))
+        l = left[u]
+        if l is not None:
+            pending.append((l, cu[2]))
+        return pending
+
+
+class FullRepackBStarEngine:
+    """The same protocol and random draws, evaluated by full repack.
+
+    Twin of :class:`IncrementalBStarEngine` that packs the whole tree
+    and rescans every net on every proposal (PR-1 kernel evaluation).
+    Because both engines draw identically from the shared
+    :class:`~repro.bstar.perturb.InPlaceBStarMoves`, running them with
+    equal seeds produces the *same annealing walk* — which is how the
+    equivalence tests and the benchmark assert that incremental
+    evaluation changes speed, not answers.
+    """
+
+    def __init__(
+        self,
+        modules: ModuleSet,
+        nets: tuple[Net, ...] = (),
+        proximity: tuple[ProximityGroup, ...] = (),
+        config=None,
+        *,
+        allow_rotation: bool = True,
+    ) -> None:
+        if config is None:
+            raise ValueError("FullRepackBStarEngine requires a cost config")
+        perturb = _perturb_module()
+        self._state_cls = perturb.BStarState
+        self._moves = perturb.InPlaceBStarMoves(modules, allow_rotation=allow_rotation)
+        self._kernel = BStarKernel(modules, nets, proximity, config)
+        self._tree = None
+        self._orients: dict[str, Orientation] = {}
+        self._variants: dict[str, int] = {}
+        self._cost = _INF
+        self._pending_cost = _INF
+        self._rec = None
+
+    def initial_state(self, rng: random.Random) -> BStarState:
+        return self._moves.initial_state(rng)
+
+    def reset(self, state: BStarState) -> float:
+        self._tree = state.tree.clone()
+        self._orients = dict(state.orientations)
+        self._variants = dict(state.variants)
+        self._cost = self._kernel.cost(self._tree, self._orients, self._variants)
+        return self._cost
+
+    def initial_cost(self) -> float:
+        return self._cost
+
+    def propose(self, rng: random.Random) -> float:
+        self._rec = self._moves.apply(self._tree, self._orients, self._variants, rng)
+        self._pending_cost = self._kernel.cost(
+            self._tree, self._orients, self._variants
+        )
+        return self._pending_cost
+
+    def commit(self) -> None:
+        self._cost = self._pending_cost
+        self._rec = None
+
+    def rollback(self) -> None:
+        self._moves.undo(self._tree, self._orients, self._variants, self._rec)
+        self._rec = None
+
+    def snapshot(self) -> BStarState:
+        return self._state_cls(
+            tree=self._tree.clone(),
+            orientations=dict(self._orients),
+            variants=dict(self._variants),
+        )

@@ -8,9 +8,10 @@ The kernel packs a :class:`~repro.bstar.BStarTree` straight into a
   ``Module.footprint`` call per node;
 * the traversal is iterative (explicit stack) — degenerate chain trees
   of any depth pack without recursion;
-* the skyline is a reusable, tuple-based structure with an O(1) reset,
-  so one kernel instance serves an entire annealing run with no
-  per-step allocation beyond the output dict.
+* the skyline is a reusable parallel-list structure with an O(1) reset
+  and snapshot/restore for the incremental engine's checkpoints, so one
+  kernel instance serves an entire annealing run with no per-step
+  allocation beyond the output dict.
 
 Coordinates are bit-identical to ``repro.bstar.packing.pack`` — same
 traversal order, same ``x + w`` / ``y + h`` arithmetic, same exact
@@ -19,6 +20,7 @@ min/max skyline queries (verified in ``tests/perf/``).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Mapping
 
 from ..circuit import ProximityGroup
@@ -28,64 +30,105 @@ from .cost import FastCostModel
 
 _INF = float("inf")
 
+#: a skyline snapshot: (starts, heights) list copies
+SkylineSnapshot = tuple[list[float], list[float]]
+
 
 class Skyline:
-    """Contour over x >= 0 as a contiguous list of (x0, x1, y) tuples.
+    """Contour over x >= 0 as parallel ``starts`` / ``heights`` lists.
 
     Functional twin of :class:`repro.bstar.Contour`, tuned for the hot
-    loop: no segment objects, no sorting (splits are emitted in order),
-    no equal-height merging (heights are unaffected), and a cheap
-    :meth:`reset` so one instance serves a whole annealing run.
+    loop.  Segment ``i`` spans ``[starts[i], starts[i+1])`` (the last
+    one runs to infinity) at height ``heights[i]``; starts are strictly
+    increasing, so the query side of :meth:`raise_over` is a C-level
+    ``bisect`` (linear for short profiles) plus a slice ``max``, and the
+    update side is two list splices.  Heights come out of the very same
+    ``max`` / ``y + h`` float operations as the object tier, so packings
+    agree bit for bit (see ``tests/perf/``).
     """
 
-    __slots__ = ("_segs",)
+    __slots__ = ("_starts", "_heights")
 
     def __init__(self) -> None:
-        self._segs: list[tuple[float, float, float]] = [(0.0, _INF, 0.0)]
+        self._starts: list[float] = [0.0]
+        self._heights: list[float] = [0.0]
 
     def reset(self) -> None:
         """Return to the flat initial skyline."""
-        self._segs[:] = ((0.0, _INF, 0.0),)
+        self._starts[:] = (0.0,)
+        self._heights[:] = (0.0,)
 
-    def height_over(self, x0: float, x1: float) -> float:
-        """Maximum height over the open interval (x0, x1)."""
-        best = 0.0
-        for s0, s1, y in self._segs:
-            if s1 <= x0:
-                continue
-            if s0 >= x1:
-                break
-            if y > best:
-                best = y
-        return best
+    def snapshot(self) -> SkylineSnapshot:
+        """An immutable-by-convention copy of the current profile.
+
+        The incremental engine checkpoints the skyline at fixed pre-order
+        strides; snapshots are never mutated, only :meth:`restore`\\ d
+        (which copies again), so stored checkpoints stay valid.
+        """
+        return (self._starts.copy(), self._heights.copy())
+
+    def restore(self, snapshot: SkylineSnapshot) -> None:
+        """Load a snapshot taken by :meth:`snapshot`."""
+        starts, heights = snapshot
+        self._starts[:] = starts
+        self._heights[:] = heights
+
+    def max_height(self) -> float:
+        """Maximum height over the whole skyline (exact max, no rounding)."""
+        return max(self._heights)
+
+    def rightmost_edge(self) -> float:
+        """The right edge of the rightmost raised interval (0.0 if flat).
+
+        Every placed module raised the skyline over its exact
+        ``(x0, x1)`` span, so this is bit-identical to ``max(x1)`` over
+        the placed modules.  (A zero-height tail always trails the
+        raised region, so the scan from the right is short.)
+        """
+        heights = self._heights
+        for i in range(len(heights) - 1, -1, -1):
+            if heights[i] != 0.0:
+                return self._starts[i + 1]
+        return 0.0
 
     def raise_over(self, x0: float, x1: float, h: float) -> float:
         """Fused query-and-place: return the height over (x0, x1) and
-        raise the skyline to ``height + h`` there, in one scan with an
-        in-place splice (the packing inner loop calls only this)."""
-        segs = self._segs
-        i = 0
-        while segs[i][1] <= x0:
-            i += 1
-        j = i
-        best = 0.0
-        n = len(segs)
-        while j < n:
-            s0, s1, y = segs[j]
-            if s0 >= x1:
-                break
-            if y > best:
-                best = y
+        raise the skyline to ``height + h`` there (the packing inner
+        loop calls only this)."""
+        starts = self._starts
+        heights = self._heights
+        n = len(starts)
+        # segment containing x0: last start <= x0 (starts[0] == 0.0 <= x0).
+        # Short profiles (every fresh pack starts with one) scan faster
+        # than they bisect.
+        if n < 16:
+            i = 0
+            while i + 1 < n and starts[i + 1] <= x0:
+                i += 1
+        else:
+            i = bisect_right(starts, x0) - 1
+        # segments covering any of (x0, x1): starts strictly below x1 —
+        # a module usually spans only a couple of segments, so scan.
+        j = i + 1
+        while j < n and starts[j] < x1:
             j += 1
-        first = segs[i]
-        last = segs[j - 1]
-        mid: list[tuple[float, float, float]] = []
-        if first[0] < x0:
-            mid.append((first[0], x0, first[2]))
-        mid.append((x0, x1, best + h))
-        if last[1] > x1:
-            mid.append((x1, last[1], last[2]))
-        segs[i:j] = mid
+        if j - i == 1:
+            best = heights[i]
+        else:
+            best = max(heights[i:j])
+        tail = heights[j - 1]
+        if starts[i] < x0:
+            new_starts = [starts[i], x0]
+            new_heights = [heights[i], best + h]
+        else:
+            new_starts = [x0]
+            new_heights = [best + h]
+        end = starts[j] if j < len(starts) else _INF
+        if x1 < end:
+            new_starts.append(x1)
+            new_heights.append(tail)
+        starts[i:j] = new_starts
+        heights[i:j] = new_heights
         return best
 
 def pack_tree_coords(
@@ -109,20 +152,52 @@ def pack_tree_coords(
     else:
         skyline.reset()
     tree_left, tree_right = tree.left, tree.right
-    raise_over = skyline.raise_over
+    # Skyline.raise_over inlined (this loop and the incremental
+    # engine's suffix repack are the two hottest paths in the library).
+    starts = skyline._starts
+    heights = skyline._heights
+    bis_r = bisect_right
     stack: list[tuple[str, float]] = [(root, 0.0)]
+    push = stack.append
+    pop = stack.pop
     while stack:
-        name, x = stack.pop()
+        name, x = pop()
         w, h = sizes[name]
         x1 = x + w
-        y = raise_over(x, x1, h)
-        out[name] = (x, y, x1, y + h)
+        n = len(starts)
+        if n < 16:
+            i = 0
+            while i + 1 < n and starts[i + 1] <= x:
+                i += 1
+        else:
+            i = bis_r(starts, x) - 1
+        j = i + 1
+        while j < n and starts[j] < x1:
+            j += 1
+        if j - i == 1:
+            y = heights[i]
+        else:
+            y = max(heights[i:j])
+        top = y + h
+        tail = heights[j - 1]
+        if starts[i] < x:
+            new_s = [starts[i], x]
+            new_h = [heights[i], top]
+        else:
+            new_s = [x]
+            new_h = [top]
+        if x1 < (starts[j] if j < n else _INF):
+            new_s.append(x1)
+            new_h.append(tail)
+        starts[i:j] = new_s
+        heights[i:j] = new_h
+        out[name] = (x, y, x1, top)
         right = tree_right[name]
         if right is not None:
-            stack.append((right, x))
+            push((right, x))
         left = tree_left[name]
         if left is not None:
-            stack.append((left, x1))
+            push((left, x1))
     return out
 
 
@@ -161,6 +236,42 @@ class BStarKernel:
             m.name: self._footprints[m.name][0][Orientation.R0] for m in modules
         }
 
+    def resolved_sizes(
+        self,
+        orientations: Mapping[str, Orientation] | None = None,
+        variants: Mapping[str, int] | None = None,
+    ) -> Mapping[str, tuple[float, float]]:
+        """The effective footprint table for an override pair.
+
+        Copy-on-default: overrides are normalized first, and entries
+        whose footprint equals the default (variant 0, R0 — e.g. a
+        square module rotated, or an explicit variant-0 entry) are
+        dropped; when nothing survives, the shared default table is
+        returned without any copy at all.
+        """
+        sizes = self._default_sizes
+        if not orientations and not variants:
+            return sizes
+        footprints = self._footprints
+        overrides: dict[str, tuple[float, float]] = {}
+        if orientations:
+            for name, orient in orientations.items():
+                variant = variants.get(name, 0) if variants else 0
+                wh = footprints[name][variant][orient]
+                if wh != sizes[name]:
+                    overrides[name] = wh
+        if variants:
+            for name, variant in variants.items():
+                if not orientations or name not in orientations:
+                    wh = footprints[name][variant][Orientation.R0]
+                    if wh != sizes[name]:
+                        overrides[name] = wh
+        if not overrides:
+            return sizes
+        sizes = sizes.copy()
+        sizes.update(overrides)
+        return sizes
+
     def pack(
         self,
         tree,
@@ -168,21 +279,7 @@ class BStarKernel:
         variants: Mapping[str, int] | None = None,
     ) -> Coords:
         """Pack a tree into flat coordinates (bit-identical to ``pack()``)."""
-        sizes = self._default_sizes
-        if orientations or variants:
-            # Copy-on-default: one C-level dict copy, then override the
-            # handful of modules with a non-default variant/orientation.
-            footprints = self._footprints
-            sizes = sizes.copy()
-            if orientations:
-                for name, orient in orientations.items():
-                    variant = variants.get(name, 0) if variants else 0
-                    sizes[name] = footprints[name][variant][orient]
-            if variants:
-                for name, variant in variants.items():
-                    if not orientations or name not in orientations:
-                        sizes[name] = footprints[name][variant][Orientation.R0]
-        return pack_tree_coords(tree, sizes, self._skyline)
+        return pack_tree_coords(tree, self.resolved_sizes(orientations, variants), self._skyline)
 
     def cost(
         self,

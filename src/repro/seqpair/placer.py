@@ -10,10 +10,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..anneal import Annealer, AnnealingStats, GeometricSchedule
+from ..anneal import AnnealingStats, GeometricSchedule, IncrementalAnnealer
 from ..circuit import Circuit, SymmetryGroup
 from ..geometry import ModuleSet, Net, Placement
-from ..perf import bounding_of, hpwl_of, resolve_nets
+from ..perf import DeltaHPWL, bounding_of, hpwl_of, resolve_nets
 from .moves import PlacementState, SymmetricMoveSet
 from .symmetry import SymmetricPackingError, pack_symmetric, pack_symmetric_coords
 
@@ -128,9 +128,13 @@ class SequencePairPlacer:
             alpha=cfg.alpha,
             steps_per_epoch=cfg.steps_per_epoch,
         )
-        annealer = Annealer(self.cost, self._moves, schedule, rng)
-        initial = self._moves.initial_state(rng)
-        outcome = annealer.run(initial)
+        # Incremental protocol: rejected codes roll back per-net HPWL
+        # caches instead of being re-summed next step; draws and costs
+        # match the functional path bit for bit.
+        engine = _SeqPairEngine(self)
+        engine.reset(self._moves.initial_state(rng))
+        annealer = IncrementalAnnealer(engine, schedule, rng)
+        outcome = annealer.run()
         best_placement = self.pack(outcome.best_state).normalized()
         return PlacerResult(
             placement=best_placement,
@@ -138,3 +142,127 @@ class SequencePairPlacer:
             cost=outcome.best_cost,
             stats=outcome.stats,
         )
+
+
+class _SeqPairEngine:
+    """Incremental-protocol adapter for sequence-pair annealing.
+
+    Packing a symmetric-feasible code is monolithic (the LCS evaluation
+    rebuilds every coordinate), so the win here is the protocol itself
+    plus :class:`~repro.perf.DeltaHPWL`: each candidate's coordinates
+    are diffed against the last accepted table and only the nets of
+    modules that actually moved are rescanned, with commit/rollback
+    keeping the per-net cache in lockstep with accept/reject.  Costs are
+    bit-identical to :meth:`SequencePairPlacer.cost` (``tests/perf/``),
+    so annealing trajectories are unchanged.
+    """
+
+    def __init__(self, placer: SequencePairPlacer) -> None:
+        self._placer = placer
+        self._track_wl = bool(placer._nets) and bool(
+            placer._config.wirelength_weight
+        )
+        self._delta = (
+            DeltaHPWL(placer._resolved_nets, placer._modules.names())
+            if self._track_wl
+            else None
+        )
+        self._current: PlacementState | None = None
+        self._candidate: PlacementState | None = None
+        self._candidate_packed = False
+        self._cost = float("inf")
+        self._pending_cost = float("inf")
+
+    def reset(self, state: PlacementState) -> float:
+        self._current = state
+        coords = self._coords_of(state)
+        if coords is None:
+            self._cost = float("inf")
+        else:
+            if self._delta is not None:
+                hpwl = self._delta.reset(coords)
+            else:
+                hpwl = None
+            self._cost = self._evaluate(coords, hpwl)
+        return self._cost
+
+    def initial_cost(self) -> float:
+        return self._cost
+
+    def propose(self, rng: random.Random) -> float:
+        self._candidate = self._placer._moves.propose(self._current, rng)
+        coords = self._coords_of(self._candidate)
+        if coords is None:
+            # infeasible pack: infinite cost, nothing entered the caches
+            self._candidate_packed = False
+            self._pending_cost = float("inf")
+            return self._pending_cost
+        self._candidate_packed = True
+        if self._delta is not None:
+            hpwl = self._delta.propose(coords)
+        else:
+            hpwl = None
+        self._pending_cost = self._evaluate(coords, hpwl)
+        return self._pending_cost
+
+    def commit(self) -> None:
+        self._current = self._candidate
+        self._candidate = None
+        if self._candidate_packed and self._delta is not None:
+            # the per-net cache now describes the committed coords; an
+            # unpacked (infinite-cost) commit leaves the cache on the
+            # last packed baseline, which stays correct for diffing
+            self._delta.commit()
+        self._candidate_packed = False
+        self._cost = self._pending_cost
+
+    def rollback(self) -> None:
+        self._candidate = None
+        if self._candidate_packed and self._delta is not None:
+            self._delta.rollback()
+        self._candidate_packed = False
+
+    def snapshot(self) -> PlacementState:
+        return self._current  # frozen dataclass: already immutable
+
+    # -- internals -----------------------------------------------------------
+
+    def _coords_of(self, state: PlacementState):
+        placer = self._placer
+        try:
+            xs, ys, sizes = pack_symmetric_coords(
+                state.sp,
+                placer._modules,
+                placer._groups,
+                state.orientations,
+                state.variants,
+            )
+        except SymmetricPackingError:
+            return None
+        coords: dict[str, tuple[float, float, float, float]] = {}
+        for name in state.sp.names:
+            w, h = sizes[name]
+            x0, y0 = xs[name], ys[name]
+            coords[name] = (x0, y0, x0 + w, y0 + h)
+        return coords
+
+    def _evaluate(self, coords, hpwl: float | None) -> float:
+        """Bit-identical twin of :meth:`SequencePairPlacer.cost`."""
+        placer = self._placer
+        cfg = placer._config
+        if coords:
+            min_x, min_y, max_x, max_y = bounding_of(coords.values())
+        else:
+            min_x = min_y = max_x = max_y = 0.0
+        width = max_x - min_x
+        height = max_y - min_y
+        cost = cfg.area_weight * (width * height) / placer._area_scale
+        if placer._nets and cfg.wirelength_weight:
+            if hpwl is None:
+                hpwl = hpwl_of(placer._resolved_nets, coords)
+            cost += cfg.wirelength_weight * hpwl / placer._wl_scale
+        if cfg.aspect_weight and width > 0:
+            ratio = height / width
+            deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
+            cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
+        return cost

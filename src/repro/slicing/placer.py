@@ -12,9 +12,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..anneal import Annealer, AnnealingStats, FunctionMoveSet, GeometricSchedule
+from ..anneal import AnnealingStats, GeometricSchedule, IncrementalAnnealer
 from ..geometry import ModuleSet, Net, Placement
-from ..perf import hpwl_of, resolve_nets
+from ..perf import DeltaHPWL, hpwl_of, resolve_nets
 from .packing import pack_slicing, shape_function_of
 from .polish import PolishExpression
 
@@ -87,9 +87,14 @@ class SlicingPlacer:
             alpha=cfg.alpha,
             steps_per_epoch=cfg.steps_per_epoch,
         )
-        annealer = Annealer(self.cost, FunctionMoveSet(self._move), schedule, rng)
-        initial = PolishExpression.random(self._modules.names(), rng)
-        outcome = annealer.run(initial)
+        # Incremental protocol (propose -> commit/rollback): wirelength,
+        # when enabled, is maintained per net by DeltaHPWL instead of
+        # rescanned; draws and costs match the functional path bit for
+        # bit, so trajectories are unchanged.
+        engine = _SlicingEngine(self)
+        engine.reset(PolishExpression.random(self._modules.names(), rng))
+        annealer = IncrementalAnnealer(engine, schedule, rng)
+        outcome = annealer.run()
         placement = pack_slicing(
             outcome.best_state, self._modules, max_shapes=cfg.max_shapes
         )
@@ -99,3 +104,83 @@ class SlicingPlacer:
             cost=outcome.best_cost,
             stats=outcome.stats,
         )
+
+
+class _SlicingEngine:
+    """Incremental-protocol adapter for Polish-expression annealing.
+
+    Stockmeyer packing is monolithic, so the engine's increment is the
+    wirelength term: candidate coordinates are diffed against the last
+    accepted shape by :class:`~repro.perf.DeltaHPWL` and only the nets
+    of moved blocks are rescanned.  Costs are bit-identical to
+    :meth:`SlicingPlacer.cost`.
+    """
+
+    def __init__(self, placer: SlicingPlacer) -> None:
+        self._placer = placer
+        self._track_wl = bool(placer._nets) and bool(
+            placer._config.wirelength_weight
+        )
+        self._delta = (
+            DeltaHPWL(placer._resolved_nets, placer._modules.names())
+            if self._track_wl
+            else None
+        )
+        self._current: PolishExpression | None = None
+        self._candidate: PolishExpression | None = None
+        self._cost = float("inf")
+        self._pending_cost = float("inf")
+
+    def reset(self, expr: PolishExpression) -> float:
+        self._current = expr
+        if self._delta is None:
+            self._cost = self._placer.cost(expr)
+        else:
+            coords = self._best_coords(expr)
+            hpwl = self._delta.reset(coords)
+            self._cost = self._evaluate(coords, hpwl)
+        return self._cost
+
+    def initial_cost(self) -> float:
+        return self._cost
+
+    def propose(self, rng: random.Random) -> float:
+        self._candidate = self._placer._move(self._current, rng)
+        if self._delta is None:
+            self._pending_cost = self._placer.cost(self._candidate)
+        else:
+            coords = self._best_coords(self._candidate)
+            hpwl = self._delta.propose(coords)
+            self._pending_cost = self._evaluate(coords, hpwl)
+        return self._pending_cost
+
+    def commit(self) -> None:
+        self._current = self._candidate
+        self._candidate = None
+        if self._delta is not None:
+            self._delta.commit()
+        self._cost = self._pending_cost
+
+    def rollback(self) -> None:
+        self._candidate = None
+        if self._delta is not None:
+            self._delta.rollback()
+
+    def snapshot(self) -> PolishExpression:
+        return self._current  # immutable expression
+
+    # -- internals -----------------------------------------------------------
+
+    def _best_coords(self, expr: PolishExpression):
+        placer = self._placer
+        sf = shape_function_of(expr, placer._modules, max_shapes=placer._config.max_shapes)
+        self._best_shape = sf.min_area_shape()
+        return self._best_shape.coords()
+
+    def _evaluate(self, coords, hpwl: float) -> float:
+        """Bit-identical twin of :meth:`SlicingPlacer.cost`."""
+        placer = self._placer
+        cfg = placer._config
+        cost = cfg.area_weight * self._best_shape.area / placer._area_scale
+        cost += cfg.wirelength_weight * hpwl / placer._wl_scale
+        return cost

@@ -163,3 +163,44 @@ class TestRandomOperationSequences:
                 t.insert_root(name, rng.choice(("left", "right")))
             t.validate()
             assert set(t.nodes()) == set(ns)
+
+
+class TestRemoveChainSplice:
+    """remove() splices the preferred-child chain directly; lock it
+    against the definitional promotion-swap formulation."""
+
+    @staticmethod
+    def _reference_remove(tree: BStarTree, name: str) -> None:
+        # the pre-splice implementation: promote until `name` is a leaf
+        while True:
+            left, right = tree.left[name], tree.right[name]
+            if left is None and right is None:
+                break
+            child = left if left is not None else right
+            tree._swap_positions(name, child)
+        parent = tree.parent[name]
+        if parent is None:
+            tree.root = None
+        elif tree.left[parent] == name:
+            tree.left[parent] = None
+        else:
+            tree.right[parent] = None
+        del tree.left[name]
+        del tree.right[name]
+        del tree.parent[name]
+
+    @given(st.integers(1, 25), st.integers(0, 10**6))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_promotion_swaps(self, n, seed):
+        rng = random.Random(seed)
+        ns = names(n)
+        fast = BStarTree.random(ns, rng)
+        reference = fast.clone()
+        victim = rng.choice(ns)
+        fast.remove(victim)
+        self._reference_remove(reference, victim)
+        assert fast.root == reference.root
+        assert fast.left == reference.left
+        assert fast.right == reference.right
+        assert fast.parent == reference.parent
+        fast.validate()

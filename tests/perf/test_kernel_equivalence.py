@@ -117,7 +117,12 @@ class TestFlatKernel:
 
 class TestSkylineAndContour:
     def test_skyline_matches_contour(self):
-        """raise_over must agree with Contour's height_over + place."""
+        """raise_over must agree with Contour's height_over + place.
+
+        raise_over subsumes the old height_over query (it returns the
+        max height over the interval *before* raising), so the fused
+        call is checked against the Contour reference directly.
+        """
         rng = random.Random(11)
         skyline = Skyline()
         contour = Contour()
@@ -128,14 +133,38 @@ class TestSkylineAndContour:
             expected = contour.height_over(x0, x1)
             contour.place(x0, x1, expected + h)
             assert skyline.raise_over(x0, x1, h) == expected
-            assert skyline.height_over(x0, x1) == contour.height_over(x0, x1)
+            assert skyline.max_height() == contour.max_height()
 
     def test_skyline_reset(self):
         skyline = Skyline()
-        skyline.raise_over(0.0, 4.0, 3.0)
-        assert skyline.height_over(0.0, 4.0) == 3.0
+        assert skyline.raise_over(0.0, 4.0, 3.0) == 0.0
+        assert skyline.max_height() == 3.0
         skyline.reset()
-        assert skyline.height_over(0.0, 100.0) == 0.0
+        # a fresh probe over the reset skyline sees height 0 everywhere
+        assert skyline.raise_over(0.0, 100.0, 1.0) == 0.0
+
+    def test_skyline_snapshot_restore(self):
+        """Checkpoints restore the exact segment list (the incremental
+        engine's suffix repack depends on this round-trip)."""
+        skyline = Skyline()
+        skyline.raise_over(0.0, 4.0, 3.0)
+        snap = skyline.snapshot()
+        skyline.raise_over(1.0, 2.0, 5.0)
+        assert skyline.max_height() == 8.0
+        skyline.restore(snap)
+        assert skyline.snapshot() == snap
+        assert skyline.raise_over(0.0, 4.0, 1.0) == 3.0
+
+    def test_skyline_bounding_helpers(self):
+        """rightmost_edge / max_height equal the packed modules' maxima."""
+        rng = random.Random(13)
+        mods = _mixed_modules(seed=13)
+        kernel = BStarKernel(mods)
+        tree, orientations, variants = _random_state(mods, rng)
+        coords = kernel.pack(tree, orientations, variants)
+        sky = kernel._skyline
+        assert sky.rightmost_edge() == max(c[2] for c in coords.values())
+        assert sky.max_height() == max(c[3] for c in coords.values())
 
     def test_contour_reset(self):
         contour = Contour()

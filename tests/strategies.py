@@ -31,6 +31,29 @@ def module_sets(draw, min_size: int = 1, max_size: int = 10) -> ModuleSet:
 
 
 @st.composite
+def mixed_module_sets(
+    draw, min_size: int = 1, max_size: int = 12, soft_fraction: float = 0.4
+) -> ModuleSet:
+    """Module sets mixing hard (some rotatable, some square) and soft
+    (multi-variant) modules — the full override surface the incremental
+    engine's rotate/reshape moves exercise."""
+    n = draw(st.integers(min_size, max_size))
+    modules = []
+    for i in range(n):
+        if draw(st.floats(0.0, 1.0)) < soft_fraction:
+            area = draw(st.floats(4.0, 60.0, allow_nan=False, allow_infinity=False))
+            modules.append(Module.soft(f"m{i}", area))
+        else:
+            w = draw(st.floats(0.5, 20.0, allow_nan=False, allow_infinity=False))
+            square = draw(st.booleans())
+            h = w if square else draw(
+                st.floats(0.5, 20.0, allow_nan=False, allow_infinity=False)
+            )
+            modules.append(Module.hard(f"m{i}", w, h, rotatable=draw(st.booleans())))
+    return ModuleSet.of(modules)
+
+
+@st.composite
 def sequence_pairs(draw, min_size: int = 1, max_size: int = 10) -> SequencePair:
     n = draw(st.integers(min_size, max_size))
     ns = names(n)
