@@ -1,0 +1,249 @@
+"""Portfolio scaling — aggregate annealing steps/sec vs worker count.
+
+Measures the :class:`repro.parallel.PortfolioRunner` three ways on
+``miller_opamp`` with one fixed total step budget:
+
+* **single** — one walk, one process: the pre-portfolio baseline;
+* **portfolio xN** — the same budget split over ``STARTS`` multi-engine
+  walks at 1, 2 and 4 workers: aggregate steps/s (total steps / wall
+  time) shows process scaling, and the leaderboard shows the
+  solution-quality side of multi-start;
+* **quality check** — for every engine, the portfolio's per-engine best
+  cost is compared against a full single run of that engine (the
+  acceptance bar: portfolio best <= single-run best under the same
+  total budget).
+
+Scaling efficiency is honest about the hardware: the entry records
+``cpu_count`` next to the measured speedups, because 4 workers cannot
+beat 1 on a single-core container — interpret trajectory entries
+accordingly.
+
+Results are **appended** to the same ``BENCH_perf_kernel.json``
+trajectory that tracks the kernel benchmarks (``mode: "parallel"``
+entries; the steps/s regression guard in ``run_all.py`` only compares
+entries of equal mode, so parallel entries never gate kernel ones and
+vice versa).
+
+Run standalone:   python benchmarks/bench_parallel.py [--quick]
+Run under pytest: pytest benchmarks/bench_parallel.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import pickle
+import platform
+import time
+
+from bench_perf_kernel import JSON_PATH, append_entry
+
+from repro.circuit import circuit_by_name
+from repro.parallel import ENGINE_NAMES, PortfolioRunner, build_placer_by_name, WalkSpec
+
+CIRCUIT = "miller_opamp"
+STARTS = 8
+WORKER_COUNTS = (1, 2, 4)
+#: portfolio acceptance bar from the issue: aggregate steps/s at 4
+#: workers vs 1 worker (only reachable with >= 4 physical cores)
+SCALING_TARGET = 2.5
+
+
+def _single_run(engine: str, seed: int, overrides) -> tuple[float, float, int]:
+    """One full walk of ``engine`` (cost, elapsed, steps) — the baseline."""
+    placer = build_placer_by_name(
+        WalkSpec(walk_id=0, circuit=CIRCUIT, engine=engine, seed=seed, overrides=overrides)
+    )
+    t0 = time.perf_counter()
+    result = placer.run()
+    elapsed = time.perf_counter() - t0
+    return result.cost, elapsed, result.stats.steps
+
+
+def measure(
+    overrides=(),
+    *,
+    workers=WORKER_COUNTS,
+    starts: int = STARTS,
+    engines=ENGINE_NAMES,
+    check_quality: bool = True,
+) -> dict:
+    """Portfolio scaling plus the per-engine quality comparison."""
+    singles = {}
+    total_budget = 0
+    for i, engine in enumerate(engines):
+        cost, elapsed, steps = _single_run(engine, seed=i, overrides=overrides)
+        singles[engine] = {
+            "cost": cost,
+            "steps": steps,
+            "steps_per_sec": round(steps / elapsed, 1),
+        }
+        total_budget = max(total_budget, steps)
+
+    runs = []
+    winner_blobs = set()
+    for n in workers:
+        runner = PortfolioRunner(
+            CIRCUIT,
+            engines,
+            starts=starts,
+            workers=n,
+            budget=total_budget,
+            overrides=overrides,
+        )
+        result = runner.run()
+        runs.append(
+            {
+                "workers": n,
+                "starts": starts,
+                "budget": total_budget,
+                "steps": result.total_steps,
+                "elapsed_s": round(result.elapsed_s, 3),
+                "aggregate_steps_per_sec": round(
+                    result.total_steps / max(result.elapsed_s, 1e-9), 1
+                ),
+                "ref_cost": result.cost,
+            }
+        )
+        winner_blobs.add(pickle.dumps(result.placement))
+
+    # the winner must not depend on worker count (determinism acceptance)
+    deterministic = len(winner_blobs) == 1
+
+    quality = {}
+    if check_quality:
+        # per-engine: portfolio of `starts` compressed walks of ONE
+        # engine under the single run's budget vs that single run
+        for i, engine in enumerate(engines):
+            result = PortfolioRunner(
+                CIRCUIT,
+                (engine,),
+                starts=starts,
+                workers=0,
+                base_seed=i,
+                budget=singles[engine]["steps"],
+            ).run()
+            best = result.best_by_engine()[engine].best_cost
+            quality[engine] = {
+                "single_cost": singles[engine]["cost"],
+                "portfolio_cost": best,
+                "improved": best <= singles[engine]["cost"],
+            }
+
+    base = runs[0]["aggregate_steps_per_sec"]
+    return {
+        "circuit": CIRCUIT,
+        "modules": circuit_by_name(CIRCUIT).n_modules,
+        "cpu_count": multiprocessing.cpu_count(),
+        "singles": singles,
+        "runs": runs,
+        "deterministic_winner": deterministic,
+        "scaling": {
+            str(r["workers"]): round(r["aggregate_steps_per_sec"] / base, 2)
+            for r in runs
+        },
+        "quality": quality,
+    }
+
+
+def table(results: dict) -> str:
+    lines = [
+        f"portfolio scaling on {results['circuit']} "
+        f"({results['cpu_count']} CPU(s) available)",
+        f"{'workers':>8} {'steps':>8} {'elapsed':>9} {'agg steps/s':>12} {'scaling':>8}",
+    ]
+    for run in results["runs"]:
+        lines.append(
+            f"{run['workers']:>8} {run['steps']:>8,} {run['elapsed_s']:>8.2f}s "
+            f"{run['aggregate_steps_per_sec']:>12,.0f} "
+            f"{results['scaling'][str(run['workers'])]:>7.2f}x"
+        )
+    lines.append(f"deterministic winner across worker counts: {results['deterministic_winner']}")
+    if results["quality"]:
+        lines.append(
+            f"{'engine':<10} {'single cost':>12} {'portfolio cost':>15} {'improved':>9}"
+        )
+        for engine, row in results["quality"].items():
+            lines.append(
+                f"{engine:<10} {row['single_cost']:>12.6f} "
+                f"{row['portfolio_cost']:>15.6f} {str(row['improved']):>9}"
+            )
+    return "\n".join(lines)
+
+
+def run(fast: bool = False, write: bool = False) -> dict:
+    """Measure; optionally append a ``mode: parallel`` trajectory entry."""
+    if fast:
+        # bounded smoke configuration: short schedules, 2 workers max —
+        # exercises serial + spawn paths and determinism in seconds
+        overrides = (("alpha", 0.8), ("t_final", 1e-2))
+        results = measure(
+            overrides, workers=(1, 2), starts=4, check_quality=False
+        )
+    else:
+        results = measure()
+
+    entry = {
+        "mode": "parallel",
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": results["cpu_count"],
+        "runs": results["runs"],
+        "scaling": results["scaling"],
+        "quality": {
+            engine: row["improved"] for engine, row in results["quality"].items()
+        },
+    }
+    if write:
+        append_entry(entry)
+
+    results["entry"] = entry
+    results["appended"] = write
+    results["table"] = table(results)
+    return results
+
+
+def test_parallel_scaling_report(emit, benchmark):
+    """Smoke tier: serial == spawn results, budget respected, progress sane."""
+    results = benchmark.pedantic(lambda: run(fast=True), rounds=1, iterations=1)
+    emit("parallel_scaling", results["table"])
+    assert results["deterministic_winner"], "winner varied with worker count"
+    for run_row in results["runs"]:
+        assert run_row["steps"] <= run_row["budget"]
+        assert run_row["aggregate_steps_per_sec"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short schedules and 2 workers max (seconds, for CI)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and report only; do not append to BENCH_perf_kernel.json",
+    )
+    args = parser.parse_args(argv)
+    outcome = run(fast=args.quick, write=not args.no_write)
+    print(outcome["table"])
+    if outcome["appended"]:
+        print(f"\nappended trajectory entry: {JSON_PATH}")
+    if not args.quick:
+        at4 = outcome["scaling"].get("4")
+        cpus = outcome["cpu_count"]
+        status = "MET" if at4 and at4 >= SCALING_TARGET else (
+            f"MISSED (only {cpus} CPU(s) available)" if cpus < 4 else "MISSED"
+        )
+        print(f"scaling target >={SCALING_TARGET}x at 4 workers: {status} ({at4}x)")
+        bad = [e for e, row in outcome["quality"].items() if not row["improved"]]
+        print(
+            "portfolio quality vs single run: "
+            + ("all engines improved or matched" if not bad else f"worse on: {', '.join(bad)}")
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,10 @@
 2. Turn the sized devices into a placement problem (symmetry groups per
    differential pair) and **place** it with the hierarchical B*-tree
    placer (section III) — competing against the fixed template.
-3. **Route** the placed netlist with the two-layer maze router, with
+3. Fan the same problem out as a **multi-start portfolio**
+   (``docs/parallel.md``): several walks across engines and seeds, a
+   leaderboard, and the best placement of the lot.
+4. **Route** the placed netlist with the two-layer maze router, with
    the differential output pair routed mirrored (section II).
 
 Every annealing loop below runs on the incremental evaluation engine
@@ -20,6 +23,7 @@ import time
 
 from repro.analysis import render_placement
 from repro.bstar import BStarPlacerConfig, HierarchicalPlacer
+from repro.parallel import PortfolioRunner
 from repro.route import Router
 from repro.sizing import layout_aware_sizing, sizing_to_circuit
 
@@ -55,8 +59,35 @@ def main() -> None:
     violations = circuit.constraints().violations(placement)
     print(f"constraint violations: {violations or 'none'}")
 
+    # -- 2b. the same problem as a multi-start portfolio ----------------------
+    print("\n=== 3. multi-start placement portfolio ===")
+    # the sized circuit is in the registry as "sized_folded_cascode"
+    # (spawn-safe: portfolio workers rebuild it by name); workers=0
+    # runs in-process — pass e.g. workers=4 on a multicore machine for
+    # the same leaderboard, faster
+    portfolio = PortfolioRunner(
+        "sized_folded_cascode",
+        ("hbtree", "seqpair"),
+        starts=4,
+        workers=0,
+        base_seed=7,
+        budget=4 * result.stats.steps,
+    ).run()
+    print(portfolio.summary())
+    if portfolio.leaderboard[0].ref_cost < portfolio.leaderboard[-1].ref_cost:
+        spread = portfolio.leaderboard[-1].ref_cost - portfolio.leaderboard[0].ref_cost
+        print(f"portfolio spread (worst - best ref cost): {spread:.4f}")
+    best = portfolio.winner
+    print(
+        f"portfolio winner: {best.spec.engine} seed {best.spec.seed} "
+        f"-> area usage {100 * best.placement.area_usage():.1f}%"
+    )
+    if best.placement.area_usage() > placement.area_usage():
+        placement = best.placement
+        print("portfolio beat the single hierarchical run; routing its winner")
+
     # -- 3. routing (section II substrate) ------------------------------------
-    print("\n=== 3. routing ===")
+    print("\n=== 4. routing ===")
     router = Router(placement, circuit.nets, pitch=0.5)
     result = router.route_all(retries=10)
     print(result.summary())

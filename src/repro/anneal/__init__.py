@@ -9,6 +9,7 @@ from .annealer import (
     IncrementalEngine,
     MoveSet,
     StateEngine,
+    WalkCheckpoint,
     WeightedMoveSet,
 )
 from .schedule import (
@@ -30,6 +31,7 @@ __all__ = [
     "LinearSchedule",
     "MoveSet",
     "StateEngine",
+    "WalkCheckpoint",
     "WeightedMoveSet",
     "initial_temperature_from_samples",
 ]

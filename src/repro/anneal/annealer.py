@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Generic, Protocol, TypeVar
 
 from .schedule import CoolingSchedule, GeometricSchedule, initial_temperature_from_samples
@@ -72,6 +72,41 @@ class AnnealingResult(Generic[State]):
     best_state: State
     best_cost: float
     stats: AnnealingStats
+
+
+@dataclass
+class WalkCheckpoint:
+    """A resumable annealing walk, frozen between two steps.
+
+    Everything a walk needs to continue lives here — the current and
+    best states, their costs, the RNG state and the running statistics
+    — so a walk can be paused, pickled across a process boundary and
+    resumed elsewhere (``repro.parallel`` rebuilds the engine from the
+    job spec and hands the checkpoint back to
+    :meth:`IncrementalAnnealer.advance`).  Chunked execution is
+    bit-identical to one monolithic :meth:`IncrementalAnnealer.run`:
+    the checkpoint carries the exact RNG state and costs forward, so
+    chunk boundaries never change a trajectory.
+    """
+
+    #: next step index to execute (0-based; ``total_steps`` when done)
+    step: int
+    #: schedule length this walk was started under
+    total_steps: int
+    #: warmup rescale applied to every schedule temperature
+    t_scale: float
+    #: engine snapshot of the *current* state
+    state: object
+    current_cost: float
+    best_state: object
+    best_cost: float
+    #: ``random.Random.getstate()`` as of ``step``
+    rng_state: object
+    stats: AnnealingStats
+
+    @property
+    def finished(self) -> bool:
+        return self.step >= self.total_steps
 
 
 class Annealer(Generic[State]):
@@ -285,24 +320,88 @@ class IncrementalAnnealer:
 
     def run(self, initial_cost: float | None = None) -> AnnealingResult:
         """Anneal the engine's current state until the schedule ends."""
-        rng = self._rng
+        checkpoint = self.begin(initial_cost)
+        # the engine already holds the post-warmup state: no reset needed
+        checkpoint = self.advance(checkpoint, _engine_synced=True)
+        return AnnealingResult(
+            best_state=checkpoint.best_state,
+            best_cost=checkpoint.best_cost,
+            stats=checkpoint.stats,
+        )
+
+    def begin(self, initial_cost: float | None = None) -> WalkCheckpoint:
+        """Warm up and freeze the walk at step 0 without annealing.
+
+        The engine must already hold its initial state.  Returns the
+        checkpoint :meth:`advance` resumes from; a full ``begin`` +
+        ``advance`` chain reproduces :meth:`run` bit for bit however
+        the steps are chunked.
+        """
         engine = self._engine
         current_cost = (
             initial_cost if initial_cost is not None else engine.initial_cost()
         )
-        best, best_cost = engine.snapshot(), current_cost
-
         stats = AnnealingStats(initial_cost=current_cost, best_cost=current_cost)
 
         t_scale = 1.0
+        start = engine.snapshot()
         if self._auto_t0:
             # Sample uphill deltas by walking random moves, then restore
             # the starting state — the functional loop's warmup also
             # rescales T0 from a discarded walk, and matching it keeps
             # trajectories identical across the two drivers.
-            start = engine.snapshot()
             t_scale = self._warmup(current_cost)
             current_cost = engine.reset(start)
+
+        return WalkCheckpoint(
+            step=0,
+            total_steps=self._schedule.total_steps,
+            t_scale=t_scale,
+            state=start,
+            current_cost=current_cost,
+            best_state=start,
+            best_cost=current_cost,
+            rng_state=self._rng.getstate(),
+            stats=stats,
+        )
+
+    def advance(
+        self,
+        checkpoint: WalkCheckpoint,
+        max_steps: int | None = None,
+        *,
+        _engine_synced: bool = False,
+    ) -> WalkCheckpoint:
+        """Run up to ``max_steps`` annealing steps from ``checkpoint``.
+
+        Restores the engine and RNG to exactly where the checkpoint
+        froze them, so resuming — in this process or another — continues
+        the identical trajectory.  Returns a fresh checkpoint (the input
+        is never mutated); call again until :attr:`WalkCheckpoint.finished`.
+        """
+        if self._schedule.total_steps != checkpoint.total_steps:
+            raise ValueError(
+                f"schedule spans {self._schedule.total_steps} steps but the "
+                f"checkpoint was taken under {checkpoint.total_steps}"
+            )
+        total = checkpoint.total_steps
+        start = checkpoint.step
+        stop = total if max_steps is None else min(total, start + max_steps)
+        if start >= stop:
+            return checkpoint
+
+        rng = self._rng
+        engine = self._engine
+        if not _engine_synced:
+            # reset recomputes the cost from scratch; it is bit-identical
+            # to the carried current_cost (the perf-tier invariant), which
+            # is what the monolithic loop propagates — so propagate that.
+            engine.reset(checkpoint.state)
+        rng.setstate(checkpoint.rng_state)
+
+        current_cost = checkpoint.current_cost
+        best, best_cost = checkpoint.best_state, checkpoint.best_cost
+        stats = replace(checkpoint.stats, cost_trace=list(checkpoint.stats.cost_trace))
 
         propose = engine.propose
         commit = engine.commit
@@ -312,13 +411,13 @@ class IncrementalAnnealer:
         trace_every = self._trace_every
         temperature = 0.0
 
-        total = self._schedule.total_steps
-        # the schedule is stateless: materialize the temperature curve
-        # once (same floats as calling temperature(step) in the loop)
+        # the schedule is stateless: materialize the chunk's temperature
+        # curve once (same floats as calling temperature(step) in the loop)
         temperature_at = self._schedule.temperature
-        temperatures = [temperature_at(step) * t_scale for step in range(total)]
-        for step in range(total):
-            temperature = temperatures[step]
+        t_scale = checkpoint.t_scale
+        temperatures = [temperature_at(step) * t_scale for step in range(start, stop)]
+        for step in range(start, stop):
+            temperature = temperatures[step - start]
             candidate_cost = propose(rng)
             delta = candidate_cost - current_cost
 
@@ -335,11 +434,20 @@ class IncrementalAnnealer:
             if trace_every and step % trace_every == 0:
                 stats.cost_trace.append(current_cost)
 
-        stats.steps = total
-        if total:
-            stats.final_temperature = temperature
+        stats.steps = stop
+        stats.final_temperature = temperature
         stats.best_cost = best_cost
-        return AnnealingResult(best_state=best, best_cost=best_cost, stats=stats)
+        return WalkCheckpoint(
+            step=stop,
+            total_steps=total,
+            t_scale=t_scale,
+            state=engine.snapshot(),
+            current_cost=current_cost,
+            best_state=best,
+            best_cost=best_cost,
+            rng_state=rng.getstate(),
+            stats=stats,
+        )
 
     def _warmup(self, initial_cost: float, samples: int = 32) -> float:
         """Sample uphill deltas by walking (and committing) random moves.

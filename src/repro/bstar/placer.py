@@ -103,29 +103,50 @@ class BStarPlacer:
         # costs are bit-identical to this kernel on every state.
         self._kernel = BStarKernel(modules, nets, (), self._config)
 
+    @classmethod
+    def for_circuit(
+        cls, circuit: Circuit, config: BStarPlacerConfig | None = None
+    ) -> "BStarPlacer":
+        """Flat placer over a circuit's modules and nets (constraints are
+        the :class:`HierarchicalPlacer`'s job; this engine ignores them)."""
+        return cls(circuit.modules(), circuit.nets, config)
+
     def cost(self, state: BStarState) -> float:
         return self._kernel.cost(state.tree, state.orientations, state.variants)
 
-    def run(self) -> BStarPlacerResult:
+    # -- walk API (shared by run() and repro.parallel) ------------------------
+
+    def schedule(self) -> GeometricSchedule:
         cfg = self._config
-        rng = random.Random(cfg.seed)
-        schedule = GeometricSchedule(
+        return GeometricSchedule(
             t_initial=cfg.t_initial,
             t_final=cfg.t_final,
             alpha=cfg.alpha,
             steps_per_epoch=cfg.steps_per_epoch,
         )
-        engine = IncrementalBStarEngine(self._modules, self._nets, (), cfg)
-        engine.reset(self._moves.initial_state(rng))
-        annealer = IncrementalAnnealer(engine, schedule, rng)
-        outcome = annealer.run()
-        best = pack(
-            outcome.best_state.tree,
-            self._modules,
-            outcome.best_state.orientations,
-            outcome.best_state.variants,
+
+    def engine(self) -> IncrementalBStarEngine:
+        """A fresh incremental engine (call ``reset`` before annealing)."""
+        return IncrementalBStarEngine(self._modules, self._nets, (), self._config)
+
+    def initial_state(self, rng: random.Random) -> BStarState:
+        return self._moves.initial_state(rng)
+
+    def finalize(self, state: BStarState) -> Placement:
+        """Materialize a state as a normalized :class:`Placement`."""
+        return pack(
+            state.tree, self._modules, state.orientations, state.variants
         ).normalized()
-        return BStarPlacerResult(best, outcome.best_cost, outcome.stats)
+
+    def run(self) -> BStarPlacerResult:
+        rng = random.Random(self._config.seed)
+        engine = self.engine()
+        engine.reset(self.initial_state(rng))
+        annealer = IncrementalAnnealer(engine, self.schedule(), rng)
+        outcome = annealer.run()
+        return BStarPlacerResult(
+            self.finalize(outcome.best_state), outcome.best_cost, outcome.stats
+        )
 
 
 class HierarchicalPlacer:
@@ -143,34 +164,55 @@ class HierarchicalPlacer:
             self._modules, circuit.nets, self._constraints.proximity, self._config
         )
 
+    @classmethod
+    def for_circuit(
+        cls, circuit: Circuit, config: BStarPlacerConfig | None = None
+    ) -> "HierarchicalPlacer":
+        """Uniform factory (the constructor already takes a circuit)."""
+        return cls(circuit, config)
+
     def pack(self, state: HBState) -> Placement:
         return self._hb.pack(state)
 
     def cost(self, state: HBState) -> float:
         return self._fast_cost(self._hb.pack_coords(state))
 
-    def run(self) -> BStarPlacerResult:
+    # -- walk API (shared by run() and repro.parallel) ------------------------
+
+    def schedule(self) -> GeometricSchedule:
         cfg = self._config
-        rng = random.Random(cfg.seed)
-        schedule = GeometricSchedule(
+        return GeometricSchedule(
             t_initial=cfg.t_initial,
             t_final=cfg.t_final,
             alpha=cfg.alpha,
             steps_per_epoch=cfg.steps_per_epoch,
         )
-        # Incremental forest engine: repacks only the perturbed level's
-        # root path (cached subtrees elsewhere) and delta-evaluates
-        # wirelength; draws and costs match the functional path bit for
-        # bit, so trajectories are unchanged — only faster.
-        engine = HBIncrementalEngine(
+
+    def engine(self) -> HBIncrementalEngine:
+        """A fresh incremental forest engine: repacks only the perturbed
+        level's root path (cached subtrees elsewhere) and delta-evaluates
+        wirelength; draws and costs match the functional path bit for
+        bit, so trajectories are unchanged — only faster."""
+        return HBIncrementalEngine(
             self._hb,
             self._modules,
             self._circuit.nets,
             self._constraints.proximity,
-            cfg,
+            self._config,
         )
-        engine.reset(self._hb.initial_state(rng))
-        annealer = IncrementalAnnealer(engine, schedule, rng)
+
+    def initial_state(self, rng: random.Random) -> HBState:
+        return self._hb.initial_state(rng)
+
+    def finalize(self, state: HBState) -> Placement:
+        return self._hb.pack(state)
+
+    def run(self) -> BStarPlacerResult:
+        rng = random.Random(self._config.seed)
+        engine = self.engine()
+        engine.reset(self.initial_state(rng))
+        annealer = IncrementalAnnealer(engine, self.schedule(), rng)
         outcome = annealer.run()
-        best = self._hb.pack(outcome.best_state)
-        return BStarPlacerResult(best, outcome.best_cost, outcome.stats)
+        return BStarPlacerResult(
+            self.finalize(outcome.best_state), outcome.best_cost, outcome.stats
+        )

@@ -13,6 +13,7 @@ design, and the Fig. 6 Miller op amp with its exact hierarchy tree.
 
 from __future__ import annotations
 
+import functools
 import random
 
 from ..geometry import Module, ModuleSet, Net
@@ -339,3 +340,45 @@ def table1_circuits() -> list[Circuit]:
 def simple_testcase(n: int, seed: int = 0) -> Circuit:
     """Small synthetic circuit for unit tests."""
     return synthesize_circuit(f"test{n}", n, seed)
+
+
+@functools.lru_cache(maxsize=1)
+def _sized_folded_cascode() -> Circuit:
+    """The section-V flow's output as a placement problem: devices sized
+    by the layout-aware loop, symmetry groups per pair.  Deterministic
+    (fixed sizing seed) and cached — the sizing anneal costs ~1s, and
+    callers treat circuits as immutable (the same convention the
+    parallel runner's per-process circuit cache already relies on).
+    Imported lazily to keep repro.circuit import-independent of
+    repro.sizing."""
+    from ..sizing import layout_aware_sizing, sizing_to_circuit
+
+    return sizing_to_circuit(layout_aware_sizing(seed=1).sizing)
+
+
+def circuit_names() -> tuple[str, ...]:
+    """Names accepted by :func:`circuit_by_name`, sorted."""
+    return tuple(
+        sorted(("miller_opamp", "fig2", "sized_folded_cascode", *TABLE1_MODULE_COUNTS))
+    )
+
+
+def circuit_by_name(name: str) -> Circuit:
+    """Look a benchmark circuit up by name.
+
+    This is the registry both the CLI and the parallel portfolio runner
+    resolve circuits through — worker processes rebuild a circuit from
+    its *name* instead of unpickling a live object, so job specs stay
+    tiny and spawn-safe.  Raises :class:`KeyError` for unknown names.
+    """
+    if name == "miller_opamp":
+        return miller_opamp()
+    if name == "fig2":
+        return fig2_design()
+    if name == "sized_folded_cascode":
+        return _sized_folded_cascode()
+    if name in TABLE1_MODULE_COUNTS:
+        return table1_circuit(name)
+    raise KeyError(
+        f"unknown circuit {name!r}; try one of: {', '.join(circuit_names())}"
+    )

@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro circuits
     python -m repro place miller_opamp --engine hbtree --seed 3
+    python -m repro place miller_opamp --starts 8 --workers 4
     python -m repro route fig2 --pitch 0.5
     python -m repro table1 --circuit folded_cascode
     python -m repro sizing --flow aware
@@ -16,37 +17,33 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
 from .analysis import render_placement
-from .bstar import BStarPlacerConfig, HierarchicalPlacer
-from .circuit import (
-    Circuit,
-    TABLE1_MODULE_COUNTS,
-    fig2_design,
-    miller_opamp,
-    table1_circuit,
-)
+from .bstar import BStarPlacer, BStarPlacerConfig, HierarchicalPlacer
+from .circuit import Circuit, TABLE1_MODULE_COUNTS, circuit_by_name, circuit_names, table1_circuit
 from .route import Router
 from .seqpair import PlacerConfig, SequencePairPlacer
 from .shapes import DeterministicConfig, DeterministicPlacer
 from .slicing import SlicingPlacer, SlicingPlacerConfig
 
-_CIRCUITS: dict[str, Callable[[], Circuit]] = {
-    "miller_opamp": miller_opamp,
-    "fig2": fig2_design,
-    **{key: (lambda k=key: table1_circuit(k)) for key in TABLE1_MODULE_COUNTS},
-}
+_ENGINES = ("seqpair", "hbtree", "bstar", "deterministic", "slicing")
 
-_ENGINES = ("seqpair", "hbtree", "deterministic", "slicing")
+
+def _portfolio_engines() -> tuple[str, ...]:
+    """Engines the multi-start portfolio can fan out over — the parallel
+    registry itself (the deterministic placer is seed-insensitive, so it
+    never joins a portfolio).  Imported lazily so plain single-run
+    commands never touch :mod:`repro.parallel`."""
+    from .parallel import ENGINE_NAMES
+
+    return ENGINE_NAMES
 
 
 def _load_circuit(name: str) -> Circuit:
-    if name not in _CIRCUITS:
-        raise SystemExit(
-            f"unknown circuit {name!r}; try one of: {', '.join(sorted(_CIRCUITS))}"
-        )
-    return _CIRCUITS[name]()
+    try:
+        return circuit_by_name(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
 
 
 def _place(circuit: Circuit, engine: str, seed: int):
@@ -56,6 +53,10 @@ def _place(circuit: Circuit, engine: str, seed: int):
         ).run().placement
     if engine == "hbtree":
         return HierarchicalPlacer(
+            circuit, BStarPlacerConfig(seed=seed)
+        ).run().placement
+    if engine == "bstar":
+        return BStarPlacer.for_circuit(
             circuit, BStarPlacerConfig(seed=seed)
         ).run().placement
     if engine == "deterministic":
@@ -73,15 +74,70 @@ def _place(circuit: Circuit, engine: str, seed: int):
 
 
 def cmd_circuits(_args) -> int:
-    for name in sorted(_CIRCUITS):
-        print(_CIRCUITS[name]().summary())
+    for name in circuit_names():
+        print(circuit_by_name(name).summary())
     return 0
+
+
+def _portfolio_place(args):
+    """Multi-start portfolio run behind ``place --starts/--workers``."""
+    from .parallel import PortfolioRunner
+
+    engines = (
+        tuple(args.engines.split(",")) if args.engines else (args.engine,)
+    )
+    supported = _portfolio_engines()
+    unsupported = [e for e in engines if e not in supported]
+    if unsupported:
+        raise SystemExit(
+            f"engine(s) not usable in a portfolio: {', '.join(unsupported)}; "
+            f"try: {', '.join(supported)}"
+        )
+
+    def show_progress(event) -> None:
+        print(
+            f"  walk {event.walk_id:>3} [{event.engine}/{event.seed}] "
+            f"{event.step:>6}/{event.total_steps} steps  "
+            f"best {event.best_cost:.4f}  {event.status}"
+        )
+
+    try:
+        result = PortfolioRunner(
+            args.circuit,
+            engines,
+            starts=args.starts,
+            workers=args.workers,
+            base_seed=args.seed,
+            budget=args.budget,
+            restart_policy=args.restart_policy,
+            on_event=show_progress if args.progress else None,
+        ).run()
+    except (KeyError, ValueError) as exc:
+        # run() raises too (e.g. a budget below one step per epoch is
+        # only detectable once per-walk schedules are compressed)
+        raise SystemExit(str(exc.args[0] if exc.args else exc)) from None
+    print(result.summary())
+    return result.placement
 
 
 def cmd_place(args) -> int:
     circuit = _load_circuit(args.circuit)
     print(circuit.summary())
-    placement = _place(circuit, args.engine, args.seed)
+    # any portfolio flag opts into the portfolio path — passing
+    # --engines or --budget without --starts must not be silently
+    # ignored (a 1-start portfolio is a valid, budgeted single walk)
+    portfolio_requested = (
+        args.starts > 1
+        or args.workers > 1
+        or args.engines is not None
+        or args.budget is not None
+        or args.restart_policy != "independent"
+        or args.progress
+    )
+    if portfolio_requested:
+        placement = _portfolio_place(args)
+    else:
+        placement = _place(circuit, args.engine, args.seed)
     print(render_placement(placement, width=args.width, height=args.height))
     print(
         f"area usage {100 * placement.area_usage():.1f}%  "
@@ -139,6 +195,20 @@ def cmd_sizing(args) -> int:
 # -- parser ---------------------------------------------------------------------
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -157,6 +227,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--width", type=int, default=70)
     p.add_argument("--height", type=int, default=20)
+    portfolio = p.add_argument_group(
+        "portfolio",
+        "multi-start options; passing any of them runs the portfolio "
+        "(a plain single walk otherwise)",
+    )
+    portfolio.add_argument(
+        "--starts",
+        type=_positive_int,
+        default=1,
+        help="annealing walks to run (engines cycle over --engines, seeds "
+        "count up from --seed)",
+    )
+    portfolio.add_argument(
+        "--workers",
+        type=_non_negative_int,
+        default=0,
+        help="worker processes; 0 or 1 runs in-process (same results)",
+    )
+    portfolio.add_argument(
+        "--engines",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated engine portfolio (default: --engine); "
+        "choose from the annealing engines (deterministic excluded)",
+    )
+    portfolio.add_argument(
+        "--restart-policy",
+        choices=("independent", "rebalance"),
+        default="independent",
+        help="rebalance kills the worst half at checkpoints and gives "
+        "their unspent steps to fresh seeds",
+    )
+    portfolio.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        help="total annealing steps across all starts (default: every "
+        "start runs its full schedule)",
+    )
+    portfolio.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a progress line per completed chunk",
+    )
     p.set_defaults(fn=cmd_place)
 
     p = sub.add_parser("route", help="place and route a circuit")

@@ -1,0 +1,50 @@
+"""Parallel multi-start placement portfolio (see ``docs/parallel.md``).
+
+Fan one placement job out across engines, seeds and worker processes;
+get back the best placement plus a deterministic leaderboard::
+
+    from repro.parallel import PortfolioRunner
+
+    result = PortfolioRunner("miller_opamp", starts=8, workers=4).run()
+    print(result.summary())
+    best = result.placement
+"""
+
+from .engines import (
+    ENGINE_NAMES,
+    build_config,
+    build_placer,
+    build_placer_by_name,
+    compress_overrides,
+    reference_cost,
+    validate_engines,
+    walk_total_steps,
+)
+from .jobs import (
+    ChunkResult,
+    ChunkTask,
+    PortfolioResult,
+    ProgressEvent,
+    WalkOutcome,
+    WalkSpec,
+)
+from .runner import RESTART_POLICIES, PortfolioRunner
+
+__all__ = [
+    "ENGINE_NAMES",
+    "RESTART_POLICIES",
+    "ChunkResult",
+    "ChunkTask",
+    "PortfolioResult",
+    "PortfolioRunner",
+    "ProgressEvent",
+    "WalkOutcome",
+    "WalkSpec",
+    "build_config",
+    "build_placer",
+    "build_placer_by_name",
+    "compress_overrides",
+    "reference_cost",
+    "validate_engines",
+    "walk_total_steps",
+]

@@ -1,0 +1,143 @@
+"""Engine registry: walk specs -> placers, schedules and budgets.
+
+Every annealing placer exposes the same walk API — ``schedule()`` /
+``engine()`` / ``initial_state(rng)`` / ``finalize(state)`` — so the
+portfolio runner can drive any of them through one code path.  This
+module maps engine *names* onto those placers and handles the two
+pieces of config arithmetic the runner needs:
+
+* :func:`build_placer` — rebuild a placer from a spawn-safe
+  :class:`~repro.parallel.jobs.WalkSpec` (used identically by worker
+  processes and the in-process executor);
+* :func:`compress_overrides` — shrink a schedule to a step budget by
+  scaling ``steps_per_epoch``, keeping the temperature *shape* (same
+  ``t_initial -> t_final`` decay, fewer moves per epoch) so multi-start
+  walks splitting one budget still anneal end to end.
+"""
+
+from __future__ import annotations
+
+from ..anneal import GeometricSchedule
+from ..bstar import BStarPlacerConfig, BStarPlacer, HierarchicalPlacer
+from ..circuit import Circuit, circuit_by_name
+from ..seqpair import PlacerConfig, SequencePairPlacer
+from ..slicing import SlicingPlacer, SlicingPlacerConfig
+from .jobs import WalkSpec
+
+#: engine name -> (config class, placer factory)
+_REGISTRY = {
+    "bstar": (BStarPlacerConfig, BStarPlacer.for_circuit),
+    "hbtree": (BStarPlacerConfig, HierarchicalPlacer.for_circuit),
+    "seqpair": (PlacerConfig, SequencePairPlacer.for_circuit),
+    "slicing": (SlicingPlacerConfig, SlicingPlacer.for_circuit),
+}
+
+#: all annealing engines the portfolio can fan out over
+ENGINE_NAMES = tuple(_REGISTRY)
+
+
+def validate_engines(engines: tuple[str, ...]) -> tuple[str, ...]:
+    """Check every name against the registry; returns the tuple."""
+    unknown = [e for e in engines if e not in _REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown engine(s) {', '.join(map(repr, unknown))}; "
+            f"try: {', '.join(ENGINE_NAMES)}"
+        )
+    if not engines:
+        raise ValueError("need at least one engine")
+    return tuple(engines)
+
+
+def build_config(engine: str, seed: int, overrides: tuple[tuple[str, object], ...]):
+    """The engine's config dataclass with ``seed`` and overrides applied."""
+    config_cls, _ = _REGISTRY[engine]
+    return config_cls(seed=seed, **dict(overrides))
+
+
+def build_placer(circuit: Circuit, spec: WalkSpec):
+    """Rebuild the placer a spec describes (worker-side and coordinator-side)."""
+    _, factory = _REGISTRY[spec.engine]
+    return factory(circuit, build_config(spec.engine, spec.seed, spec.overrides))
+
+
+def build_placer_by_name(spec: WalkSpec):
+    """:func:`build_placer` resolving the circuit through the registry."""
+    return build_placer(circuit_by_name(spec.circuit), spec)
+
+
+def schedule_epochs(engine: str, overrides: tuple[tuple[str, object], ...]) -> int:
+    """Cooling epochs of the engine's schedule under ``overrides``.
+
+    Derived from :class:`~repro.anneal.GeometricSchedule` itself (not a
+    re-implementation): checkpoints carry the schedule length, and
+    :meth:`~repro.anneal.IncrementalAnnealer.advance` rejects a resume
+    whose schedule disagrees — so this count must track the real
+    schedule bit for bit, forever.
+    """
+    cfg = build_config(engine, 0, overrides)
+    return GeometricSchedule(
+        t_initial=cfg.t_initial, t_final=cfg.t_final, alpha=cfg.alpha, steps_per_epoch=1
+    ).epochs
+
+
+def compress_overrides(
+    engine: str, overrides: tuple[tuple[str, object], ...], budget: int
+) -> tuple[tuple[str, object], ...]:
+    """Overrides whose schedule spans at most ``budget`` steps.
+
+    The epoch count is fixed by ``t_initial``/``t_final``/``alpha``, so
+    the only free knob is ``steps_per_epoch``; the compressed schedule
+    spans ``epochs * (budget // epochs) <= budget`` steps.  ``budget``
+    must cover at least one step per epoch.
+    """
+    epochs = schedule_epochs(engine, overrides)
+    steps_per_epoch = budget // epochs
+    if steps_per_epoch < 1:
+        raise ValueError(
+            f"budget {budget} is below one step per epoch "
+            f"({epochs} epochs for {engine!r})"
+        )
+    kept = tuple((k, v) for k, v in overrides if k != "steps_per_epoch")
+    return kept + (("steps_per_epoch", steps_per_epoch),)
+
+
+def walk_total_steps(spec: WalkSpec) -> int:
+    """Schedule length of a spec's walk, without building the placer."""
+    cfg = build_config(spec.engine, spec.seed, spec.overrides)
+    epochs = schedule_epochs(spec.engine, spec.overrides)
+    return epochs * cfg.steps_per_epoch
+
+
+#: reference-cost penalty per constraint violation — matches the weight
+#: the cost model already charges for an unsatisfied proximity group
+_VIOLATION_PENALTY = 2.0
+
+
+def reference_cost(circuit: Circuit):
+    """One engine-agnostic yardstick: ``Placement -> float``.
+
+    Each engine anneals its *own* objective (slicing, for instance,
+    carries no aspect or proximity terms), so internal best costs are
+    not comparable across engines.  The portfolio therefore ranks
+    finished placements with the reference cost model — area,
+    wirelength, aspect and proximity under the default weights, the
+    same formula the equivalence tests hold every fast path to — plus a
+    penalty per constraint violation, so engines that ignore symmetry
+    (flat ``bstar``, ``slicing``) cannot outrank a constraint-clean
+    placement on raw compactness.
+    """
+    from ..bstar.placer import _CostModel
+
+    # proximity stays out of the model: violations() already reports
+    # unsatisfied proximity groups, so the flat penalty below charges
+    # every constraint kind exactly once (at the model's proximity weight)
+    model = _CostModel(circuit.modules(), circuit.nets, (), BStarPlacerConfig())
+    constraints = circuit.constraints()
+
+    def cost(placement) -> float:
+        return model(placement) + _VIOLATION_PENALTY * len(
+            constraints.violations(placement)
+        )
+
+    return cost

@@ -1,0 +1,141 @@
+"""Spawn-safe job specs and result records for the portfolio runner.
+
+Nothing in this module holds a live placer, engine or circuit: a
+:class:`WalkSpec` names its circuit (resolved through
+:func:`repro.circuit.circuit_by_name`), its engine (resolved through
+:data:`repro.parallel.engines.ENGINE_NAMES`) and carries plain config
+overrides, so a worker process rebuilds everything it needs from a few
+hundred bytes.  The only state that crosses a process boundary mid-walk
+is the :class:`~repro.anneal.WalkCheckpoint` inside a
+:class:`ChunkTask` / :class:`ChunkResult` pair — plain data, cheap to
+pickle, and sufficient to resume the walk bit-identically anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..anneal import AnnealingStats, WalkCheckpoint
+from ..geometry import Placement
+
+#: per-walk status values in a leaderboard
+FINISHED = "finished"
+KILLED = "killed"
+
+
+@dataclass(frozen=True)
+class WalkSpec:
+    """Everything a worker needs to (re)build one annealing walk.
+
+    ``overrides`` are keyword arguments applied to the engine's config
+    dataclass (``t_initial``, ``alpha``, ``steps_per_epoch``, weight
+    knobs, ...) as ``(key, value)`` pairs — a tuple so specs stay
+    hashable and usable as cache keys.
+    """
+
+    walk_id: int
+    circuit: str
+    engine: str
+    seed: int
+    overrides: tuple[tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """Run one chunk of a walk: begin it (``checkpoint is None``) or
+    resume from the checkpoint, advancing at most ``max_steps`` steps."""
+
+    spec: WalkSpec
+    checkpoint: WalkCheckpoint | None
+    max_steps: int | None
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """The walk frozen again after one chunk."""
+
+    walk_id: int
+    checkpoint: WalkCheckpoint
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Streamed to the coordinator after every completed chunk."""
+
+    walk_id: int
+    engine: str
+    seed: int
+    step: int
+    total_steps: int
+    best_cost: float
+    status: str = "running"
+
+
+@dataclass
+class WalkOutcome:
+    """One leaderboard row: a finished (or killed) walk's best result.
+
+    ``best_cost`` is the walk's *own* annealing objective (comparable
+    only within one engine); ``ref_cost`` is the shared reference cost
+    every placement is ranked by (see
+    :func:`repro.parallel.engines.reference_cost`).
+    """
+
+    spec: WalkSpec
+    best_cost: float
+    ref_cost: float
+    placement: Placement
+    steps: int
+    total_steps: int
+    status: str = FINISHED
+    stats: AnnealingStats | None = None
+    #: engine-family state behind ``placement`` (feeds the polish walk)
+    best_state: object = None
+
+
+@dataclass
+class PortfolioResult:
+    """Best placement across the whole portfolio plus the leaderboard.
+
+    ``leaderboard`` is sorted best-first with ``(ref_cost, walk_id)``
+    as the total order, so the winner — and every rank — is a pure
+    function of the walk results, independent of worker scheduling.
+    """
+
+    placement: Placement
+    cost: float
+    winner: WalkOutcome
+    leaderboard: list[WalkOutcome] = field(default_factory=list)
+    total_steps: int = 0
+    elapsed_s: float = 0.0
+    workers: int = 0
+
+    def best_by_engine(self) -> dict[str, WalkOutcome]:
+        """Best row per engine (by the engine's own objective)."""
+        best: dict[str, WalkOutcome] = {}
+        for row in self.leaderboard:
+            seen = best.get(row.spec.engine)
+            if seen is None or (row.best_cost, row.spec.walk_id) < (
+                seen.best_cost,
+                seen.spec.walk_id,
+            ):
+                best[row.spec.engine] = row
+        return best
+
+    def summary(self) -> str:
+        """Human-readable leaderboard table."""
+        lines = [
+            f"portfolio: {len(self.leaderboard)} walks, "
+            f"{self.total_steps:,} steps in {self.elapsed_s:.2f}s "
+            f"({self.total_steps / max(self.elapsed_s, 1e-9):,.0f} aggregate steps/s, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''})",
+            f"{'rank':>4} {'engine':<10} {'seed':>5} {'steps':>7} "
+            f"{'ref cost':>10} {'own cost':>10} {'status':<9}",
+        ]
+        for rank, row in enumerate(self.leaderboard, 1):
+            lines.append(
+                f"{rank:>4} {row.spec.engine:<10} {row.spec.seed:>5} "
+                f"{row.steps:>7,} {row.ref_cost:>10.4f} {row.best_cost:>10.4f} "
+                f"{row.status:<9}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,580 @@
+"""Multi-start placement portfolio across processes.
+
+:class:`PortfolioRunner` fans one placement problem out over many
+independent annealing walks — across engines, across seeds, across
+worker processes — and returns the best placement plus a full
+leaderboard.  The design constraints, in order:
+
+**Spawn safety.**  Workers never unpickle a live placer.  A walk is a
+:class:`~repro.parallel.jobs.WalkSpec` — ``(circuit name, engine name,
+seed, config overrides)`` — and each worker rebuilds circuit + placer +
+engine from the spec (memoized per process), then drives it through the
+checkpoint API of :class:`~repro.anneal.IncrementalAnnealer`.
+
+**Chunked walks.**  A walk executes as a chain of
+:class:`~repro.parallel.jobs.ChunkTask`\\ s, each advancing the walk by
+``checkpoint_every`` steps and freezing it into a pickled
+:class:`~repro.anneal.WalkCheckpoint`.  Chunk completions stream back
+over the result queue as progress events; chunk boundaries never change
+a trajectory (chunked == monolithic, bit for bit), so the runner can
+slice walks for streaming and restart policies without touching the
+answer.
+
+**Determinism.**  A walk's trajectory depends only on its spec — never
+on which worker ran it or when.  Restart decisions happen at round
+barriers and rank walks by ``(best_cost, walk_id)``; the leaderboard is
+sorted by the same total order.  Same specs -> same winner, regardless
+of worker count or OS scheduling.
+
+**Restart policies.**
+
+* ``independent`` — every start runs its full schedule; classic
+  multi-start annealing.
+* ``rebalance`` — at every checkpoint round the worst half of the
+  active walks is killed and their *unspent* step budget is pooled and
+  handed to fresh seeds (with schedules compressed to the new budget),
+  so step budget chases the promising region of the portfolio instead
+  of being buried with walks that started badly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import random
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from math import ceil
+from typing import Callable, Iterable
+
+from ..anneal import AnnealingStats, IncrementalAnnealer, WalkCheckpoint
+from ..circuit import Circuit, circuit_by_name
+from .engines import (
+    ENGINE_NAMES,
+    build_config,
+    build_placer,
+    compress_overrides,
+    reference_cost,
+    validate_engines,
+    walk_total_steps,
+)
+from .jobs import (
+    FINISHED,
+    KILLED,
+    ChunkResult,
+    ChunkTask,
+    PortfolioResult,
+    ProgressEvent,
+    WalkOutcome,
+    WalkSpec,
+)
+
+RESTART_POLICIES = ("independent", "rebalance")
+
+#: checkpoint rounds per walk when ``checkpoint_every`` is not given
+_DEFAULT_ROUNDS = 4
+
+#: initial temperature of the budget-slack polish walk: cold enough to
+#: refine rather than re-explore, warm enough to cross small barriers
+_POLISH_T0 = 0.05
+
+#: seed offset separating polish draws from every sweep seed
+_POLISH_SEED_OFFSET = 100_003
+
+
+# -- worker side --------------------------------------------------------------
+#
+# Everything below runs identically in a spawned worker process and in
+# the in-process executor (workers <= 1), so parallel and serial runs
+# share one execution path and one answer.
+
+#: per-process placer/engine memo: (circuit, engine, overrides) -> pair
+_BUILD_CACHE: dict = {}
+
+
+def _placer_engine_for(spec: WalkSpec):
+    """Rebuild (memoized) the placer and incremental engine for a spec.
+
+    The cache key drops the seed: a placer's walk API touches its
+    config's seed nowhere (randomness comes from the RNG the walk
+    carries), so walks differing only by seed share one rebuild.
+    """
+    key = (spec.circuit, spec.engine, spec.overrides)
+    pair = _BUILD_CACHE.get(key)
+    if pair is None:
+        circuit = _circuit_for(spec.circuit)
+        placer = build_placer(circuit, spec)
+        pair = (placer, placer.engine())
+        _BUILD_CACHE[key] = pair
+    return pair
+
+
+_CIRCUIT_CACHE: dict[str, Circuit] = {}
+
+
+def _circuit_for(name: str) -> Circuit:
+    circuit = _CIRCUIT_CACHE.get(name)
+    if circuit is None:
+        circuit = _CIRCUIT_CACHE[name] = circuit_by_name(name)
+    return circuit
+
+
+def _execute(task: ChunkTask) -> ChunkResult:
+    """Run one chunk of a walk (fresh or resumed) and freeze it again."""
+    spec = task.spec
+    placer, engine = _placer_engine_for(spec)
+    rng = random.Random(spec.seed)
+    annealer = IncrementalAnnealer(engine, placer.schedule(), rng)
+    if task.checkpoint is None:
+        # same draw order as a placer's own run(): initial state first,
+        # then warmup — a 1-start portfolio walks the exact run() walk
+        engine.reset(placer.initial_state(rng))
+        checkpoint = annealer.begin()
+        checkpoint = annealer.advance(
+            checkpoint, task.max_steps, _engine_synced=True
+        )
+    else:
+        checkpoint = annealer.advance(task.checkpoint, task.max_steps)
+    return ChunkResult(walk_id=spec.walk_id, checkpoint=checkpoint)
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker loop: pull chunk tasks until the ``None`` sentinel."""
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        try:
+            result_queue.put(("ok", _execute(task)))
+        except Exception:  # surfaced (with traceback) by the coordinator
+            result_queue.put(("error", task.spec.walk_id, traceback.format_exc()))
+
+
+# -- executors ----------------------------------------------------------------
+
+
+class _InlineExecutor:
+    """Serial executor: dispatch enqueues, collect runs one task.
+
+    FIFO order makes serial runs reproducible step for step; because
+    trajectories are scheduling-independent anyway, its results are
+    identical to the process executor's.
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque[ChunkTask] = deque()
+
+    def dispatch(self, task: ChunkTask) -> None:
+        self._queue.append(task)
+
+    def collect(self) -> ChunkResult:
+        return _execute(self._queue.popleft())
+
+    def close(self) -> None:
+        self._queue.clear()
+
+
+class _ProcessExecutor:
+    """Spawn-based worker pool fed over a task queue.
+
+    ``spawn`` (never ``fork``) so workers import the package fresh —
+    no inherited locks, no accidentally shared placer state, and the
+    same behavior on every platform.
+    """
+
+    def __init__(self, workers: int) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(self._task_queue, self._result_queue),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def dispatch(self, task: ChunkTask) -> None:
+        self._task_queue.put(task)
+
+    def collect(self) -> ChunkResult:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=1.0)
+                break
+            except queue.Empty:
+                # never block on a dead pool (e.g. workers that failed
+                # during interpreter bootstrap before reaching the loop)
+                if not any(proc.is_alive() for proc in self._procs):
+                    raise RuntimeError(
+                        "all portfolio workers exited without producing results"
+                    ) from None
+        if message[0] == "error":
+            _, walk_id, tb = message
+            raise RuntimeError(f"worker failed on walk {walk_id}:\n{tb}")
+        return message[1]
+
+    def close(self) -> None:
+        for _ in self._procs:
+            self._task_queue.put(None)
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        self._task_queue.close()
+        self._result_queue.close()
+
+
+# -- coordinator --------------------------------------------------------------
+
+
+@dataclass
+class _Walk:
+    """Coordinator-side bookkeeping for one walk."""
+
+    spec: WalkSpec
+    total_steps: int
+    chunk: int
+    checkpoint: WalkCheckpoint | None = None
+    #: finalized placement + reference cost of the best state, memoized
+    #: per best_cost value (kill rounds rank walks every round; only
+    #: walks whose best actually changed repack)
+    ref_cost: float = float("inf")
+    ref_placement: object = None
+    _ref_at: float | None = None
+
+
+class PortfolioRunner:
+    """Fan a placement job out over a portfolio of annealing walks.
+
+    Parameters
+    ----------
+    circuit:
+        Benchmark circuit *name* (see :func:`repro.circuit.circuit_names`)
+        — a name, not an object, so the runner itself is spawn-safe.
+    engines:
+        Engine names to cycle starts over (default: all four of
+        ``bstar`` / ``hbtree`` / ``seqpair`` / ``slicing``).
+    starts:
+        Number of walks; walk *i* runs ``engines[i % len(engines)]``
+        with seed ``seeds[i]``.
+    workers:
+        ``<= 1`` runs in-process (deterministic serial execution, no
+        multiprocessing); ``N > 1`` spawns ``N`` worker processes.
+    seeds:
+        Explicit seed sweep (defaults to ``base_seed + i``).  Restart
+        policies draw fresh seeds after the sweep.
+    budget:
+        Total annealing steps across the whole portfolio.  When given,
+        each start's schedule is compressed to ``budget // starts``
+        steps; when ``None`` every start runs its engine's full
+        schedule.  (Warmup sampling — 32 proposals per walk, exactly as
+        in a single :meth:`run`-style anneal — is outside the budget.)
+    restart_policy:
+        ``"independent"`` or ``"rebalance"`` (see module docstring).
+    checkpoint_every:
+        Steps per chunk (progress granularity, and the kill/respawn
+        cadence under ``rebalance``).  Default: a quarter of the walk's
+        schedule.
+    overrides:
+        Config overrides applied to every walk (e.g. schedule knobs).
+    on_event:
+        Callback receiving a :class:`ProgressEvent` after every chunk,
+        kill and spawn — the streamed per-worker progress feed.
+    """
+
+    def __init__(
+        self,
+        circuit: str,
+        engines: Iterable[str] | None = None,
+        *,
+        starts: int = 8,
+        workers: int = 0,
+        base_seed: int = 0,
+        seeds: Iterable[int] | None = None,
+        budget: int | None = None,
+        restart_policy: str = "independent",
+        checkpoint_every: int | None = None,
+        overrides: tuple[tuple[str, object], ...] = (),
+        on_event: Callable[[ProgressEvent], None] | None = None,
+    ) -> None:
+        if starts < 1:
+            raise ValueError("starts must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if restart_policy not in RESTART_POLICIES:
+            raise ValueError(
+                f"unknown restart policy {restart_policy!r}; "
+                f"try: {', '.join(RESTART_POLICIES)}"
+            )
+        if budget is not None and budget < starts:
+            raise ValueError("budget must allow at least one step per start")
+        self._circuit_name = circuit
+        # fail fast on unknown names; the coordinator cache keeps the
+        # built circuit for run() (sized circuits cost ~1s to rebuild)
+        _circuit_for(circuit)
+        self._engines = validate_engines(
+            tuple(engines) if engines is not None else ENGINE_NAMES
+        )
+        self._starts = starts
+        self._workers = workers
+        self._seeds = list(seeds) if seeds is not None else [
+            base_seed + i for i in range(starts)
+        ]
+        if len(self._seeds) < starts:
+            raise ValueError(f"need {starts} seeds, got {len(self._seeds)}")
+        self._budget = budget
+        self._policy = restart_policy
+        self._checkpoint_every = checkpoint_every
+        self._overrides = tuple(overrides)
+        self._on_event = on_event
+
+    # -- public ---------------------------------------------------------------
+
+    def run(self) -> PortfolioResult:
+        """Run the portfolio; returns the winner plus the leaderboard."""
+        walks = self._initial_walks()
+        self._ref = reference_cost(_circuit_for(self._circuit_name))
+        executor = (
+            _ProcessExecutor(self._workers)
+            if self._workers > 1
+            else _InlineExecutor()
+        )
+        started = time.perf_counter()
+        try:
+            if self._policy == "rebalance":
+                outcomes = self._run_rebalance(walks, executor)
+            else:
+                outcomes = self._run_independent(walks, executor)
+            self._polish(outcomes, executor)
+        finally:
+            executor.close()
+        elapsed = time.perf_counter() - started
+
+        # Deterministic aggregation: the leaderboard (and therefore the
+        # winner) is a pure function of the walk results, totally
+        # ordered by (ref_cost, walk_id) so ties cannot flip between
+        # runs or scheduling orders.
+        leaderboard = sorted(outcomes, key=lambda o: (o.ref_cost, o.spec.walk_id))
+        winner = leaderboard[0]
+        return PortfolioResult(
+            placement=winner.placement,
+            cost=winner.ref_cost,
+            winner=winner,
+            leaderboard=leaderboard,
+            total_steps=sum(o.steps for o in leaderboard),
+            elapsed_s=elapsed,
+            workers=max(1, self._workers),
+        )
+
+    # -- walk construction ----------------------------------------------------
+
+    def _initial_walks(self) -> dict[int, _Walk]:
+        per_walk = self._budget // self._starts if self._budget else None
+        walks: dict[int, _Walk] = {}
+        for i in range(self._starts):
+            engine = self._engines[i % len(self._engines)]
+            walks[i] = self._make_walk(i, engine, self._seeds[i], per_walk)
+        return walks
+
+    def _make_walk(
+        self, walk_id: int, engine: str, seed: int, budget: int | None
+    ) -> _Walk:
+        overrides = self._overrides
+        if budget is not None:
+            overrides = compress_overrides(engine, overrides, budget)
+        spec = WalkSpec(
+            walk_id=walk_id,
+            circuit=self._circuit_name,
+            engine=engine,
+            seed=seed,
+            overrides=overrides,
+        )
+        total = walk_total_steps(spec)
+        chunk = self._checkpoint_every or max(1, ceil(total / _DEFAULT_ROUNDS))
+        return _Walk(spec=spec, total_steps=total, chunk=chunk)
+
+    # -- policies -------------------------------------------------------------
+
+    def _run_independent(self, walks: dict[int, _Walk], executor) -> list[WalkOutcome]:
+        """Every walk runs its full schedule; chunks pipeline freely."""
+        outcomes: list[WalkOutcome] = []
+        for walk_id in sorted(walks):
+            executor.dispatch(self._next_task(walks[walk_id]))
+        pending = len(walks)
+        while pending:
+            result = executor.collect()
+            walk = walks[result.walk_id]
+            walk.checkpoint = result.checkpoint
+            self._emit_progress(walk)
+            if result.checkpoint.finished:
+                outcomes.append(self._outcome(walk, FINISHED))
+                pending -= 1
+            else:
+                executor.dispatch(self._next_task(walk))
+        return outcomes
+
+    def _run_rebalance(self, walks: dict[int, _Walk], executor) -> list[WalkOutcome]:
+        """Checkpoint rounds: advance all, kill the worst half, respawn.
+
+        Each round is a barrier — every active walk reaches its next
+        checkpoint before any decision — so the kill/respawn sequence
+        depends only on walk results, never on worker scheduling.
+        """
+        outcomes: list[WalkOutcome] = []
+        active = dict(walks)
+        next_walk_id = max(active) + 1
+        next_seed = max(self._seeds) + 1
+        engine_cursor = self._starts  # continue the round-robin
+        while active:
+            for walk_id in sorted(active):
+                executor.dispatch(self._next_task(active[walk_id]))
+            for _ in range(len(active)):
+                result = executor.collect()
+                walk = active[result.walk_id]
+                walk.checkpoint = result.checkpoint
+                self._emit_progress(walk)
+            for walk_id in sorted(active):
+                if active[walk_id].checkpoint.finished:
+                    outcomes.append(self._outcome(active.pop(walk_id), FINISHED))
+            if len(active) < 2:
+                continue
+            # rank by (reference cost of the best state, walk_id) — the
+            # engines anneal different objectives, so kill decisions use
+            # the shared yardstick; the worst half dies and its unspent
+            # budget funds fresh seeds
+            ranked = sorted(
+                active.values(),
+                key=lambda w: (self._walk_ref_cost(w), w.spec.walk_id),
+            )
+            victims = ranked[len(ranked) - len(ranked) // 2 :]
+            pooled = 0
+            for victim in victims:
+                pooled += victim.total_steps - victim.checkpoint.step
+                outcomes.append(self._outcome(victim, KILLED))
+                del active[victim.spec.walk_id]
+                self._emit_progress(victim, status=KILLED)
+            to_spawn = len(victims)
+            while to_spawn and pooled:
+                engine = self._engines[engine_cursor % len(self._engines)]
+                share = pooled // to_spawn
+                try:
+                    fresh = self._make_walk(next_walk_id, engine, next_seed, share)
+                except ValueError:
+                    break  # share below one step per epoch: budget exhausted
+                active[next_walk_id] = fresh
+                pooled -= fresh.total_steps
+                next_walk_id += 1
+                next_seed += 1
+                engine_cursor += 1
+                to_spawn -= 1
+                self._emit_progress(fresh, status="spawned")
+        return outcomes
+
+    def _polish(self, outcomes: list[WalkOutcome], executor) -> None:
+        """Spend the budget's compression slack refining the winner.
+
+        Splitting a budget into equal compressed schedules leaves
+        ``budget - sum(walk totals)`` steps on the floor (epoch
+        rounding).  When that slack covers at least one short cold
+        schedule, it funds a *polish walk*: re-anneal the current
+        winner's best state from a low initial temperature — iterated
+        local search rather than a fresh start.  Deterministic like
+        every other walk (fixed seed offset, fabricated step-0
+        checkpoint), and free: the portfolio still never exceeds its
+        budget.
+        """
+        if self._budget is None or not outcomes:
+            return
+        slack = self._budget - sum(o.steps for o in outcomes)
+        winner = min(outcomes, key=lambda o: (o.ref_cost, o.spec.walk_id))
+        # stay a valid cooling schedule under any override set: the
+        # polish start must sit strictly above the walk's t_final
+        t_final = build_config(winner.spec.engine, 0, self._overrides).t_final
+        polish_t0 = max(_POLISH_T0, 10.0 * t_final)
+        overrides = self._overrides + (("t_initial", polish_t0),)
+        try:
+            overrides = compress_overrides(winner.spec.engine, overrides, slack)
+        except ValueError:
+            return  # slack below one step per epoch: nothing to spend
+        spec = WalkSpec(
+            walk_id=max(o.spec.walk_id for o in outcomes) + 1,
+            circuit=self._circuit_name,
+            engine=winner.spec.engine,
+            seed=winner.spec.seed + _POLISH_SEED_OFFSET,
+            overrides=overrides,
+        )
+        total = walk_total_steps(spec)
+        stats = AnnealingStats(
+            initial_cost=winner.best_cost, best_cost=winner.best_cost
+        )
+        checkpoint = WalkCheckpoint(
+            step=0,
+            total_steps=total,
+            t_scale=1.0,  # the schedule is already cold: no warmup rescale
+            state=winner.best_state,
+            current_cost=winner.best_cost,
+            best_state=winner.best_state,
+            best_cost=winner.best_cost,
+            rng_state=random.Random(spec.seed).getstate(),
+            stats=stats,
+        )
+        walk = _Walk(spec=spec, total_steps=total, chunk=total, checkpoint=checkpoint)
+        executor.dispatch(ChunkTask(spec=spec, checkpoint=checkpoint, max_steps=None))
+        walk.checkpoint = executor.collect().checkpoint
+        self._emit_progress(walk, status="polish")
+        outcomes.append(self._outcome(walk, "polish"))
+
+    # -- helpers --------------------------------------------------------------
+
+    def _next_task(self, walk: _Walk) -> ChunkTask:
+        return ChunkTask(
+            spec=walk.spec, checkpoint=walk.checkpoint, max_steps=walk.chunk
+        )
+
+    def _walk_ref_cost(self, walk: _Walk) -> float:
+        """Reference cost of the walk's best state (memoized: it only
+        changes when the walk's best cost does)."""
+        checkpoint = walk.checkpoint
+        if walk._ref_at != checkpoint.best_cost:
+            placer, _ = _placer_engine_for(walk.spec)
+            walk.ref_placement = placer.finalize(checkpoint.best_state)
+            walk.ref_cost = self._ref(walk.ref_placement)
+            walk._ref_at = checkpoint.best_cost
+        return walk.ref_cost
+
+    def _outcome(self, walk: _Walk, status: str) -> WalkOutcome:
+        checkpoint = walk.checkpoint
+        self._walk_ref_cost(walk)  # memoized finalize + reference cost
+        return WalkOutcome(
+            spec=walk.spec,
+            best_cost=checkpoint.best_cost,
+            ref_cost=walk.ref_cost,
+            placement=walk.ref_placement,
+            steps=checkpoint.step,
+            total_steps=walk.total_steps,
+            status=status,
+            stats=checkpoint.stats,
+            best_state=checkpoint.best_state,
+        )
+
+    def _emit_progress(self, walk: _Walk, status: str = "running") -> None:
+        if self._on_event is None:
+            return
+        checkpoint = walk.checkpoint
+        self._on_event(
+            ProgressEvent(
+                walk_id=walk.spec.walk_id,
+                engine=walk.spec.engine,
+                seed=walk.spec.seed,
+                step=checkpoint.step if checkpoint else 0,
+                total_steps=walk.total_steps,
+                best_cost=checkpoint.best_cost if checkpoint else float("inf"),
+                status=status,
+            )
+        )

@@ -117,27 +117,40 @@ class SequencePairPlacer:
             cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
         return cost
 
-    # -- run ------------------------------------------------------------------
+    # -- walk API (shared by run() and repro.parallel) ------------------------
 
-    def run(self) -> PlacerResult:
+    def schedule(self) -> GeometricSchedule:
         cfg = self._config
-        rng = random.Random(cfg.seed)
-        schedule = GeometricSchedule(
+        return GeometricSchedule(
             t_initial=cfg.t_initial,
             t_final=cfg.t_final,
             alpha=cfg.alpha,
             steps_per_epoch=cfg.steps_per_epoch,
         )
-        # Incremental protocol: rejected codes roll back per-net HPWL
-        # caches instead of being re-summed next step; draws and costs
-        # match the functional path bit for bit.
-        engine = _SeqPairEngine(self)
-        engine.reset(self._moves.initial_state(rng))
-        annealer = IncrementalAnnealer(engine, schedule, rng)
+
+    def engine(self) -> "_SeqPairEngine":
+        """A fresh incremental engine: rejected codes roll back per-net
+        HPWL caches instead of being re-summed next step; draws and
+        costs match the functional path bit for bit."""
+        return _SeqPairEngine(self)
+
+    def initial_state(self, rng: random.Random) -> PlacementState:
+        return self._moves.initial_state(rng)
+
+    def finalize(self, state: PlacementState) -> Placement:
+        """Materialize a state as a normalized :class:`Placement`."""
+        return self.pack(state).normalized()
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self) -> PlacerResult:
+        rng = random.Random(self._config.seed)
+        engine = self.engine()
+        engine.reset(self.initial_state(rng))
+        annealer = IncrementalAnnealer(engine, self.schedule(), rng)
         outcome = annealer.run()
-        best_placement = self.pack(outcome.best_state).normalized()
         return PlacerResult(
-            placement=best_placement,
+            placement=self.finalize(outcome.best_state),
             state=outcome.best_state,
             cost=outcome.best_cost,
             stats=outcome.stats,

@@ -57,6 +57,15 @@ class SlicingPlacer:
         self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
         self._resolved_nets = resolve_nets(nets, modules.names())
 
+    @classmethod
+    def for_circuit(
+        cls, circuit, config: SlicingPlacerConfig | None = None
+    ) -> "SlicingPlacer":
+        """Placer over a circuit's modules and nets.  Slicing ignores
+        symmetry/proximity constraints by construction (the section-I
+        baseline the topological engines are measured against)."""
+        return cls(circuit.modules(), circuit.nets, config)
+
     def cost(self, expr: PolishExpression) -> float:
         cfg = self._config
         sf = shape_function_of(
@@ -78,28 +87,38 @@ class SlicingPlacer:
             return expr.complement_chain(rng)
         return expr.swap_operand_operator(rng)
 
-    def run(self) -> SlicingPlacerResult:
+    # -- walk API (shared by run() and repro.parallel) ------------------------
+
+    def schedule(self) -> GeometricSchedule:
         cfg = self._config
-        rng = random.Random(cfg.seed)
-        schedule = GeometricSchedule(
+        return GeometricSchedule(
             t_initial=cfg.t_initial,
             t_final=cfg.t_final,
             alpha=cfg.alpha,
             steps_per_epoch=cfg.steps_per_epoch,
         )
-        # Incremental protocol (propose -> commit/rollback): wirelength,
-        # when enabled, is maintained per net by DeltaHPWL instead of
-        # rescanned; draws and costs match the functional path bit for
-        # bit, so trajectories are unchanged.
-        engine = _SlicingEngine(self)
-        engine.reset(PolishExpression.random(self._modules.names(), rng))
-        annealer = IncrementalAnnealer(engine, schedule, rng)
+
+    def engine(self) -> "_SlicingEngine":
+        """A fresh incremental engine (propose -> commit/rollback):
+        wirelength, when enabled, is maintained per net by DeltaHPWL
+        instead of rescanned; draws and costs match the functional path
+        bit for bit."""
+        return _SlicingEngine(self)
+
+    def initial_state(self, rng: random.Random) -> PolishExpression:
+        return PolishExpression.random(self._modules.names(), rng)
+
+    def finalize(self, expr: PolishExpression) -> Placement:
+        return pack_slicing(expr, self._modules, max_shapes=self._config.max_shapes)
+
+    def run(self) -> SlicingPlacerResult:
+        rng = random.Random(self._config.seed)
+        engine = self.engine()
+        engine.reset(self.initial_state(rng))
+        annealer = IncrementalAnnealer(engine, self.schedule(), rng)
         outcome = annealer.run()
-        placement = pack_slicing(
-            outcome.best_state, self._modules, max_shapes=cfg.max_shapes
-        )
         return SlicingPlacerResult(
-            placement=placement,
+            placement=self.finalize(outcome.best_state),
             expression=outcome.best_state,
             cost=outcome.best_cost,
             stats=outcome.stats,

@@ -1,0 +1,121 @@
+"""Checkpointed walks are bit-identical to monolithic runs.
+
+The portfolio runner slices annealing walks into chunks (pausing,
+pickling and resuming them across processes), so the checkpoint API
+must reproduce ``IncrementalAnnealer.run`` exactly — same best state,
+same best cost, same statistics — for any chunking, including chunks
+resumed on a freshly rebuilt engine.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.anneal import (
+    GeometricSchedule,
+    IncrementalAnnealer,
+    StateEngine,
+    WalkCheckpoint,
+)
+from repro.bstar import BStarPlacerConfig
+from repro.circuit import simple_testcase
+from repro.perf import IncrementalBStarEngine
+
+SCHEDULE = GeometricSchedule(t_initial=1.0, t_final=1e-2, alpha=0.7, steps_per_epoch=20)
+
+
+# -- a tiny 1-D toy problem over the functional adapter -----------------------
+
+
+def _toy_annealer(seed: int) -> IncrementalAnnealer:
+    def cost(x: float) -> float:
+        return (x - 3.0) ** 2
+
+    class Moves:
+        def propose(self, state, rng):
+            return state + rng.uniform(-1.0, 1.0)
+
+    engine = StateEngine(cost, Moves(), 10.0)
+    return IncrementalAnnealer(engine, SCHEDULE, random.Random(seed))
+
+
+def _bstar_annealer(seed: int) -> IncrementalAnnealer:
+    circuit = simple_testcase(12, seed=1)
+    rng = random.Random(seed)
+    engine = IncrementalBStarEngine(
+        circuit.modules(), circuit.nets, (), BStarPlacerConfig(seed=seed)
+    )
+    engine.reset(engine.initial_state(rng))
+    return IncrementalAnnealer(engine, SCHEDULE, rng)
+
+
+@pytest.mark.parametrize("make", [_toy_annealer, _bstar_annealer])
+@pytest.mark.parametrize("chunk", [1, 7, 64, 10_000])
+def test_chunked_equals_monolithic(make, chunk):
+    mono = make(seed=5).run()
+
+    annealer = make(seed=5)
+    checkpoint = annealer.begin()
+    while not checkpoint.finished:
+        checkpoint = annealer.advance(checkpoint, chunk)
+
+    assert checkpoint.best_cost == mono.best_cost
+    assert checkpoint.stats == mono.stats
+    assert checkpoint.step == checkpoint.total_steps
+
+
+def test_pickled_resume_on_rebuilt_engine_is_identical():
+    """A checkpoint hopping 'processes' (pickle + fresh engine) changes
+    nothing — the exact contract the portfolio workers rely on."""
+    mono = _bstar_annealer(seed=9).run()
+
+    checkpoint = _bstar_annealer(seed=9).begin()
+    while not checkpoint.finished:
+        checkpoint = pickle.loads(pickle.dumps(checkpoint))
+        fresh = _bstar_annealer(seed=9)  # new engine, new rng
+        checkpoint = fresh.advance(checkpoint, 37)
+
+    assert checkpoint.best_cost == mono.best_cost
+    assert checkpoint.stats == mono.stats
+
+
+def test_advance_on_finished_checkpoint_is_a_noop():
+    annealer = _toy_annealer(seed=3)
+    checkpoint = annealer.begin()
+    done = annealer.advance(checkpoint)
+    assert done.finished
+    assert annealer.advance(done, 10) is done
+
+
+def test_advance_rejects_mismatched_schedule():
+    checkpoint = _toy_annealer(seed=3).begin()
+    other = IncrementalAnnealer(
+        StateEngine(lambda x: x * x, None, 0.0),
+        GeometricSchedule(t_initial=1.0, t_final=1e-2, alpha=0.7, steps_per_epoch=7),
+        random.Random(0),
+    )
+    with pytest.raises(ValueError, match="schedule spans"):
+        other.advance(checkpoint, 1)
+
+
+def test_checkpoint_is_immutable_across_advance():
+    """advance returns fresh checkpoints; earlier ones stay resumable."""
+    annealer = _toy_annealer(seed=11)
+    first = annealer.begin()
+    mid = annealer.advance(first, 50)
+    end_a = annealer.advance(mid)
+    # resuming from the same mid checkpoint again reproduces the tail
+    end_b = _toy_annealer(seed=11).advance(mid)
+    assert first.step == 0 and mid.step == 50
+    assert end_a.best_cost == end_b.best_cost
+    assert end_a.stats == end_b.stats
+
+
+def test_run_still_matches_begin_advance_composition():
+    mono = _toy_annealer(seed=2).run()
+    annealer = _toy_annealer(seed=2)
+    checkpoint = annealer.advance(annealer.begin())
+    assert isinstance(checkpoint, WalkCheckpoint)
+    assert mono.best_cost == checkpoint.best_cost
+    assert mono.stats == checkpoint.stats

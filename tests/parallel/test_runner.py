@@ -1,0 +1,184 @@
+"""The portfolio runner: determinism, policies, budgets, multiprocessing.
+
+Everything here runs serially (workers=0) except the one spawn smoke
+test at the bottom — serial and multiprocess execution share the chunk
+execution path, and the smoke test locks that they agree byte for
+byte.
+"""
+
+import pickle
+
+import pytest
+
+from repro.parallel import (
+    ENGINE_NAMES,
+    PortfolioRunner,
+    WalkSpec,
+    build_placer_by_name,
+)
+from repro.parallel.jobs import FINISHED, KILLED
+
+#: short schedules so a walk is a few hundred steps
+FAST = (("alpha", 0.7), ("steps_per_epoch", 20), ("t_final", 1e-2))
+
+
+def run_portfolio(**kwargs):
+    kwargs.setdefault("overrides", FAST)
+    return PortfolioRunner("miller_opamp", **kwargs).run()
+
+
+class TestDeterminism:
+    def test_same_sweep_same_winner_byte_for_byte(self):
+        a = run_portfolio(starts=4)
+        b = run_portfolio(starts=4)
+        assert a.cost == b.cost
+        assert pickle.dumps(a.placement) == pickle.dumps(b.placement)
+        assert [(o.spec.walk_id, o.best_cost, o.status) for o in a.leaderboard] == [
+            (o.spec.walk_id, o.best_cost, o.status) for o in b.leaderboard
+        ]
+
+    def test_leaderboard_is_totally_ordered_by_ref_cost(self):
+        result = run_portfolio(starts=4)
+        keys = [(o.ref_cost, o.spec.walk_id) for o in result.leaderboard]
+        assert keys == sorted(keys)
+        assert result.cost == result.leaderboard[0].ref_cost
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_one_start_equals_the_placers_own_run(self, engine):
+        """A 1-start portfolio IS the plain placer run, bit for bit."""
+        single = build_placer_by_name(
+            WalkSpec(0, "miller_opamp", engine, 5, FAST)
+        ).run()
+        result = run_portfolio(engines=(engine,), starts=1, base_seed=5)
+        row = result.leaderboard[0]
+        assert row.best_cost == single.cost
+        # placements are value-equal (pickle blobs may differ in lazy
+        # bounding-box caches, which compare equal but serialize when set)
+        assert row.placement == single.placement
+
+
+class TestMultiStartQuality:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_full_budget_portfolio_never_loses_to_a_contained_single_run(
+        self, engine
+    ):
+        """With full per-start budgets the sweep contains the baseline
+        seed, so the per-engine best is <= that single run — always."""
+        single = build_placer_by_name(
+            WalkSpec(0, "miller_opamp", engine, 0, FAST)
+        ).run()
+        result = run_portfolio(engines=(engine,), starts=4, base_seed=0)
+        assert result.best_by_engine()[engine].best_cost <= single.cost
+
+
+class TestBudget:
+    def test_budget_is_an_upper_bound_on_total_steps(self):
+        result = run_portfolio(starts=4, budget=800)
+        assert result.total_steps <= 800
+
+    def test_budget_slack_funds_a_polish_walk(self):
+        result = run_portfolio(starts=4, budget=900)
+        statuses = [o.status for o in result.leaderboard]
+        assert "polish" in statuses
+        assert result.total_steps <= 900
+
+    def test_polish_never_worsens_the_winner(self):
+        result = run_portfolio(starts=4, budget=900)
+        finished = [o for o in result.leaderboard if o.status == FINISHED]
+        assert result.cost <= min(o.ref_cost for o in finished)
+
+    def test_budget_below_one_step_per_start_rejected(self):
+        with pytest.raises(ValueError, match="at least one step per start"):
+            run_portfolio(starts=4, budget=3)
+
+    def test_polish_survives_a_warm_t_final_override(self):
+        """A t_final above the default polish start temperature must not
+        crash the run after the whole budget was spent (regression)."""
+        result = run_portfolio(
+            starts=2,
+            engines=("bstar",),
+            budget=800,
+            overrides=(("t_final", 0.1), ("alpha", 0.7), ("steps_per_epoch", 20)),
+        )
+        assert result.total_steps <= 800
+        assert result.leaderboard
+
+
+class TestRebalance:
+    def test_kills_and_respawns_deterministically(self):
+        a = run_portfolio(starts=4, restart_policy="rebalance", budget=800)
+        b = run_portfolio(starts=4, restart_policy="rebalance", budget=800)
+        assert [o.spec for o in a.leaderboard] == [o.spec for o in b.leaderboard]
+        assert pickle.dumps(a.placement) == pickle.dumps(b.placement)
+        statuses = {o.status for o in a.leaderboard}
+        assert KILLED in statuses  # the worst half actually died
+
+    def test_respawned_walks_use_fresh_seeds(self):
+        result = run_portfolio(starts=4, restart_policy="rebalance", budget=800)
+        sweep = {0, 1, 2, 3}
+        fresh = [
+            o
+            for o in result.leaderboard
+            if o.spec.seed not in sweep and o.status in (FINISHED, KILLED)
+        ]
+        killed = [o for o in result.leaderboard if o.status == KILLED]
+        # pooled budget from kills funds walks outside the original sweep
+        assert len(result.leaderboard) > 4
+        assert killed and fresh
+
+    def test_budget_is_conserved(self):
+        result = run_portfolio(starts=4, restart_policy="rebalance", budget=800)
+        assert result.total_steps <= 800
+
+
+class TestEvents:
+    def test_progress_streams_every_chunk_and_decision(self):
+        events = []
+        run_portfolio(starts=2, budget=400, on_event=events.append)
+        assert events
+        running = [e for e in events if e.status == "running"]
+        assert running and all(e.step > 0 for e in running)
+        assert any(e.status == "polish" for e in events)
+        # a walk reports monotonically increasing steps
+        per_walk = {}
+        for event in running:
+            assert event.step >= per_walk.get(event.walk_id, 0)
+            per_walk[event.walk_id] = event.step
+
+
+class TestValidation:
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError, match="unknown circuit"):
+            PortfolioRunner("not-a-circuit")
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            PortfolioRunner("miller_opamp", ("magic",))
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="restart policy"):
+            PortfolioRunner("miller_opamp", restart_policy="chaotic")
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError, match="starts"):
+            PortfolioRunner("miller_opamp", starts=0)
+        with pytest.raises(ValueError, match="workers"):
+            PortfolioRunner("miller_opamp", workers=-1)
+
+    def test_explicit_seed_sweep_must_cover_starts(self):
+        with pytest.raises(ValueError, match="seeds"):
+            PortfolioRunner("miller_opamp", starts=3, seeds=[1, 2])
+
+
+class TestMultiprocessing:
+    def test_spawned_workers_match_serial_byte_for_byte(self):
+        serial = run_portfolio(starts=2, engines=("bstar", "hbtree"), budget=400)
+        spawned = run_portfolio(
+            starts=2, engines=("bstar", "hbtree"), budget=400, workers=2
+        )
+        assert spawned.workers == 2
+        assert spawned.cost == serial.cost
+        assert pickle.dumps(spawned.placement) == pickle.dumps(serial.placement)
+        assert [(o.spec, o.best_cost, o.status) for o in spawned.leaderboard] == [
+            (o.spec, o.best_cost, o.status) for o in serial.leaderboard
+        ]

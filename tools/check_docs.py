@@ -1,0 +1,109 @@
+"""Docs checker: executable README + no dead links.
+
+Two honesty checks, wired into CI (`.github/workflows/ci.yml`) and the
+tier-1 suite (`tests/test_docs.py`):
+
+1. **README code blocks run.**  Every fenced ```python block in
+   `README.md` is executed, top to bottom, in one shared namespace (so
+   later blocks may build on earlier imports).  If the quickstart in
+   the README rots, CI goes red — the README can never drift from the
+   library again.  Add ``<!-- docs-check: skip -->`` on the line
+   directly above a fence to exclude a block (e.g. pseudocode).
+2. **No dead relative links.**  Every markdown link in `README.md` and
+   `docs/*.md` that points at a file (not http/https/mailto/anchor) is
+   resolved against the linking file; missing targets fail.
+
+Run:  PYTHONPATH=src python tools/check_docs.py [--no-exec]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: fenced python blocks, with an optional skip marker above the fence
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_SKIP_MARKER = "<!-- docs-check: skip -->"
+
+#: inline markdown links [text](target); images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def python_blocks(markdown: str) -> list[tuple[int, str]]:
+    """(1-based start line, code) for every non-skipped python fence."""
+    blocks = []
+    for match in _FENCE.finditer(markdown):
+        preceding = markdown[: match.start()].rstrip().splitlines()
+        if preceding and preceding[-1].strip() == _SKIP_MARKER:
+            continue
+        line = markdown.count("\n", 0, match.start()) + 2  # code starts after ```
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+def run_readme_blocks(readme: Path) -> list[str]:
+    """Execute the README's python blocks; one error string per failure."""
+    errors = []
+    namespace: dict = {"__name__": "__readme__"}
+    for line, code in python_blocks(readme.read_text()):
+        try:
+            exec(compile(code, f"{readme.name}:{line}", "exec"), namespace)
+        except Exception as exc:  # report and keep checking later blocks
+            errors.append(f"{readme.name}:{line}: block raised {exc!r}")
+    return errors
+
+
+_ANY_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def dead_links(files: list[Path]) -> list[str]:
+    """Relative links whose targets do not exist, one message each.
+
+    Fenced code blocks are stripped first: link-shaped code like
+    ``handlers[0](event)`` is not a markdown link.
+    """
+    errors = []
+    for path in files:
+        for match in _LINK.finditer(_ANY_FENCE.sub("", path.read_text())):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO)}: dead link -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-exec",
+        action="store_true",
+        help="only check links; skip executing README code blocks",
+    )
+    args = parser.parse_args(argv)
+
+    readme = REPO / "README.md"
+    doc_files = [readme, *sorted((REPO / "docs").glob("*.md"))]
+    errors = dead_links([f for f in doc_files if f.exists()])
+    if not readme.exists():
+        errors.append("README.md is missing")
+    elif not args.no_exec:
+        errors.extend(run_readme_blocks(readme))
+
+    for message in errors:
+        print(f"docs-check: {message}", file=sys.stderr)
+    if not errors:
+        what = "links" if args.no_exec else "links + README blocks"
+        print(f"docs-check: {len(doc_files)} files OK ({what})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
