@@ -4,8 +4,10 @@ Measures the end-to-end simulated-annealing step rate of the flat
 B*-tree placer through the evaluation tiers, slowest to fastest:
 
 * **object path** — every step packs a full :class:`Placement` of
-  ``PlacedModule`` records and evaluates ``_CostModel`` on it (how the
-  placer worked before ``repro.perf``);
+  ``PlacedModule`` records and evaluates the legacy object-tier cost
+  formula on it (how the placer worked before ``repro.perf``; the
+  formula is replicated inline here so the baseline measurement
+  survives the class's deletion);
 * **kernel path** — every step runs :class:`repro.perf.BStarKernel`
   (PR 1): flat coordinates, precomputed footprints, reusable skyline —
   but still a *full* repack and a full net rescan per step;
@@ -20,6 +22,13 @@ path draws its own (identically distributed) walk; its best cost is
 asserted bit-identical against :class:`FullRepackBStarEngine`, which
 replays the *same* walk with full per-step repacks — speed changes,
 answers don't.
+
+A **cost-eval micro-tier** sits alongside the annealing tiers: it times
+the unified :class:`repro.cost.CostModel` against a hand-inlined
+replica of the legacy monolithic evaluation over identical coordinate
+tables, recording the declarative layer's dispatch overhead (the PR-4
+budget: the unified model must stay within a few percent of the
+inlined path, and end-to-end steps/s within 5% of the PR-3 trajectory).
 
 Results are **appended** to the ``trajectory`` list in
 ``BENCH_perf_kernel.json`` at the repo root, so steps/sec is tracked
@@ -44,9 +53,15 @@ from repro.anneal import Annealer, GeometricSchedule, IncrementalAnnealer
 from repro.bstar import BStarPlacerConfig
 from repro.bstar.packing import pack
 from repro.bstar.perturb import BStarMoveSet
-from repro.bstar.placer import _CostModel
-from repro.geometry import Module, ModuleSet, Net
-from repro.perf import BStarKernel, FullRepackBStarEngine, IncrementalBStarEngine
+from repro.bstar.tree import BStarTree
+from repro.cost import hpwl_of, resolve_nets
+from repro.geometry import Module, ModuleSet, Net, total_hpwl
+from repro.perf import (
+    BStarKernel,
+    FullRepackBStarEngine,
+    IncrementalBStarEngine,
+    bounding_of,
+)
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf_kernel.json"
 
@@ -73,11 +88,99 @@ def problem(n: int, seed: int = 0) -> tuple[ModuleSet, tuple[Net, ...]]:
     return modules, tuple(nets)
 
 
+def _legacy_object_cost(modules, nets, config):
+    """The pre-PR-4 object-tier cost formula (``_CostModel``), inlined
+    so the baseline tier keeps measuring what it always measured."""
+    area_scale = max(modules.total_module_area(), 1e-12)
+    wl_scale = max(area_scale**0.5 * max(len(nets), 1), 1e-12)
+
+    def cost(placement) -> float:
+        bb = placement.bounding_box()
+        total = config.area_weight * bb.area / area_scale
+        if nets and config.wirelength_weight:
+            total += config.wirelength_weight * total_hpwl(nets, placement) / wl_scale
+        if config.aspect_weight and bb.width > 0 and bb.height > 0:
+            ratio = bb.height / bb.width
+            deviation = max(ratio, 1.0 / ratio) / max(config.target_aspect, 1e-12)
+            total += config.aspect_weight * max(0.0, deviation - 1.0)
+        return total
+
+    return cost
+
+
+def _legacy_flat_eval(modules, nets, config):
+    """Hand-inlined replica of the pre-PR-4 monolithic flat-coordinate
+    evaluation (``FastCostModel.evaluate``): the yardstick the unified
+    model's per-term dispatch overhead is measured against."""
+    resolved = resolve_nets(nets, modules.names())
+    has_nets = bool(nets)
+    area_scale = max(modules.total_module_area(), 1e-12)
+    wl_scale = max(area_scale**0.5 * max(len(nets), 1), 1e-12)
+
+    def evaluate(coords) -> float:
+        bx0, by0, bx1, by1 = bounding_of(coords.values())
+        width = bx1 - bx0
+        height = by1 - by0
+        cost = config.area_weight * (width * height) / area_scale
+        if has_nets and config.wirelength_weight:
+            cost += config.wirelength_weight * hpwl_of(resolved, coords) / wl_scale
+        if config.aspect_weight and width > 0 and height > 0:
+            ratio = height / width
+            deviation = max(ratio, 1.0 / ratio) / max(config.target_aspect, 1e-12)
+            cost += config.aspect_weight * max(0.0, deviation - 1.0)
+        return cost
+
+    return evaluate
+
+
+def measure_cost_eval(
+    n: int, config: BStarPlacerConfig, *, evals: int = 4000, repeats: int = 3
+) -> dict:
+    """Cost-eval micro-tier: unified model vs inlined legacy evaluation.
+
+    Times full evaluations of the same pre-packed coordinate tables
+    through :class:`repro.cost.CostModel` and through the inlined
+    legacy formula, asserting bit-identical results.  The overhead
+    percentage is the declarative layer's dispatch cost.
+    """
+    modules, nets = problem(n)
+    kernel = BStarKernel(modules, nets, (), config)
+    model = kernel.model
+    legacy = _legacy_flat_eval(modules, nets, config)
+    rng = random.Random(config.seed)
+    tables = [
+        dict(kernel.pack(BStarTree.random(modules.names(), rng))) for _ in range(8)
+    ]
+
+    checks = [model.evaluate(t) for t in tables]
+    assert checks == [legacy(t) for t in tables], "unified model diverged from legacy"
+
+    def rate(evaluate) -> float:
+        best = 0.0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for i in range(evals):
+                evaluate(tables[i & 7])
+            best = max(best, evals / (time.perf_counter() - t0))
+        return best
+
+    unified = rate(model.evaluate)
+    inlined = rate(legacy)
+    return {
+        "modules": n,
+        "nets": len(nets),
+        "unified_evals_per_sec": round(unified, 1),
+        "inlined_evals_per_sec": round(inlined, 1),
+        "overhead_pct": round(100.0 * (inlined / unified - 1.0), 1),
+        "results_identical": True,
+    }
+
+
 def measure(n: int, config: BStarPlacerConfig, repeats: int = 3) -> dict:
     """Best-of-``repeats`` steps/sec for all three evaluation tiers."""
     modules, nets = problem(n)
     kernel = BStarKernel(modules, nets, (), config)
-    reference = _CostModel(modules, nets, (), config)
+    reference = _legacy_object_cost(modules, nets, config)
 
     def object_cost(state):
         return reference(pack(state.tree, modules, state.orientations, state.variants))
@@ -214,16 +317,19 @@ def run(fast: bool = False, write: bool = False) -> dict:
         # tiers and both identity asserts; 100 modules stays in so the
         # incremental tier is measured where its advantage shows
         config = BStarPlacerConfig(seed=0, alpha=0.85, t_final=1e-3)
-        sizes, repeats = (30, 100), 1
+        sizes, repeats, evals = (30, 100), 1, 1000
     else:
         config = BStarPlacerConfig(seed=0)
-        sizes, repeats = (50, 100), 3
+        sizes, repeats, evals = (50, 100), 3, 4000
 
     entry = {
         "mode": "fast" if fast else "full",
         "python": platform.python_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "runs": [measure(n, config, repeats) for n in sizes],
+        "cost_eval": [
+            measure_cost_eval(n, config, evals=evals, repeats=repeats) for n in sizes
+        ],
     }
     # The regression diff only means something against entries recorded
     # on the same tracked machine, i.e. when this run participates in
@@ -252,11 +358,21 @@ def run(fast: bool = False, write: bool = False) -> dict:
             f"{row['incremental_steps_per_sec']:>10,.0f} "
             f"{row['speedup']:>8.2f}x {row['incremental_speedup']:>6.2f}x"
         )
+    lines.append(
+        f"{'modules':>8} {'unified/s':>11} {'inlined/s':>11} {'overhead':>9}"
+    )
+    for row in entry["cost_eval"]:
+        lines.append(
+            f"{row['modules']:>8} {row['unified_evals_per_sec']:>11,.0f} "
+            f"{row['inlined_evals_per_sec']:>11,.0f} "
+            f"{row['overhead_pct']:>8.1f}%"
+        )
     return {
         "benchmark": "perf_kernel_steps_per_sec",
         "mode": entry["mode"],
         "python": entry["python"],
         "runs": entry["runs"],
+        "cost_eval": entry["cost_eval"],
         "entry": entry,
         "regressions": regressions,
         "appended": appended,
@@ -268,6 +384,13 @@ def test_perf_kernel_report(emit, benchmark):
     """Smoke-tier run: all paths agree and both fast tiers are faster."""
     results = benchmark.pedantic(lambda: run(fast=True), rounds=1, iterations=1)
     emit("perf_kernel", results["table"])
+    for row in results["cost_eval"]:
+        # the unified model must track the hand-inlined legacy formula:
+        # identical floats always; dispatch overhead bounded loosely
+        # here (single-repeat CI timings are noisy — the tracked 5%
+        # budget is enforced on the trajectory file's full-mode entries)
+        assert row["results_identical"]
+        assert row["overhead_pct"] < 60.0
     for row in results["runs"]:
         assert row["best_cost_identical"]
         # full-run bars are TARGET_SPEEDUP / INCREMENTAL_TARGET; leave

@@ -15,6 +15,9 @@ in Topological Approaches*, DATE 2009.  The package provides:
 * :mod:`repro.sizing` — layout-aware sizing with layout templates and
   in-loop parasitic extraction (section V);
 * :mod:`repro.anneal` — the shared simulated-annealing engine;
+* :mod:`repro.cost` — the unified cost subsystem: one declarative,
+  delta-capable objective shared by every placer, the portfolio's
+  reference ranking and the CLI;
 * :mod:`repro.perf` — the flat-coordinate evaluation kernel the
   annealing hot loops run on (bit-identical to the object tier);
 * :mod:`repro.analysis` — search-space combinatorics and rendering.

@@ -59,6 +59,10 @@ class AnnealingStats:
     initial_cost: float = math.inf
     final_temperature: float = 0.0
     cost_trace: list[float] = field(default_factory=list)
+    #: per-term contributions of ``best_cost`` under the placer's
+    #: :class:`~repro.cost.CostModel` (filled by the placers' ``run()``;
+    #: ``None`` for raw annealer drives or infeasible best states)
+    term_breakdown: dict[str, float] | None = None
 
     @property
     def acceptance_ratio(self) -> float:

@@ -322,11 +322,12 @@ class HBIncrementalEngine:
     level to the hierarchy root needs repacking: every other node's
     subtree coordinates are served from a cache of normalized tables.
     The merged root table is then diffed module-by-module against the
-    last committed placement and handed to
-    :class:`~repro.perf.cost.DeltaHPWL`, which rescans only the nets of
-    modules that actually moved.  Costs — and, for equal seeds, whole
-    annealing trajectories — are bit-identical to the non-cached
-    ``FastCostModel(hb.pack_coords(state))`` path (see ``tests/perf/``).
+    last committed placement by the unified model's
+    :class:`~repro.cost.CostEvaluator`, whose
+    :class:`~repro.cost.DeltaHPWL` rescans only the nets of modules
+    that actually moved.  Costs — and, for equal seeds, whole annealing
+    trajectories — are bit-identical to the non-cached
+    ``model(hb.pack_coords(state))`` path (see ``tests/perf/``).
     """
 
     def __init__(
@@ -339,16 +340,10 @@ class HBIncrementalEngine:
     ) -> None:
         if config is None:
             raise ValueError("HBIncrementalEngine requires a cost config")
-        from ..perf.cost import DeltaHPWL, FastCostModel
+        from ..cost import model_for_config
 
         self._hb = hb
-        self._fast = FastCostModel(modules, nets, proximity, config)
-        self._track_wl = bool(nets) and bool(config.wirelength_weight)
-        self._delta = (
-            DeltaHPWL(self._fast.resolved_nets, modules.names())
-            if self._track_wl
-            else None
-        )
+        self._eval = model_for_config(modules, nets, proximity, config).evaluator()
         # hierarchy-node name -> parent name, for dirty-path invalidation
         self._parents: dict[str, str | None] = {hb._hierarchy.name: None}
         for node in hb._hierarchy.walk():
@@ -376,8 +371,7 @@ class HBIncrementalEngine:
         self._cache.update(self._overlay)
         self._overlay = {}
         self._dirty = frozenset()
-        hpwl = self._delta.reset(coords) if self._delta is not None else None
-        self._cost = self._fast.evaluate(coords, hpwl=hpwl)
+        self._cost = self._eval.reset(coords)
         return self._cost
 
     def initial_cost(self) -> float:
@@ -405,26 +399,21 @@ class HBIncrementalEngine:
         self._dirty = frozenset(dirty)
         self._overlay = {}
         coords = self._pack_cached(self._hb._hierarchy, candidate)
-        if self._delta is not None:
-            hpwl = self._delta.propose(coords)
-        else:
-            hpwl = None
         self._pending_state = candidate
-        self._pending_cost = self._fast.evaluate(coords, hpwl=hpwl)
+        self._pending_cost = self._eval.propose(coords)
         return self._pending_cost
 
     def commit(self) -> None:
         if self._pending_state is not None:
             self._state = self._pending_state
             self._cache.update(self._overlay)
-            if self._delta is not None:
-                self._delta.commit()
+            self._eval.commit()
         self._cost = self._pending_cost
         self._clear_pending()
 
     def rollback(self) -> None:
-        if self._pending_state is not None and self._delta is not None:
-            self._delta.rollback()
+        if self._pending_state is not None:
+            self._eval.rollback()
         self._clear_pending()
 
     def snapshot(self) -> HBState:

@@ -4,6 +4,10 @@ The hierarchical placer is the section-III flow: simultaneous annealing
 over the whole HB*-tree forest, with symmetry islands and common-
 centroid arrays maintained by construction and proximity rewarded in the
 cost.
+
+Both placers anneal the unified objective from :mod:`repro.cost`
+(area + wirelength + aspect + proximity under this config's weights);
+there is no placer-private cost code.
 """
 
 from __future__ import annotations
@@ -12,9 +16,10 @@ import random
 from dataclasses import dataclass
 
 from ..anneal import AnnealingStats, GeometricSchedule, IncrementalAnnealer
-from ..circuit import Circuit, ProximityGroup
-from ..geometry import ModuleSet, Net, Placement, total_hpwl
-from ..perf import BStarKernel, FastCostModel, IncrementalBStarEngine
+from ..circuit import Circuit
+from ..cost import DEFAULT_TARGET_ASPECT, DEFAULT_WEIGHTS, CostModel, model_for_config
+from ..geometry import ModuleSet, Net, Placement
+from ..perf import BStarKernel, IncrementalBStarEngine
 from .hb_tree import HBIncrementalEngine, HBStarTreePlacement, HBState
 from .packing import pack
 from .perturb import BStarMoveSet, BStarState
@@ -22,13 +27,19 @@ from .perturb import BStarMoveSet, BStarState
 
 @dataclass(frozen=True)
 class BStarPlacerConfig:
-    """Cost weights and annealing parameters (shared by both placers)."""
+    """Cost weights and annealing parameters (shared by both placers).
 
-    area_weight: float = 1.0
-    wirelength_weight: float = 0.5
-    aspect_weight: float = 0.1
-    proximity_weight: float = 2.0
-    target_aspect: float = 1.0
+    The weight fields *declare* the objective: :func:`~repro.cost.
+    model_for_config` turns them into the placer's
+    :class:`~repro.cost.CostModel`.  Defaults come from the canonical
+    :data:`~repro.cost.DEFAULT_WEIGHTS`.
+    """
+
+    area_weight: float = DEFAULT_WEIGHTS["area"]
+    wirelength_weight: float = DEFAULT_WEIGHTS["wirelength"]
+    aspect_weight: float = DEFAULT_WEIGHTS["aspect"]
+    proximity_weight: float = DEFAULT_WEIGHTS["proximity"]
+    target_aspect: float = DEFAULT_TARGET_ASPECT
     seed: int = 0
     t_initial: float = 1.0
     t_final: float = 1e-4
@@ -41,46 +52,6 @@ class BStarPlacerResult:
     placement: Placement
     cost: float
     stats: AnnealingStats
-
-
-class _CostModel:
-    """Shared area / wirelength / aspect / proximity cost.
-
-    This is the *reference* (object-tier) evaluation; the annealing hot
-    loops use :class:`repro.perf.FastCostModel`, which computes the same
-    bit-identical cost from flat coordinates.  Kept as the ground truth
-    the equivalence tests in ``tests/perf/`` compare against, and for
-    callers that already hold a :class:`Placement`.
-    """
-
-    def __init__(
-        self,
-        modules: ModuleSet,
-        nets: tuple[Net, ...],
-        proximity: tuple[ProximityGroup, ...],
-        config: BStarPlacerConfig,
-    ) -> None:
-        self._nets = nets
-        self._proximity = proximity
-        self._config = config
-        self._area_scale = max(modules.total_module_area(), 1e-12)
-        self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
-
-    def __call__(self, placement: Placement) -> float:
-        cfg = self._config
-        bb = placement.bounding_box()
-        cost = cfg.area_weight * bb.area / self._area_scale
-        if self._nets and cfg.wirelength_weight:
-            cost += cfg.wirelength_weight * total_hpwl(self._nets, placement) / self._wl_scale
-        if cfg.aspect_weight and bb.width > 0 and bb.height > 0:
-            ratio = bb.height / bb.width
-            deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
-            cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
-        if cfg.proximity_weight:
-            for group in self._proximity:
-                if not group.is_satisfied(placement):
-                    cost += cfg.proximity_weight
-        return cost
 
 
 class BStarPlacer:
@@ -96,11 +67,11 @@ class BStarPlacer:
         self._nets = nets
         self._config = config or BStarPlacerConfig()
         self._moves = BStarMoveSet(modules)
-        # Reference evaluation tier: packed coordinates and cost with no
-        # Placement/PlacedModule churn, bit-identical to evaluating
-        # _CostModel over pack().  The annealing loop itself runs the
-        # *incremental* engine (dirty-suffix repack + delta HPWL), whose
-        # costs are bit-identical to this kernel on every state.
+        # Reference evaluation tier: packed coordinates and the unified
+        # cost model with no Placement/PlacedModule churn.  The
+        # annealing loop itself runs the *incremental* engine
+        # (dirty-suffix repack + delta HPWL), whose costs are
+        # bit-identical to this kernel on every state.
         self._kernel = BStarKernel(modules, nets, (), self._config)
 
     @classmethod
@@ -111,8 +82,19 @@ class BStarPlacer:
         the :class:`HierarchicalPlacer`'s job; this engine ignores them)."""
         return cls(circuit.modules(), circuit.nets, config)
 
+    @property
+    def cost_model(self) -> CostModel:
+        """The unified objective this placer anneals."""
+        return self._kernel.model
+
     def cost(self, state: BStarState) -> float:
         return self._kernel.cost(state.tree, state.orientations, state.variants)
+
+    def cost_breakdown(self, state: BStarState) -> dict[str, float]:
+        """Per-term contributions of a state (reporting tier)."""
+        return self._kernel.model.breakdown(
+            self._kernel.pack(state.tree, state.orientations, state.variants)
+        )
 
     # -- walk API (shared by run() and repro.parallel) ------------------------
 
@@ -144,6 +126,7 @@ class BStarPlacer:
         engine.reset(self.initial_state(rng))
         annealer = IncrementalAnnealer(engine, self.schedule(), rng)
         outcome = annealer.run()
+        outcome.stats.term_breakdown = self.cost_breakdown(outcome.best_state)
         return BStarPlacerResult(
             self.finalize(outcome.best_state), outcome.best_cost, outcome.stats
         )
@@ -158,9 +141,9 @@ class HierarchicalPlacer:
         self._modules = circuit.modules()
         self._hb = HBStarTreePlacement(circuit.hierarchy, self._modules)
         self._constraints = circuit.constraints()
-        # Hot-loop twin of _CostModel, fed by the forest's
-        # flat-coordinate packer (bit-identical results).
-        self._fast_cost = FastCostModel(
+        # The shared objective, fed by the forest's flat-coordinate
+        # packer (bit-identical to the rich-placement evaluation).
+        self._cost_model = model_for_config(
             self._modules, circuit.nets, self._constraints.proximity, self._config
         )
 
@@ -171,11 +154,20 @@ class HierarchicalPlacer:
         """Uniform factory (the constructor already takes a circuit)."""
         return cls(circuit, config)
 
+    @property
+    def cost_model(self) -> CostModel:
+        """The unified objective this placer anneals."""
+        return self._cost_model
+
     def pack(self, state: HBState) -> Placement:
         return self._hb.pack(state)
 
     def cost(self, state: HBState) -> float:
-        return self._fast_cost(self._hb.pack_coords(state))
+        return self._cost_model(self._hb.pack_coords(state))
+
+    def cost_breakdown(self, state: HBState) -> dict[str, float]:
+        """Per-term contributions of a state (reporting tier)."""
+        return self._cost_model.breakdown(self._hb.pack_coords(state))
 
     # -- walk API (shared by run() and repro.parallel) ------------------------
 
@@ -213,6 +205,7 @@ class HierarchicalPlacer:
         engine.reset(self.initial_state(rng))
         annealer = IncrementalAnnealer(engine, self.schedule(), rng)
         outcome = annealer.run()
+        outcome.stats.term_breakdown = self.cost_breakdown(outcome.best_state)
         return BStarPlacerResult(
             self.finalize(outcome.best_state), outcome.best_cost, outcome.stats
         )

@@ -188,11 +188,16 @@ class ProximityGroup:
         rects = [placement[m].rect for m in self.members_ if m in placement]
         if len(rects) <= 1:
             return True
-        return _connected(rects, self.margin + tol)
+        return rects_connected(rects, self.margin + tol)
 
 
-def _connected(rects: list[Rect], gap: float) -> bool:
-    """Union-find connectivity of rectangles under a ``gap`` tolerance."""
+def rects_connected(rects: list[Rect], gap: float) -> bool:
+    """Union-find connectivity of rectangles under a ``gap`` tolerance.
+
+    Public so the coordinate-tier proximity check in :mod:`repro.cost`
+    can share the exact same adjacency logic (no cross-package private
+    imports; ``tools/check_private_imports.py`` enforces this).
+    """
     n = len(rects)
     parent = list(range(n))
 

@@ -21,12 +21,26 @@ import sys
 from .analysis import render_placement
 from .bstar import BStarPlacer, BStarPlacerConfig, HierarchicalPlacer
 from .circuit import Circuit, TABLE1_MODULE_COUNTS, circuit_by_name, circuit_names, table1_circuit
+from .cost import TERM_NAMES, check_term_name, reference_model, weight_overrides
 from .route import Router
 from .seqpair import PlacerConfig, SequencePairPlacer
 from .shapes import DeterministicConfig, DeterministicPlacer
 from .slicing import SlicingPlacer, SlicingPlacerConfig
 
 _ENGINES = ("seqpair", "hbtree", "bstar", "deterministic", "slicing")
+
+#: engine name -> annealing config class (the deterministic placer does
+#: not anneal a weighted objective, so it takes no cost weights).
+#: Deliberately duplicates the classes in ``repro.parallel.engines``'
+#: registry: single-run commands must not import ``repro.parallel``
+#: (see ``_portfolio_engines``); ``tests/test_cli_cost.py`` pins the
+#: two mappings against each other so they cannot drift.
+_WEIGHTED_CONFIGS = {
+    "seqpair": PlacerConfig,
+    "hbtree": BStarPlacerConfig,
+    "bstar": BStarPlacerConfig,
+    "slicing": SlicingPlacerConfig,
+}
 
 
 def _portfolio_engines() -> tuple[str, ...]:
@@ -46,18 +60,71 @@ def _load_circuit(name: str) -> Circuit:
         raise SystemExit(exc.args[0]) from None
 
 
-def _place(circuit: Circuit, engine: str, seed: int):
+def _parse_cost_weights(text: str | None) -> dict[str, float]:
+    """Parse ``term=value,...`` into a term -> weight dict.
+
+    Validates term names against the unified catalog and values as
+    floats; per-engine support is checked later (every engine declares
+    its own term subset).
+    """
+    if not text:
+        return {}
+    weights: dict[str, float] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        term, sep, value = item.partition("=")
+        term = term.strip()
+        if not sep:
+            raise SystemExit(
+                f"bad --cost-weights entry {item!r}: expected term=value "
+                f"(terms: {', '.join(TERM_NAMES)})"
+            )
+        try:
+            check_term_name(term)
+        except ValueError as exc:
+            raise SystemExit(exc.args[0]) from None
+        try:
+            weights[term] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"bad weight for cost term {term!r}: {value.strip()!r} is not a number"
+            ) from None
+    return weights
+
+
+def _config_overrides(engine: str, weights: dict[str, float]) -> dict[str, float]:
+    """Cost-weight overrides as config kwargs, validated per engine."""
+    if not weights:
+        return {}
+    config_cls = _WEIGHTED_CONFIGS.get(engine)
+    if config_cls is None:
+        raise SystemExit(
+            f"engine {engine!r} does not anneal a weighted cost; "
+            f"--cost-weights applies to: {', '.join(_WEIGHTED_CONFIGS)}"
+        )
+    try:
+        return weight_overrides(weights, config_cls)
+    except ValueError as exc:
+        raise SystemExit(
+            f"engine {engine!r}: {exc.args[0]}"
+        ) from None
+
+
+def _place(circuit: Circuit, engine: str, seed: int, weights: dict[str, float] | None = None):
+    overrides = _config_overrides(engine, weights or {})
     if engine == "seqpair":
         return SequencePairPlacer.for_circuit(
-            circuit, PlacerConfig(seed=seed)
+            circuit, PlacerConfig(seed=seed, **overrides)
         ).run().placement
     if engine == "hbtree":
         return HierarchicalPlacer(
-            circuit, BStarPlacerConfig(seed=seed)
+            circuit, BStarPlacerConfig(seed=seed, **overrides)
         ).run().placement
     if engine == "bstar":
         return BStarPlacer.for_circuit(
-            circuit, BStarPlacerConfig(seed=seed)
+            circuit, BStarPlacerConfig(seed=seed, **overrides)
         ).run().placement
     if engine == "deterministic":
         return DeterministicPlacer(
@@ -65,7 +132,7 @@ def _place(circuit: Circuit, engine: str, seed: int):
         ).run().placement
     if engine == "slicing":
         return SlicingPlacer(
-            circuit.modules(), circuit.nets, SlicingPlacerConfig(seed=seed)
+            circuit.modules(), circuit.nets, SlicingPlacerConfig(seed=seed, **overrides)
         ).run().placement
     raise SystemExit(f"unknown engine {engine!r}; try one of: {', '.join(_ENGINES)}")
 
@@ -79,7 +146,7 @@ def cmd_circuits(_args) -> int:
     return 0
 
 
-def _portfolio_place(args):
+def _portfolio_place(args, weights: dict[str, float]):
     """Multi-start portfolio run behind ``place --starts/--workers``."""
     from .parallel import PortfolioRunner
 
@@ -93,6 +160,12 @@ def _portfolio_place(args):
             f"engine(s) not usable in a portfolio: {', '.join(unsupported)}; "
             f"try: {', '.join(supported)}"
         )
+    # one overrides tuple feeds every walk, so every engine in the
+    # portfolio must declare every overridden term; the mappings are
+    # identical by construction (term -> f"{term}_weight"), so any of
+    # the validated dicts serves as the shared overrides
+    per_engine = [_config_overrides(engine, weights) for engine in engines]
+    overrides = per_engine[0]
 
     def show_progress(event) -> None:
         print(
@@ -110,6 +183,7 @@ def _portfolio_place(args):
             base_seed=args.seed,
             budget=args.budget,
             restart_policy=args.restart_policy,
+            overrides=tuple(overrides.items()),
             on_event=show_progress if args.progress else None,
         ).run()
     except (KeyError, ValueError) as exc:
@@ -120,8 +194,29 @@ def _portfolio_place(args):
     return result.placement
 
 
+def _print_cost_report(circuit: Circuit, placement) -> None:
+    """Per-term breakdown of the final placement under the reference
+    model (engine-independent, so every engine — and the portfolio
+    winner — is reported on the same scale)."""
+    from .perf import placement_to_coords
+
+    model = reference_model(circuit)
+    # flatten once; breakdown and the exact total share the table
+    coords = placement_to_coords(placement)
+    breakdown = model.breakdown(coords, placement=placement)
+    total = model.evaluate(coords, placement=placement)
+    print("cost report (reference model):")
+    for term in model.terms:
+        print(
+            f"  {term.name:<12} weight {term.weight:>6.2f}  "
+            f"contribution {breakdown[term.name]:.4f}"
+        )
+    print(f"  {'total':<12} {total:>29.4f}")
+
+
 def cmd_place(args) -> int:
     circuit = _load_circuit(args.circuit)
+    weights = _parse_cost_weights(args.cost_weights)
     print(circuit.summary())
     # any portfolio flag opts into the portfolio path — passing
     # --engines or --budget without --starts must not be silently
@@ -135,14 +230,16 @@ def cmd_place(args) -> int:
         or args.progress
     )
     if portfolio_requested:
-        placement = _portfolio_place(args)
+        placement = _portfolio_place(args, weights)
     else:
-        placement = _place(circuit, args.engine, args.seed)
+        placement = _place(circuit, args.engine, args.seed, weights)
     print(render_placement(placement, width=args.width, height=args.height))
     print(
         f"area usage {100 * placement.area_usage():.1f}%  "
         f"bbox {placement.width:.1f} x {placement.height:.1f}"
     )
+    if args.cost_report:
+        _print_cost_report(circuit, placement)
     violations = circuit.constraints().violations(placement)
     print(f"constraint violations: {violations or 'none'}")
     return 1 if violations else 0
@@ -227,6 +324,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--width", type=int, default=70)
     p.add_argument("--height", type=int, default=20)
+    p.add_argument(
+        "--cost-weights",
+        default=None,
+        metavar="TERM=W,...",
+        help="override objective weights, e.g. area=1,wirelength=2; "
+        f"terms: {', '.join(TERM_NAMES)} (each engine supports the "
+        "subset its config declares)",
+    )
+    p.add_argument(
+        "--cost-report",
+        action="store_true",
+        help="print the per-term cost breakdown of the final placement "
+        "under the engine-independent reference model",
+    )
     portfolio = p.add_argument_group(
         "portfolio",
         "multi-start options; passing any of them runs the portfolio "

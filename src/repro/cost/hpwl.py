@@ -1,41 +1,43 @@
-"""Placement cost straight from flat coordinates.
+"""Wirelength evaluation: full and incremental (delta) HPWL.
 
-:class:`FastCostModel` is the hot-loop twin of the placers' object-based
-cost: the same weighted area / wirelength / aspect / proximity sum, but
-computed from a :data:`~repro.perf.coords.Coords` table with no
-intermediate objects.  Net pins are resolved to name lists once at
-construction (dropping pins that can never be placed and nets left with
-fewer than two pins — those contribute exactly ``0.0`` either way), so
-each evaluation is a single pass of float arithmetic.
+This is the wirelength backbone of the unified cost layer.  Net pins
+are resolved to name lists once up front (dropping pins that can never
+be placed and nets left with fewer than two pins — those contribute
+exactly ``0.0`` either way), so each evaluation is a single pass of
+float arithmetic over a flat coordinate table.
 
-:class:`DeltaHPWL` is the *incremental* wirelength layer on top: it
-keeps one cached value per net plus a module -> incident-nets adjacency,
+:class:`DeltaHPWL` is the *incremental* layer on top: it keeps one
+cached value per net plus a module -> incident-nets adjacency,
 recomputes only the nets touching modules that actually moved, and
 re-sums the per-net cache in net order — so the total stays bit
 identical to :func:`hpwl_of` while the per-step work shrinks to the
 perturbation's neighborhood.  When a move displaces most of the design
 it falls back to a numpy-vectorized batch recompute over precomputed
 pin-index arrays (IEEE-identical per-net values, same summation order).
+It is the delta path behind :class:`repro.cost.HPWLTerm` and follows
+the same ``propose -> commit/rollback`` protocol as the annealing
+engines that drive it.
 
 Every formula reproduces the object path operation for operation —
-``(max - min) + (max - min)`` per net over ``(x0 + x1) / 2`` centers,
-``(x1 - x0) * (y1 - y0)`` for the bounding area — so costs agree bit
-for bit with ``_CostModel`` over ``pack()`` (see ``tests/perf/``).
+``(max - min) + (max - min)`` per net over ``(x0 + x1) / 2`` centers —
+so totals agree bit for bit with :func:`repro.geometry.total_hpwl`
+over the equivalent :class:`~repro.geometry.Placement` (see
+``tests/perf/`` and ``tests/cost/``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 try:  # numpy is a declared dependency, but keep the scalar path self-sufficient
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
 
-from ..circuit import ProximityGroup
-from ..circuit.constraints import _connected
-from ..geometry import ModuleSet, Net, Rect
-from .coords import Coords, bounding_of
+if TYPE_CHECKING:  # pragma: no cover - repro.perf imports back into this
+    # package, so the Coords/Net aliases must stay annotation-only here
+    from ..geometry import Net
+    from ..perf.coords import Coords
 
 #: A net resolved against the placeable names: (weight, pin names).
 ResolvedNet = tuple[float, tuple[str, ...]]
@@ -111,86 +113,7 @@ def hpwl_of(resolved: Sequence[ResolvedNet], coords: Coords) -> float:
     return total
 
 
-class FastCostModel:
-    """Area / wirelength / aspect / proximity cost over flat coordinates.
-
-    Drop-in twin of the placers' ``_CostModel``: identical weights,
-    identical normalization scales, identical float results — evaluated
-    on a coordinate table instead of a :class:`Placement`.
-
-    ``config`` is duck-typed: any object with ``area_weight``,
-    ``wirelength_weight``, ``aspect_weight``, ``proximity_weight`` and
-    ``target_aspect`` attributes (e.g. ``BStarPlacerConfig``).
-    """
-
-    def __init__(
-        self,
-        modules: ModuleSet,
-        nets: tuple[Net, ...],
-        proximity: tuple[ProximityGroup, ...],
-        config,
-    ) -> None:
-        self._config = config
-        self._has_nets = bool(nets)
-        self._resolved = resolve_nets(nets, modules.names())
-        self._proximity = proximity
-        self._area_scale = max(modules.total_module_area(), 1e-12)
-        self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
-
-    @property
-    def resolved_nets(self) -> list[ResolvedNet]:
-        """The pre-resolved nets (shared with :class:`DeltaHPWL`)."""
-        return self._resolved
-
-    def evaluate(
-        self,
-        coords: Coords,
-        hpwl: float | None = None,
-        bounding: tuple[float, float, float, float] | None = None,
-    ) -> float:
-        """Cost of ``coords``; pass ``hpwl`` / ``bounding`` to reuse
-        incrementally maintained values.
-
-        A supplied ``hpwl`` must equal ``hpwl_of(self.resolved_nets,
-        coords)`` bit for bit (:class:`DeltaHPWL` guarantees this), and
-        a supplied ``bounding`` must equal ``bounding_of(
-        coords.values())`` the same way (the B*-tree engine reads it off
-        the packing skyline), so the result is identical either way.
-        """
-        cfg = self._config
-        if bounding is None:
-            bounding = bounding_of(coords.values())
-        bx0, by0, bx1, by1 = bounding
-        width = bx1 - bx0
-        height = by1 - by0
-        cost = cfg.area_weight * (width * height) / self._area_scale
-        if self._has_nets and cfg.wirelength_weight:
-            if hpwl is None:
-                hpwl = hpwl_of(self._resolved, coords)
-            cost += cfg.wirelength_weight * hpwl / self._wl_scale
-        if cfg.aspect_weight and width > 0 and height > 0:
-            ratio = height / width
-            deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
-            cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
-        if cfg.proximity_weight:
-            for group in self._proximity:
-                if not proximity_satisfied(group, coords):
-                    cost += cfg.proximity_weight
-        return cost
-
-    def __call__(self, coords: Coords) -> float:
-        return self.evaluate(coords)
-
-
-def proximity_satisfied(group: ProximityGroup, coords: Coords, *, tol: float = 1e-6) -> bool:
-    """Coordinate-table twin of :meth:`ProximityGroup.is_satisfied`."""
-    rects = [Rect(*coords[m]) for m in group.members_ if m in coords]
-    if len(rects) <= 1:
-        return True
-    return _connected(rects, group.margin + tol)
-
-
-def _net_value(weight: float, pins: tuple[str, ...], coords: Coords) -> float:
+def net_hpwl(weight: float, pins: tuple[str, ...], coords: Coords) -> float:
     """One net's weighted HPWL — per-net twin of :func:`hpwl_of`.
 
     Returns exactly the term :func:`hpwl_of` would add for this net
@@ -303,7 +226,7 @@ class DeltaHPWL:
         if self._batch_usable(coords) and len(self._resolved) >= self._batch_min_nets:
             self._vals = self._batch_vals(coords)
         else:
-            self._vals = [_net_value(w, pins, coords) for w, pins in self._resolved]
+            self._vals = [net_hpwl(w, pins, coords) for w, pins in self._resolved]
         self._base = coords
         return sum(self._vals)
 
@@ -348,7 +271,7 @@ class DeltaHPWL:
             for i in affected:
                 weight, pins = resolved[i]
                 # inlined 2-pin fast path (the overwhelming majority);
-                # arithmetic identical to hpwl_of / _net_value
+                # arithmetic identical to hpwl_of / net_hpwl
                 if len(pins) == 2:
                     a = get(pins[0])
                     b = get(pins[1])
@@ -365,7 +288,7 @@ class DeltaHPWL:
                         dy = cay - cby if cay >= cby else cby - cay
                         new = weight * (dx + dy)
                 else:
-                    new = _net_value(weight, pins, coords)
+                    new = net_hpwl(weight, pins, coords)
                 old = vals[i]
                 if new != old:
                     log.append((i, old))

@@ -17,6 +17,7 @@ from .engines import (
     build_placer_by_name,
     compress_overrides,
     reference_cost,
+    reference_cost_model,
     validate_engines,
     walk_total_steps,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "build_placer_by_name",
     "compress_overrides",
     "reference_cost",
+    "reference_cost_model",
     "validate_engines",
     "walk_total_steps",
 ]

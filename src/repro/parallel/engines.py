@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..anneal import GeometricSchedule
 from ..bstar import BStarPlacerConfig, BStarPlacer, HierarchicalPlacer
 from ..circuit import Circuit, circuit_by_name
+from ..cost import CostModel, reference_model
 from ..seqpair import PlacerConfig, SequencePairPlacer
 from ..slicing import SlicingPlacer, SlicingPlacerConfig
 from .jobs import WalkSpec
@@ -109,35 +110,21 @@ def walk_total_steps(spec: WalkSpec) -> int:
     return epochs * cfg.steps_per_epoch
 
 
-#: reference-cost penalty per constraint violation — matches the weight
-#: the cost model already charges for an unsatisfied proximity group
-_VIOLATION_PENALTY = 2.0
-
-
 def reference_cost(circuit: Circuit):
     """One engine-agnostic yardstick: ``Placement -> float``.
 
     Each engine anneals its *own* objective (slicing, for instance,
     carries no aspect or proximity terms), so internal best costs are
     not comparable across engines.  The portfolio therefore ranks
-    finished placements with the reference cost model — area,
-    wirelength, aspect and proximity under the default weights, the
-    same formula the equivalence tests hold every fast path to — plus a
-    penalty per constraint violation, so engines that ignore symmetry
-    (flat ``bstar``, ``slicing``) cannot outrank a constraint-clean
-    placement on raw compactness.
+    finished placements with :func:`repro.cost.reference_model` —
+    area, wirelength and aspect under the canonical default weights,
+    built from the very terms every placer anneals, plus a penalty per
+    violated constraint.  Kept as a convenience wrapper; callers that
+    also want per-term breakdowns should hold the model itself.
     """
-    from ..bstar.placer import _CostModel
+    return reference_model(circuit).evaluate_placement
 
-    # proximity stays out of the model: violations() already reports
-    # unsatisfied proximity groups, so the flat penalty below charges
-    # every constraint kind exactly once (at the model's proximity weight)
-    model = _CostModel(circuit.modules(), circuit.nets, (), BStarPlacerConfig())
-    constraints = circuit.constraints()
 
-    def cost(placement) -> float:
-        return model(placement) + _VIOLATION_PENALTY * len(
-            constraints.violations(placement)
-        )
-
-    return cost
+def reference_cost_model(circuit: Circuit) -> CostModel:
+    """The portfolio's ranking model (see :func:`repro.cost.reference_model`)."""
+    return reference_model(circuit)

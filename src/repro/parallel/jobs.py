@@ -91,6 +91,10 @@ class WalkOutcome:
     stats: AnnealingStats | None = None
     #: engine-family state behind ``placement`` (feeds the polish walk)
     best_state: object = None
+    #: per-term contributions of ``ref_cost`` under the reference model
+    #: (see :func:`repro.cost.reference_model`); the runner fills it for
+    #: the winning row only — rankings need totals, not breakdowns
+    ref_breakdown: dict[str, float] | None = None
 
 
 @dataclass
@@ -138,4 +142,10 @@ class PortfolioResult:
                 f"{row.steps:>7,} {row.ref_cost:>10.4f} {row.best_cost:>10.4f} "
                 f"{row.status:<9}"
             )
+        if self.winner.ref_breakdown:
+            terms = "  ".join(
+                f"{name} {value:.4f}"
+                for name, value in self.winner.ref_breakdown.items()
+            )
+            lines.append(f"winner cost terms: {terms}")
         return "\n".join(lines)

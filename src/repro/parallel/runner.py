@@ -56,7 +56,7 @@ from .engines import (
     build_config,
     build_placer,
     compress_overrides,
-    reference_cost,
+    reference_cost_model,
     validate_engines,
     walk_total_steps,
 )
@@ -339,7 +339,7 @@ class PortfolioRunner:
     def run(self) -> PortfolioResult:
         """Run the portfolio; returns the winner plus the leaderboard."""
         walks = self._initial_walks()
-        self._ref = reference_cost(_circuit_for(self._circuit_name))
+        self._ref = reference_cost_model(_circuit_for(self._circuit_name))
         executor = (
             _ProcessExecutor(self._workers)
             if self._workers > 1
@@ -362,6 +362,9 @@ class PortfolioRunner:
         # runs or scheduling orders.
         leaderboard = sorted(outcomes, key=lambda o: (o.ref_cost, o.spec.walk_id))
         winner = leaderboard[0]
+        # per-term telemetry for the row people act on; the ranking
+        # itself only ever needed the totals
+        winner.ref_breakdown = self._ref.breakdown_placement(winner.placement)
         return PortfolioResult(
             placement=winner.placement,
             cost=winner.ref_cost,
@@ -544,7 +547,7 @@ class PortfolioRunner:
         if walk._ref_at != checkpoint.best_cost:
             placer, _ = _placer_engine_for(walk.spec)
             walk.ref_placement = placer.finalize(checkpoint.best_state)
-            walk.ref_cost = self._ref(walk.ref_placement)
+            walk.ref_cost = self._ref.evaluate_placement(walk.ref_placement)
             walk._ref_at = checkpoint.best_cost
         return walk.ref_cost
 

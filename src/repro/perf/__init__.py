@@ -27,10 +27,6 @@ Modules
 ``coords``
     The flat coordinate representation and conversions to/from the rich
     :class:`~repro.geometry.Placement`.
-``cost``
-    Area / HPWL / aspect / proximity cost straight off flat coordinates,
-    with nets pre-resolved to pin lists; :class:`DeltaHPWL` keeps
-    per-net caches so only the nets touching moved modules are rescanned.
 ``kernel``
     The B*-tree packing kernel: iterative traversal, reusable skyline,
     per-(module, variant, orientation) footprint table.
@@ -38,6 +34,10 @@ Modules
     The dirty-suffix engine on top of the kernel: checkpointed skyline,
     partial repack from the earliest perturbed pre-order position, and
     the propose -> commit/rollback protocol the annealer drives.
+
+The cost side of the loop (term catalog, :class:`~repro.cost.CostModel`,
+delta HPWL) lives in :mod:`repro.cost`; ``DeltaHPWL`` / ``hpwl_of`` /
+``resolve_nets`` are re-exported here for backwards compatibility.
 """
 
 from .coords import (
@@ -47,7 +47,7 @@ from .coords import (
     normalize_coords,
     placement_to_coords,
 )
-from .cost import DeltaHPWL, FastCostModel, hpwl_of, resolve_nets
+from ..cost.hpwl import DeltaHPWL, hpwl_of, resolve_nets
 from .kernel import BStarKernel, Skyline, pack_tree_coords
 from .incremental import FullRepackBStarEngine, IncrementalBStarEngine
 
@@ -55,7 +55,6 @@ __all__ = [
     "BStarKernel",
     "Coords",
     "DeltaHPWL",
-    "FastCostModel",
     "FullRepackBStarEngine",
     "IncrementalBStarEngine",
     "Skyline",

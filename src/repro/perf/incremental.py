@@ -16,9 +16,9 @@ before it — so a perturbation that touches nodes at pre-order positions
   cached prefix coordinates (the pending right-siblings along the path
   to ``k``'s predecessor), so the prefix is never re-walked;
 * **delta wirelength** — modules whose rectangle actually changed are
-  collected during the repack and handed to
-  :class:`~repro.perf.cost.DeltaHPWL`, which recomputes only their
-  incident nets.
+  collected during the repack and handed to the
+  :class:`~repro.cost.CostEvaluator`, whose
+  :class:`~repro.cost.DeltaHPWL` recomputes only their incident nets.
 
 Every proposal is undo-logged (touched tree pointers, overwritten
 coordinates, refreshed checkpoints, changed net values), giving the
@@ -26,8 +26,8 @@ coordinates, refreshed checkpoints, changed net values), giving the
 :class:`~repro.anneal.IncrementalAnnealer`: commit is O(1) — the
 mutation already happened — and rollback restores exactly what the
 proposal overwrote.  Costs are bit-identical to a full
-``pack_tree_coords`` + :class:`~repro.perf.cost.FastCostModel`
-evaluation of the same state (see ``tests/perf/``);
+``pack_tree_coords`` + :class:`~repro.cost.CostModel` evaluation of
+the same state (see ``tests/perf/``);
 :class:`FullRepackBStarEngine` is the same protocol with full
 re-evaluation, used to lock that equivalence over whole annealing runs.
 """
@@ -41,7 +41,6 @@ from typing import TYPE_CHECKING
 from ..circuit import ProximityGroup
 from ..geometry import ModuleSet, Net, Orientation
 from .coords import Coords
-from .cost import DeltaHPWL, FastCostModel
 from .kernel import BStarKernel, Skyline
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,15 +81,11 @@ class IncrementalBStarEngine:
         perturb = _perturb_module()
         self._state_cls = perturb.BStarState
         self._moves = perturb.InPlaceBStarMoves(modules, allow_rotation=allow_rotation)
-        self._fast = FastCostModel(modules, nets, proximity, config)
-        self._track_wl = bool(nets) and bool(config.wirelength_weight)
-        self._delta = (
-            DeltaHPWL(self._fast.resolved_nets, modules.names())
-            if self._track_wl
-            else None
-        )
-        # share the kernel's footprint tables (same package, same tier)
+        # share the kernel's footprint tables and its unified cost
+        # model (same package, same tier); the evaluator is this
+        # engine's delta-capable session over that model
         self._kernel = BStarKernel(modules, nets, proximity, config)
+        self._eval = self._kernel.model.evaluator()
         self._footprints = self._kernel._footprints
         self._stride = max(1, stride)
         self._sky = Skyline()
@@ -145,11 +140,7 @@ class IncrementalBStarEngine:
         self._order[:] = self._new_suffix
         for idx, name in enumerate(self._order):
             self._pos[name] = idx
-        if self._delta is not None:
-            hpwl = self._delta.reset(self._coords)
-        else:
-            hpwl = None
-        self._cost = self._evaluate(hpwl)
+        self._cost = self._eval.reset(self._coords, bounding=self._sky_bounding())
         self._clear_pending()
         return self._cost
 
@@ -196,11 +187,9 @@ class IncrementalBStarEngine:
         self._repack_suffix(
             k, collect_order=kind == "move" or rec.sibling_swap
         )
-        if self._delta is not None:
-            hpwl = self._delta.propose(self._coords, moved=self._moved)
-        else:
-            hpwl = None
-        self._pending_cost = self._evaluate(hpwl)
+        self._pending_cost = self._eval.propose(
+            self._coords, self._moved, self._sky_bounding()
+        )
         return self._pending_cost
 
     def commit(self) -> None:
@@ -225,8 +214,7 @@ class IncrementalBStarEngine:
                 order[pa], order[pb] = b, a
                 pos[a], pos[b] = pb, pa
             # rotate/reshape leave the traversal order untouched
-            if self._delta is not None:
-                self._delta.commit()
+            self._eval.commit()
         self._cost = self._pending_cost
         self._clear_pending()
 
@@ -245,8 +233,7 @@ class IncrementalBStarEngine:
             ckpts = self._ckpts
             for slot, snap in self._ckpt_log:
                 ckpts[slot] = snap
-            if self._delta is not None:
-                self._delta.rollback()
+            self._eval.rollback()
         self._clear_pending()
 
     def snapshot(self) -> BStarState:
@@ -268,14 +255,13 @@ class IncrementalBStarEngine:
         self._coord_log = []
         self._ckpt_log = []
 
-    def _evaluate(self, hpwl: float | None) -> float:
+    def _sky_bounding(self) -> tuple[float, float, float, float]:
         # the skyline after a (re)pack covers the whole design, so the
         # bounding box falls out of it: packing anchors the root at the
         # origin (min = 0.0 exactly) and the skyline's raised extent is
         # max(x1) / max(y1) over the very same floats
         sky = self._sky
-        bounding = (0.0, 0.0, sky.rightmost_edge(), sky.max_height())
-        return self._fast.evaluate(self._coords, hpwl=hpwl, bounding=bounding)
+        return (0.0, 0.0, sky.rightmost_edge(), sky.max_height())
 
     def _repack_suffix(self, k: int, collect_order: bool = True) -> None:
         """Repack pre-order positions ``>= k`` (undo-logged).

@@ -26,7 +26,6 @@ from typing import Mapping
 from ..circuit import ProximityGroup
 from ..geometry import ModuleSet, Net, Orientation, Placement
 from .coords import Coords, coords_to_placement
-from .cost import FastCostModel
 
 _INF = float("inf")
 
@@ -218,9 +217,17 @@ class BStarKernel:
         proximity: tuple[ProximityGroup, ...] = (),
         config=None,
     ) -> None:
+        # deferred import: repro.cost imports repro.perf.coords, so the
+        # model builder must not be pulled in at perf import time
+        from ..cost.model import model_for_config
+
         self._modules = modules
         self._skyline = Skyline()
-        self._cost_model = FastCostModel(modules, nets, proximity, config) if config is not None else None
+        self._cost_model = (
+            model_for_config(modules, nets, proximity, config)
+            if config is not None
+            else None
+        )
         # footprint table: name -> variant index -> orientation -> (w, h)
         self._footprints: dict[str, list[dict[Orientation, tuple[float, float]]]] = {
             m.name: [
@@ -271,6 +278,12 @@ class BStarKernel:
         sizes = sizes.copy()
         sizes.update(overrides)
         return sizes
+
+    @property
+    def model(self):
+        """The kernel's :class:`~repro.cost.CostModel` (``None`` when
+        the kernel was built without a cost config)."""
+        return self._cost_model
 
     def pack(
         self,

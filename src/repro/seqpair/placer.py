@@ -2,7 +2,9 @@
 
 This is the section-II flow end to end: explore only symmetric-feasible
 codes with a symmetry-preserving move set, evaluate each code with the
-fast packer, and return the best placement found.
+fast packer against the unified objective from :mod:`repro.cost`
+(area + wirelength + aspect under this config's weights), and return
+the best placement found.
 """
 
 from __future__ import annotations
@@ -12,20 +14,26 @@ from dataclasses import dataclass
 
 from ..anneal import AnnealingStats, GeometricSchedule, IncrementalAnnealer
 from ..circuit import Circuit, SymmetryGroup
+from ..cost import DEFAULT_TARGET_ASPECT, DEFAULT_WEIGHTS, CostModel, model_for_config
 from ..geometry import ModuleSet, Net, Placement
-from ..perf import DeltaHPWL, bounding_of, hpwl_of, resolve_nets
 from .moves import PlacementState, SymmetricMoveSet
 from .symmetry import SymmetricPackingError, pack_symmetric, pack_symmetric_coords
 
 
 @dataclass(frozen=True)
 class PlacerConfig:
-    """Cost weights and annealing parameters."""
+    """Cost weights and annealing parameters.
 
-    area_weight: float = 1.0
-    wirelength_weight: float = 0.5
-    aspect_weight: float = 0.1
-    target_aspect: float = 1.0
+    The weight fields declare the objective (no proximity term: the
+    sequence-pair flow handles symmetry by construction and carries no
+    proximity constraints); defaults come from the canonical
+    :data:`~repro.cost.DEFAULT_WEIGHTS`.
+    """
+
+    area_weight: float = DEFAULT_WEIGHTS["area"]
+    wirelength_weight: float = DEFAULT_WEIGHTS["wirelength"]
+    aspect_weight: float = DEFAULT_WEIGHTS["aspect"]
+    target_aspect: float = DEFAULT_TARGET_ASPECT
     seed: int = 0
     t_initial: float = 1.0
     t_final: float = 1e-4
@@ -58,12 +66,10 @@ class SequencePairPlacer:
         self._nets = nets
         self._config = config or PlacerConfig()
         self._moves = SymmetricMoveSet(modules, groups)
-        # Normalize the cost terms so weights are size-independent.
-        self._area_scale = max(modules.total_module_area(), 1e-12)
-        self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
-        # Net pins resolved once; the annealing loop evaluates codes on
-        # flat coordinates and never builds intermediate placements.
-        self._resolved_nets = resolve_nets(nets, modules.names())
+        # The unified objective; net pins are resolved once inside it
+        # and the annealing loop evaluates codes on flat coordinates,
+        # never building intermediate placements.
+        self._cost_model = model_for_config(modules, nets, (), self._config)
 
     @classmethod
     def for_circuit(cls, circuit: Circuit, config: PlacerConfig | None = None) -> "SequencePairPlacer":
@@ -77,6 +83,11 @@ class SequencePairPlacer:
 
     # -- cost ---------------------------------------------------------------
 
+    @property
+    def cost_model(self) -> CostModel:
+        """The unified objective this placer anneals."""
+        return self._cost_model
+
     def pack(self, state: PlacementState) -> Placement:
         """Placement for a state (exact mirror symmetry enforced)."""
         return pack_symmetric(
@@ -87,35 +98,21 @@ class SequencePairPlacer:
         """Cost of a state, evaluated on the coordinate tier.
 
         Bit-identical to evaluating ``self.pack(state)`` through the
-        object-based formula (the packed rectangles are the same floats;
-        see ``tests/perf/``), but no ``Placement`` is allocated.
+        placement-tier formula (the packed rectangles are the same
+        floats; see ``tests/perf/``), but no ``Placement`` is allocated.
+        Infeasible codes score ``inf``.
         """
-        cfg = self._config
-        try:
-            xs, ys, sizes = pack_symmetric_coords(
-                state.sp, self._modules, self._groups, state.orientations, state.variants
-            )
-        except SymmetricPackingError:
+        coords = self._coords_of(state)
+        if coords is None:
             return float("inf")
-        coords: dict[str, tuple[float, float, float, float]] = {}
-        for name in state.sp.names:
-            w, h = sizes[name]
-            x0, y0 = xs[name], ys[name]
-            coords[name] = (x0, y0, x0 + w, y0 + h)
-        if coords:
-            min_x, min_y, max_x, max_y = bounding_of(coords.values())
-        else:
-            min_x = min_y = max_x = max_y = 0.0
-        width = max_x - min_x
-        height = max_y - min_y
-        cost = cfg.area_weight * (width * height) / self._area_scale
-        if self._nets and cfg.wirelength_weight:
-            cost += cfg.wirelength_weight * hpwl_of(self._resolved_nets, coords) / self._wl_scale
-        if cfg.aspect_weight and width > 0:
-            ratio = height / width
-            deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
-            cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
-        return cost
+        return self._cost_model.evaluate(coords)
+
+    def cost_breakdown(self, state: PlacementState) -> dict[str, float] | None:
+        """Per-term contributions of a state (``None`` when infeasible)."""
+        coords = self._coords_of(state)
+        if coords is None:
+            return None
+        return self._cost_model.breakdown(coords)
 
     # -- walk API (shared by run() and repro.parallel) ------------------------
 
@@ -149,6 +146,7 @@ class SequencePairPlacer:
         engine.reset(self.initial_state(rng))
         annealer = IncrementalAnnealer(engine, self.schedule(), rng)
         outcome = annealer.run()
+        outcome.stats.term_breakdown = self.cost_breakdown(outcome.best_state)
         return PlacerResult(
             placement=self.finalize(outcome.best_state),
             state=outcome.best_state,
@@ -156,97 +154,15 @@ class SequencePairPlacer:
             stats=outcome.stats,
         )
 
-
-class _SeqPairEngine:
-    """Incremental-protocol adapter for sequence-pair annealing.
-
-    Packing a symmetric-feasible code is monolithic (the LCS evaluation
-    rebuilds every coordinate), so the win here is the protocol itself
-    plus :class:`~repro.perf.DeltaHPWL`: each candidate's coordinates
-    are diffed against the last accepted table and only the nets of
-    modules that actually moved are rescanned, with commit/rollback
-    keeping the per-net cache in lockstep with accept/reject.  Costs are
-    bit-identical to :meth:`SequencePairPlacer.cost` (``tests/perf/``),
-    so annealing trajectories are unchanged.
-    """
-
-    def __init__(self, placer: SequencePairPlacer) -> None:
-        self._placer = placer
-        self._track_wl = bool(placer._nets) and bool(
-            placer._config.wirelength_weight
-        )
-        self._delta = (
-            DeltaHPWL(placer._resolved_nets, placer._modules.names())
-            if self._track_wl
-            else None
-        )
-        self._current: PlacementState | None = None
-        self._candidate: PlacementState | None = None
-        self._candidate_packed = False
-        self._cost = float("inf")
-        self._pending_cost = float("inf")
-
-    def reset(self, state: PlacementState) -> float:
-        self._current = state
-        coords = self._coords_of(state)
-        if coords is None:
-            self._cost = float("inf")
-        else:
-            if self._delta is not None:
-                hpwl = self._delta.reset(coords)
-            else:
-                hpwl = None
-            self._cost = self._evaluate(coords, hpwl)
-        return self._cost
-
-    def initial_cost(self) -> float:
-        return self._cost
-
-    def propose(self, rng: random.Random) -> float:
-        self._candidate = self._placer._moves.propose(self._current, rng)
-        coords = self._coords_of(self._candidate)
-        if coords is None:
-            # infeasible pack: infinite cost, nothing entered the caches
-            self._candidate_packed = False
-            self._pending_cost = float("inf")
-            return self._pending_cost
-        self._candidate_packed = True
-        if self._delta is not None:
-            hpwl = self._delta.propose(coords)
-        else:
-            hpwl = None
-        self._pending_cost = self._evaluate(coords, hpwl)
-        return self._pending_cost
-
-    def commit(self) -> None:
-        self._current = self._candidate
-        self._candidate = None
-        if self._candidate_packed and self._delta is not None:
-            # the per-net cache now describes the committed coords; an
-            # unpacked (infinite-cost) commit leaves the cache on the
-            # last packed baseline, which stays correct for diffing
-            self._delta.commit()
-        self._candidate_packed = False
-        self._cost = self._pending_cost
-
-    def rollback(self) -> None:
-        self._candidate = None
-        if self._candidate_packed and self._delta is not None:
-            self._delta.rollback()
-        self._candidate_packed = False
-
-    def snapshot(self) -> PlacementState:
-        return self._current  # frozen dataclass: already immutable
-
     # -- internals -----------------------------------------------------------
 
     def _coords_of(self, state: PlacementState):
-        placer = self._placer
+        """Flat coordinate table of a state (``None`` when infeasible)."""
         try:
             xs, ys, sizes = pack_symmetric_coords(
                 state.sp,
-                placer._modules,
-                placer._groups,
+                self._modules,
+                self._groups,
                 state.orientations,
                 state.variants,
             )
@@ -259,23 +175,70 @@ class _SeqPairEngine:
             coords[name] = (x0, y0, x0 + w, y0 + h)
         return coords
 
-    def _evaluate(self, coords, hpwl: float | None) -> float:
-        """Bit-identical twin of :meth:`SequencePairPlacer.cost`."""
-        placer = self._placer
-        cfg = placer._config
-        if coords:
-            min_x, min_y, max_x, max_y = bounding_of(coords.values())
+
+class _SeqPairEngine:
+    """Incremental-protocol adapter for sequence-pair annealing.
+
+    Packing a symmetric-feasible code is monolithic (the LCS evaluation
+    rebuilds every coordinate), so the win here is the protocol itself
+    plus the model's :class:`~repro.cost.CostEvaluator`: each
+    candidate's coordinates are diffed against the last accepted table
+    and only the nets of modules that actually moved are rescanned,
+    with commit/rollback keeping the per-net cache in lockstep with
+    accept/reject.  Costs are bit-identical to
+    :meth:`SequencePairPlacer.cost` (``tests/perf/``), so annealing
+    trajectories are unchanged.
+    """
+
+    def __init__(self, placer: SequencePairPlacer) -> None:
+        self._placer = placer
+        self._eval = placer.cost_model.evaluator()
+        self._current: PlacementState | None = None
+        self._candidate: PlacementState | None = None
+        self._candidate_packed = False
+        self._cost = float("inf")
+        self._pending_cost = float("inf")
+
+    def reset(self, state: PlacementState) -> float:
+        self._current = state
+        coords = self._placer._coords_of(state)
+        if coords is None:
+            self._cost = float("inf")
         else:
-            min_x = min_y = max_x = max_y = 0.0
-        width = max_x - min_x
-        height = max_y - min_y
-        cost = cfg.area_weight * (width * height) / placer._area_scale
-        if placer._nets and cfg.wirelength_weight:
-            if hpwl is None:
-                hpwl = hpwl_of(placer._resolved_nets, coords)
-            cost += cfg.wirelength_weight * hpwl / placer._wl_scale
-        if cfg.aspect_weight and width > 0:
-            ratio = height / width
-            deviation = max(ratio, 1.0 / ratio) / max(cfg.target_aspect, 1e-12)
-            cost += cfg.aspect_weight * max(0.0, deviation - 1.0)
-        return cost
+            self._cost = self._eval.reset(coords)
+        return self._cost
+
+    def initial_cost(self) -> float:
+        return self._cost
+
+    def propose(self, rng: random.Random) -> float:
+        self._candidate = self._placer._moves.propose(self._current, rng)
+        coords = self._placer._coords_of(self._candidate)
+        if coords is None:
+            # infeasible pack: infinite cost, nothing entered the caches
+            self._candidate_packed = False
+            self._pending_cost = float("inf")
+            return self._pending_cost
+        self._candidate_packed = True
+        self._pending_cost = self._eval.propose(coords)
+        return self._pending_cost
+
+    def commit(self) -> None:
+        self._current = self._candidate
+        self._candidate = None
+        if self._candidate_packed:
+            # the per-net cache now describes the committed coords; an
+            # unpacked (infinite-cost) commit leaves the cache on the
+            # last packed baseline, which stays correct for diffing
+            self._eval.commit()
+        self._candidate_packed = False
+        self._cost = self._pending_cost
+
+    def rollback(self) -> None:
+        self._candidate = None
+        if self._candidate_packed:
+            self._eval.rollback()
+        self._candidate_packed = False
+
+    def snapshot(self) -> PlacementState:
+        return self._current  # frozen dataclass: already immutable

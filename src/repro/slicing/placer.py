@@ -2,7 +2,9 @@
 
 The classic Wong-Liu slicing floorplanner: anneal over normalized
 Polish expressions with the M1/M2/M3 move set, evaluating each
-expression by Stockmeyer shape-function packing.  Provided so the
+expression by Stockmeyer shape-function packing against the unified
+objective from :mod:`repro.cost` (area + wirelength; the slicing
+baseline carries no aspect or proximity terms).  Provided so the
 paper's section-I claim — slicing degrades density when cells differ
 strongly in size — can be measured against the non-slicing engines.
 """
@@ -13,17 +15,21 @@ import random
 from dataclasses import dataclass
 
 from ..anneal import AnnealingStats, GeometricSchedule, IncrementalAnnealer
+from ..cost import DEFAULT_WEIGHTS, CostModel, model_for_config
 from ..geometry import ModuleSet, Net, Placement
-from ..perf import DeltaHPWL, hpwl_of, resolve_nets
 from .packing import pack_slicing, shape_function_of
 from .polish import PolishExpression
 
 
 @dataclass(frozen=True)
 class SlicingPlacerConfig:
-    """Cost weights and annealing parameters."""
+    """Cost weights and annealing parameters.
 
-    area_weight: float = 1.0
+    Wirelength defaults to 0.0 — the classic Wong-Liu objective is
+    area-only; enable it to make the baseline net-aware.
+    """
+
+    area_weight: float = DEFAULT_WEIGHTS["area"]
     wirelength_weight: float = 0.0
     seed: int = 0
     t_initial: float = 1.0
@@ -53,9 +59,7 @@ class SlicingPlacer:
         self._modules = modules
         self._nets = nets
         self._config = config or SlicingPlacerConfig()
-        self._area_scale = max(modules.total_module_area(), 1e-12)
-        self._wl_scale = max(self._area_scale**0.5 * max(len(nets), 1), 1e-12)
-        self._resolved_nets = resolve_nets(nets, modules.names())
+        self._cost_model = model_for_config(modules, nets, (), self._config)
 
     @classmethod
     def for_circuit(
@@ -66,18 +70,30 @@ class SlicingPlacer:
         baseline the topological engines are measured against)."""
         return cls(circuit.modules(), circuit.nets, config)
 
+    @property
+    def cost_model(self) -> CostModel:
+        """The unified objective this placer anneals."""
+        return self._cost_model
+
     def cost(self, expr: PolishExpression) -> float:
-        cfg = self._config
-        sf = shape_function_of(
-            expr, self._modules, max_shapes=cfg.max_shapes
-        )
-        best = sf.min_area_shape()
-        cost = cfg.area_weight * best.area / self._area_scale
-        if self._nets and cfg.wirelength_weight:
-            # Walk the recipe tree as flat coordinates; no Placement is
-            # materialized inside the annealing loop.
-            cost += cfg.wirelength_weight * hpwl_of(self._resolved_nets, best.coords()) / self._wl_scale
-        return cost
+        model = self._cost_model
+        best = self._best_shape_of(expr)
+        # The selected shape's own area is the objective (not a bounding
+        # box over blocks); coordinates are walked only when an active
+        # wirelength term will read them.
+        coords = best.coords() if model.tracks_wirelength else {}
+        return model.evaluate(coords, area=best.area)
+
+    def cost_breakdown(self, expr: PolishExpression) -> dict[str, float]:
+        """Per-term contributions of an expression (reporting tier)."""
+        model = self._cost_model
+        best = self._best_shape_of(expr)
+        coords = best.coords() if model.tracks_wirelength else {}
+        return model.breakdown(coords, area=best.area)
+
+    def _best_shape_of(self, expr: PolishExpression):
+        sf = shape_function_of(expr, self._modules, max_shapes=self._config.max_shapes)
+        return sf.min_area_shape()
 
     def _move(self, expr: PolishExpression, rng: random.Random) -> PolishExpression:
         roll = rng.random()
@@ -100,9 +116,9 @@ class SlicingPlacer:
 
     def engine(self) -> "_SlicingEngine":
         """A fresh incremental engine (propose -> commit/rollback):
-        wirelength, when enabled, is maintained per net by DeltaHPWL
-        instead of rescanned; draws and costs match the functional path
-        bit for bit."""
+        wirelength, when enabled, is maintained per net by the model's
+        :class:`~repro.cost.CostEvaluator` instead of rescanned; draws
+        and costs match the functional path bit for bit."""
         return _SlicingEngine(self)
 
     def initial_state(self, rng: random.Random) -> PolishExpression:
@@ -117,6 +133,7 @@ class SlicingPlacer:
         engine.reset(self.initial_state(rng))
         annealer = IncrementalAnnealer(engine, self.schedule(), rng)
         outcome = annealer.run()
+        outcome.stats.term_breakdown = self.cost_breakdown(outcome.best_state)
         return SlicingPlacerResult(
             placement=self.finalize(outcome.best_state),
             expression=outcome.best_state,
@@ -130,21 +147,15 @@ class _SlicingEngine:
 
     Stockmeyer packing is monolithic, so the engine's increment is the
     wirelength term: candidate coordinates are diffed against the last
-    accepted shape by :class:`~repro.perf.DeltaHPWL` and only the nets
-    of moved blocks are rescanned.  Costs are bit-identical to
-    :meth:`SlicingPlacer.cost`.
+    accepted shape by the model's :class:`~repro.cost.CostEvaluator`
+    and only the nets of moved blocks are rescanned.  Costs are
+    bit-identical to :meth:`SlicingPlacer.cost`.
     """
 
     def __init__(self, placer: SlicingPlacer) -> None:
         self._placer = placer
-        self._track_wl = bool(placer._nets) and bool(
-            placer._config.wirelength_weight
-        )
-        self._delta = (
-            DeltaHPWL(placer._resolved_nets, placer._modules.names())
-            if self._track_wl
-            else None
-        )
+        self._track_wl = placer.cost_model.tracks_wirelength
+        self._eval = placer.cost_model.evaluator()
         self._current: PolishExpression | None = None
         self._candidate: PolishExpression | None = None
         self._cost = float("inf")
@@ -152,12 +163,11 @@ class _SlicingEngine:
 
     def reset(self, expr: PolishExpression) -> float:
         self._current = expr
-        if self._delta is None:
+        if not self._track_wl:
             self._cost = self._placer.cost(expr)
         else:
-            coords = self._best_coords(expr)
-            hpwl = self._delta.reset(coords)
-            self._cost = self._evaluate(coords, hpwl)
+            best = self._placer._best_shape_of(expr)
+            self._cost = self._eval.reset(best.coords(), area=best.area)
         return self._cost
 
     def initial_cost(self) -> float:
@@ -165,41 +175,22 @@ class _SlicingEngine:
 
     def propose(self, rng: random.Random) -> float:
         self._candidate = self._placer._move(self._current, rng)
-        if self._delta is None:
+        if not self._track_wl:
             self._pending_cost = self._placer.cost(self._candidate)
         else:
-            coords = self._best_coords(self._candidate)
-            hpwl = self._delta.propose(coords)
-            self._pending_cost = self._evaluate(coords, hpwl)
+            best = self._placer._best_shape_of(self._candidate)
+            self._pending_cost = self._eval.propose(best.coords(), area=best.area)
         return self._pending_cost
 
     def commit(self) -> None:
         self._current = self._candidate
         self._candidate = None
-        if self._delta is not None:
-            self._delta.commit()
+        self._eval.commit()
         self._cost = self._pending_cost
 
     def rollback(self) -> None:
         self._candidate = None
-        if self._delta is not None:
-            self._delta.rollback()
+        self._eval.rollback()
 
     def snapshot(self) -> PolishExpression:
         return self._current  # immutable expression
-
-    # -- internals -----------------------------------------------------------
-
-    def _best_coords(self, expr: PolishExpression):
-        placer = self._placer
-        sf = shape_function_of(expr, placer._modules, max_shapes=placer._config.max_shapes)
-        self._best_shape = sf.min_area_shape()
-        return self._best_shape.coords()
-
-    def _evaluate(self, coords, hpwl: float) -> float:
-        """Bit-identical twin of :meth:`SlicingPlacer.cost`."""
-        placer = self._placer
-        cfg = placer._config
-        cost = cfg.area_weight * self._best_shape.area / placer._area_scale
-        cost += cfg.wirelength_weight * hpwl / placer._wl_scale
-        return cost

@@ -1,0 +1,215 @@
+"""Unit coverage for the term catalog and model plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bstar import BStarPlacerConfig
+from repro.circuit import fig2_design
+from repro.cost import (
+    DEFAULT_WEIGHTS,
+    TERM_NAMES,
+    AreaTerm,
+    AspectTerm,
+    CostModel,
+    HPWLTerm,
+    OutlineTerm,
+    ProximityTerm,
+    ViolationTerm,
+    model_for_config,
+    reference_model,
+    weight_overrides,
+)
+from repro.geometry import Module, ModuleSet, Net
+from repro.seqpair.placer import PlacerConfig
+from repro.slicing import SlicingPlacerConfig
+
+
+def _modules():
+    return ModuleSet.of(
+        [Module.hard("a", 2.0, 4.0), Module.hard("b", 3.0, 3.0)]
+    )
+
+
+def _coords():
+    return {"a": (0.0, 0.0, 2.0, 4.0), "b": (2.0, 0.0, 5.0, 3.0)}
+
+
+class TestModelComposition:
+    def test_per_placer_term_sets(self):
+        mods = _modules()
+        nets = (Net("n", ("a", "b")),)
+        bstar = model_for_config(mods, nets, (), BStarPlacerConfig())
+        assert list(bstar.weights) == ["area", "wirelength", "aspect", "proximity"]
+        seqpair = model_for_config(mods, nets, (), PlacerConfig())
+        assert list(seqpair.weights) == ["area", "wirelength", "aspect"]
+        slicing = model_for_config(mods, nets, (), SlicingPlacerConfig())
+        assert list(slicing.weights) == ["area", "wirelength"]
+
+    def test_weights_follow_config(self):
+        mods = _modules()
+        config = BStarPlacerConfig(area_weight=2.0, wirelength_weight=0.25)
+        model = model_for_config(mods, (), (), config)
+        assert model.weights["area"] == 2.0
+        assert model.weights["wirelength"] == 0.25
+        # defaults come from the canonical table
+        assert BStarPlacerConfig().area_weight == DEFAULT_WEIGHTS["area"]
+        assert PlacerConfig().wirelength_weight == DEFAULT_WEIGHTS["wirelength"]
+
+    def test_duplicate_terms_rejected(self):
+        scale = 1.0
+        with pytest.raises(ValueError, match="duplicate"):
+            CostModel((AreaTerm(1.0, scale), AreaTerm(1.0, scale)))
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError, match="at least one term"):
+            CostModel(())
+
+    def test_term_lookup_and_describe(self):
+        model = model_for_config(_modules(), (), (), BStarPlacerConfig())
+        assert model.term("area").name == "area"
+        with pytest.raises(KeyError, match="no cost term 'bogus'"):
+            model.term("bogus")
+        description = model.describe()
+        for name in model.weights:
+            assert name in description
+
+    def test_breakdown_sums_to_total(self):
+        mods = _modules()
+        nets = (Net("n", ("a", "b")),)
+        model = model_for_config(mods, nets, (), BStarPlacerConfig())
+        coords = _coords()
+        breakdown = model.breakdown(coords)
+        assert set(breakdown) == set(model.weights)
+        assert sum(breakdown.values()) == pytest.approx(model.evaluate(coords))
+
+    def test_tracks_wirelength_gate(self):
+        mods = _modules()
+        nets = (Net("n", ("a", "b")),)
+        assert model_for_config(mods, nets, (), BStarPlacerConfig()).tracks_wirelength
+        assert not model_for_config(mods, (), (), BStarPlacerConfig()).tracks_wirelength
+        assert not model_for_config(
+            mods, nets, (), BStarPlacerConfig(wirelength_weight=0.0)
+        ).tracks_wirelength
+
+
+class TestOutlineTerm:
+    def test_zero_inside_outline(self):
+        model = CostModel((OutlineTerm(1.0, (10.0, 10.0)),))
+        assert model.evaluate(_coords()) == 0.0
+
+    def test_penalizes_overflow_per_axis(self):
+        term = OutlineTerm(2.0, (4.0, 2.0))
+        model = CostModel((term,))
+        # bounding is 5 x 4: overflow 1/4 in x, 2/2 in y
+        assert model.evaluate(_coords()) == pytest.approx(2.0 * (1.0 / 4.0 + 1.0))
+
+    def test_rejects_degenerate_outline(self):
+        with pytest.raises(ValueError, match="positive"):
+            OutlineTerm(1.0, (0.0, 5.0))
+
+
+class TestViolationTerm:
+    def test_requires_placement_tier(self):
+        circuit = fig2_design()
+        model = reference_model(circuit)
+        with pytest.raises(ValueError, match="Placement"):
+            model.evaluate({"a": (0.0, 0.0, 1.0, 1.0)})
+
+    def test_charges_per_violation(self):
+        circuit = fig2_design()
+        term = ViolationTerm(2.0, circuit.constraints())
+        # a placement that satisfies nothing: all modules stacked apart
+        from repro.geometry import PlacedModule, Placement, Rect
+
+        placed = []
+        x = 0.0
+        for m in circuit.modules():
+            w, h = m.footprint(0)
+            placed.append(PlacedModule(m, Rect(x, 0.0, x + w, h)))
+            x += w + 50.0
+        placement = Placement.of(placed)
+        n = len(circuit.constraints().violations(placement))
+        assert n > 0
+        assert term.contribution({}, placement=placement) == 2.0 * n
+
+
+class TestProximityAccumulation:
+    def test_per_group_additions_not_product(self):
+        """Two unsatisfied groups add weight twice (legacy order), and
+        the accumulate path is exactly sequential addition."""
+        from repro.circuit import ProximityGroup
+
+        groups = (
+            ProximityGroup("g1", ("a", "b")),
+            ProximityGroup("g2", ("a", "b")),
+        )
+        term = ProximityTerm(0.3, groups)
+        far = {"a": (0.0, 0.0, 1.0, 1.0), "b": (50.0, 50.0, 51.0, 51.0)}
+        assert term.contribution(far) == 0.0 + 0.3 + 0.3
+        near = _coords()
+        assert term.contribution(near) == 0.0
+
+
+class TestWeightOverrides:
+    def test_translates_terms_to_config_fields(self):
+        out = weight_overrides({"area": 2.0, "wirelength": 1.0}, BStarPlacerConfig)
+        assert out == {"area_weight": 2.0, "wirelength_weight": 1.0}
+
+    def test_unknown_term_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost term 'blobs'"):
+            weight_overrides({"blobs": 1.0}, BStarPlacerConfig)
+        assert "blobs" not in TERM_NAMES
+
+    def test_unsupported_term_lists_supported(self):
+        with pytest.raises(ValueError, match="supports: area, wirelength"):
+            weight_overrides({"aspect": 1.0}, SlicingPlacerConfig)
+
+    def test_applies_cleanly_to_config(self):
+        overrides = weight_overrides({"proximity": 5.0}, BStarPlacerConfig)
+        assert BStarPlacerConfig(**overrides).proximity_weight == 5.0
+
+
+class TestEvaluatorProtocol:
+    def test_commit_rollback_safe_without_pending(self):
+        mods = _modules()
+        nets = (Net("n", ("a", "b")),)
+        evaluator = model_for_config(mods, nets, (), BStarPlacerConfig()).evaluator()
+        evaluator.reset(_coords())
+        # legacy engines skip the caches for infeasible proposals and
+        # then commit/rollback unconditionally — both must be no-ops
+        evaluator.commit()
+        evaluator.rollback()
+        assert evaluator.propose(_coords()) == evaluator.model.evaluate(_coords())
+        evaluator.rollback()
+
+    def test_double_propose_rejected(self):
+        mods = _modules()
+        nets = (Net("n", ("a", "b")),)
+        evaluator = model_for_config(mods, nets, (), BStarPlacerConfig()).evaluator()
+        evaluator.reset(_coords())
+        evaluator.propose(_coords())
+        with pytest.raises(RuntimeError, match="not committed"):
+            evaluator.propose(_coords())
+
+
+class TestHPWLTermDetails:
+    def test_wl_scale_uses_original_net_count(self):
+        """Nets dropped during resolution still count toward the scale
+        (legacy parity)."""
+        mods = _modules()
+        nets = (
+            Net("n0", ("a", "b")),
+            Net("ghost", ("nope", "nada")),  # resolves away
+        )
+        term = HPWLTerm(0.5, nets, mods.names(), 25.0)
+        assert len(term.resolved) == 1
+        assert term.wl_scale == max(25.0**0.5 * 2, 1e-12)
+
+    def test_aspect_requires_positive_extent(self):
+        term = AspectTerm(0.1)
+        assert term.contribution({}, bounding=(0.0, 0.0, 0.0, 0.0)) == 0.0
+        assert term.contribution({}, bounding=(0.0, 0.0, 4.0, 0.0)) == 0.0
+        assert term.contribution({}, bounding=(0.0, 0.0, 2.0, 4.0)) == pytest.approx(
+            0.1 * 1.0
+        )

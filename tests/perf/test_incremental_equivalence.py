@@ -6,7 +6,7 @@ their rollbacks, orientation and variant overrides, soft modules and
 square (rotation-neutral) footprints — the dirty-suffix engine's cost,
 coordinates, pre-order book-keeping and HPWL cache all agree exactly
 (``==``, no tolerances) with a from-scratch ``pack_tree_coords`` +
-``FastCostModel`` evaluation of the same state.  Every placer wired
+unified :class:`repro.cost.CostModel` evaluation of the same state.  Every placer wired
 onto the incremental protocol gets the same commit *and* rollback
 treatment.
 """
@@ -30,10 +30,10 @@ from repro.bstar import BStarPlacer, BStarPlacerConfig, HierarchicalPlacer
 from repro.bstar.hb_tree import HBIncrementalEngine, HBStarTreePlacement
 from repro.circuit import fig2_design, miller_opamp, simple_testcase
 from repro.geometry import Module, ModuleSet, Net
+from repro.cost import model_for_config
 from repro.perf import (
     BStarKernel,
     DeltaHPWL,
-    FastCostModel,
     FullRepackBStarEngine,
     IncrementalBStarEngine,
     hpwl_of,
@@ -129,7 +129,7 @@ class TestIncrementalBStarEngine:
         coords0 = dict(engine._coords)
         order0 = list(engine._order)
         tree0 = engine._tree.clone()
-        vals0 = list(engine._delta._vals)
+        vals0 = list(engine._eval._delta._vals)
         for _ in range(40):
             engine.propose(rng)
             engine.rollback()
@@ -140,7 +140,7 @@ class TestIncrementalBStarEngine:
         assert engine._tree.right == tree0.right
         assert engine._tree.parent == tree0.parent
         assert engine._tree.root == tree0.root
-        assert engine._delta._vals == vals0
+        assert engine._eval._delta._vals == vals0
 
     def test_snapshot_is_isolated(self):
         rng = random.Random(3)
@@ -260,7 +260,7 @@ class TestHBIncrementalEngine:
         config = BStarPlacerConfig(proximity_weight=2.5, wirelength_weight=0.5)
         modules = circuit.modules()
         hb = HBStarTreePlacement(circuit.hierarchy, modules)
-        fast = FastCostModel(modules, circuit.nets, circuit.constraints().proximity, config)
+        fast = model_for_config(modules, circuit.nets, circuit.constraints().proximity, config)
         engine = HBIncrementalEngine(
             hb, modules, circuit.nets, circuit.constraints().proximity, config
         )
@@ -429,5 +429,5 @@ class TestIncrementalAnnealer:
         # the reported best cost is the kernel cost of the best state
         placer = BStarPlacer(small_modules, config=config)
         packed = placement_to_coords(result.placement)
-        model = FastCostModel(small_modules, (), (), config)
+        model = model_for_config(small_modules, (), (), config)
         assert model(packed) == result.cost

@@ -20,12 +20,42 @@ from repro.bstar import (
     HierarchicalPlacer,
 )
 from repro.bstar.packing import pack
-from repro.bstar.placer import _CostModel
 from repro.bstar.tree import BStarTree
 from repro.circuit import fig2_design, miller_opamp, simple_testcase
 from repro.bstar.contour import Contour
-from repro.geometry import Module, ModuleSet, Net, Orientation
-from repro.perf import BStarKernel, FastCostModel, Skyline, placement_to_coords
+from repro.cost import model_for_config
+from repro.geometry import Module, ModuleSet, Net, Orientation, total_hpwl
+from repro.perf import BStarKernel, Skyline, placement_to_coords
+
+
+def _legacy_object_cost(modules, nets, proximity, config):
+    """The pre-refactor object-tier cost formula, verbatim.
+
+    This replicates the deleted ``bstar.placer._CostModel`` operation
+    for operation (same accumulation order, same gates) and stays here
+    as the ground truth the flat kernel and the unified
+    :class:`repro.cost.CostModel` are pinned against.
+    """
+
+    area_scale = max(modules.total_module_area(), 1e-12)
+    wl_scale = max(area_scale**0.5 * max(len(nets), 1), 1e-12)
+
+    def cost(placement):
+        bb = placement.bounding_box()
+        total = config.area_weight * bb.area / area_scale
+        if nets and config.wirelength_weight:
+            total += config.wirelength_weight * total_hpwl(nets, placement) / wl_scale
+        if config.aspect_weight and bb.width > 0 and bb.height > 0:
+            ratio = bb.height / bb.width
+            deviation = max(ratio, 1.0 / ratio) / max(config.target_aspect, 1e-12)
+            total += config.aspect_weight * max(0.0, deviation - 1.0)
+        if config.proximity_weight:
+            for group in proximity:
+                if not group.is_satisfied(placement):
+                    total += config.proximity_weight
+        return total
+
+    return cost
 
 
 def _mixed_modules(n_hard: int = 12, n_soft: int = 8, seed: int = 0) -> ModuleSet:
@@ -79,7 +109,7 @@ class TestFlatKernel:
         nets = _random_nets(mods.names(), rng)
         config = BStarPlacerConfig(wirelength_weight=0.7, aspect_weight=0.2)
         kernel = BStarKernel(mods, nets, (), config)
-        reference = _CostModel(mods, nets, (), config)
+        reference = _legacy_object_cost(mods, nets, (), config)
         tree, orientations, variants = _random_state(mods, rng)
         placement = pack(tree, mods, orientations, variants)
         assert kernel.cost(tree, orientations, variants) == reference(placement)
@@ -106,7 +136,7 @@ class TestFlatKernel:
     def test_placer_cost_is_kernel_cost(self, small_modules):
         config = BStarPlacerConfig(seed=2)
         placer = BStarPlacer(small_modules, config=config)
-        reference = _CostModel(small_modules, (), (), config)
+        reference = _legacy_object_cost(small_modules, (), (), config)
         rng = random.Random(0)
         state = placer._moves.initial_state(rng)
         for _ in range(25):
@@ -211,7 +241,7 @@ class TestHierarchicalCoords:
         circuit = fig2_design()
         config = BStarPlacerConfig()
         placer = HierarchicalPlacer(circuit, config)
-        reference = _CostModel(
+        reference = _legacy_object_cost(
             circuit.modules(), circuit.nets, circuit.constraints().proximity, config
         )
         rng = random.Random(1)
@@ -222,14 +252,14 @@ class TestHierarchicalCoords:
             state = hb.propose(state, rng)
 
 
-class TestFastCostModel:
+class TestUnifiedCostModel:
     def test_proximity_term_matches(self):
         circuit = fig2_design()
         config = BStarPlacerConfig(proximity_weight=3.5)
         proximity = circuit.constraints().proximity
         assert proximity, "fig2 should carry a proximity group"
-        fast = FastCostModel(circuit.modules(), circuit.nets, proximity, config)
-        reference = _CostModel(circuit.modules(), circuit.nets, proximity, config)
+        fast = model_for_config(circuit.modules(), circuit.nets, proximity, config)
+        reference = _legacy_object_cost(circuit.modules(), circuit.nets, proximity, config)
         hb = HBStarTreePlacement(circuit.hierarchy, circuit.modules())
         rng = random.Random(5)
         state = hb.initial_state(rng)

@@ -64,16 +64,19 @@ class TestSeqPairCoords:
         mods, groups, nets = _sym_problem()
         config = PlacerConfig(wirelength_weight=0.5, aspect_weight=0.1)
         placer = SequencePairPlacer(mods, groups, nets, config)
+        # the legacy normalization scales, computed from first principles
+        area_scale = max(mods.total_module_area(), 1e-12)
+        wl_scale = max(area_scale**0.5 * max(len(nets), 1), 1e-12)
 
         def reference(state):
             placement = placer.pack(state)
             bb = placement.bounding_box()
-            cost = config.area_weight * bb.area / placer._area_scale
+            cost = config.area_weight * bb.area / area_scale
             if nets and config.wirelength_weight:
                 cost += (
                     config.wirelength_weight
                     * total_hpwl(nets, placement)
-                    / placer._wl_scale
+                    / wl_scale
                 )
             if config.aspect_weight and bb.width > 0:
                 ratio = bb.height / bb.width

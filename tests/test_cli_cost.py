@@ -1,0 +1,132 @@
+"""CLI cost flags: ``--cost-weights`` and ``--cost-report``.
+
+Happy paths (weights reach the engine configs, reports show per-term
+contributions, the portfolio path threads weights as overrides) and the
+error paths (unknown terms, non-numeric weights, terms an engine does
+not declare) — all exiting with usable messages, never tracebacks.
+"""
+
+import pytest
+
+from repro.cli import _parse_cost_weights, main
+
+
+def exit_code(excinfo) -> int:
+    code = excinfo.value.code
+    if code is None:
+        return 0
+    return code if isinstance(code, int) else 1
+
+
+class TestParsing:
+    def test_parses_terms_and_values(self):
+        assert _parse_cost_weights("area=2,wirelength=0.25") == {
+            "area": 2.0,
+            "wirelength": 0.25,
+        }
+
+    def test_tolerates_spaces_and_empty_entries(self):
+        assert _parse_cost_weights(" area = 2 ,, aspect=1 ") == {
+            "area": 2.0,
+            "aspect": 1.0,
+        }
+
+    def test_none_means_no_overrides(self):
+        assert _parse_cost_weights(None) == {}
+
+    def test_unknown_term_lists_catalog(self):
+        with pytest.raises(SystemExit) as excinfo:
+            _parse_cost_weights("blobs=1")
+        message = str(excinfo.value)
+        assert "blobs" in message
+        assert "area, wirelength, aspect, proximity" in message
+
+    def test_missing_equals_is_explained(self):
+        with pytest.raises(SystemExit) as excinfo:
+            _parse_cost_weights("area")
+        assert "term=value" in str(excinfo.value)
+
+    def test_non_numeric_weight_is_explained(self):
+        with pytest.raises(SystemExit) as excinfo:
+            _parse_cost_weights("area=heavy")
+        assert "not a number" in str(excinfo.value)
+
+
+class TestSingleRun:
+    def test_weights_change_the_anneal(self, capsys):
+        main(["place", "fig2", "--engine", "hbtree", "--seed", "1"])
+        base = capsys.readouterr().out
+        main(
+            [
+                "place", "fig2", "--engine", "hbtree", "--seed", "1",
+                "--cost-weights", "wirelength=0,aspect=0,proximity=0",
+            ]
+        )
+        reweighted = capsys.readouterr().out
+        assert base != reweighted  # the objective actually changed
+
+    def test_cost_report_lists_every_reference_term(self, capsys):
+        code = main(
+            ["place", "fig2", "--engine", "hbtree", "--seed", "1", "--cost-report"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cost report (reference model):" in out
+        for term in ("area", "wirelength", "aspect", "violations", "total"):
+            assert term in out
+
+    def test_unsupported_term_names_engine_and_subset(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "fig2", "--engine", "slicing", "--cost-weights", "aspect=1"])
+        message = str(excinfo.value)
+        assert "slicing" in message
+        assert "area, wirelength" in message
+
+    def test_deterministic_engine_rejects_weights(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "place", "fig2", "--engine", "deterministic",
+                    "--cost-weights", "area=2",
+                ]
+            )
+        assert "does not anneal a weighted cost" in str(excinfo.value)
+
+
+class TestRegistryConsistency:
+    def test_weighted_configs_match_parallel_registry(self):
+        """cli._WEIGHTED_CONFIGS duplicates the parallel registry's
+        config classes (single runs must not import repro.parallel);
+        this pins the two against each other so they cannot drift."""
+        from repro.cli import _WEIGHTED_CONFIGS
+        from repro.parallel.engines import ENGINE_NAMES, build_config
+
+        assert set(_WEIGHTED_CONFIGS) == set(ENGINE_NAMES)
+        for engine, config_cls in _WEIGHTED_CONFIGS.items():
+            assert type(build_config(engine, 0, ())) is config_cls
+
+
+class TestPortfolioPath:
+    def test_weights_thread_into_portfolio_overrides(self, capsys):
+        main(
+            [
+                "place", "fig2", "--engines", "seqpair,hbtree", "--starts", "2",
+                "--budget", "600", "--seed", "3",
+                "--cost-weights", "wirelength=1.0",
+                "--cost-report",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "portfolio:" in out
+        assert "winner cost terms:" in out  # leaderboard breakdown line
+        assert "cost report (reference model):" in out
+
+    def test_portfolio_rejects_term_an_engine_lacks(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "place", "fig2", "--engines", "seqpair,slicing", "--starts", "2",
+                    "--cost-weights", "aspect=0.5",
+                ]
+            )
+        assert "slicing" in str(excinfo.value)
