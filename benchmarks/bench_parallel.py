@@ -38,8 +38,8 @@ import time
 
 from bench_perf_kernel import JSON_PATH, append_entry
 
-from repro.circuit import circuit_by_name
 from repro.parallel import ENGINE_NAMES, PortfolioRunner, build_placer_by_name, WalkSpec
+from repro.workloads import resolve_workload
 
 CIRCUIT = "miller_opamp"
 STARTS = 8
@@ -133,7 +133,7 @@ def measure(
     base = runs[0]["aggregate_steps_per_sec"]
     return {
         "circuit": CIRCUIT,
-        "modules": circuit_by_name(CIRCUIT).n_modules,
+        "modules": resolve_workload(CIRCUIT).n_modules,
         "cpu_count": multiprocessing.cpu_count(),
         "singles": singles,
         "runs": runs,

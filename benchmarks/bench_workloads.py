@@ -1,0 +1,209 @@
+"""Workload scaling — annealing steps/sec and per-term cost vs size.
+
+The workload subsystem (``repro.workloads``) opens the placers to
+arbitrary module counts; this benchmark measures what that costs.  For
+each size in 100 / 500 / 1000 / 2000 modules it:
+
+* resolves a ``gen:`` family circuit through the registry (the same
+  string a CLI user or portfolio worker would use);
+* drives a fixed number of incremental B*-tree annealing steps through
+  the walk API (begin/advance — the exact portfolio execution path)
+  and reports steps/sec;
+* scores the walk's best placement with the engine-agnostic reference
+  model and records the **per-term cost breakdown** (area /
+  wirelength / aspect / violations), so scenario quality is tracked
+  next to raw speed;
+* asserts determinism: a second same-seed walk lands on a bit-identical
+  best cost (workload resolution is pure, so this also guards the
+  generator's seed stability at scale);
+* round-trips the 500-module circuit through Bookshelf export/import
+  and checks the re-imported module set matches — the disk format
+  keeps up with the sizes the generator produces.
+
+Results are **appended** to the ``BENCH_perf_kernel.json`` trajectory
+as ``mode: "workloads"`` entries (the regression guard in
+``run_all.py`` only compares entries of equal mode).
+
+Run standalone:   python benchmarks/bench_workloads.py [--quick]
+Run under pytest: pytest benchmarks/bench_workloads.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from bench_perf_kernel import JSON_PATH, append_entry
+
+from repro.anneal import IncrementalAnnealer
+from repro.cost import reference_model
+from repro.parallel import WalkSpec, build_placer
+from repro.workloads import read_bookshelf, resolve_workload, write_bookshelf
+
+#: one generated family, swept over n (constraints + soft modules on,
+#: so the measured path is the realistic one, not a hard-block special)
+FAMILY = "gen:n={n},seed=11,sym=0.2,prox=0.1,soft=0.1"
+
+SIZES = (100, 500, 1000, 2000)
+QUICK_SIZES = (100, 500)
+
+#: measured engine: the flat B*-tree incremental path (the fastest
+#: tier, where workload size is the only variable)
+ENGINE = "bstar"
+
+OVERRIDES = (("alpha", 0.8), ("t_final", 1e-2))
+
+
+def _walk(circuit, steps: int, seed: int):
+    """``steps`` incremental annealing steps via the portfolio walk API.
+
+    Returns (elapsed seconds, best cost, best placement).
+    """
+    placer = build_placer(
+        circuit, WalkSpec(0, circuit.name, ENGINE, seed, OVERRIDES)
+    )
+    rng = random.Random(seed)
+    engine = placer.engine()
+    engine.reset(placer.initial_state(rng))
+    annealer = IncrementalAnnealer(engine, placer.schedule(), rng)
+    checkpoint = annealer.begin()
+    t0 = time.perf_counter()
+    checkpoint = annealer.advance(checkpoint, steps, _engine_synced=True)
+    elapsed = time.perf_counter() - t0
+    return elapsed, checkpoint.best_cost, placer.finalize(checkpoint.best_state)
+
+
+def measure(n: int, *, steps: int, repeats: int = 2) -> dict:
+    """One size point: resolve, anneal, score, check determinism."""
+    name = FAMILY.format(n=n)
+    t0 = time.perf_counter()
+    circuit = resolve_workload(name)
+    resolve_s = time.perf_counter() - t0
+
+    best_sps = 0.0
+    best_cost = None
+    placement = None
+    for _ in range(repeats):
+        elapsed, cost, placement = _walk(circuit, steps, seed=1)
+        best_sps = max(best_sps, steps / elapsed)
+        best_cost = cost
+    _, twin_cost, _ = _walk(circuit, steps, seed=1)
+
+    model = reference_model(circuit)
+    breakdown = model.breakdown_placement(placement)
+    return {
+        "workload": name,
+        "modules": n,
+        "nets": len(circuit.nets),
+        "constraints": len(circuit.constraints().all()),
+        "resolve_sec": round(resolve_s, 3),
+        "steps": steps,
+        "steps_per_sec": round(best_sps, 1),
+        "ref_cost": model.evaluate_placement(placement),
+        "cost_terms": {k: round(v, 4) for k, v in breakdown.items()},
+        "deterministic": best_cost == twin_cost,
+    }
+
+
+def check_bookshelf_round_trip(n: int = 500) -> dict:
+    """Export the n-module circuit, re-import, compare module sets."""
+    circuit = resolve_workload(FAMILY.format(n=n))
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = write_bookshelf(circuit, tmp, "scale")
+        reread = read_bookshelf(paths["blocks"]).circuit
+    names_match = reread.modules().names() == circuit.modules().names()
+    return {
+        "modules": n,
+        "exported_nets": len(reread.nets),
+        "module_names_identical": names_match,
+    }
+
+
+def run(fast: bool = False, write: bool = False) -> dict:
+    """Measure every size; optionally append a trajectory entry."""
+    sizes = QUICK_SIZES if fast else SIZES
+    steps = 400 if fast else 2000
+    repeats = 1 if fast else 2
+
+    entry = {
+        "mode": "workloads",
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "engine": ENGINE,
+        "runs": [measure(n, steps=steps, repeats=repeats) for n in sizes],
+        "bookshelf_round_trip": check_bookshelf_round_trip(
+            QUICK_SIZES[-1] if fast else 500
+        ),
+    }
+    if write:
+        append_entry(entry)
+
+    lines = [
+        f"{'modules':>8} {'nets':>6} {'constr':>7} {'resolve':>8} "
+        f"{'steps/s':>10} {'ref cost':>10}  per-term"
+    ]
+    for row in entry["runs"]:
+        terms = "  ".join(f"{k}={v:g}" for k, v in row["cost_terms"].items())
+        lines.append(
+            f"{row['modules']:>8} {row['nets']:>6} {row['constraints']:>7} "
+            f"{row['resolve_sec']:>7.2f}s {row['steps_per_sec']:>10,.0f} "
+            f"{row['ref_cost']:>10.4f}  {terms}"
+        )
+    rt = entry["bookshelf_round_trip"]
+    lines.append(
+        f"bookshelf round trip at {rt['modules']} modules: "
+        f"module names identical = {rt['module_names_identical']}"
+    )
+    return {
+        "benchmark": "workload_scaling",
+        "mode": entry["mode"],
+        "runs": entry["runs"],
+        "round_trip": rt,
+        "entry": entry,
+        "appended": write,
+        "table": "\n".join(lines),
+    }
+
+
+def test_workloads_report(emit, benchmark):
+    """Smoke tier: every size resolves, anneals deterministically, and
+    the disk format round-trips — without touching the trajectory."""
+    results = benchmark.pedantic(lambda: run(fast=True), rounds=1, iterations=1)
+    emit("workload_scaling", results["table"])
+    assert results["round_trip"]["module_names_identical"]
+    for row in results["runs"]:
+        assert row["steps_per_sec"] > 0
+        assert row["deterministic"], f"{row['workload']} was not seed-stable"
+        assert set(row["cost_terms"]) >= {"area", "wirelength", "aspect"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="two sizes and short walks (seconds, for CI)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and report only; do not append to BENCH_perf_kernel.json",
+    )
+    args = parser.parse_args(argv)
+    outcome = run(fast=args.quick, write=not args.no_write)
+    print(outcome["table"])
+    if outcome["appended"]:
+        print(f"\nappended trajectory entry: {JSON_PATH}")
+    bad = [r["workload"] for r in outcome["runs"] if not r["deterministic"]]
+    if bad:
+        print(f"NON-DETERMINISTIC workloads: {', '.join(bad)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

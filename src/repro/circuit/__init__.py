@@ -19,6 +19,7 @@ from .library import (
     fig2_design,
     miller_opamp,
     simple_testcase,
+    sized_folded_cascode,
     synthesize_circuit,
     table1_circuit,
     table1_circuits,
@@ -47,6 +48,7 @@ __all__ = [
     "matched_pair",
     "miller_opamp",
     "simple_testcase",
+    "sized_folded_cascode",
     "symmetry_group_of_pairs",
     "synthesize_circuit",
     "table1_circuit",

@@ -13,8 +13,8 @@ design, and the Fig. 6 Miller op amp with its exact hierarchy tree.
 
 from __future__ import annotations
 
-import functools
 import random
+import warnings
 
 from ..geometry import Module, ModuleSet, Net
 from .constraints import (
@@ -342,13 +342,12 @@ def simple_testcase(n: int, seed: int = 0) -> Circuit:
     return synthesize_circuit(f"test{n}", n, seed)
 
 
-@functools.lru_cache(maxsize=1)
-def _sized_folded_cascode() -> Circuit:
+def sized_folded_cascode() -> Circuit:
     """The section-V flow's output as a placement problem: devices sized
     by the layout-aware loop, symmetry groups per pair.  Deterministic
-    (fixed sizing seed) and cached — the sizing anneal costs ~1s, and
-    callers treat circuits as immutable (the same convention the
-    parallel runner's per-process circuit cache already relies on).
+    (fixed sizing seed); the ~1s sizing anneal is memoized by the
+    workload registry's build cache (:mod:`repro.workloads.registry`),
+    not here — resolve through the registry to share the cached build.
     Imported lazily to keep repro.circuit import-independent of
     repro.sizing."""
     from ..sizing import layout_aware_sizing, sizing_to_circuit
@@ -357,28 +356,32 @@ def _sized_folded_cascode() -> Circuit:
 
 
 def circuit_names() -> tuple[str, ...]:
-    """Names accepted by :func:`circuit_by_name`, sorted."""
-    return tuple(
-        sorted(("miller_opamp", "fig2", "sized_folded_cascode", *TABLE1_MODULE_COUNTS))
-    )
+    """Names accepted by :func:`circuit_by_name`, sorted.
+
+    Delegates to the workload registry (the single source of truth for
+    the built-in set) the same way the :func:`circuit_by_name` shim
+    does, so the two can never drift.
+    """
+    from ..workloads import workload_names
+
+    return workload_names()
 
 
 def circuit_by_name(name: str) -> Circuit:
-    """Look a benchmark circuit up by name.
+    """Deprecated: resolve through the workload registry instead.
 
-    This is the registry both the CLI and the parallel portfolio runner
-    resolve circuits through — worker processes rebuild a circuit from
-    its *name* instead of unpickling a live object, so job specs stay
-    tiny and spawn-safe.  Raises :class:`KeyError` for unknown names.
+    This was the benchmark lookup before the workload subsystem; it now
+    delegates to :func:`repro.workloads.resolve_workload`, which also
+    understands generated (``gen:...``) and on-disk (``file:...``)
+    workloads.  Kept as a shim so old call sites keep working; new code
+    should import the registry directly.
     """
-    if name == "miller_opamp":
-        return miller_opamp()
-    if name == "fig2":
-        return fig2_design()
-    if name == "sized_folded_cascode":
-        return _sized_folded_cascode()
-    if name in TABLE1_MODULE_COUNTS:
-        return table1_circuit(name)
-    raise KeyError(
-        f"unknown circuit {name!r}; try one of: {', '.join(circuit_names())}"
+    warnings.warn(
+        "circuit_by_name() is deprecated; use "
+        "repro.workloads.resolve_workload() instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from ..workloads import resolve_workload
+
+    return resolve_workload(name)

@@ -28,9 +28,17 @@ class Circuit:
     nets: tuple[Net, ...] = ()
     devices: tuple[Device, ...] = ()
     extra_constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    #: optional fixed die outline ``(width, height)``; when set, the
+    #: reference cost model charges an outline term for spills (the
+    #: workload generator's fixed-outline scenarios attach this)
+    outline: tuple[float, float] | None = None
 
     def __post_init__(self) -> None:
         self.hierarchy.validate()
+        if self.outline is not None:
+            width, height = self.outline
+            if width <= 0 or height <= 0:
+                raise ValueError(f"outline must be positive, got {self.outline!r}")
         module_names = set(self.modules().names())
         for net in self.nets:
             unknown = [p for p in net.pins if p not in module_names]
@@ -78,9 +86,14 @@ class Circuit:
     def summary(self) -> str:
         """One-line description used by benchmarks and examples."""
         cs = self.constraints()
+        outline = (
+            f", outline {self.outline[0]:.1f} x {self.outline[1]:.1f}"
+            if self.outline
+            else ""
+        )
         return (
             f"{self.name}: {self.n_modules} modules, {len(self.nets)} nets, "
             f"{len(cs.symmetry)} symmetry / {len(cs.common_centroid)} common-centroid / "
             f"{len(cs.proximity)} proximity constraints, "
-            f"hierarchy depth {self.hierarchy.depth()}"
+            f"hierarchy depth {self.hierarchy.depth()}{outline}"
         )

@@ -2,15 +2,21 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro circuits
+    python -m repro workloads list
     python -m repro place miller_opamp --engine hbtree --seed 3
-    python -m repro place miller_opamp --starts 8 --workers 4
+    python -m repro place gen:n=500,seed=7 --starts 8 --workers 4
+    python -m repro place file:bench.blocks --engine seqpair
+    python -m repro workloads export gen:n=200,seed=1 --out bench/
     python -m repro route fig2 --pitch 0.5
     python -m repro table1 --circuit folded_cascode
     python -m repro sizing --flow aware
 
-The CLI is a thin veneer over the library: every command prints the same
-reports the examples and benchmarks produce.
+Circuits are *workload names* resolved through
+:func:`repro.workloads.resolve_workload`: built-ins, generated
+families (``gen:n=...,seed=...``) and on-disk Bookshelf benchmarks
+(``file:path.blocks``) — see ``docs/workloads.md``.  The CLI is a thin
+veneer over the library: every command prints the same reports the
+examples and benchmarks produce.
 """
 
 from __future__ import annotations
@@ -20,12 +26,19 @@ import sys
 
 from .analysis import render_placement
 from .bstar import BStarPlacer, BStarPlacerConfig, HierarchicalPlacer
-from .circuit import Circuit, TABLE1_MODULE_COUNTS, circuit_by_name, circuit_names, table1_circuit
+from .circuit import Circuit, TABLE1_MODULE_COUNTS, table1_circuit
 from .cost import TERM_NAMES, check_term_name, reference_model, weight_overrides
 from .route import Router
 from .seqpair import PlacerConfig, SequencePairPlacer
 from .shapes import DeterministicConfig, DeterministicPlacer
 from .slicing import SlicingPlacer, SlicingPlacerConfig
+from .workloads import (
+    FILE_PREFIX,
+    GEN_PREFIX,
+    resolve_workload,
+    workload_summaries,
+    write_bookshelf,
+)
 
 _ENGINES = ("seqpair", "hbtree", "bstar", "deterministic", "slicing")
 
@@ -54,10 +67,20 @@ def _portfolio_engines() -> tuple[str, ...]:
 
 
 def _load_circuit(name: str) -> Circuit:
+    # KeyError: unknown built-in (message names the nearest match);
+    # ValueError: malformed gen: spec or unreadable file: benchmark
     try:
-        return circuit_by_name(name)
-    except KeyError as exc:
+        return resolve_workload(name)
+    except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0]) from None
+
+
+def _print_workloads() -> None:
+    """Every registry entry with module/net counts + the open schemes."""
+    for line in workload_summaries():
+        print(line)
+    print(f"{GEN_PREFIX}n=<modules>,seed=<seed>,...  generated families")
+    print(f"{FILE_PREFIX}<path>.blocks                 on-disk Bookshelf benchmarks")
 
 
 def _parse_cost_weights(text: str | None) -> dict[str, float]:
@@ -141,8 +164,26 @@ def _place(circuit: Circuit, engine: str, seed: int, weights: dict[str, float] |
 
 
 def cmd_circuits(_args) -> int:
-    for name in circuit_names():
-        print(circuit_by_name(name).summary())
+    _print_workloads()
+    return 0
+
+
+def cmd_workloads_list(_args) -> int:
+    _print_workloads()
+    return 0
+
+
+def cmd_workloads_export(args) -> int:
+    circuit = _load_circuit(args.workload)
+    placement = None
+    if args.place:
+        placement = _place(circuit, args.engine, args.seed)
+    paths = write_bookshelf(
+        circuit, args.out, args.basename, placement=placement
+    )
+    print(circuit.summary())
+    for ext in ("aux", "blocks", "nets", "pl"):
+        print(f"  wrote {paths[ext]}")
     return 0
 
 
@@ -215,6 +256,21 @@ def _print_cost_report(circuit: Circuit, placement) -> None:
 
 
 def cmd_place(args) -> int:
+    if args.list_circuits:
+        _print_workloads()
+        return 0
+    if args.circuit_opt is not None:
+        if args.circuit is not None and args.circuit != args.circuit_opt:
+            raise SystemExit(
+                f"place: circuit given twice ({args.circuit!r} positionally, "
+                f"{args.circuit_opt!r} via --circuit); pass it once"
+            )
+        args.circuit = args.circuit_opt
+    if args.circuit is None:
+        raise SystemExit(
+            "place: no circuit named; pass a workload name (positionally or "
+            "via --circuit), or run `place --list-circuits`"
+        )
     circuit = _load_circuit(args.circuit)
     weights = _parse_cost_weights(args.cost_weights)
     print(circuit.summary())
@@ -314,12 +370,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("circuits", help="list the benchmark circuits").set_defaults(
-        fn=cmd_circuits
+    sub.add_parser(
+        "circuits", help="list the benchmark circuits (alias of `workloads list`)"
+    ).set_defaults(fn=cmd_circuits)
+
+    p = sub.add_parser(
+        "workloads", help="inspect and export workloads (see docs/workloads.md)"
     )
+    wsub = p.add_subparsers(dest="workloads_command", required=True)
+    wsub.add_parser(
+        "list", help="every registry entry with module/net counts"
+    ).set_defaults(fn=cmd_workloads_list)
+    w = wsub.add_parser(
+        "export", help="write a workload out as Bookshelf .aux/.blocks/.nets/.pl"
+    )
+    w.add_argument("workload", help="any workload name (built-in, gen:, file:)")
+    w.add_argument("--out", default=".", help="output directory (default: .)")
+    w.add_argument(
+        "--basename",
+        default=None,
+        help="file basename (default: a slug of the workload name)",
+    )
+    w.add_argument(
+        "--place",
+        action="store_true",
+        help="anneal first and write real locations into the .pl file",
+    )
+    w.add_argument("--engine", choices=_ENGINES, default="hbtree")
+    w.add_argument("--seed", type=int, default=0)
+    w.set_defaults(fn=cmd_workloads_export)
 
     p = sub.add_parser("place", help="place a circuit")
-    p.add_argument("circuit")
+    p.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        help="workload name: built-in, gen:n=...,seed=... or file:path.blocks",
+    )
+    p.add_argument(
+        "--circuit",
+        dest="circuit_opt",
+        default=None,
+        metavar="NAME",
+        help="alternative spelling of the positional circuit argument",
+    )
+    p.add_argument(
+        "--list-circuits",
+        action="store_true",
+        help="print every registry entry with module/net counts and exit",
+    )
     p.add_argument("--engine", choices=_ENGINES, default="hbtree")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--width", type=int, default=70)

@@ -30,6 +30,7 @@ from .hpwl import DeltaHPWL, ResolvedNet, hpwl_of, net_hpwl, resolve_nets
 from .model import (
     DEFAULT_TARGET_ASPECT,
     DEFAULT_WEIGHTS,
+    OUTLINE_WEIGHT,
     TERM_NAMES,
     VIOLATION_WEIGHT,
     CostEvaluator,
@@ -61,6 +62,7 @@ __all__ = [
     "DEFAULT_WEIGHTS",
     "DeltaHPWL",
     "HPWLTerm",
+    "OUTLINE_WEIGHT",
     "OutlineTerm",
     "ProximityTerm",
     "ResolvedNet",

@@ -38,6 +38,7 @@ from .terms import (
     AspectTerm,
     CostTerm,
     HPWLTerm,
+    OutlineTerm,
     ProximityTerm,
     ViolationTerm,
 )
@@ -65,6 +66,12 @@ DEFAULT_TARGET_ASPECT = 1.0
 #: the default objective already charges for an unsatisfied proximity
 #: group, so every constraint kind is charged exactly once at one rate
 VIOLATION_WEIGHT = DEFAULT_WEIGHTS["proximity"]
+
+#: reference-model weight of the fixed-outline term, charged only for
+#: circuits that declare a die outline (``Circuit.outline``); same rate
+#: as a violated constraint — spilling the die is a broken promise, not
+#: a soft preference
+OUTLINE_WEIGHT = VIOLATION_WEIGHT
 
 #: weight fields a placer config may expose, in canonical term order
 TERM_NAMES = ("area", "wirelength", "aspect", "proximity")
@@ -361,22 +368,28 @@ def reference_model(
     violation term already reports unsatisfied proximity groups, so
     each constraint is charged exactly once.
 
+    Circuits that declare a fixed die outline (``circuit.outline``,
+    e.g. the workload generator's fixed-outline scenarios) additionally
+    carry an :class:`~repro.cost.OutlineTerm` at :data:`OUTLINE_WEIGHT`
+    — outline-free circuits get the exact historical model.
+
     Evaluate through :meth:`CostModel.evaluate_placement` /
     :meth:`CostModel.breakdown_placement` (the violation term needs the
     rich placement).
     """
     modules = circuit.modules()
     scale = area_scale_of(modules)
-    return CostModel(
-        (
-            AreaTerm(DEFAULT_WEIGHTS["area"], scale),
-            HPWLTerm(
-                DEFAULT_WEIGHTS["wirelength"], circuit.nets, modules.names(), scale
-            ),
-            AspectTerm(DEFAULT_WEIGHTS["aspect"], DEFAULT_TARGET_ASPECT),
-            ViolationTerm(violation_weight, circuit.constraints()),
-        )
-    )
+    terms: list[CostTerm] = [
+        AreaTerm(DEFAULT_WEIGHTS["area"], scale),
+        HPWLTerm(
+            DEFAULT_WEIGHTS["wirelength"], circuit.nets, modules.names(), scale
+        ),
+        AspectTerm(DEFAULT_WEIGHTS["aspect"], DEFAULT_TARGET_ASPECT),
+    ]
+    if circuit.outline is not None:
+        terms.append(OutlineTerm(OUTLINE_WEIGHT, circuit.outline))
+    terms.append(ViolationTerm(violation_weight, circuit.constraints()))
+    return CostModel(terms)
 
 
 def weight_overrides(

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from ..anneal import GeometricSchedule
 from ..bstar import BStarPlacerConfig, BStarPlacer, HierarchicalPlacer
-from ..circuit import Circuit, circuit_by_name
+from ..circuit import Circuit
 from ..cost import CostModel, reference_model
+from ..workloads import resolve_workload
 from ..seqpair import PlacerConfig, SequencePairPlacer
 from ..slicing import SlicingPlacer, SlicingPlacerConfig
 from .jobs import WalkSpec
@@ -64,7 +65,7 @@ def build_placer(circuit: Circuit, spec: WalkSpec):
 
 def build_placer_by_name(spec: WalkSpec):
     """:func:`build_placer` resolving the circuit through the registry."""
-    return build_placer(circuit_by_name(spec.circuit), spec)
+    return build_placer(resolve_workload(spec.circuit), spec)
 
 
 def schedule_epochs(engine: str, overrides: tuple[tuple[str, object], ...]) -> int:

@@ -1,22 +1,44 @@
 """Spawn-safe job specs and result records for the portfolio runner.
 
 Nothing in this module holds a live placer, engine or circuit: a
-:class:`WalkSpec` names its circuit (resolved through
-:func:`repro.circuit.circuit_by_name`), its engine (resolved through
-:data:`repro.parallel.engines.ENGINE_NAMES`) and carries plain config
-overrides, so a worker process rebuilds everything it needs from a few
-hundred bytes.  The only state that crosses a process boundary mid-walk
-is the :class:`~repro.anneal.WalkCheckpoint` inside a
+:class:`WalkSpec` names its workload (resolved through
+:func:`repro.workloads.resolve_workload` — a built-in name, a
+``gen:...`` family or a ``file:...`` benchmark), its engine (resolved
+through :data:`repro.parallel.engines.ENGINE_NAMES`) and carries plain
+config overrides, so a worker process rebuilds everything it needs from
+a few hundred bytes.  The only state that crosses a process boundary
+mid-walk is the :class:`~repro.anneal.WalkCheckpoint` inside a
 :class:`ChunkTask` / :class:`ChunkResult` pair — plain data, cheap to
 pickle, and sufficient to resume the walk bit-identically anywhere.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..anneal import AnnealingStats, WalkCheckpoint
 from ..geometry import Placement
+
+
+def circuit_by_name(name: str):
+    """Deprecated shim: resolve workloads through the registry.
+
+    This module's docs long pointed at ``circuit_by_name`` as the
+    lookup behind :class:`WalkSpec.circuit`, so the name is provided
+    here (deprecated from birth) for anyone who followed them; the
+    real resolver is :func:`repro.workloads.resolve_workload`, which
+    also accepts ``gen:`` and ``file:`` workload names.
+    """
+    warnings.warn(
+        "repro.parallel.jobs.circuit_by_name() is deprecated; use "
+        "repro.workloads.resolve_workload() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..workloads import resolve_workload
+
+    return resolve_workload(name)
 
 #: per-walk status values in a leaderboard
 FINISHED = "finished"

@@ -50,7 +50,8 @@ from math import ceil
 from typing import Callable, Iterable
 
 from ..anneal import AnnealingStats, IncrementalAnnealer, WalkCheckpoint
-from ..circuit import Circuit, circuit_by_name
+from ..circuit import Circuit
+from ..workloads import resolve_workload
 from .engines import (
     ENGINE_NAMES,
     build_config,
@@ -117,7 +118,7 @@ _CIRCUIT_CACHE: dict[str, Circuit] = {}
 def _circuit_for(name: str) -> Circuit:
     circuit = _CIRCUIT_CACHE.get(name)
     if circuit is None:
-        circuit = _CIRCUIT_CACHE[name] = circuit_by_name(name)
+        circuit = _CIRCUIT_CACHE[name] = resolve_workload(name)
     return circuit
 
 
@@ -255,8 +256,12 @@ class PortfolioRunner:
     Parameters
     ----------
     circuit:
-        Benchmark circuit *name* (see :func:`repro.circuit.circuit_names`)
-        — a name, not an object, so the runner itself is spawn-safe.
+        Workload *name* resolved through
+        :func:`repro.workloads.resolve_workload` — a built-in
+        (``miller_opamp``), a generated family (``gen:n=500,seed=7``)
+        or an on-disk benchmark (``file:bench.blocks``).  A name, not
+        an object, so the runner itself is spawn-safe: workers
+        re-resolve the string.
     engines:
         Engine names to cycle starts over (default: all four of
         ``bstar`` / ``hbtree`` / ``seqpair`` / ``slicing``).

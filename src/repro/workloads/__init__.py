@@ -1,0 +1,63 @@
+"""Workload subsystem: synthetic circuit families + benchmark I/O.
+
+The repo's path to arbitrary and large-scale inputs (see
+``docs/workloads.md``):
+
+``spec`` / ``generator``
+    :class:`WorkloadSpec` and the seeded, parametric synthetic circuit
+    generator — module counts from tens to thousands, configurable
+    size/aspect/net-degree distributions, hierarchy depth and injected
+    symmetry/proximity/fixed-outline constraints, byte-identical per
+    seed (:func:`canonical_json` is the identity oracle).
+``bookshelf``
+    Bookshelf/GSRC ``.aux``/``.blocks``/``.nets``/``.pl`` reader and
+    writer (round-trip identity, property-tested).
+``registry``
+    :func:`resolve_workload` — built-ins, ``gen:`` families and
+    ``file:`` benchmarks behind one spawn-safe name scheme consumed by
+    the CLI, the portfolio runner and the benchmarks.
+"""
+
+from .bookshelf import (
+    BookshelfDesign,
+    BookshelfError,
+    parse_blocks,
+    parse_nets,
+    parse_pl,
+    read_bookshelf,
+    slugify,
+    write_bookshelf,
+)
+from .generator import canonical_json, generate_circuit
+from .registry import (
+    BUILTIN_WORKLOADS,
+    FILE_PREFIX,
+    clear_workload_cache,
+    resolve_workload,
+    unknown_workload_message,
+    workload_names,
+    workload_summaries,
+)
+from .spec import GEN_PREFIX, WorkloadSpec, parse_gen_spec
+
+__all__ = [
+    "BUILTIN_WORKLOADS",
+    "BookshelfDesign",
+    "BookshelfError",
+    "FILE_PREFIX",
+    "GEN_PREFIX",
+    "WorkloadSpec",
+    "canonical_json",
+    "clear_workload_cache",
+    "generate_circuit",
+    "parse_blocks",
+    "parse_gen_spec",
+    "parse_nets",
+    "parse_pl",
+    "read_bookshelf",
+    "resolve_workload",
+    "slugify",
+    "unknown_workload_message",
+    "workload_names",
+    "workload_summaries",
+]

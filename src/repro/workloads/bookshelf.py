@@ -1,0 +1,475 @@
+"""Bookshelf / GSRC benchmark I/O: ``.aux`` / ``.blocks`` / ``.nets`` / ``.pl``.
+
+The classic floorplanning benchmark suites (GSRC hard/soft blocks,
+MCNC in its Bookshelf conversion) ship as a family of plain-text files
+sharing one basename::
+
+    name.aux       RowBasedPlacement : name.blocks name.nets name.pl
+    name.blocks    UCSC blocks 1.0 — hard/soft block shapes + terminals
+    name.nets      UCLA nets 1.0  — hyperedges as NetDegree groups
+    name.pl        UCLA pl 1.0    — (x, y) locations, optional
+
+This module reads that family into a :class:`~repro.circuit.Circuit`
+(flat hierarchy — the formats carry no sub-circuit structure or analog
+constraints) and writes any circuit back out.  The supported grammar:
+
+* ``hardrectilinear`` blocks with exactly 4 vertices (rectangles;
+  general rectilinear shapes raise a clean :class:`BookshelfError`);
+* ``softrectangular`` blocks (``area aspectMin aspectMax``), mapped to
+  a :class:`~repro.geometry.Module` with discrete aspect variants at
+  ``(min, 1, max)`` within the declared band.  The declared parameters
+  are recorded exactly in each variant's ``tag`` (that is what tags
+  are for: how to re-draw the module), and the writer re-emits them
+  from there — deriving them back from the sqrt-computed footprints
+  would drift in the last float bit about a third of the time, so the
+  tags are what makes parse -> write -> parse the *exact* identity
+  (property-tested);
+* ``terminal`` pads, parsed and dropped from the module list (pads
+  have no footprint to place); nets lose their terminal pins, and
+  nets left with fewer than two pins are dropped;
+* comment lines (``#``) and blank lines anywhere.
+
+Writing is lossy by design where the format is poorer than the model:
+hierarchy is flattened, constraints and net weights are dropped, and
+``rotatable`` flags are not representable.  The writer emits canonical
+formatting, which is what makes the round-trip identity hold.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..circuit import Circuit, HierarchyNode
+from ..geometry import Module, Net, Placement, ShapeVariant
+
+
+class BookshelfError(ValueError):
+    """Malformed or unsupported Bookshelf input, with file context."""
+
+
+def _read(path: Path) -> str:
+    """Read one family member, translating I/O and encoding failures
+    into the contextual :class:`BookshelfError` the CLI contract
+    promises (a raw ``UnicodeDecodeError`` is a ``ValueError`` whose
+    ``args[0]`` is just ``'utf-8'``; an ``IsADirectoryError`` would
+    escape as a traceback)."""
+    try:
+        return path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise BookshelfError(f"cannot read {path}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class BookshelfDesign:
+    """One parsed benchmark: the circuit plus whatever ``.pl`` carried."""
+
+    circuit: Circuit
+    #: module/terminal name -> (x, y) from the ``.pl`` file ({} if absent)
+    positions: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: terminal (pad) names parsed out of ``.blocks``
+    terminals: tuple[str, ...] = ()
+
+
+# -- reading ------------------------------------------------------------------
+
+
+def read_bookshelf(path: str | Path) -> BookshelfDesign:
+    """Read a benchmark from its ``.aux``, ``.blocks`` or basename path.
+
+    ``path`` may point at the ``.aux`` file, the ``.blocks`` file, or
+    the bare basename (``bench`` for ``bench.blocks`` etc.); sibling
+    ``.nets`` / ``.pl`` files are picked up when present.
+    """
+    blocks_path, nets_path, pl_path = _family(Path(path))
+    if not blocks_path.exists():
+        raise BookshelfError(f"no such benchmark: {blocks_path}")
+    modules, terminals = parse_blocks(
+        _read(blocks_path), source=blocks_path.name
+    )
+    nets: tuple[Net, ...] = ()
+    if nets_path is not None and nets_path.exists():
+        known = {m.name for m in modules}
+        nets = parse_nets(
+            _read(nets_path),
+            known,
+            terminals=set(terminals),
+            source=nets_path.name,
+        )
+    positions: dict[str, tuple[float, float]] = {}
+    if pl_path is not None and pl_path.exists():
+        positions = parse_pl(_read(pl_path))
+    root = HierarchyNode(f"{blocks_path.stem}_root", modules=list(modules))
+    circuit = Circuit(blocks_path.stem, root, nets=nets)
+    return BookshelfDesign(circuit, positions, terminals)
+
+
+def _family(path: Path) -> tuple[Path, Path | None, Path | None]:
+    """Resolve the ``.blocks`` / ``.nets`` / ``.pl`` paths of a benchmark.
+
+    An ``.aux`` file *declares* its family: every listed member must
+    exist (a declared-but-missing ``.nets`` would otherwise silently
+    yield a net-free circuit with HPWL 0 everywhere).  For a
+    ``.blocks`` or bare-basename path, siblings are probed by name and
+    genuinely optional.  Suffixes are stripped/added textually — never
+    via ``with_suffix`` — so dotted basenames (``ami33.v2``) resolve to
+    ``ami33.v2.nets``, not ``ami33.nets``.
+    """
+    name = str(path)
+    if name.endswith(".aux"):
+        if not path.exists():
+            raise BookshelfError(f"no such benchmark: {path}")
+        named = _parse_aux(_read(path), source=path.name)
+        by_ext: dict[str, Path] = {}
+        for member in named:
+            for ext in (".blocks", ".nets", ".pl"):
+                if member.endswith(ext):
+                    by_ext[ext] = path.parent / member
+        if ".blocks" not in by_ext:
+            raise BookshelfError(f"{path.name}: no .blocks file listed")
+        for ext, member in sorted(by_ext.items()):
+            if not member.exists():
+                raise BookshelfError(
+                    f"{path.name} declares {member.name} but it does not exist"
+                )
+        return by_ext[".blocks"], by_ext.get(".nets"), by_ext.get(".pl")
+    base = name[: -len(".blocks")] if name.endswith(".blocks") else name
+    return Path(base + ".blocks"), Path(base + ".nets"), Path(base + ".pl")
+
+
+def _parse_aux(text: str, *, source: str) -> list[str]:
+    for line in _content_lines(text):
+        if ":" in line:
+            return line.split(":", 1)[1].split()
+    raise BookshelfError(f"{source}: no 'Placement : files...' line")
+
+
+#: format header lines ("UCSC blocks 1.0", "UCLA nets 1.0", ...) —
+#: anchored to the known vendor + kind pairs so a *block* named e.g.
+#: "UCLAblk" is never mistaken for a header and silently dropped
+_HEADER = re.compile(r"^(UCSC|UCLA)\s+(blocks|nets|pl|wts)\b")
+
+
+def _content_lines(text: str) -> list[str]:
+    """Non-blank, non-comment, non-header lines."""
+    out = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if _HEADER.match(line):
+            continue
+        out.append(line)
+    return out
+
+
+def parse_blocks(
+    text: str, *, source: str = ".blocks"
+) -> tuple[tuple[Module, ...], tuple[str, ...]]:
+    """Modules and terminal names of a ``.blocks`` file."""
+    modules: list[Module] = []
+    terminals: list[str] = []
+    seen: set[str] = set()
+    for line in _content_lines(text):
+        # count headers (NumSoftRectangularBlocks : N, ...) are advisory
+        if ":" in line and line.split(":", 1)[0].strip().startswith("Num"):
+            continue
+        tokens = line.split()
+        if len(tokens) < 2:
+            raise BookshelfError(f"{source}: malformed block line {line!r}")
+        name, kind = tokens[0], tokens[1]
+        if name in seen:
+            raise BookshelfError(f"{source}: duplicate block {name!r}")
+        seen.add(name)
+        if kind == "terminal":
+            terminals.append(name)
+        elif kind == "softrectangular":
+            modules.append(_soft_block(name, tokens[2:], line, source))
+        elif kind == "hardrectilinear":
+            modules.append(_hard_block(name, line, source))
+        else:
+            raise BookshelfError(
+                f"{source}: unsupported block kind {kind!r} in {line!r} "
+                "(supported: hardrectilinear, softrectangular, terminal)"
+            )
+    return tuple(modules), tuple(terminals)
+
+
+def _soft_block(name: str, args: list[str], line: str, source: str) -> Module:
+    try:
+        area, ar_min, ar_max = (float(a) for a in args[:3])
+    except (ValueError, IndexError):
+        raise BookshelfError(
+            f"{source}: softrectangular needs 'area aspectMin aspectMax', "
+            f"got {line!r}"
+        ) from None
+    if area <= 0 or ar_min <= 0 or ar_max < ar_min:
+        raise BookshelfError(
+            f"{source}: bad soft block parameters in {line!r}"
+        )
+    ratios = sorted({ar_min, ar_max} | ({1.0} if ar_min < 1.0 < ar_max else set()))
+    variants = tuple(
+        ShapeVariant(
+            (area / ar) ** 0.5,
+            (area / ar) ** 0.5 * ar,
+            tag=_soft_tag(area, ar),
+        )
+        for ar in ratios
+    )
+    return Module(name, variants)
+
+
+def _soft_tag(area: float, ratio: float) -> str:
+    """Exact declared parameters of a parsed soft block, kept on the
+    variant so the writer can re-emit them verbatim (see module doc)."""
+    return f"soft:area={area!r},ar={ratio!r}"
+
+
+def _soft_params(module: Module) -> tuple[float, float, float]:
+    """(area, aspectMin, aspectMax) to write for a soft module.
+
+    Bookshelf-parsed modules carry the declared values in their tags
+    (exact); any other soft module (e.g. generator output) falls back
+    to values derived from its variant footprints.
+    """
+    tags = [v.tag for v in module.variants]
+    if all(t.startswith("soft:area=") for t in tags):
+        ratios = [float(t.rpartition("ar=")[2]) for t in tags]
+        area = float(tags[0].partition("area=")[2].partition(",")[0])
+        return area, min(ratios), max(ratios)
+    ratios = [v.height / v.width for v in module.variants]
+    return module.area, min(ratios), max(ratios)
+
+
+def _hard_block(name: str, line: str, source: str) -> Module:
+    vertices = _vertices(line)
+    if len(vertices) != 4:
+        raise BookshelfError(
+            f"{source}: block {name!r} has {len(vertices)} vertices; only "
+            "rectangles (4 vertices) are supported"
+        )
+    xs = {x for x, _ in vertices}
+    ys = {y for _, y in vertices}
+    if len(xs) != 2 or len(ys) != 2:
+        raise BookshelfError(
+            f"{source}: block {name!r} vertices do not form a rectangle"
+        )
+    width = max(xs) - min(xs)
+    height = max(ys) - min(ys)
+    if width <= 0 or height <= 0:
+        raise BookshelfError(f"{source}: block {name!r} has a degenerate shape")
+    return Module.hard(name, width, height)
+
+
+def _vertices(line: str) -> list[tuple[float, float]]:
+    vertices = []
+    rest = line
+    while "(" in rest:
+        inner, _, rest = rest.partition("(")[2].partition(")")
+        parts = inner.replace(",", " ").split()
+        if len(parts) != 2:
+            raise BookshelfError(f"malformed vertex in {line!r}")
+        try:
+            vertices.append((float(parts[0]), float(parts[1])))
+        except ValueError:
+            raise BookshelfError(
+                f"non-numeric vertex coordinate in {line!r}"
+            ) from None
+    return vertices
+
+
+def parse_nets(
+    text: str,
+    known: set[str],
+    *,
+    terminals: set[str] = frozenset(),
+    source: str = ".nets",
+) -> tuple[Net, ...]:
+    """Nets of a ``.nets`` file; terminal pins are dropped (documented),
+    unknown pins raise, and nets with fewer than two block pins vanish."""
+    nets: list[Net] = []
+    degree = 0
+    pins: list[str] = []
+    net_name: str | None = None
+    auto = 0
+
+    def flush() -> None:
+        nonlocal pins, net_name, auto
+        if net_name is not None:
+            if len(pins) >= 2:
+                nets.append(Net(net_name, tuple(pins)))
+            pins, net_name = [], None
+
+    for line in _content_lines(text):
+        head = line.split(":", 1)[0].strip()
+        if head in ("NumNets", "NumPins"):
+            continue
+        if line.startswith("NetDegree"):
+            flush()
+            tokens = line.split(":", 1)[1].split()
+            if not tokens:
+                raise BookshelfError(f"{source}: malformed {line!r}")
+            try:
+                degree = int(tokens[0])
+            except ValueError:
+                raise BookshelfError(
+                    f"{source}: non-numeric net degree in {line!r}"
+                ) from None
+            net_name = tokens[1] if len(tokens) > 1 else f"n{auto}"
+            auto += 1
+            continue
+        if net_name is None:
+            raise BookshelfError(
+                f"{source}: pin line {line!r} before any NetDegree"
+            )
+        pin = line.split()[0]
+        if pin in terminals:
+            continue
+        if pin not in known:
+            raise BookshelfError(
+                f"{source}: net {net_name!r} references unknown block {pin!r}"
+            )
+        pins.append(pin)
+        if len(pins) > degree:
+            raise BookshelfError(
+                f"{source}: net {net_name!r} exceeds its declared degree {degree}"
+            )
+    flush()
+    return tuple(nets)
+
+
+def parse_pl(text: str) -> dict[str, tuple[float, float]]:
+    """``name -> (x, y)`` of a ``.pl`` file (orientation suffixes ignored)."""
+    positions: dict[str, tuple[float, float]] = {}
+    for line in _content_lines(text):
+        tokens = line.split()
+        if len(tokens) < 3:
+            continue
+        try:
+            positions[tokens[0]] = (float(tokens[1]), float(tokens[2]))
+        except ValueError:
+            continue
+    return positions
+
+
+# -- writing ------------------------------------------------------------------
+
+
+def write_bookshelf(
+    circuit: Circuit,
+    directory: str | Path,
+    basename: str | None = None,
+    *,
+    placement: Placement | None = None,
+) -> dict[str, Path]:
+    """Write ``circuit`` as a Bookshelf family; returns the file paths.
+
+    ``basename`` defaults to a filesystem-safe slug of the circuit
+    name.  With a ``placement``, the ``.pl`` file carries its module
+    origins; without one, every block sits at ``(0, 0)`` (the format
+    requires the file, not meaningful coordinates).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = basename if basename is not None else slugify(circuit.name)
+    if not base:
+        raise BookshelfError(f"cannot derive a basename from {circuit.name!r}")
+    paths = {
+        ext: directory / f"{base}.{ext}" for ext in ("aux", "blocks", "nets", "pl")
+    }
+    modules = tuple(circuit.modules())
+    paths["blocks"].write_text(_format_blocks(modules))
+    paths["nets"].write_text(_format_nets(circuit.nets))
+    paths["pl"].write_text(_format_pl(modules, placement))
+    paths["aux"].write_text(
+        f"RowBasedPlacement : {base}.blocks {base}.nets {base}.pl\n"
+    )
+    return paths
+
+
+def slugify(name: str) -> str:
+    """A filesystem-safe basename for a workload name (``gen:`` and all)."""
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in name).strip("_")
+
+
+def _writes_as_soft(module: Module) -> bool:
+    """Whether the writer emits ``softrectangular`` for this module.
+
+    ``Module.is_hard`` is not the right test: a soft block declared
+    with ``aspectMin == aspectMax`` parses into a *single* variant
+    (which ``is_hard`` would misroute into the hard branch, silently
+    turning a soft declaration into a hard one on re-export).  The
+    parse tags disambiguate.
+    """
+    return len(module.variants) > 1 or module.variants[0].tag.startswith(
+        "soft:area="
+    )
+
+
+def _format_blocks(modules: tuple[Module, ...]) -> str:
+    soft_count = sum(1 for m in modules if _writes_as_soft(m))
+    lines = [
+        "UCSC blocks 1.0",
+        "",
+        f"NumSoftRectangularBlocks : {soft_count}",
+        f"NumHardRectilinearBlocks : {len(modules) - soft_count}",
+        "NumTerminals : 0",
+        "",
+    ]
+    for m in modules:
+        if not _writes_as_soft(m):
+            w, h = m.width, m.height
+            lines.append(
+                f"{m.name} hardrectilinear 4 "
+                f"({_num(0)}, {_num(0)}) ({_num(0)}, {_num(h)}) "
+                f"({_num(w)}, {_num(h)}) ({_num(w)}, {_num(0)})"
+            )
+        else:
+            area, ar_min, ar_max = _soft_params(m)
+            lines.append(
+                f"{m.name} softrectangular {_num(area)} "
+                f"{_num(ar_min)} {_num(ar_max)}"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _format_nets(nets: tuple[Net, ...]) -> str:
+    lines = [
+        "UCLA nets 1.0",
+        "",
+        f"NumNets : {len(nets)}",
+        f"NumPins : {sum(len(n.pins) for n in nets)}",
+        "",
+    ]
+    for net in nets:
+        lines.append(f"NetDegree : {len(net.pins)} {net.name}")
+        lines.extend(f"{pin} B" for pin in net.pins)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _format_pl(modules: tuple[Module, ...], placement: Placement | None) -> str:
+    lines = ["UCLA pl 1.0", ""]
+    for m in modules:
+        x, y = 0.0, 0.0
+        if placement is not None and m.name in placement:
+            rect = placement[m.name].rect
+            x, y = rect.x0, rect.y0
+        lines.append(f"{m.name} {_num(x)} {_num(y)}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _num(value: float) -> str:
+    """Canonical number rendering: shortest repr that round-trips.
+
+    ``repr(float)`` is the shortest string that parses back to the
+    same float, which is exactly what the round-trip identity needs;
+    integral values drop the trailing ``.0`` for conventional-looking
+    files (``12`` not ``12.0``) — ``float("12") == 12.0`` keeps the
+    identity intact.
+    """
+    f = float(value)
+    return str(int(f)) if f.is_integer() and abs(f) < 1e16 else repr(f)

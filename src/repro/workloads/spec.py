@@ -1,0 +1,190 @@
+"""Parametric workload specifications and the ``gen:`` naming grammar.
+
+A :class:`WorkloadSpec` fully determines one synthetic circuit: the
+generator (:mod:`repro.workloads.generator`) is a pure function of the
+spec, and the spec itself round-trips through the ``gen:`` string
+syntax the registry, the CLI and the portfolio runner all share::
+
+    gen:n=500,seed=7,sym=0.3,depth=4
+
+Every field has a short alias for the string form (the long dataclass
+field name is accepted too); :meth:`WorkloadSpec.canonical_name`
+renders the spec back with only non-default fields, in a fixed order,
+so equal specs always produce equal names — the registry's cache key
+and the spawn-safe identity a portfolio worker rebuilds a circuit from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+#: prefix of generated-workload names
+GEN_PREFIX = "gen:"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything the synthetic circuit generator needs.
+
+    Distributions follow analog-typical heterogeneity: module areas are
+    log-normal (large capacitors next to small transistors), aspect
+    ratios uniform within a band, and net degrees power-law (many
+    two-pin nets, a thin tail of wide buses — a Rent-style pin
+    distribution).
+    """
+
+    #: number of placeable modules
+    n: int
+    #: RNG seed; same spec + seed => byte-identical circuit
+    seed: int = 0
+    #: fraction of modules that are soft (three aspect-ratio variants)
+    soft: float = 0.1
+    #: log-normal area distribution: mean and sigma of ln(area)
+    area_mu: float = 1.0
+    area_sigma: float = 0.8
+    #: uniform aspect-ratio band (height / width) for hard modules
+    ar_min: float = 0.4
+    ar_max: float = 2.5
+    #: nets generated per module
+    nets: float = 1.2
+    #: net-degree power law P(k) ~ k^-gamma over 2..max_degree
+    gamma: float = 2.5
+    max_degree: int = 8
+    #: fraction of extra pins drawn from the seed pin's neighborhood
+    #: (hierarchy-local wiring) rather than uniformly
+    locality: float = 0.6
+    #: target hierarchy depth (>= 2: root + basic module sets)
+    depth: int = 3
+    #: fraction of basic module sets carrying a symmetry constraint
+    sym: float = 0.15
+    #: fraction of basic module sets carrying a proximity constraint
+    prox: float = 0.1
+    #: fixed-outline whitespace fraction (None = outline-free); the
+    #: generated circuit carries a die outline of total module area
+    #: times ``1 + outline``, at ``outline_aspect`` (height / width)
+    outline: float | None = None
+    outline_aspect: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"workload needs n >= 1 modules, got {self.n}")
+        if self.depth < 2:
+            raise ValueError(f"hierarchy depth must be >= 2, got {self.depth}")
+        for name in ("soft", "sym", "prox", "locality"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a fraction in [0, 1], got {value}")
+        if not 0.0 < self.ar_min <= self.ar_max:
+            raise ValueError(
+                f"aspect band needs 0 < ar_min <= ar_max, got "
+                f"[{self.ar_min}, {self.ar_max}]"
+            )
+        if self.area_sigma < 0:
+            raise ValueError(f"area_sigma must be >= 0, got {self.area_sigma}")
+        if self.nets < 0:
+            raise ValueError(f"nets per module must be >= 0, got {self.nets}")
+        if self.max_degree < 2:
+            raise ValueError(f"max_degree must be >= 2, got {self.max_degree}")
+        if self.outline is not None and self.outline < 0:
+            raise ValueError(f"outline slack must be >= 0, got {self.outline}")
+        if self.outline_aspect <= 0:
+            raise ValueError(
+                f"outline_aspect must be > 0, got {self.outline_aspect}"
+            )
+        if self.outline is None and self.outline_aspect != 1.0:
+            # a silent no-op that would still split the registry cache
+            # key (two names, byte-identical circuits) — reject instead
+            raise ValueError(
+                "outline_aspect has no effect without outline=<slack>"
+            )
+
+    # -- naming ---------------------------------------------------------------
+
+    def canonical_name(self) -> str:
+        """The ``gen:`` name equal specs always render identically.
+
+        ``n`` and ``seed`` are always present; every other field only
+        when it differs from the default, in declaration order.
+        """
+        parts = []
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            # None only occurs as a default (``outline``), so the
+            # default-equality filter is also the None filter; a future
+            # Optional field with a non-None default would need a
+            # grammar for "explicitly off" before it could exist
+            if field.name not in ("n", "seed") and value == field.default:
+                continue
+            parts.append(f"{field.name}={_render(value)}")
+        return GEN_PREFIX + ",".join(parts)
+
+
+def _render(value: object) -> str:
+    # repr is the shortest string that parses back to the same float,
+    # so canonical names are lossless: parse(canonical_name(s)) == s
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+_FIELD_TYPES = {f.name: f.type for f in dataclasses.fields(WorkloadSpec)}
+
+#: short alias -> field name for the string grammar (the field names
+#: themselves are already short; aliases cover common spellings)
+_ALIASES = {
+    "modules": "n",
+    "symmetry": "sym",
+    "proximity": "prox",
+    "soft_fraction": "soft",
+    "nets_per_module": "nets",
+}
+
+_INT_FIELDS = {"n", "seed", "max_degree", "depth"}
+
+
+def parse_gen_spec(name: str) -> WorkloadSpec:
+    """Parse a ``gen:key=value,...`` workload name into a spec.
+
+    Raises :class:`ValueError` with a usable message on unknown keys,
+    malformed pairs or out-of-range values; the CLI surfaces these
+    verbatim.
+    """
+    if not name.startswith(GEN_PREFIX):
+        raise ValueError(f"not a generated-workload name: {name!r}")
+    body = name[len(GEN_PREFIX):]
+    kwargs: dict[str, object] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = _ALIASES.get(key.strip(), key.strip())
+        if not sep or not value.strip():
+            raise ValueError(
+                f"bad workload parameter {item!r}: expected key=value "
+                f"(keys: {', '.join(_FIELD_TYPES)})"
+            )
+        if key not in _FIELD_TYPES:
+            raise ValueError(
+                f"unknown workload parameter {key!r}; "
+                f"try one of: {', '.join(_FIELD_TYPES)}"
+            )
+        if key in kwargs:
+            # last-wins would silently honor the typo, and the
+            # canonical name dedups afterward, hiding the discrepancy
+            raise ValueError(
+                f"workload parameter {key!r} given more than once in {name!r}"
+            )
+        try:
+            kwargs[key] = (
+                int(value) if key in _INT_FIELDS else float(value)
+            )
+        except ValueError:
+            raise ValueError(
+                f"bad value for workload parameter {key!r}: {value.strip()!r} "
+                f"is not a number"
+            ) from None
+    if "n" not in kwargs:
+        raise ValueError(
+            f"generated workload needs at least n=<modules>, got {name!r}"
+        )
+    return WorkloadSpec(**kwargs)  # type: ignore[arg-type]

@@ -38,7 +38,7 @@ class TestRegistry:
             validate_engines(())
 
     def test_unknown_circuit_rejected(self):
-        with pytest.raises(KeyError, match="unknown circuit"):
+        with pytest.raises(KeyError, match="unknown workload"):
             build_placer_by_name(WalkSpec(0, "nope", "bstar", 0, ()))
 
 

@@ -148,7 +148,7 @@ class TestEvents:
 
 class TestValidation:
     def test_unknown_circuit(self):
-        with pytest.raises(KeyError, match="unknown circuit"):
+        with pytest.raises(KeyError, match="unknown workload"):
             PortfolioRunner("not-a-circuit")
 
     def test_unknown_engine(self):

@@ -1,0 +1,139 @@
+"""CLI surface of the workload subsystem: listing, gen:/file: names,
+export, and the error paths the registry promises."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+DATA = Path(__file__).parent / "workloads" / "data"
+
+
+class TestListing:
+    def test_workloads_list_shows_counts_and_schemes(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "miller-opamp: 9 modules, 6 nets" in out
+        assert "lnamixbias" in out
+        assert "gen:n=<modules>" in out
+        assert "file:<path>.blocks" in out
+
+    def test_listing_leads_with_resolvable_registry_keys(self, capsys):
+        """Every listed line starts with a name `place` accepts — the
+        sized_folded_cascode circuit *displays* as 'folded-cascode',
+        which does not resolve; the key column is what users copy."""
+        main(["workloads", "list"])
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if line.startswith(("gen:", "file:")) or not line.strip():
+                continue
+            key = line.split()[0]
+            from repro.workloads import resolve_workload
+
+            assert resolve_workload(key) is not None
+
+    def test_place_list_circuits_flag(self, capsys):
+        assert main(["place", "--list-circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "miller-opamp" in out and "gen:" in out
+
+    def test_circuits_alias_matches_workloads_list(self, capsys):
+        main(["circuits"])
+        via_alias = capsys.readouterr().out
+        main(["workloads", "list"])
+        assert capsys.readouterr().out == via_alias
+
+
+class TestPlaceNewNames:
+    def test_place_gen_workload(self, capsys):
+        code = main(["place", "gen:n=10,seed=4", "--engine", "slicing"])
+        out = capsys.readouterr().out
+        assert "gen:n=10,seed=4" in out
+        assert "area usage" in out
+        assert code in (0, 1)
+
+    def test_place_circuit_flag_spelling(self, capsys):
+        code = main(["place", "--circuit", "gen:n=8,seed=1", "--engine", "slicing"])
+        assert "area usage" in capsys.readouterr().out
+        assert code in (0, 1)
+
+    def test_place_file_workload(self, capsys):
+        code = main(
+            ["place", f"file:{DATA / 'toy4.blocks'}", "--engine", "seqpair"]
+        )
+        out = capsys.readouterr().out
+        assert "toy4: 4 modules" in out
+        assert code == 0
+
+    def test_gen_portfolio_end_to_end(self, capsys):
+        code = main(
+            ["place", "--circuit", "gen:n=20,seed=3,sym=0.3", "--starts", "2",
+             "--engines", "hbtree", "--budget", "600"]
+        )
+        out = capsys.readouterr().out
+        assert "portfolio: " in out and "area usage" in out
+        assert code in (0, 1)
+
+
+class TestPlaceErrors:
+    def test_missing_circuit_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="no circuit named"):
+            main(["place"])
+
+    def test_conflicting_circuit_spellings_rejected(self):
+        with pytest.raises(SystemExit, match="circuit given twice"):
+            main(["place", "fig2", "--circuit", "miller_opamp"])
+
+    def test_agreeing_spellings_are_fine(self, capsys):
+        code = main(["place", "gen:n=6,seed=0", "--circuit", "gen:n=6,seed=0",
+                     "--engine", "slicing"])
+        assert "area usage" in capsys.readouterr().out
+        assert code in (0, 1)
+
+    def test_unknown_workload_names_nearest_match(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "miler_opamp"])
+        assert "did you mean 'miller_opamp'" in str(excinfo.value)
+
+    def test_bad_gen_spec_is_surfaced(self):
+        with pytest.raises(SystemExit, match="unknown workload parameter"):
+            main(["place", "gen:n=8,wat=1"])
+
+    def test_missing_file_is_surfaced(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such benchmark"):
+            main(["place", f"file:{tmp_path / 'ghost.blocks'}"])
+
+
+class TestExport:
+    def test_export_reimport_place(self, tmp_path, capsys):
+        code = main(
+            ["workloads", "export", "gen:n=12,seed=5", "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out
+        blocks = tmp_path / "gen_n_12_seed_5.blocks"
+        assert blocks.exists()
+        code = main(["place", f"file:{blocks}", "--engine", "slicing"])
+        assert "12 modules" in capsys.readouterr().out
+        assert code in (0, 1)
+
+    def test_export_with_basename_and_placement(self, tmp_path, capsys):
+        code = main(
+            ["workloads", "export", "file:" + str(DATA / "toy4.blocks"),
+             "--out", str(tmp_path), "--basename", "placed", "--place",
+             "--engine", "bstar", "--seed", "2"]
+        )
+        assert code == 0
+        pl = (tmp_path / "placed.pl").read_text()
+        # --place writes real (non-zero) locations for at least one block
+        coords = [line.split()[1:3] for line in pl.splitlines()[2:] if line]
+        assert any(xy != ["0", "0"] for xy in coords)
+
+    def test_export_unknown_workload_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workloads", "export", "nope", "--out", str(tmp_path)])
+        assert "unknown workload" in str(excinfo.value)

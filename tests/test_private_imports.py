@@ -25,6 +25,33 @@ class TestRepoIsClean:
         assert check_private_imports.main([]) == 0
         assert "no cross-package private imports" in capsys.readouterr().out
 
+    def test_workloads_package_is_covered(self):
+        """The checker discovers packages by walking src/repro — newly
+        added packages (here: workloads) must actually be visited, and a
+        violation planted in one must be flagged (checked on a copy)."""
+        src = REPO_ROOT / "src"
+        scanned = sorted((src / "repro" / "workloads").rglob("*.py"))
+        assert scanned, "repro/workloads not found where the checker scans"
+        for path in scanned:
+            # check_file on the real files: clean, and no crash
+            assert check_private_imports.check_file(path, src, "repro") == []
+
+    def test_planted_workloads_violation_is_flagged(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/circuit/__init__.py": "_hidden = 1\n",
+                "repro/workloads/__init__.py": "",
+                "repro/workloads/registry.py": (
+                    "from ..circuit import _hidden\n"
+                ),
+            },
+        )
+        violations = check_private_imports.scan(src)
+        assert len(violations) == 1
+        assert "repro/workloads/registry.py" in violations[0].replace("\\", "/")
+
 
 def _write_tree(root: Path, files: dict[str, str]) -> Path:
     for rel, content in files.items():

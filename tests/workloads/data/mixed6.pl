@@ -1,0 +1,10 @@
+UCLA pl 1.0
+
+h0 0 0
+h1 8 0
+h2 10 0
+h3 0 5
+s0 0 7
+s1 8 7
+p0 -1 0
+p1 14 0

@@ -1,0 +1,6 @@
+UCLA pl 1.0
+
+b0 0 0
+b1 6 0
+b2 0 4
+b3 5 4

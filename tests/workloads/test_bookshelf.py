@@ -1,0 +1,254 @@
+"""Bookshelf I/O: fixture parsing, round-trip identity, error paths."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    BookshelfError,
+    WorkloadSpec,
+    canonical_json,
+    generate_circuit,
+    parse_blocks,
+    parse_nets,
+    parse_pl,
+    read_bookshelf,
+    slugify,
+    write_bookshelf,
+)
+
+DATA = Path(__file__).parent / "data"
+
+
+class TestReadFixtures:
+    def test_toy4_via_aux(self):
+        design = read_bookshelf(DATA / "toy4.aux")
+        circuit = design.circuit
+        assert circuit.n_modules == 4
+        assert {n.name for n in circuit.nets} == {"na", "nb", "nc"}
+        assert circuit.module("b0").width == 6.0
+        assert circuit.module("b0").height == 4.0
+        assert design.positions["b1"] == (6.0, 0.0)
+        assert design.terminals == ()
+
+    def test_toy4_via_blocks_and_bare_basename(self):
+        by_blocks = read_bookshelf(DATA / "toy4.blocks")
+        by_base = read_bookshelf(DATA / "toy4")
+        assert canonical_json(by_blocks.circuit) == canonical_json(by_base.circuit)
+
+    def test_mixed6_soft_blocks_and_terminals(self):
+        design = read_bookshelf(DATA / "mixed6.aux")
+        circuit = design.circuit
+        assert circuit.n_modules == 6
+        assert design.terminals == ("p0", "p1")
+        s0 = circuit.module("s0")
+        assert not s0.is_hard
+        # declared band 0.5..2 straddles 1.0: three variants
+        assert len(s0.variants) == 3
+        for variant in s0.variants:
+            assert variant.area == pytest.approx(24.0)
+        # n0 lost its terminal pin but keeps two block pins; n1 was
+        # all-terminal and vanished
+        names = {n.name: n.pins for n in circuit.nets}
+        assert names["n0"] == ("h0", "s0")
+        assert "n1" not in names
+
+    def test_ring8_without_aux_or_pl(self):
+        design = read_bookshelf(DATA / "ring8.blocks")
+        assert design.circuit.n_modules == 8
+        assert len(design.circuit.nets) == 8
+        assert design.positions == {}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("basename", ["toy4", "mixed6", "ring8"])
+    def test_parse_write_parse_identity(self, basename, tmp_path):
+        first = read_bookshelf(DATA / basename).circuit
+        write_bookshelf(first, tmp_path, basename)
+        second = read_bookshelf(tmp_path / f"{basename}.blocks").circuit
+        assert canonical_json(second) == canonical_json(first)
+
+    def test_equal_aspect_soft_block_stays_soft(self, tmp_path):
+        """aspectMin == aspectMax parses into a single variant; the
+        writer must still emit softrectangular (is_hard would misroute
+        it into the hard branch and lose the declaration)."""
+        (tmp_path / "sq.blocks").write_text(
+            "UCSC blocks 1.0\n"
+            "NumSoftRectangularBlocks : 1\n"
+            "NumHardRectilinearBlocks : 0\n"
+            "NumTerminals : 0\n"
+            "sq softrectangular 100 2 2\n"
+        )
+        first = read_bookshelf(tmp_path / "sq.blocks").circuit
+        assert len(first.module("sq").variants) == 1
+        write_bookshelf(first, tmp_path / "out", "sq")
+        blocks = (tmp_path / "out" / "sq.blocks").read_text()
+        assert "sq softrectangular 100 2 2" in blocks
+        assert "NumSoftRectangularBlocks : 1" in blocks
+        second = read_bookshelf(tmp_path / "out" / "sq.blocks").circuit
+        assert canonical_json(second) == canonical_json(first)
+
+    def test_rewrite_is_byte_stable(self, tmp_path):
+        """writer(parser(writer(parser(x)))) emits identical files."""
+        for basename in ("toy4", "mixed6"):
+            first = read_bookshelf(DATA / basename).circuit
+            write_bookshelf(first, tmp_path / "a", basename)
+            second = read_bookshelf(tmp_path / "a" / f"{basename}.blocks").circuit
+            write_bookshelf(second, tmp_path / "b", basename)
+            for ext in ("aux", "blocks", "nets", "pl"):
+                assert (tmp_path / "a" / f"{basename}.{ext}").read_text() == (
+                    tmp_path / "b" / f"{basename}.{ext}"
+                ).read_text()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 30),
+        seed=st.integers(0, 2**32),
+        soft=st.floats(0.0, 0.6, allow_nan=False),
+    )
+    def test_exported_generator_circuits_round_trip(
+        self, n, seed, soft, tmp_path_factory
+    ):
+        """Export flattens hierarchy/constraints (documented), but the
+        exported *file family* re-imports to a stable fixpoint: parse ->
+        write -> parse is the identity on everything the format carries."""
+        tmp_path = tmp_path_factory.mktemp("bs")
+        circuit = generate_circuit(WorkloadSpec(n=n, seed=seed, soft=soft))
+        write_bookshelf(circuit, tmp_path, "exported")
+        first = read_bookshelf(tmp_path / "exported.blocks").circuit
+        write_bookshelf(first, tmp_path / "again", "exported")
+        second = read_bookshelf(tmp_path / "again" / "exported.blocks").circuit
+        assert canonical_json(second) == canonical_json(first)
+        assert first.n_modules == circuit.n_modules
+
+    def test_pl_carries_placement(self, tmp_path):
+        from repro.parallel import WalkSpec, build_placer
+
+        circuit = read_bookshelf(DATA / "toy4").circuit
+        placer = build_placer(
+            circuit, WalkSpec(0, "toy4", "bstar", 0, (("alpha", 0.5),))
+        )
+        placement = placer.run().placement
+        write_bookshelf(circuit, tmp_path, "placed", placement=placement)
+        positions = parse_pl((tmp_path / "placed.pl").read_text())
+        for name in ("b0", "b1", "b2", "b3"):
+            rect = placement[name].rect
+            assert positions[name] == (rect.x0, rect.y0)
+
+
+class TestDottedBasenames:
+    def test_dotted_basename_resolves_its_own_siblings(self, tmp_path):
+        """'ami33.v2.blocks' must probe 'ami33.v2.nets', never
+        'ami33.nets' (with_suffix would swap the last dotted part)."""
+        (tmp_path / "bench.v2.blocks").write_text(
+            (DATA / "toy4.blocks").read_text()
+        )
+        (tmp_path / "bench.v2.nets").write_text((DATA / "toy4.nets").read_text())
+        # a decoy family under the truncated name must NOT be picked up
+        (tmp_path / "bench.nets").write_text(
+            "UCLA nets 1.0\nNetDegree : 2 wrong\nb0 B\nb1 B\n"
+        )
+        circuit = read_bookshelf(tmp_path / "bench.v2.blocks").circuit
+        assert {n.name for n in circuit.nets} == {"na", "nb", "nc"}
+
+    def test_aux_declared_but_missing_member_raises(self, tmp_path):
+        (tmp_path / "b.aux").write_text(
+            "RowBasedPlacement : b.blocks b.nets b.pl\n"
+        )
+        (tmp_path / "b.blocks").write_text((DATA / "toy4.blocks").read_text())
+        (tmp_path / "b.pl").write_text("UCLA pl 1.0\n")
+        with pytest.raises(BookshelfError, match="declares b.nets"):
+            read_bookshelf(tmp_path / "b.aux")
+
+
+class TestErrors:
+    def test_missing_benchmark(self, tmp_path):
+        with pytest.raises(BookshelfError, match="no such benchmark"):
+            read_bookshelf(tmp_path / "nope.blocks")
+
+    def test_missing_aux(self, tmp_path):
+        with pytest.raises(BookshelfError, match="no such benchmark"):
+            read_bookshelf(tmp_path / "nope.aux")
+
+    def test_rectilinear_blocks_rejected_cleanly(self):
+        text = (
+            "UCSC blocks 1.0\n"
+            "l0 hardrectilinear 6 (0, 0) (0, 4) (2, 4) (2, 2) (6, 2) (6, 0)\n"
+        )
+        with pytest.raises(BookshelfError, match="6 vertices"):
+            parse_blocks(text)
+
+    def test_non_rectangle_vertices_rejected(self):
+        text = "UCSC blocks 1.0\nb hardrectilinear 4 (0, 0) (1, 4) (6, 4) (6, 0)\n"
+        with pytest.raises(BookshelfError, match="do not form a rectangle"):
+            parse_blocks(text)
+
+    def test_duplicate_block_rejected(self):
+        text = (
+            "UCSC blocks 1.0\n"
+            "b hardrectilinear 4 (0, 0) (0, 1) (1, 1) (1, 0)\n"
+            "b hardrectilinear 4 (0, 0) (0, 1) (1, 1) (1, 0)\n"
+        )
+        with pytest.raises(BookshelfError, match="duplicate block"):
+            parse_blocks(text)
+
+    def test_unsupported_kind_rejected(self):
+        with pytest.raises(BookshelfError, match="unsupported block kind"):
+            parse_blocks("UCSC blocks 1.0\nb circle 3\n")
+
+    def test_vendor_prefixed_block_names_are_not_headers(self):
+        """A block named 'UCLAblk' must parse, not vanish as a header."""
+        modules, _ = parse_blocks(
+            "UCSC blocks 1.0\n"
+            "UCLAblk hardrectilinear 4 (0, 0) (0, 2) (3, 2) (3, 0)\n"
+        )
+        assert [m.name for m in modules] == ["UCLAblk"]
+
+    def test_non_numeric_vertex_is_a_bookshelf_error(self):
+        with pytest.raises(BookshelfError, match="non-numeric vertex"):
+            parse_blocks(
+                "UCSC blocks 1.0\nb hardrectilinear 4 (a, 0) (0, 1) (1, 1) (1, 0)\n"
+            )
+
+    def test_non_numeric_net_degree_is_a_bookshelf_error(self):
+        with pytest.raises(BookshelfError, match="non-numeric net degree"):
+            parse_nets("UCLA nets 1.0\nNetDegree : x n1\na B\n", {"a"})
+
+    def test_non_utf8_benchmark_is_a_contextual_error(self, tmp_path):
+        (tmp_path / "bin.blocks").write_bytes(b"\xff\xfe\x00garbage")
+        with pytest.raises(BookshelfError, match="cannot read .*bin.blocks"):
+            read_bookshelf(tmp_path / "bin.blocks")
+
+    def test_directory_named_like_a_benchmark_is_a_contextual_error(
+        self, tmp_path
+    ):
+        (tmp_path / "dir.blocks").mkdir()
+        with pytest.raises(BookshelfError, match="cannot read .*dir.blocks"):
+            read_bookshelf(tmp_path / "dir.blocks")
+
+    def test_bad_soft_parameters_rejected(self):
+        with pytest.raises(BookshelfError, match="bad soft block parameters"):
+            parse_blocks("UCSC blocks 1.0\ns softrectangular 10 2 0.5\n")
+
+    def test_unknown_net_pin_rejected(self):
+        with pytest.raises(BookshelfError, match="unknown block"):
+            parse_nets("UCLA nets 1.0\nNetDegree : 2 n\nx B\ny B\n", {"a"})
+
+    def test_pin_before_netdegree_rejected(self):
+        with pytest.raises(BookshelfError, match="before any NetDegree"):
+            parse_nets("UCLA nets 1.0\na B\n", {"a"})
+
+    def test_degree_overflow_rejected(self):
+        text = "UCLA nets 1.0\nNetDegree : 1 n\na B\nb B\n"
+        with pytest.raises(BookshelfError, match="exceeds its declared degree"):
+            parse_nets(text, {"a", "b"})
+
+
+class TestSlugify:
+    def test_gen_names_become_filesystem_safe(self):
+        assert slugify("gen:n=40,seed=7") == "gen_n_40_seed_7"
+        assert "/" not in slugify("file:../x/y.blocks")

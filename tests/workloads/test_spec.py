@@ -1,0 +1,100 @@
+"""WorkloadSpec: the gen: grammar, validation, canonical naming."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import GEN_PREFIX, WorkloadSpec, parse_gen_spec
+
+
+class TestParsing:
+    def test_minimal(self):
+        spec = parse_gen_spec("gen:n=40")
+        assert spec.n == 40
+        assert spec.seed == 0
+
+    def test_full_parameter_surface(self):
+        spec = parse_gen_spec(
+            "gen:n=100,seed=3,soft=0.2,area_mu=1.5,area_sigma=0.5,"
+            "ar_min=0.5,ar_max=2,nets=1.5,gamma=2,max_degree=6,"
+            "locality=0.7,depth=4,sym=0.3,prox=0.2,outline=0.15,"
+            "outline_aspect=1.5"
+        )
+        assert spec.n == 100
+        assert spec.depth == 4
+        assert spec.outline == 0.15
+        assert spec.outline_aspect == 1.5
+
+    def test_aliases(self):
+        spec = parse_gen_spec("gen:modules=8,symmetry=0.5,proximity=0.25")
+        assert spec.n == 8
+        assert spec.sym == 0.5
+        assert spec.prox == 0.25
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        assert parse_gen_spec("gen: n=8 , seed=1 ,").n == 8
+
+    @pytest.mark.parametrize(
+        "name, fragment",
+        [
+            ("gen:", "needs at least n="),
+            ("gen:seed=1", "needs at least n="),
+            ("gen:n=8,wat=1", "unknown workload parameter"),
+            ("gen:n=8,seed", "expected key=value"),
+            ("gen:n=8,sym=lots", "is not a number"),
+            ("notgen:n=8", "not a generated-workload name"),
+            ("gen:n=5,n=9", "more than once"),
+            ("gen:n=5,modules=9", "more than once"),
+        ],
+    )
+    def test_bad_names_raise_with_usable_messages(self, name, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            parse_gen_spec(name)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"n": 8, "depth": 1},
+            {"n": 8, "sym": 1.5},
+            {"n": 8, "prox": -0.1},
+            {"n": 8, "ar_min": 0.0},
+            {"n": 8, "ar_min": 3.0, "ar_max": 2.0},
+            {"n": 8, "max_degree": 1},
+            {"n": 8, "outline": -0.5},
+            {"n": 8, "outline_aspect": 0.0},
+            # a no-op that would split the registry cache key
+            {"n": 8, "outline_aspect": 2.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+
+class TestCanonicalName:
+    def test_defaults_render_minimal(self):
+        assert WorkloadSpec(n=40, seed=7).canonical_name() == "gen:n=40,seed=7"
+
+    def test_parameter_order_is_canonicalized(self):
+        a = parse_gen_spec("gen:sym=0.5,n=40,seed=7")
+        b = parse_gen_spec("gen:n=40,seed=7,sym=0.5")
+        assert a == b
+        assert a.canonical_name() == b.canonical_name() == "gen:n=40,seed=7,sym=0.5"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 500),
+        seed=st.integers(0, 2**31),
+        soft=st.floats(0.0, 1.0, allow_nan=False),
+        sym=st.floats(0.0, 1.0, allow_nan=False),
+        depth=st.integers(2, 6),
+    )
+    def test_name_round_trips(self, n, seed, soft, sym, depth):
+        spec = WorkloadSpec(n=n, seed=seed, soft=soft, sym=sym, depth=depth)
+        name = spec.canonical_name()
+        assert name.startswith(GEN_PREFIX)
+        # repr-rendered floats parse back exactly: the name is lossless
+        assert parse_gen_spec(name) == spec
