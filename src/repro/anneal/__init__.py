@@ -1,6 +1,7 @@
 """Shared simulated-annealing engine (Kirkpatrick et al. [12])."""
 
 from .annealer import (
+    CHECKPOINT_VERSION,
     Annealer,
     AnnealingResult,
     AnnealingStats,
@@ -11,6 +12,8 @@ from .annealer import (
     StateEngine,
     WalkCheckpoint,
     WeightedMoveSet,
+    checkpoint_from_payload,
+    checkpoint_payload,
 )
 from .schedule import (
     CoolingSchedule,
@@ -20,6 +23,7 @@ from .schedule import (
 )
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "Annealer",
     "AnnealingResult",
     "AnnealingStats",
@@ -33,5 +37,7 @@ __all__ = [
     "StateEngine",
     "WalkCheckpoint",
     "WeightedMoveSet",
+    "checkpoint_from_payload",
+    "checkpoint_payload",
     "initial_temperature_from_samples",
 ]

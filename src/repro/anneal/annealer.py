@@ -78,6 +78,43 @@ class AnnealingResult(Generic[State]):
     stats: AnnealingStats
 
 
+#: format version of a serialized :class:`WalkCheckpoint` envelope.
+#: Bump whenever the checkpoint's fields (or the meaning of any field)
+#: change, so persisted run directories from an incompatible build are
+#: rejected with a clear error instead of resuming garbage.
+CHECKPOINT_VERSION = 1
+
+
+def checkpoint_payload(checkpoint: "WalkCheckpoint") -> dict:
+    """Wrap a checkpoint in a versioned envelope for serialization.
+
+    The envelope (not the raw checkpoint) is what
+    :mod:`repro.parallel.persist` pickles into a run directory;
+    :func:`checkpoint_from_payload` refuses envelopes written under a
+    different :data:`CHECKPOINT_VERSION`.
+    """
+    return {"version": CHECKPOINT_VERSION, "checkpoint": checkpoint}
+
+
+def checkpoint_from_payload(payload: object) -> "WalkCheckpoint":
+    """Unwrap (and version-check) a :func:`checkpoint_payload` envelope."""
+    if not isinstance(payload, dict) or "checkpoint" not in payload:
+        raise ValueError("not a checkpoint envelope (missing 'checkpoint')")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint format version {version!r} is not supported "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    checkpoint = payload["checkpoint"]
+    if not isinstance(checkpoint, WalkCheckpoint):
+        raise ValueError(
+            f"checkpoint envelope holds {type(checkpoint).__name__}, "
+            "expected WalkCheckpoint"
+        )
+    return checkpoint
+
+
 @dataclass
 class WalkCheckpoint:
     """A resumable annealing walk, frozen between two steps.

@@ -189,24 +189,7 @@ def cmd_workloads_export(args) -> int:
 
 def _portfolio_place(args, weights: dict[str, float]):
     """Multi-start portfolio run behind ``place --starts/--workers``."""
-    from .parallel import PortfolioRunner
-
-    engines = (
-        tuple(args.engines.split(",")) if args.engines else (args.engine,)
-    )
-    supported = _portfolio_engines()
-    unsupported = [e for e in engines if e not in supported]
-    if unsupported:
-        raise SystemExit(
-            f"engine(s) not usable in a portfolio: {', '.join(unsupported)}; "
-            f"try: {', '.join(supported)}"
-        )
-    # one overrides tuple feeds every walk, so every engine in the
-    # portfolio must declare every overridden term; the mappings are
-    # identical by construction (term -> f"{term}_weight"), so any of
-    # the validated dicts serves as the shared overrides
-    per_engine = [_config_overrides(engine, weights) for engine in engines]
-    overrides = per_engine[0]
+    from .parallel import PortfolioRunner, RunDirError
 
     def show_progress(event) -> None:
         print(
@@ -215,21 +198,58 @@ def _portfolio_place(args, weights: dict[str, float]):
             f"best {event.best_cost:.4f}  {event.status}"
         )
 
+    on_event = show_progress if args.progress else None
     try:
-        result = PortfolioRunner(
-            args.circuit,
-            engines,
-            starts=args.starts,
-            workers=args.workers,
-            base_seed=args.seed,
-            budget=args.budget,
-            restart_policy=args.restart_policy,
-            overrides=tuple(overrides.items()),
-            on_event=show_progress if args.progress else None,
-        ).run()
-    except (KeyError, ValueError) as exc:
-        # run() raises too (e.g. a budget below one step per epoch is
-        # only detectable once per-walk schedules are compressed)
+        if args.resume:
+            # config comes from the run directory's manifest; only
+            # execution knobs (workers, retries, timeouts) apply here
+            runner = PortfolioRunner.resume(
+                args.run_dir,
+                workers=args.workers,
+                on_event=on_event,
+                max_retries=args.max_retries,
+                chunk_timeout=args.chunk_timeout,
+                strict=args.strict,
+            )
+        else:
+            engines = (
+                tuple(args.engines.split(",")) if args.engines else (args.engine,)
+            )
+            supported = _portfolio_engines()
+            unsupported = [e for e in engines if e not in supported]
+            if unsupported:
+                raise SystemExit(
+                    f"engine(s) not usable in a portfolio: "
+                    f"{', '.join(unsupported)}; try: {', '.join(supported)}"
+                )
+            # one overrides tuple feeds every walk, so every engine in
+            # the portfolio must declare every overridden term; the
+            # mappings are identical by construction (term ->
+            # f"{term}_weight"), so any of the validated dicts serves as
+            # the shared overrides
+            per_engine = [_config_overrides(engine, weights) for engine in engines]
+            overrides = per_engine[0]
+            runner = PortfolioRunner(
+                args.circuit,
+                engines,
+                starts=args.starts,
+                workers=args.workers,
+                base_seed=args.seed,
+                budget=args.budget,
+                restart_policy=args.restart_policy,
+                overrides=tuple(overrides.items()),
+                on_event=on_event,
+                max_retries=args.max_retries,
+                chunk_timeout=args.chunk_timeout,
+                strict=args.strict,
+                run_dir=args.run_dir,
+            )
+        result = runner.run()
+    except (KeyError, ValueError, RunDirError, RuntimeError) as exc:
+        # run() raises too: a budget below one step per epoch is only
+        # detectable once per-walk schedules are compressed, and the
+        # deliberate abort paths (every walk failed, --strict) signal
+        # with RuntimeError carrying the failure detail
         raise SystemExit(str(exc.args[0] if exc.args else exc)) from None
     print(result.summary())
     return result.placement
@@ -266,6 +286,23 @@ def cmd_place(args) -> int:
                 f"{args.circuit_opt!r} via --circuit); pass it once"
             )
         args.circuit = args.circuit_opt
+    if args.resume:
+        if args.run_dir is None:
+            raise SystemExit("place: --resume requires --run-dir")
+        # the manifest is the source of truth on a resume: the circuit
+        # comes from it, and a contradicting positional is an error
+        from .parallel import RunDir, RunDirError
+
+        try:
+            manifest_circuit = RunDir(args.run_dir).load().circuit
+        except RunDirError as exc:
+            raise SystemExit(str(exc)) from None
+        if args.circuit is not None and args.circuit != manifest_circuit:
+            raise SystemExit(
+                f"place: --resume run directory places {manifest_circuit!r} "
+                f"but {args.circuit!r} was named; drop the circuit argument"
+            )
+        args.circuit = manifest_circuit
     if args.circuit is None:
         raise SystemExit(
             "place: no circuit named; pass a workload name (positionally or "
@@ -284,6 +321,11 @@ def cmd_place(args) -> int:
         or args.budget is not None
         or args.restart_policy != "independent"
         or args.progress
+        or args.run_dir is not None
+        or args.resume
+        or args.strict
+        or args.chunk_timeout is not None
+        or args.max_retries != 2
     )
     if portfolio_requested:
         placement = _portfolio_place(args, weights)
@@ -359,6 +401,13 @@ def _non_negative_int(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
     return value
 
 
@@ -480,6 +529,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print a progress line per completed chunk",
+    )
+    resilience = p.add_argument_group(
+        "resilience",
+        "fault tolerance and run persistence (see docs/parallel.md); "
+        "all of these imply the portfolio path",
+    )
+    resilience.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=2,
+        help="extra attempts a failing chunk gets before its walk is "
+        "quarantined and the run degrades to the survivors (default: 2)",
+    )
+    resilience.add_argument(
+        "--chunk-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit per chunk; a worker exceeding it is killed "
+        "and the attempt counts as failed (requires --workers > 1)",
+    )
+    resilience.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast: the first chunk error aborts the whole run "
+        "(no retries, no quarantine)",
+    )
+    resilience.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot every walk checkpoint + coordinator state into DIR "
+        "so an interrupted run can be resumed bit-identically",
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the run persisted in --run-dir (config comes from "
+        "its manifest; the circuit argument may be omitted)",
     )
     p.set_defaults(fn=cmd_place)
 

@@ -8,6 +8,11 @@ get back the best placement plus a deterministic leaderboard::
     result = PortfolioRunner("miller_opamp", starts=8, workers=4).run()
     print(result.summary())
     best = result.placement
+
+Execution is fault tolerant: failing chunks are retried and then
+quarantined, dead workers are respawned, and an optional ``run_dir``
+makes the whole run resumable (``PortfolioRunner.resume``) — see the
+"Fault tolerance" section of ``docs/parallel.md``.
 """
 
 from .engines import (
@@ -19,26 +24,49 @@ from .engines import (
     reference_cost,
     reference_cost_model,
     validate_engines,
+    verify_walk_checkpoint,
+    walk_chunk_count,
     walk_total_steps,
 )
+from .faults import DIE_EXIT_CODE, FAULT_KINDS, Fault, FaultInjected, FaultPlan
 from .jobs import (
+    FAILED,
+    FINISHED,
+    KILLED,
+    ChunkFailure,
     ChunkResult,
     ChunkTask,
     PortfolioResult,
     ProgressEvent,
+    WalkFailure,
     WalkOutcome,
     WalkSpec,
 )
+from .persist import MANIFEST_VERSION, RunDir, RunDirError, RunState
 from .runner import RESTART_POLICIES, PortfolioRunner
 
 __all__ = [
+    "DIE_EXIT_CODE",
     "ENGINE_NAMES",
+    "FAILED",
+    "FAULT_KINDS",
+    "FINISHED",
+    "KILLED",
+    "MANIFEST_VERSION",
     "RESTART_POLICIES",
+    "ChunkFailure",
     "ChunkResult",
     "ChunkTask",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
     "PortfolioResult",
     "PortfolioRunner",
     "ProgressEvent",
+    "RunDir",
+    "RunDirError",
+    "RunState",
+    "WalkFailure",
     "WalkOutcome",
     "WalkSpec",
     "build_config",
@@ -48,5 +76,7 @@ __all__ = [
     "reference_cost",
     "reference_cost_model",
     "validate_engines",
+    "verify_walk_checkpoint",
+    "walk_chunk_count",
     "walk_total_steps",
 ]

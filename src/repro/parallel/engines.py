@@ -111,6 +111,38 @@ def walk_total_steps(spec: WalkSpec) -> int:
     return epochs * cfg.steps_per_epoch
 
 
+def walk_chunk_count(spec: WalkSpec, chunk_steps: int) -> int:
+    """Chunks a spec's walk executes at ``chunk_steps`` steps per chunk.
+
+    Used to validate a :class:`~repro.parallel.faults.FaultPlan` up
+    front: a fault aimed past a walk's last chunk would silently never
+    fire, turning a fault-injection test into a fault-free one.
+    """
+    if chunk_steps < 1:
+        raise ValueError(f"chunk_steps must be >= 1, got {chunk_steps}")
+    total = walk_total_steps(spec)
+    return max(1, -(-total // chunk_steps))
+
+
+def verify_walk_checkpoint(spec: WalkSpec, checkpoint) -> None:
+    """Reject a checkpoint that cannot resume the spec's walk.
+
+    A persisted checkpoint is only resumable under the *same* schedule
+    it was frozen under; a mismatch means the run directory belongs to
+    a different config (or a different build of the schedule code), and
+    resuming it would either crash mid-walk or, worse, walk a different
+    trajectory.  Fail at load time with the full story instead.
+    """
+    expected = walk_total_steps(spec)
+    if checkpoint.total_steps != expected:
+        raise ValueError(
+            f"walk {spec.walk_id}: checkpoint was frozen under a "
+            f"{checkpoint.total_steps}-step schedule but the spec's schedule "
+            f"spans {expected} steps — the run directory does not match this "
+            "configuration"
+        )
+
+
 def reference_cost(circuit: Circuit):
     """One engine-agnostic yardstick: ``Placement -> float``.
 

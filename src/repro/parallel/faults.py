@@ -1,0 +1,148 @@
+"""Deterministic fault injection for the portfolio execution layer.
+
+Real worker failures — a raised exception, an OOM kill, a wedged
+process — are not reproducible, which makes the supervision and retry
+machinery in :mod:`repro.parallel.runner` exactly the kind of code that
+is "tested" by hoping.  A :class:`FaultPlan` turns every failure mode
+into a deterministic event: *walk W, chunk M, attempt A -> fault K*.
+The coordinator arms the matching :class:`~repro.parallel.jobs.ChunkTask`
+at dispatch time and the worker triggers the fault before executing the
+chunk, so every failure path (retry, quarantine, timeout kill, worker
+respawn, resume) can be exercised bit-reproducibly in tests and CI.
+
+Fault kinds
+-----------
+
+``raise``
+    The chunk raises :class:`FaultInjected` — the ordinary worker
+    exception path (travels back with a traceback, counts against
+    ``max_retries``).
+``die``
+    The worker process exits immediately (``os._exit``) while holding
+    the chunk — the OOM-kill / segfault path.  Supervision must detect
+    the death, respawn the worker and re-dispatch the lost chunk.
+``hang``
+    The chunk sleeps forever — the wedged-worker path.  Only a
+    ``chunk_timeout`` gets the walk back.
+
+``hang`` and ``die`` need a real worker process to kill, so a plan
+containing them requires ``workers > 1``; ``raise`` works on every
+executor (the in-process path included).
+
+A fault fires on the attempt numbers listed in ``attempts`` (attempt 0
+is the first execution of a chunk; each retry increments it).  The
+default ``(0,)`` injects a *transient* fault — the retry succeeds —
+while ``attempts=None`` fires on every attempt, modelling a
+*deterministic* failure that must end in quarantine.
+
+Fault plans are test/CI plumbing: they ride through coordinator-side
+dispatch only and never change a fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: every fault kind a plan may inject
+FAULT_KINDS = ("raise", "hang", "die")
+
+#: exit code a ``die`` fault terminates the worker with (distinctive on
+#: purpose: supervision reports it, and tests can assert on it)
+DIE_EXIT_CODE = 113
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a worker by a ``raise`` fault (and by an expired
+    ``hang`` fault that no chunk timeout ever killed)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure: walk ``walk_id``, chunk ``chunk`` (0-based
+    within the walk), firing on the listed ``attempts``."""
+
+    walk_id: int
+    chunk: int
+    kind: str
+    #: attempt numbers that trigger the fault; ``None`` means every
+    #: attempt (a deterministic failure that survives all retries)
+    attempts: tuple[int, ...] | None = (0,)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; try: {', '.join(FAULT_KINDS)}"
+            )
+        if self.walk_id < 0:
+            raise ValueError(f"fault walk_id must be >= 0, got {self.walk_id}")
+        if self.chunk < 0:
+            raise ValueError(f"fault chunk must be >= 0, got {self.chunk}")
+        if self.attempts is not None:
+            attempts = tuple(self.attempts)
+            if any(a < 0 for a in attempts):
+                raise ValueError(f"fault attempts must be >= 0, got {attempts}")
+            object.__setattr__(self, "attempts", attempts)
+
+    def fires_on(self, attempt: int) -> bool:
+        return self.attempts is None or attempt in self.attempts
+
+
+class FaultPlan:
+    """An immutable set of :class:`Fault`\\ s keyed by (walk, chunk).
+
+    Two faults may not target the same ``(walk_id, chunk)`` — one chunk
+    execution can only fail one way at a time, and a silent override
+    would make a test assert against the wrong failure mode.
+    """
+
+    def __init__(self, faults: "tuple[Fault, ...] | list[Fault]") -> None:
+        self._by_site: dict[tuple[int, int], Fault] = {}
+        for fault in faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"expected a Fault, got {type(fault).__name__}")
+            site = (fault.walk_id, fault.chunk)
+            if site in self._by_site:
+                raise ValueError(
+                    f"duplicate fault for walk {fault.walk_id} chunk {fault.chunk}"
+                )
+            self._by_site[site] = fault
+
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        return tuple(self._by_site.values())
+
+    @property
+    def needs_processes(self) -> bool:
+        """``hang``/``die`` faults need a worker process to kill."""
+        return any(f.kind in ("hang", "die") for f in self._by_site.values())
+
+    def fault_for(self, walk_id: int, chunk: int, attempt: int) -> str | None:
+        """Kind of the fault armed for this execution, or ``None``."""
+        fault = self._by_site.get((walk_id, chunk))
+        if fault is not None and fault.fires_on(attempt):
+            return fault.kind
+        return None
+
+    def validate_chunks(self, chunk_counts: dict[int, int]) -> None:
+        """Reject faults aimed past the end of a known walk.
+
+        ``chunk_counts`` maps walk_id -> number of chunks that walk will
+        execute.  A fault naming chunk 7 of a 4-chunk walk would silently
+        never fire — and a fault-injection test would silently pass on
+        the fault-free path — so that is an error.  Faults for walk ids
+        *not* in the mapping are left alone: under ``rebalance``,
+        respawned walks get ids beyond the initial sweep.
+        """
+        for (walk_id, chunk), fault in self._by_site.items():
+            count = chunk_counts.get(walk_id)
+            if count is not None and chunk >= count:
+                raise ValueError(
+                    f"fault targets chunk {chunk} of walk {walk_id}, but that "
+                    f"walk only executes {count} chunk(s); it would never fire"
+                )
+
+    def __len__(self) -> int:
+        return len(self._by_site)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self._by_site.values())!r})"

@@ -43,6 +43,10 @@ def circuit_by_name(name: str):
 #: per-walk status values in a leaderboard
 FINISHED = "finished"
 KILLED = "killed"
+#: a walk quarantined by the fault-tolerant executor (deterministic
+#: chunk failure or chunk timeout after all retries); failed walks are
+#: reported in :attr:`PortfolioResult.failures`, never the leaderboard
+FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -65,11 +69,18 @@ class WalkSpec:
 @dataclass(frozen=True)
 class ChunkTask:
     """Run one chunk of a walk: begin it (``checkpoint is None``) or
-    resume from the checkpoint, advancing at most ``max_steps`` steps."""
+    resume from the checkpoint, advancing at most ``max_steps`` steps.
+
+    ``fault`` is test/CI plumbing: the coordinator arms it from a
+    :class:`~repro.parallel.faults.FaultPlan` at dispatch time, and the
+    worker triggers the named fault instead of executing the chunk
+    (see :mod:`repro.parallel.faults`).  ``None`` on every real run.
+    """
 
     spec: WalkSpec
     checkpoint: WalkCheckpoint | None
     max_steps: int | None
+    fault: str | None = None
 
 
 @dataclass(frozen=True)
@@ -78,6 +89,24 @@ class ChunkResult:
 
     walk_id: int
     checkpoint: WalkCheckpoint
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """A chunk that exhausted its retries (or timed out): the executor's
+    terminal verdict on one walk, surfaced to the coordinator in place
+    of a :class:`ChunkResult`.
+
+    ``reason`` is one of ``"error"`` (the chunk raised on every
+    attempt), ``"timeout"`` (exceeded the chunk wall-clock limit) or
+    ``"worker-death"`` (the owning worker died holding the chunk);
+    ``detail`` carries the last traceback or a description.
+    """
+
+    walk_id: int
+    reason: str
+    detail: str
+    attempts: int
 
 
 @dataclass(frozen=True)
@@ -120,12 +149,43 @@ class WalkOutcome:
 
 
 @dataclass
+class WalkFailure:
+    """One quarantined walk in a :class:`PortfolioResult`'s failure report.
+
+    A failed walk contributes no leaderboard row (its best state may
+    never have crossed a chunk boundary), but its identity, failure
+    mode and spent steps are preserved so a degraded run is auditable
+    — and so budget accounting stays exact.
+    """
+
+    spec: WalkSpec
+    #: ``"error"`` / ``"timeout"`` / ``"worker-death"``
+    reason: str
+    #: last traceback or a human-readable description
+    detail: str
+    #: execution attempts the final chunk consumed
+    attempts: int
+    #: steps the walk completed before the failing chunk
+    steps: int
+
+    def summary_line(self) -> str:
+        """One line for result banners and logs."""
+        return (
+            f"walk {self.spec.walk_id} [{self.spec.engine}/{self.spec.seed}] "
+            f"FAILED ({self.reason}) after {self.attempts} attempt"
+            f"{'s' if self.attempts != 1 else ''} at step {self.steps}"
+        )
+
+
+@dataclass
 class PortfolioResult:
     """Best placement across the whole portfolio plus the leaderboard.
 
     ``leaderboard`` is sorted best-first with ``(ref_cost, walk_id)``
     as the total order, so the winner — and every rank — is a pure
     function of the walk results, independent of worker scheduling.
+    ``failures`` lists walks quarantined by the fault-tolerant
+    executor; the leaderboard comes from the survivors.
     """
 
     placement: Placement
@@ -135,6 +195,7 @@ class PortfolioResult:
     total_steps: int = 0
     elapsed_s: float = 0.0
     workers: int = 0
+    failures: list[WalkFailure] = field(default_factory=list)
 
     def best_by_engine(self) -> dict[str, WalkOutcome]:
         """Best row per engine (by the engine's own objective)."""
@@ -149,9 +210,10 @@ class PortfolioResult:
         return best
 
     def summary(self) -> str:
-        """Human-readable leaderboard table."""
+        """Human-readable leaderboard table (plus the failure report)."""
+        failed = f", {len(self.failures)} failed" if self.failures else ""
         lines = [
-            f"portfolio: {len(self.leaderboard)} walks, "
+            f"portfolio: {len(self.leaderboard)} walks{failed}, "
             f"{self.total_steps:,} steps in {self.elapsed_s:.2f}s "
             f"({self.total_steps / max(self.elapsed_s, 1e-9):,.0f} aggregate steps/s, "
             f"{self.workers} worker{'s' if self.workers != 1 else ''})",
@@ -170,4 +232,6 @@ class PortfolioResult:
                 for name, value in self.winner.ref_breakdown.items()
             )
             lines.append(f"winner cost terms: {terms}")
+        for failure in self.failures:
+            lines.append(failure.summary_line())
         return "\n".join(lines)

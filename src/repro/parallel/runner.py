@@ -26,6 +26,21 @@ barriers and rank walks by ``(best_cost, walk_id)``; the leaderboard is
 sorted by the same total order.  Same specs -> same winner, regardless
 of worker count or OS scheduling.
 
+**Fault tolerance.**  Chunk execution is a pure function of
+``(spec, checkpoint)``, so every failure is recoverable by re-running:
+the coordinator tracks which chunk each worker holds, detects
+individual worker death, respawns dead workers (up to a cap) and
+re-dispatches the lost chunk; a failing chunk is retried up to
+``max_retries`` and a chunk that fails deterministically — or exceeds
+``chunk_timeout`` wall-clock — quarantines its walk (status
+``failed``, reported in :attr:`PortfolioResult.failures`) while the
+survivors finish the run.  ``strict=True`` restores fail-fast
+semantics.  An optional ``run_dir`` snapshots every walk checkpoint
+plus the coordinator state (atomic write-rename, versioned manifest —
+see :mod:`repro.parallel.persist`) so :meth:`PortfolioRunner.resume`
+continues an interrupted run bit-identically.  All of it is exercised
+deterministically through :class:`~repro.parallel.faults.FaultPlan`.
+
 **Restart policies.**
 
 * ``independent`` — every start runs its full schedule; classic
@@ -40,12 +55,15 @@ of worker count or OS scheduling.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
 import random
+from multiprocessing import connection as mp_connection
 import time
 import traceback
+import warnings
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from math import ceil
 from typing import Callable, Iterable
 
@@ -59,18 +77,25 @@ from .engines import (
     compress_overrides,
     reference_cost_model,
     validate_engines,
+    verify_walk_checkpoint,
+    walk_chunk_count,
     walk_total_steps,
 )
+from .faults import DIE_EXIT_CODE, FaultInjected, FaultPlan
 from .jobs import (
+    FAILED,
     FINISHED,
     KILLED,
+    ChunkFailure,
     ChunkResult,
     ChunkTask,
     PortfolioResult,
     ProgressEvent,
+    WalkFailure,
     WalkOutcome,
     WalkSpec,
 )
+from .persist import FailureRecord, RunDir, RunDirError, RunState, WalkRecord
 
 RESTART_POLICIES = ("independent", "rebalance")
 
@@ -83,6 +108,16 @@ _POLISH_T0 = 0.05
 
 #: seed offset separating polish draws from every sweep seed
 _POLISH_SEED_OFFSET = 100_003
+
+#: result-queue poll interval: the cadence of liveness + timeout checks
+_POLL_INTERVAL_S = 0.2
+
+#: how long a ``hang`` fault sleeps before giving up and raising (a
+#: chunk timeout is expected to kill the worker long before this)
+_HANG_FAULT_S = 3600.0
+
+#: default worker-death respawn cap per run: ``2 * workers``
+_RESPAWNS_PER_WORKER = 2
 
 
 # -- worker side --------------------------------------------------------------
@@ -122,8 +157,29 @@ def _circuit_for(name: str) -> Circuit:
     return circuit
 
 
+def _trigger_fault(task: ChunkTask) -> None:
+    """Act out the fault the coordinator armed on this task."""
+    if task.fault == "raise":
+        raise FaultInjected(
+            f"injected chunk failure on walk {task.spec.walk_id}"
+        )
+    if task.fault == "die":
+        # the OOM-kill / segfault path: no exception, no cleanup — the
+        # worker vanishes while owning the chunk
+        os._exit(DIE_EXIT_CODE)
+    if task.fault == "hang":
+        time.sleep(_HANG_FAULT_S)
+        raise FaultInjected(
+            f"hang fault on walk {task.spec.walk_id} expired without a "
+            "chunk timeout killing the worker"
+        )
+    raise ValueError(f"unknown fault kind {task.fault!r}")
+
+
 def _execute(task: ChunkTask) -> ChunkResult:
     """Run one chunk of a walk (fresh or resumed) and freeze it again."""
+    if task.fault is not None:
+        _trigger_fault(task)
     spec = task.spec
     placer, engine = _placer_engine_for(spec)
     rng = random.Random(spec.seed)
@@ -141,16 +197,88 @@ def _execute(task: ChunkTask) -> ChunkResult:
     return ChunkResult(walk_id=spec.walk_id, checkpoint=checkpoint)
 
 
-def _worker_main(task_queue, result_queue) -> None:
-    """Worker loop: pull chunk tasks until the ``None`` sentinel."""
-    while True:
-        task = task_queue.get()
-        if task is None:
-            return
-        try:
-            result_queue.put(("ok", _execute(task)))
-        except Exception:  # surfaced (with traceback) by the coordinator
-            result_queue.put(("error", task.spec.walk_id, traceback.format_exc()))
+def _worker_main(worker_id: int, task_queue, result_conn) -> None:
+    """Worker loop: pull ``(task_id, task)`` pairs until the ``None``
+    sentinel; results go back over this worker's *private* pipe.
+
+    Results deliberately do **not** share a queue across workers: a
+    shared ``multiprocessing.Queue`` guards its pipe with a lock held
+    across every write, and a worker that dies abruptly (``os._exit``,
+    OOM kill) can die *holding it* — wedging every surviving worker's
+    feeder thread and losing their results forever.  A private pipe has
+    no cross-worker lock: a dying worker can only ever lose its own
+    messages, which is exactly the case supervision already recovers,
+    and the closed pipe doubles as an immediate death signal.
+    """
+    try:
+        while True:
+            item = task_queue.get()
+            if item is None:
+                return
+            task_id, task = item
+            try:
+                result_conn.send(("ok", task_id, _execute(task)))
+            except Exception:  # surfaced (with traceback) by the coordinator
+                result_conn.send(("error", task_id, traceback.format_exc()))
+    finally:
+        result_conn.close()
+
+
+# -- supervision --------------------------------------------------------------
+
+
+class _ChunkSupervisor:
+    """Per-walk chunk/attempt bookkeeping shared by both executors.
+
+    Tracks which chunk of each walk is in flight and how many attempts
+    the current chunk has burned, arms :class:`FaultPlan` faults at
+    dispatch time, and decides retry vs quarantine.  Purely
+    coordinator-side: the worker protocol never sees any of it.
+    """
+
+    def __init__(
+        self,
+        max_retries: int,
+        fault_plan: FaultPlan | None,
+        strict: bool,
+    ) -> None:
+        self.strict = strict
+        self.max_retries = 0 if strict else max_retries
+        self._plan = fault_plan
+        self._chunk: dict[int, int] = {}
+        self._attempts: dict[int, int] = {}
+
+    def begin_chunk(self, walk_id: int) -> int:
+        """A new chunk of ``walk_id`` enters the executor; returns its
+        0-based chunk index and resets the attempt counter."""
+        index = self._chunk.get(walk_id, -1) + 1
+        self._chunk[walk_id] = index
+        self._attempts[walk_id] = 0
+        return index
+
+    def preset_chunks(self, walk_id: int, completed: int) -> None:
+        """Seed the chunk counter for a walk restored mid-run, so fault
+        plans keep addressing absolute chunk indices after a resume."""
+        self._chunk[walk_id] = completed - 1
+
+    def arm(self, task: ChunkTask, chunk_index: int) -> ChunkTask:
+        """Attach the planned fault (if any) for this execution attempt."""
+        if self._plan is None:
+            return task
+        kind = self._plan.fault_for(
+            task.spec.walk_id, chunk_index, self._attempts[task.spec.walk_id]
+        )
+        return task if kind is None else replace(task, fault=kind)
+
+    def record_failure(self, walk_id: int) -> bool:
+        """Count one failed attempt; ``True`` means retry, ``False``
+        means the chunk is out of retries (quarantine the walk)."""
+        attempts = self._attempts.get(walk_id, 0) + 1
+        self._attempts[walk_id] = attempts
+        return attempts <= self.max_retries
+
+    def attempts(self, walk_id: int) -> int:
+        return self._attempts.get(walk_id, 0)
 
 
 # -- executors ----------------------------------------------------------------
@@ -161,74 +289,355 @@ class _InlineExecutor:
 
     FIFO order makes serial runs reproducible step for step; because
     trajectories are scheduling-independent anyway, its results are
-    identical to the process executor's.
+    identical to the process executor's.  Retry and quarantine follow
+    the same :class:`_ChunkSupervisor` rules as the worker pool;
+    ``hang``/``die`` faults and chunk timeouts need a real process to
+    kill, so the runner rejects them for in-process execution.
     """
 
-    def __init__(self) -> None:
-        self._queue: deque[ChunkTask] = deque()
+    def __init__(self, supervisor: _ChunkSupervisor) -> None:
+        self._supervisor = supervisor
+        self._queue: deque[tuple[ChunkTask, int]] = deque()
 
     def dispatch(self, task: ChunkTask) -> None:
-        self._queue.append(task)
+        self._queue.append(
+            (task, self._supervisor.begin_chunk(task.spec.walk_id))
+        )
 
-    def collect(self) -> ChunkResult:
-        return _execute(self._queue.popleft())
+    def collect(self) -> ChunkResult | ChunkFailure:
+        task, chunk_index = self._queue.popleft()
+        supervisor = self._supervisor
+        while True:
+            try:
+                return _execute(supervisor.arm(task, chunk_index))
+            except Exception:
+                if supervisor.strict:
+                    raise  # today's fail-fast: the original traceback
+                detail = traceback.format_exc()
+                if not supervisor.record_failure(task.spec.walk_id):
+                    return ChunkFailure(
+                        walk_id=task.spec.walk_id,
+                        reason="error",
+                        detail=detail,
+                        attempts=supervisor.attempts(task.spec.walk_id),
+                    )
 
     def close(self) -> None:
         self._queue.clear()
 
 
+@dataclass
+class _WorkerHandle:
+    """One live worker process plus its private task queue and result pipe."""
+
+    worker_id: int
+    proc: object
+    task_queue: object
+    conn: object
+
+
+@dataclass
+class _InFlight:
+    """One chunk a specific worker currently owns."""
+
+    task_id: int
+    task: ChunkTask
+    chunk_index: int
+    started: float
+
+
 class _ProcessExecutor:
-    """Spawn-based worker pool fed over a task queue.
+    """Supervised spawn-based worker pool.
 
     ``spawn`` (never ``fork``) so workers import the package fresh —
     no inherited locks, no accidentally shared placer state, and the
     same behavior on every platform.
+
+    Supervision model: every worker has a *private* task queue and owns
+    at most one chunk at a time; undispatched chunks wait in a
+    coordinator-side backlog.  That makes chunk ownership exact — when
+    a worker dies the coordinator knows precisely which chunk died with
+    it, re-dispatches it to a surviving worker (chunk execution is a
+    pure function of ``(spec, checkpoint)``, so a re-run is
+    bit-identical) and respawns the worker while ``max_respawns``
+    lasts.  A chunk exceeding ``chunk_timeout`` wall-clock gets its
+    worker killed and is treated as a failed attempt.  Results travel
+    over per-worker pipes (no lock shared across workers — see
+    :func:`_worker_main`) and carry the dispatching ``task_id``, so
+    anything from a worker that was already declared dead or timed out
+    is recognized as stale and dropped, and a worker's death surfaces
+    immediately as EOF on its pipe instead of waiting for a liveness
+    poll.
     """
 
-    def __init__(self, workers: int) -> None:
-        ctx = multiprocessing.get_context("spawn")
-        self._task_queue = ctx.Queue()
-        self._result_queue = ctx.Queue()
-        self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(self._task_queue, self._result_queue),
-                daemon=True,
-            )
-            for _ in range(workers)
-        ]
-        for proc in self._procs:
-            proc.start()
+    def __init__(
+        self,
+        workers: int,
+        supervisor: _ChunkSupervisor,
+        *,
+        chunk_timeout: float | None = None,
+        max_respawns: int | None = None,
+        on_incident: Callable[[int | None, str, str], None] | None = None,
+    ) -> None:
+        self._supervisor = supervisor
+        self._chunk_timeout = chunk_timeout
+        self._respawns_left = (
+            _RESPAWNS_PER_WORKER * workers if max_respawns is None else max_respawns
+        )
+        self._on_incident = on_incident
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._idle: deque[int] = deque()
+        self._backlog: deque[tuple[ChunkTask, int]] = deque()
+        self._owner: dict[int, _InFlight] = {}
+        self._next_worker_id = 0
+        self._next_task_id = 0
+        for _ in range(workers):
+            self._spawn_worker()
+
+    # -- pool management ------------------------------------------------------
+
+    def _spawn_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, send_conn),
+            daemon=True,
+        )
+        proc.start()
+        # drop the coordinator's copy of the send end so the pipe hits
+        # EOF the instant the worker (its only writer) dies
+        send_conn.close()
+        self._workers[worker_id] = _WorkerHandle(
+            worker_id, proc, task_queue, recv_conn
+        )
+        self._idle.append(worker_id)
+        return worker_id
+
+    def _incident(self, walk_id: int | None, kind: str, detail: str) -> None:
+        if self._on_incident is not None:
+            self._on_incident(walk_id, kind, detail)
+
+    # -- dispatch / collect ---------------------------------------------------
 
     def dispatch(self, task: ChunkTask) -> None:
-        self._task_queue.put(task)
+        self._backlog.append(
+            (task, self._supervisor.begin_chunk(task.spec.walk_id))
+        )
+        self._pump()
 
-    def collect(self) -> ChunkResult:
+    def _pump(self) -> None:
+        """Hand backlog chunks to idle workers (one chunk per worker)."""
+        while self._idle and self._backlog:
+            worker_id = self._idle.popleft()
+            handle = self._workers.get(worker_id)
+            if handle is None:  # died while idle; _reap_dead handles it
+                continue
+            task, chunk_index = self._backlog.popleft()
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._owner[worker_id] = _InFlight(
+                task_id, task, chunk_index, time.monotonic()
+            )
+            handle.task_queue.put((task_id, self._supervisor.arm(task, chunk_index)))
+
+    def collect(self) -> ChunkResult | ChunkFailure:
         while True:
+            self._pump()
+            if not self._workers:
+                # e.g. workers that failed during interpreter bootstrap,
+                # with the respawn budget exhausted
+                raise RuntimeError(
+                    "all portfolio workers exited without producing results"
+                )
+            by_conn = {
+                handle.conn: handle.worker_id
+                for handle in self._workers.values()
+            }
+            ready = mp_connection.wait(by_conn, timeout=_POLL_INTERVAL_S)
+            if not ready:
+                failure = self._reap_dead()
+                if failure is None:
+                    failure = self._reap_timeouts()
+                if failure is not None:
+                    return failure
+                continue
+            conn = ready[0]
+            worker_id = by_conn[conn]
             try:
-                message = self._result_queue.get(timeout=1.0)
-                break
-            except queue.Empty:
-                # never block on a dead pool (e.g. workers that failed
-                # during interpreter bootstrap before reaching the loop)
-                if not any(proc.is_alive() for proc in self._procs):
-                    raise RuntimeError(
-                        "all portfolio workers exited without producing results"
-                    ) from None
-        if message[0] == "error":
-            _, walk_id, tb = message
-            raise RuntimeError(f"worker failed on walk {walk_id}:\n{tb}")
-        return message[1]
+                message = conn.recv()
+            except (EOFError, OSError):
+                # the worker died: its pipe reports EOF immediately,
+                # even while other workers are alive and busy
+                failure = self._worker_died(worker_id)
+                if failure is not None:
+                    return failure
+                continue
+            kind, task_id = message[0], message[1]
+            inflight = self._owner.get(worker_id)
+            if inflight is None or inflight.task_id != task_id:
+                continue  # stale: chunk was already re-dispatched or failed
+            del self._owner[worker_id]
+            if worker_id in self._workers:
+                self._idle.append(worker_id)
+            if kind == "ok":
+                return message[2]
+            failure = self._chunk_failed(
+                inflight.task, inflight.chunk_index, "error", message[2]
+            )
+            if failure is not None:
+                return failure
+
+    def _chunk_failed(
+        self, task: ChunkTask, chunk_index: int, reason: str, detail: str
+    ) -> ChunkFailure | None:
+        """One attempt failed: retry (``None``) or quarantine the walk."""
+        walk_id = task.spec.walk_id
+        if self._supervisor.strict:
+            raise RuntimeError(f"worker failed on walk {walk_id}:\n{detail}")
+        if self._supervisor.record_failure(walk_id):
+            self._incident(walk_id, "retry", detail)
+            self._backlog.append((task, chunk_index))
+            self._pump()
+            return None
+        return ChunkFailure(
+            walk_id=walk_id,
+            reason=reason,
+            detail=detail,
+            attempts=self._supervisor.attempts(walk_id),
+        )
+
+    def _reap_dead(self) -> ChunkFailure | None:
+        """Liveness fallback: catch deaths whose pipe never hit EOF
+        (the send end leaked into a grandchild, say).  The common path
+        is the EOF branch in :meth:`collect`."""
+        for worker_id in [
+            handle.worker_id
+            for handle in self._workers.values()
+            if not handle.proc.is_alive()
+        ]:
+            failure = self._worker_died(worker_id)
+            if failure is not None:
+                return failure
+        return None
+
+    def _worker_died(self, worker_id: int) -> ChunkFailure | None:
+        """Remove a dead worker, respawn it, re-dispatch its lost chunk."""
+        handle = self._workers.pop(worker_id, None)
+        if handle is None:
+            return None
+        handle.proc.join(timeout=5)
+        handle.conn.close()
+        try:
+            self._idle.remove(worker_id)
+        except ValueError:
+            pass
+        if self._respawns_left > 0:
+            self._respawns_left -= 1
+            replacement = self._spawn_worker()
+            self._incident(
+                None,
+                "respawn",
+                f"worker {worker_id} died (exit code "
+                f"{handle.proc.exitcode}); respawned as worker {replacement}",
+            )
+        inflight = self._owner.pop(worker_id, None)
+        if inflight is not None:
+            return self._chunk_failed(
+                inflight.task,
+                inflight.chunk_index,
+                "worker-death",
+                f"worker {worker_id} died holding the chunk "
+                f"(exit code {handle.proc.exitcode})",
+            )
+        return None
+
+    def _reap_timeouts(self) -> ChunkFailure | None:
+        """Kill workers whose chunk exceeded the wall-clock limit."""
+        if self._chunk_timeout is None:
+            return None
+        now = time.monotonic()
+        expired = [
+            (worker_id, inflight)
+            for worker_id, inflight in self._owner.items()
+            if now - inflight.started > self._chunk_timeout
+        ]
+        for worker_id, inflight in expired:
+            del self._owner[worker_id]
+            handle = self._workers.pop(worker_id, None)
+            if handle is not None:
+                self._stop_worker(handle)
+                handle.conn.close()
+            if self._respawns_left > 0:
+                self._respawns_left -= 1
+                replacement = self._spawn_worker()
+                self._incident(
+                    inflight.task.spec.walk_id,
+                    "timeout",
+                    f"worker {worker_id} killed after exceeding the "
+                    f"{self._chunk_timeout:g}s chunk timeout; respawned as "
+                    f"worker {replacement}",
+                )
+            failure = self._chunk_failed(
+                inflight.task,
+                inflight.chunk_index,
+                "timeout",
+                f"chunk exceeded the {self._chunk_timeout:g}s wall-clock "
+                f"timeout (walk {inflight.task.spec.walk_id}, chunk "
+                f"{inflight.chunk_index})",
+            )
+            if failure is not None:
+                return failure
+        return None
+
+    @staticmethod
+    def _stop_worker(handle: _WorkerHandle) -> None:
+        handle.proc.terminate()
+        handle.proc.join(timeout=5)
+        if handle.proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            handle.proc.kill()
+            handle.proc.join(timeout=5)
 
     def close(self) -> None:
-        for _ in self._procs:
-            self._task_queue.put(None)
-        for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
-        self._task_queue.close()
-        self._result_queue.close()
+        """Shut the pool down without ever hanging.
+
+        Workers already gone (crashed, killed) simply get no sentinel;
+        a worker that ignores its sentinel for 10s is terminated.  Task
+        queues use ``cancel_join_thread`` so a sentinel still sitting
+        in a dead worker's queue buffer cannot deadlock the feeder
+        thread at interpreter exit.  One warning summarizes any
+        non-clean shutdown instead of hanging or spamming.
+        """
+        stuck = []
+        for handle in self._workers.values():
+            if not handle.proc.is_alive():
+                continue
+            try:
+                handle.task_queue.put_nowait(None)
+            except (queue.Full, ValueError, OSError):  # pragma: no cover
+                pass  # abandoned queue: the join/terminate path handles it
+        for handle in self._workers.values():
+            handle.proc.join(timeout=10)
+            if handle.proc.is_alive():
+                stuck.append(handle.worker_id)
+                self._stop_worker(handle)
+        if stuck:
+            warnings.warn(
+                f"portfolio worker(s) {stuck} did not exit cleanly and were "
+                "terminated",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        for handle in self._workers.values():
+            handle.task_queue.close()
+            handle.task_queue.cancel_join_thread()
+            handle.conn.close()
+        self._workers.clear()
+        self._idle.clear()
+        self._owner.clear()
 
 
 # -- coordinator --------------------------------------------------------------
@@ -290,7 +699,29 @@ class PortfolioRunner:
         Config overrides applied to every walk (e.g. schedule knobs).
     on_event:
         Callback receiving a :class:`ProgressEvent` after every chunk,
-        kill and spawn — the streamed per-worker progress feed.
+        kill, spawn and supervision incident — the streamed per-worker
+        progress feed.
+    max_retries:
+        Execution attempts a chunk gets beyond the first before its
+        walk is quarantined (default 2; ignored under ``strict``).
+    chunk_timeout:
+        Wall-clock seconds a chunk may run before its worker is killed
+        and the attempt counts as failed.  Requires ``workers > 1``
+        (in-process execution cannot preempt itself).
+    strict:
+        Fail-fast semantics: the first chunk error aborts the whole
+        run (no retries, no quarantine) exactly as before the
+        fault-tolerant executor existed.
+    max_respawns:
+        Cap on worker respawns per run (default ``2 * workers``).
+    run_dir:
+        Directory to snapshot the run into (see
+        :mod:`repro.parallel.persist`); must not already hold a run.
+        :meth:`resume` continues from it bit-identically.
+    fault_plan:
+        Deterministic fault injection for tests/CI (see
+        :mod:`repro.parallel.faults`).  ``hang``/``die`` faults need
+        ``workers > 1``.
     """
 
     def __init__(
@@ -307,6 +738,12 @@ class PortfolioRunner:
         checkpoint_every: int | None = None,
         overrides: tuple[tuple[str, object], ...] = (),
         on_event: Callable[[ProgressEvent], None] | None = None,
+        max_retries: int = 2,
+        chunk_timeout: float | None = None,
+        strict: bool = False,
+        max_respawns: int | None = None,
+        run_dir: str | os.PathLike | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if starts < 1:
             raise ValueError("starts must be >= 1")
@@ -319,6 +756,22 @@ class PortfolioRunner:
             )
         if budget is not None and budget < starts:
             raise ValueError("budget must allow at least one step per start")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive (seconds)")
+        if chunk_timeout is not None and workers <= 1:
+            raise ValueError(
+                "chunk_timeout requires workers > 1: in-process execution "
+                "cannot preempt a running chunk"
+            )
+        if max_respawns is not None and max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if fault_plan is not None and fault_plan.needs_processes and workers <= 1:
+            raise ValueError(
+                "fault plans with 'hang' or 'die' faults need workers > 1: "
+                "there is no worker process to kill in-process"
+            )
         self._circuit_name = circuit
         # fail fast on unknown names; the coordinator cache keeps the
         # built circuit for run() (sized circuits cost ~1s to rebuild)
@@ -338,24 +791,122 @@ class PortfolioRunner:
         self._checkpoint_every = checkpoint_every
         self._overrides = tuple(overrides)
         self._on_event = on_event
+        self._max_retries = max_retries
+        self._chunk_timeout = chunk_timeout
+        self._strict = strict
+        self._max_respawns = max_respawns
+        self._run_dir = RunDir(run_dir) if run_dir is not None else None
+        self._fault_plan = fault_plan
+        #: set by :meth:`resume` before run(); ``None`` for fresh runs
+        self._resume_state: RunState | None = None
+        self._failures: list[WalkFailure] = []
+        self._run_state: RunState | None = None
+        self._live_walks: dict[int, _Walk] = {}
 
     # -- public ---------------------------------------------------------------
 
+    @classmethod
+    def resume(
+        cls,
+        run_dir: str | os.PathLike,
+        *,
+        workers: int | None = None,
+        on_event: Callable[[ProgressEvent], None] | None = None,
+        max_retries: int = 2,
+        chunk_timeout: float | None = None,
+        strict: bool = False,
+        max_respawns: int | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> "PortfolioRunner":
+        """Rebuild a runner from a persisted run directory.
+
+        The run configuration (circuit, engines, seeds, budget, policy,
+        overrides) comes from the manifest; execution-only knobs
+        (worker count, retries, timeouts, event callback) may be
+        overridden — they cannot change any answer.  Calling
+        :meth:`run` on the result continues the interrupted run and
+        produces a :class:`PortfolioResult` bit-identical to an
+        uninterrupted run of the same configuration.
+        """
+        state = RunDir(run_dir).load()
+        runner = cls(
+            state.circuit,
+            state.engines,
+            starts=state.starts,
+            workers=state.workers if workers is None else workers,
+            seeds=state.seeds,
+            budget=state.budget,
+            restart_policy=state.restart_policy,
+            checkpoint_every=state.checkpoint_every,
+            overrides=state.overrides,
+            on_event=on_event,
+            max_retries=max_retries,
+            chunk_timeout=chunk_timeout,
+            strict=strict,
+            max_respawns=max_respawns,
+            run_dir=run_dir,
+            fault_plan=fault_plan,
+        )
+        runner._resume_state = state
+        return runner
+
     def run(self) -> PortfolioResult:
         """Run the portfolio; returns the winner plus the leaderboard."""
-        walks = self._initial_walks()
+        self._failures = []
+        if self._resume_state is None:
+            walks = self._initial_walks()
+            restored: list[tuple[_Walk, str]] = []
+            policy_state: dict | None = None
+            if self._fault_plan is not None:
+                self._fault_plan.validate_chunks(
+                    {
+                        walk_id: walk_chunk_count(walk.spec, walk.chunk)
+                        for walk_id, walk in walks.items()
+                    }
+                )
+            if self._run_dir is not None:
+                self._run_state = self._fresh_run_state(walks)
+                self._run_dir.initialize(self._run_state)
+        else:
+            walks, restored, policy_state = self._restore(self._resume_state)
+            self._run_state = self._resume_state
+        self._live_walks = walks
         self._ref = reference_cost_model(_circuit_for(self._circuit_name))
+        supervisor = _ChunkSupervisor(
+            self._max_retries, self._fault_plan, self._strict
+        )
+        for walk in walks.values():
+            if walk.checkpoint is not None and walk.chunk:
+                supervisor.preset_chunks(
+                    walk.spec.walk_id, walk.checkpoint.step // walk.chunk
+                )
         executor = (
-            _ProcessExecutor(self._workers)
+            _ProcessExecutor(
+                self._workers,
+                supervisor,
+                chunk_timeout=self._chunk_timeout,
+                max_respawns=self._max_respawns,
+                on_incident=self._incident,
+            )
             if self._workers > 1
-            else _InlineExecutor()
+            else _InlineExecutor(supervisor)
         )
         started = time.perf_counter()
         try:
             if self._policy == "rebalance":
-                outcomes = self._run_rebalance(walks, executor)
+                outcomes = self._run_rebalance(
+                    walks, executor, restored, policy_state
+                )
             else:
-                outcomes = self._run_independent(walks, executor)
+                outcomes = self._run_independent(walks, executor, restored)
+            if not outcomes:
+                # degrading to an empty leaderboard is not degrading —
+                # it is failing, and it must say so loudly
+                first = self._failures[0] if self._failures else None
+                raise RuntimeError(
+                    "every walk in the portfolio failed"
+                    + (f"; first failure:\n{first.detail}" if first else "")
+                )
             self._polish(outcomes, executor)
         finally:
             executor.close()
@@ -370,7 +921,7 @@ class PortfolioRunner:
         # per-term telemetry for the row people act on; the ranking
         # itself only ever needed the totals
         winner.ref_breakdown = self._ref.breakdown_placement(winner.placement)
-        return PortfolioResult(
+        result = PortfolioResult(
             placement=winner.placement,
             cost=winner.ref_cost,
             winner=winner,
@@ -378,7 +929,12 @@ class PortfolioRunner:
             total_steps=sum(o.steps for o in leaderboard),
             elapsed_s=elapsed,
             workers=max(1, self._workers),
+            failures=list(self._failures),
         )
+        if self._run_dir is not None and self._run_state is not None:
+            self._run_state.completed = True
+            self._run_dir.save_manifest(self._run_state)
+        return result
 
     # -- walk construction ----------------------------------------------------
 
@@ -407,81 +963,256 @@ class PortfolioRunner:
         chunk = self._checkpoint_every or max(1, ceil(total / _DEFAULT_ROUNDS))
         return _Walk(spec=spec, total_steps=total, chunk=chunk)
 
+    # -- persistence ----------------------------------------------------------
+
+    def _fresh_run_state(self, walks: dict[int, _Walk]) -> RunState:
+        return RunState(
+            circuit=self._circuit_name,
+            engines=self._engines,
+            starts=self._starts,
+            workers=self._workers,
+            seeds=list(self._seeds),
+            budget=self._budget,
+            restart_policy=self._policy,
+            checkpoint_every=self._checkpoint_every,
+            overrides=self._overrides,
+            walks={
+                walk_id: self._walk_record(walk)
+                for walk_id, walk in walks.items()
+            },
+        )
+
+    @staticmethod
+    def _walk_record(walk: _Walk, status: str = "active") -> WalkRecord:
+        return WalkRecord(
+            walk_id=walk.spec.walk_id,
+            engine=walk.spec.engine,
+            seed=walk.spec.seed,
+            overrides=walk.spec.overrides,
+            total_steps=walk.total_steps,
+            chunk=walk.chunk,
+            status=status,
+        )
+
+    def _persist_walk(
+        self, walk: _Walk, status: str = "active", save_manifest: bool = True
+    ) -> None:
+        """Snapshot one walk's checkpoint + manifest record."""
+        if self._run_dir is None or self._run_state is None:
+            return
+        record = self._run_state.walks.get(walk.spec.walk_id)
+        if record is None:
+            record = self._walk_record(walk)
+            self._run_state.walks[walk.spec.walk_id] = record
+        if walk.checkpoint is not None:
+            record.checkpoint_file = self._run_dir.save_walk_checkpoint(
+                walk.spec.walk_id, walk.checkpoint
+            )
+        record.status = status
+        if save_manifest:
+            self._run_dir.save_manifest(self._run_state)
+
+    def _persist_round(
+        self, active: dict[int, _Walk], policy_state: dict
+    ) -> None:
+        """Rebalance round barrier: snapshot every active walk at once.
+
+        Mid-round snapshots would be inconsistent — the kill/respawn
+        decision reads *every* active walk, so resuming with some walks
+        a chunk ahead would replay into a different decision.  At the
+        barrier the whole set is frozen together.
+        """
+        if self._run_dir is None or self._run_state is None:
+            return
+        for walk in active.values():
+            self._persist_walk(walk, status="active", save_manifest=False)
+        self._run_state.policy_state = policy_state
+        self._run_dir.save_manifest(self._run_state)
+
+    def _restore(
+        self, state: RunState
+    ) -> tuple[dict[int, _Walk], list[tuple[_Walk, str]], dict | None]:
+        """Rebuild coordinator state from a persisted manifest."""
+        walks: dict[int, _Walk] = {}
+        restored: list[tuple[_Walk, str]] = []
+        specs: dict[int, WalkSpec] = {}
+        for walk_id in sorted(state.walks):
+            record = state.walks[walk_id]
+            spec = WalkSpec(
+                walk_id=walk_id,
+                circuit=self._circuit_name,
+                engine=record.engine,
+                seed=record.seed,
+                overrides=record.overrides,
+            )
+            specs[walk_id] = spec
+            walk = _Walk(
+                spec=spec, total_steps=record.total_steps, chunk=record.chunk
+            )
+            checkpoint = self._run_dir.load_walk_checkpoint(record)
+            if checkpoint is not None:
+                verify_walk_checkpoint(spec, checkpoint)
+                walk.checkpoint = checkpoint
+            if record.status == "active":
+                walks[walk_id] = walk
+            elif record.status in (FINISHED, KILLED):
+                if walk.checkpoint is None:
+                    raise RunDirError(
+                        f"walk {walk_id} is recorded {record.status} but has "
+                        "no checkpoint to rebuild its leaderboard row from"
+                    )
+                restored.append((walk, record.status))
+            # FAILED walks are rebuilt from the failure records below
+        for failure in state.failures:
+            spec = specs.get(failure.walk_id)
+            if spec is None:
+                raise RunDirError(
+                    f"failure record for walk {failure.walk_id} has no "
+                    "matching walk record"
+                )
+            self._failures.append(
+                WalkFailure(
+                    spec=spec,
+                    reason=failure.reason,
+                    detail=failure.detail,
+                    attempts=failure.attempts,
+                    steps=failure.steps,
+                )
+            )
+        return walks, restored, state.policy_state
+
     # -- policies -------------------------------------------------------------
 
-    def _run_independent(self, walks: dict[int, _Walk], executor) -> list[WalkOutcome]:
+    def _run_independent(
+        self,
+        walks: dict[int, _Walk],
+        executor,
+        restored: list[tuple[_Walk, str]],
+    ) -> list[WalkOutcome]:
         """Every walk runs its full schedule; chunks pipeline freely."""
-        outcomes: list[WalkOutcome] = []
+        outcomes: list[WalkOutcome] = [
+            self._outcome(walk, status) for walk, status in restored
+        ]
+        pending = 0
         for walk_id in sorted(walks):
-            executor.dispatch(self._next_task(walks[walk_id]))
-        pending = len(walks)
+            walk = walks[walk_id]
+            if walk.checkpoint is not None and walk.checkpoint.finished:
+                # a resumed manifest can hold a finished-but-still-active
+                # walk if the run died between snapshot and status flip
+                outcomes.append(self._outcome(walk, FINISHED))
+                self._persist_walk(walk, status=FINISHED)
+                continue
+            executor.dispatch(self._next_task(walk))
+            pending += 1
         while pending:
             result = executor.collect()
+            if isinstance(result, ChunkFailure):
+                self._quarantine(walks[result.walk_id], result)
+                pending -= 1
+                continue
             walk = walks[result.walk_id]
             walk.checkpoint = result.checkpoint
             self._emit_progress(walk)
             if result.checkpoint.finished:
                 outcomes.append(self._outcome(walk, FINISHED))
+                self._persist_walk(walk, status=FINISHED)
                 pending -= 1
             else:
+                self._persist_walk(walk)
                 executor.dispatch(self._next_task(walk))
         return outcomes
 
-    def _run_rebalance(self, walks: dict[int, _Walk], executor) -> list[WalkOutcome]:
+    def _run_rebalance(
+        self,
+        walks: dict[int, _Walk],
+        executor,
+        restored: list[tuple[_Walk, str]],
+        policy_state: dict | None,
+    ) -> list[WalkOutcome]:
         """Checkpoint rounds: advance all, kill the worst half, respawn.
 
         Each round is a barrier — every active walk reaches its next
         checkpoint before any decision — so the kill/respawn sequence
-        depends only on walk results, never on worker scheduling.
+        depends only on walk results, never on worker scheduling.  A
+        walk quarantined mid-round simply leaves the active set: its
+        budget is spent (not pooled), and the ranking that follows sees
+        only survivors.
         """
-        outcomes: list[WalkOutcome] = []
+        outcomes: list[WalkOutcome] = [
+            self._outcome(walk, status) for walk, status in restored
+        ]
         active = dict(walks)
-        next_walk_id = max(active) + 1
-        next_seed = max(self._seeds) + 1
-        engine_cursor = self._starts  # continue the round-robin
+        if policy_state is not None:
+            next_walk_id = int(policy_state["next_walk_id"])
+            next_seed = int(policy_state["next_seed"])
+            engine_cursor = int(policy_state["engine_cursor"])
+        else:
+            next_walk_id = (max(active) + 1) if active else self._starts
+            next_seed = max(self._seeds) + 1
+            engine_cursor = self._starts  # continue the round-robin
         while active:
             for walk_id in sorted(active):
                 executor.dispatch(self._next_task(active[walk_id]))
+            quarantined: list[int] = []
             for _ in range(len(active)):
                 result = executor.collect()
+                if isinstance(result, ChunkFailure):
+                    self._quarantine(active[result.walk_id], result)
+                    quarantined.append(result.walk_id)
+                    continue
                 walk = active[result.walk_id]
                 walk.checkpoint = result.checkpoint
                 self._emit_progress(walk)
+            for walk_id in quarantined:
+                del active[walk_id]
             for walk_id in sorted(active):
                 if active[walk_id].checkpoint.finished:
-                    outcomes.append(self._outcome(active.pop(walk_id), FINISHED))
-            if len(active) < 2:
-                continue
-            # rank by (reference cost of the best state, walk_id) — the
-            # engines anneal different objectives, so kill decisions use
-            # the shared yardstick; the worst half dies and its unspent
-            # budget funds fresh seeds
-            ranked = sorted(
-                active.values(),
-                key=lambda w: (self._walk_ref_cost(w), w.spec.walk_id),
+                    walk = active.pop(walk_id)
+                    outcomes.append(self._outcome(walk, FINISHED))
+                    self._persist_walk(walk, status=FINISHED, save_manifest=False)
+            if len(active) >= 2:
+                # rank by (reference cost of the best state, walk_id) —
+                # the engines anneal different objectives, so kill
+                # decisions use the shared yardstick; the worst half
+                # dies and its unspent budget funds fresh seeds
+                ranked = sorted(
+                    active.values(),
+                    key=lambda w: (self._walk_ref_cost(w), w.spec.walk_id),
+                )
+                victims = ranked[len(ranked) - len(ranked) // 2 :]
+                pooled = 0
+                for victim in victims:
+                    pooled += victim.total_steps - victim.checkpoint.step
+                    outcomes.append(self._outcome(victim, KILLED))
+                    self._persist_walk(victim, status=KILLED, save_manifest=False)
+                    del active[victim.spec.walk_id]
+                    self._emit_progress(victim, status=KILLED)
+                to_spawn = len(victims)
+                while to_spawn and pooled:
+                    engine = self._engines[engine_cursor % len(self._engines)]
+                    share = pooled // to_spawn
+                    try:
+                        fresh = self._make_walk(
+                            next_walk_id, engine, next_seed, share
+                        )
+                    except ValueError:
+                        break  # share below one step per epoch: budget exhausted
+                    active[next_walk_id] = fresh
+                    self._live_walks[next_walk_id] = fresh
+                    pooled -= fresh.total_steps
+                    next_walk_id += 1
+                    next_seed += 1
+                    engine_cursor += 1
+                    to_spawn -= 1
+                    self._emit_progress(fresh, status="spawned")
+            self._persist_round(
+                active,
+                {
+                    "next_walk_id": next_walk_id,
+                    "next_seed": next_seed,
+                    "engine_cursor": engine_cursor,
+                },
             )
-            victims = ranked[len(ranked) - len(ranked) // 2 :]
-            pooled = 0
-            for victim in victims:
-                pooled += victim.total_steps - victim.checkpoint.step
-                outcomes.append(self._outcome(victim, KILLED))
-                del active[victim.spec.walk_id]
-                self._emit_progress(victim, status=KILLED)
-            to_spawn = len(victims)
-            while to_spawn and pooled:
-                engine = self._engines[engine_cursor % len(self._engines)]
-                share = pooled // to_spawn
-                try:
-                    fresh = self._make_walk(next_walk_id, engine, next_seed, share)
-                except ValueError:
-                    break  # share below one step per epoch: budget exhausted
-                active[next_walk_id] = fresh
-                pooled -= fresh.total_steps
-                next_walk_id += 1
-                next_seed += 1
-                engine_cursor += 1
-                to_spawn -= 1
-                self._emit_progress(fresh, status="spawned")
         return outcomes
 
     def _polish(self, outcomes: list[WalkOutcome], executor) -> None:
@@ -495,11 +1226,16 @@ class PortfolioRunner:
         local search rather than a fresh start.  Deterministic like
         every other walk (fixed seed offset, fabricated step-0
         checkpoint), and free: the portfolio still never exceeds its
-        budget.
+        budget.  A failed polish chunk is reported but never costs the
+        already-final winner.
         """
         if self._budget is None or not outcomes:
             return
-        slack = self._budget - sum(o.steps for o in outcomes)
+        # steps a quarantined walk completed before failing are spent
+        # budget too — without charging them the polish walk would push
+        # total work past the budget on degraded runs
+        spent = sum(o.steps for o in outcomes) + sum(f.steps for f in self._failures)
+        slack = self._budget - spent
         winner = min(outcomes, key=lambda o: (o.ref_cost, o.spec.walk_id))
         # stay a valid cooling schedule under any override set: the
         # polish start must sit strictly above the walk's t_final
@@ -510,8 +1246,10 @@ class PortfolioRunner:
             overrides = compress_overrides(winner.spec.engine, overrides, slack)
         except ValueError:
             return  # slack below one step per epoch: nothing to spend
+        used = {o.spec.walk_id for o in outcomes}
+        used.update(f.spec.walk_id for f in self._failures)
         spec = WalkSpec(
-            walk_id=max(o.spec.walk_id for o in outcomes) + 1,
+            walk_id=max(used) + 1,
             circuit=self._circuit_name,
             engine=winner.spec.engine,
             seed=winner.spec.seed + _POLISH_SEED_OFFSET,
@@ -533,8 +1271,14 @@ class PortfolioRunner:
             stats=stats,
         )
         walk = _Walk(spec=spec, total_steps=total, chunk=total, checkpoint=checkpoint)
+        self._live_walks[spec.walk_id] = walk
         executor.dispatch(ChunkTask(spec=spec, checkpoint=checkpoint, max_steps=None))
-        walk.checkpoint = executor.collect().checkpoint
+        result = executor.collect()
+        if isinstance(result, ChunkFailure):
+            # the winner stands; the polish was a free refinement only
+            self._quarantine(walk, result)
+            return
+        walk.checkpoint = result.checkpoint
         self._emit_progress(walk, status="polish")
         outcomes.append(self._outcome(walk, "polish"))
 
@@ -544,6 +1288,39 @@ class PortfolioRunner:
         return ChunkTask(
             spec=walk.spec, checkpoint=walk.checkpoint, max_steps=walk.chunk
         )
+
+    def _quarantine(self, walk: _Walk, failure: ChunkFailure) -> None:
+        """Record a walk the executor gave up on; the run degrades."""
+        steps = walk.checkpoint.step if walk.checkpoint is not None else 0
+        record = WalkFailure(
+            spec=walk.spec,
+            reason=failure.reason,
+            detail=failure.detail,
+            attempts=failure.attempts,
+            steps=steps,
+        )
+        self._failures.append(record)
+        self._emit_progress(walk, status=FAILED)
+        if self._run_dir is not None and self._run_state is not None:
+            self._persist_walk(walk, status=FAILED, save_manifest=False)
+            self._run_state.failures.append(
+                FailureRecord(
+                    walk_id=walk.spec.walk_id,
+                    reason=record.reason,
+                    detail=record.detail,
+                    attempts=record.attempts,
+                    steps=record.steps,
+                )
+            )
+            self._run_dir.save_manifest(self._run_state)
+
+    def _incident(self, walk_id: int | None, kind: str, detail: str) -> None:
+        """Executor supervision incidents -> progress events."""
+        if self._on_event is None or walk_id is None:
+            return
+        walk = self._live_walks.get(walk_id)
+        if walk is not None:
+            self._emit_progress(walk, status=kind)
 
     def _walk_ref_cost(self, walk: _Walk) -> float:
         """Reference cost of the walk's best state (memoized: it only

@@ -1,0 +1,249 @@
+"""Run persistence: snapshot, crash, resume — bit-identically.
+
+The contract under test (see ``repro/parallel/persist.py`` and the
+"Fault tolerance" section of docs/parallel.md): a portfolio run with a
+``run_dir`` can be killed at *any* point and resumed to the exact
+result an uninterrupted run produces.  That holds because snapshots
+are only taken at points where the remaining work is a pure function
+of the saved state — per chunk for the independent policy, per round
+barrier for rebalance — and each snapshot is an atomic write-rename.
+
+Interrupts are simulated two ways: an exception bomb planted in the
+progress callback (deterministic, covers many cut points cheaply) and
+a real ``SIGKILL`` of a CLI subprocess mid-run (covers the actual
+crash path end to end).
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.parallel import (
+    PortfolioRunner,
+    RunDir,
+    RunDirError,
+)
+
+FAST = (("alpha", 0.7), ("steps_per_epoch", 20), ("t_final", 1e-2))
+
+
+def fingerprint(result):
+    """Full-result fingerprint: leaderboard rows, winner cost, and a
+    hash of the winner placement (bit-identity, not approximation)."""
+    rows = tuple(
+        (o.spec.walk_id, o.spec.engine, o.spec.seed, o.best_cost, o.ref_cost, o.status)
+        for o in result.leaderboard
+    )
+    board = hashlib.sha256(repr(rows).encode()).hexdigest()
+    placement = hashlib.sha256(pickle.dumps(result.placement)).hexdigest()
+    return (board, result.cost, placement)
+
+
+class _Interrupt(Exception):
+    """Planted mid-run to simulate a crash at a chosen progress event."""
+
+
+def bombed_run(tmp_path, n_events, **kwargs):
+    """Run a portfolio that dies after ``n_events`` progress events;
+    returns the run directory it left behind."""
+    run_dir = tmp_path / f"run_after_{n_events}"
+    seen = 0
+
+    def bomb(event) -> None:
+        nonlocal seen
+        seen += 1
+        if seen >= n_events:
+            raise _Interrupt(f"crash after event {n_events}")
+
+    kwargs.setdefault("overrides", FAST)
+    runner = PortfolioRunner(
+        "miller_opamp", run_dir=str(run_dir), on_event=bomb, **kwargs
+    )
+    with pytest.raises(_Interrupt):
+        runner.run()
+    return run_dir
+
+
+class TestResumeBitIdentity:
+    @pytest.mark.parametrize("n_events", [2, 5, 9])
+    def test_independent_resume_matches_uninterrupted(self, tmp_path, n_events):
+        base = PortfolioRunner(
+            "miller_opamp", starts=4, budget=800, overrides=FAST
+        ).run()
+        run_dir = bombed_run(tmp_path, n_events, starts=4, budget=800)
+        resumed = PortfolioRunner.resume(run_dir).run()
+        assert fingerprint(resumed) == fingerprint(base)
+
+    @pytest.mark.parametrize("n_events", [2, 5, 9])
+    def test_rebalance_resume_matches_uninterrupted(self, tmp_path, n_events):
+        kwargs = dict(
+            starts=4, budget=800, restart_policy="rebalance", overrides=FAST
+        )
+        base = PortfolioRunner("miller_opamp", **kwargs).run()
+        run_dir = bombed_run(
+            tmp_path, n_events, starts=4, budget=800, restart_policy="rebalance"
+        )
+        resumed = PortfolioRunner.resume(run_dir).run()
+        assert fingerprint(resumed) == fingerprint(base)
+
+    def test_resume_survives_a_second_crash(self, tmp_path):
+        """Crash, resume, crash again, resume again — still identical."""
+        base = PortfolioRunner(
+            "miller_opamp", starts=4, budget=800, overrides=FAST
+        ).run()
+        run_dir = bombed_run(tmp_path, 3, starts=4, budget=800)
+        seen = 0
+
+        def bomb(event) -> None:
+            nonlocal seen
+            seen += 1
+            if seen >= 3:
+                raise _Interrupt("second crash")
+
+        with pytest.raises(_Interrupt):
+            PortfolioRunner.resume(run_dir, on_event=bomb).run()
+        resumed = PortfolioRunner.resume(run_dir).run()
+        assert fingerprint(resumed) == fingerprint(base)
+
+    def test_completed_run_resume_is_idempotent(self, tmp_path):
+        run_dir = tmp_path / "done"
+        first = PortfolioRunner(
+            "miller_opamp",
+            starts=3,
+            budget=600,
+            overrides=FAST,
+            run_dir=str(run_dir),
+        ).run()
+        again = PortfolioRunner.resume(run_dir).run()
+        assert fingerprint(again) == fingerprint(first)
+
+    def test_run_dir_does_not_perturb_the_result(self, tmp_path):
+        base = PortfolioRunner(
+            "miller_opamp", starts=4, budget=800, overrides=FAST
+        ).run()
+        persisted = PortfolioRunner(
+            "miller_opamp",
+            starts=4,
+            budget=800,
+            overrides=FAST,
+            run_dir=str(tmp_path / "rd"),
+        ).run()
+        assert fingerprint(persisted) == fingerprint(base)
+
+
+class TestRunDirValidation:
+    def test_fresh_run_refuses_an_occupied_directory(self, tmp_path):
+        run_dir = tmp_path / "rd"
+        PortfolioRunner(
+            "miller_opamp", starts=2, overrides=FAST, run_dir=str(run_dir)
+        ).run()
+        with pytest.raises(RunDirError, match="already holds a portfolio run"):
+            PortfolioRunner(
+                "miller_opamp", starts=2, overrides=FAST, run_dir=str(run_dir)
+            ).run()
+
+    def test_resume_of_a_missing_run_fails_cleanly(self, tmp_path):
+        with pytest.raises(RunDirError, match="holds no portfolio run"):
+            PortfolioRunner.resume(tmp_path / "nope")
+
+    def test_manifest_version_mismatch_is_rejected(self, tmp_path):
+        run_dir = tmp_path / "rd"
+        PortfolioRunner(
+            "miller_opamp", starts=2, overrides=FAST, run_dir=str(run_dir)
+        ).run()
+        manifest = run_dir / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["version"] = 999
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(RunDirError, match="version"):
+            PortfolioRunner.resume(run_dir)
+
+    def test_corrupt_manifest_is_rejected(self, tmp_path):
+        run_dir = tmp_path / "rd"
+        PortfolioRunner(
+            "miller_opamp", starts=2, overrides=FAST, run_dir=str(run_dir)
+        ).run()
+        (run_dir / "manifest.json").write_text("{not json")
+        with pytest.raises(RunDirError):
+            PortfolioRunner.resume(run_dir)
+
+    def test_corrupt_checkpoint_is_rejected(self, tmp_path):
+        run_dir = bombed_run(tmp_path, 3, starts=2, budget=600)
+        ckpt = next(run_dir.glob("walk_*.ckpt"))
+        ckpt.write_bytes(pickle.dumps({"version": 999, "checkpoint": None}))
+        with pytest.raises((RunDirError, ValueError)):
+            PortfolioRunner.resume(run_dir).run()
+
+    def test_atomic_writes_leave_no_temp_droppings(self, tmp_path):
+        run_dir = tmp_path / "rd"
+        PortfolioRunner(
+            "miller_opamp", starts=3, budget=600, overrides=FAST, run_dir=str(run_dir)
+        ).run()
+        leftovers = [p.name for p in run_dir.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_run_dir_load_roundtrip(self, tmp_path):
+        run_dir = tmp_path / "rd"
+        PortfolioRunner(
+            "miller_opamp", starts=3, budget=600, overrides=FAST, run_dir=str(run_dir)
+        ).run()
+        state = RunDir(run_dir).load()
+        assert state.circuit == "miller_opamp"
+        assert state.starts == 3
+        assert state.budget == 600
+        assert state.completed is True
+        assert set(state.walks) >= {0, 1, 2}
+
+
+class TestKillAndResume:
+    def test_sigkilled_cli_run_resumes_bit_identically(self, tmp_path):
+        """The end-to-end crash drill: start ``place --run-dir`` as a
+        real subprocess, SIGKILL it once checkpoints exist, resume via
+        the API, and demand the uninterrupted result."""
+        run_dir = tmp_path / "rd"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "place",
+                "miller_opamp",
+                "--starts",
+                "3",
+                "--run-dir",
+                str(run_dir),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break  # finished before we could kill it: still a
+                    # valid (idempotent-resume) scenario
+                if len(list(run_dir.glob("walk_*.ckpt"))) >= 2:
+                    proc.send_signal(signal.SIGKILL)
+                    break
+                time.sleep(0.01)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=60)
+        # full default schedules, exactly the CLI's configuration
+        base = PortfolioRunner("miller_opamp", ("hbtree",), starts=3).run()
+        resumed = PortfolioRunner.resume(run_dir).run()
+        assert fingerprint(resumed) == fingerprint(base)

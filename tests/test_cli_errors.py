@@ -90,6 +90,141 @@ class TestPortfolioFlags:
         assert "below one step per epoch" in str(excinfo.value)
 
 
+class TestResilienceFlags:
+    def test_negative_max_retries_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "miller_opamp", "--max-retries", "-1"])
+        assert exit_code(excinfo) == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_zero_chunk_timeout_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "miller_opamp", "--chunk-timeout", "0"])
+        assert exit_code(excinfo) == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_chunk_timeout_without_workers_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "miller_opamp", "--starts", "2", "--chunk-timeout", "5"])
+        assert exit_code(excinfo) != 0
+        assert "workers > 1" in str(excinfo.value)
+
+    def test_resume_requires_a_run_dir(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "miller_opamp", "--resume"])
+        assert exit_code(excinfo) != 0
+        assert "requires --run-dir" in str(excinfo.value)
+
+    def test_resume_of_an_empty_directory_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "--resume", "--run-dir", str(tmp_path / "nope")])
+        assert exit_code(excinfo) != 0
+        assert "holds no portfolio run" in str(excinfo.value)
+
+    def test_fresh_run_into_an_occupied_run_dir_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        run_dir = str(tmp_path / "rd")
+        assert (
+            main(
+                ["place", "miller_opamp", "--starts", "2", "--engines", "hbtree",
+                 "--budget", "800", "--run-dir", run_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["place", "miller_opamp", "--starts", "2", "--engines", "hbtree",
+                 "--budget", "800", "--run-dir", run_dir]
+            )
+        assert exit_code(excinfo) != 0
+        assert "already holds a portfolio run" in str(excinfo.value)
+
+    def test_resume_with_a_contradicting_circuit_is_rejected(
+        self, tmp_path, capsys
+    ):
+        run_dir = str(tmp_path / "rd")
+        assert (
+            main(
+                ["place", "miller_opamp", "--starts", "2", "--engines", "hbtree",
+                 "--budget", "800", "--run-dir", run_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "comparator_v2", "--resume", "--run-dir", run_dir])
+        assert exit_code(excinfo) != 0
+        assert "drop the circuit argument" in str(excinfo.value)
+
+    def test_run_dir_then_resume_happy_path(self, tmp_path, capsys):
+        """A completed run can be resumed (idempotently) straight from
+        the CLI; the circuit comes from the manifest."""
+        run_dir = str(tmp_path / "rd")
+        code = main(
+            ["place", "miller_opamp", "--starts", "2", "--engines", "hbtree",
+             "--budget", "800", "--run-dir", run_dir]
+        )
+        first = capsys.readouterr().out
+        assert code == 0
+        code = main(["place", "--resume", "--run-dir", run_dir])
+        second = capsys.readouterr().out
+        assert code == 0
+        assert "portfolio: " in second
+        # identical leaderboard line for line (timings differ)
+        first_rows = [l for l in first.splitlines() if l.lstrip()[:1].isdigit()]
+        second_rows = [l for l in second.splitlines() if l.lstrip()[:1].isdigit()]
+        assert first_rows == second_rows
+
+    def test_quarantined_walk_shows_in_the_banner(self, capsys, monkeypatch):
+        """A degraded run must say so: the summary banner counts the
+        failures and prints one FAILED line per quarantined walk."""
+        import repro.parallel.runner as runner_mod
+
+        real_execute = runner_mod._execute
+
+        def flaky_execute(task):
+            if task.spec.walk_id == 1:
+                raise RuntimeError("injected chunk failure")
+            return real_execute(task)
+
+        monkeypatch.setattr(runner_mod, "_execute", flaky_execute)
+        code = main(
+            ["place", "miller_opamp", "--starts", "3", "--engines", "hbtree",
+             "--budget", "900"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 failed" in out
+        assert "walk 1" in out and "FAILED (error)" in out
+
+    def test_every_walk_failing_is_a_clean_error(self, monkeypatch):
+        import repro.parallel.runner as runner_mod
+
+        def doomed_execute(task):
+            raise RuntimeError("injected chunk failure")
+
+        monkeypatch.setattr(runner_mod, "_execute", doomed_execute)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["place", "miller_opamp", "--starts", "2", "--engines", "hbtree",
+                  "--budget", "800"])
+        assert exit_code(excinfo) != 0
+        assert "every walk in the portfolio failed" in str(excinfo.value)
+
+    def test_strict_aborts_on_the_first_failure(self, monkeypatch):
+        import repro.parallel.runner as runner_mod
+
+        def doomed_execute(task):
+            raise RuntimeError("injected chunk failure")
+
+        monkeypatch.setattr(runner_mod, "_execute", doomed_execute)
+        with pytest.raises((SystemExit, RuntimeError)) as excinfo:
+            main(["place", "miller_opamp", "--starts", "2", "--engines", "hbtree",
+                  "--budget", "800", "--strict"])
+        assert "injected chunk failure" in str(excinfo.value)
+
+
 class TestPortfolioRuns:
     def test_starts_flag_prints_a_leaderboard_and_places(self, capsys):
         code = main(

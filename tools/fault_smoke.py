@@ -1,0 +1,70 @@
+"""CI fault-injection smoke: crash a worker, quarantine a walk, finish.
+
+A bounded end-to-end drill for the fault-tolerance machinery
+(docs/parallel.md#fault-tolerance), meant to run on every push:
+
+1. a fault-free 2-worker portfolio establishes the expected
+   leaderboard;
+2. the same portfolio reruns with a worker hard-crash (``die``) on one
+   walk and a deterministic chunk failure (``raise`` on every attempt)
+   on another — the crash must heal byte-identically via
+   respawn + re-dispatch, the failing walk must be quarantined, and
+   the survivors must keep their exact fault-free rows.
+
+Exit code 0 on success; an assertion failure (or a hang caught by the
+CI step timeout) is a supervision regression.  This is a real file —
+not a ``python -c`` one-liner — because the spawn start method
+re-imports ``__main__`` in every worker.
+"""
+
+import sys
+
+sys.dont_write_bytecode = True
+
+from repro.parallel import Fault, FaultPlan, PortfolioRunner
+
+FAST = (("alpha", 0.7), ("steps_per_epoch", 20), ("t_final", 1e-2))
+DIE_WALK = 2
+FAIL_WALK = 1
+
+
+def rows(result):
+    return [
+        (o.spec.walk_id, o.spec.engine, o.spec.seed, o.best_cost, o.ref_cost, o.status)
+        for o in result.leaderboard
+    ]
+
+
+def main() -> int:
+    base = PortfolioRunner(
+        "miller_opamp", starts=4, workers=2, overrides=FAST
+    ).run()
+    assert not base.failures, "fault-free run must report no failures"
+
+    plan = FaultPlan(
+        [
+            Fault(DIE_WALK, 0, "die"),  # transient: worker crash, attempt 0
+            Fault(FAIL_WALK, 1, "raise", attempts=None),  # deterministic
+        ]
+    )
+    faulted = PortfolioRunner(
+        "miller_opamp", starts=4, workers=2, overrides=FAST, fault_plan=plan
+    ).run()
+
+    assert [f.spec.walk_id for f in faulted.failures] == [FAIL_WALK], (
+        f"expected walk {FAIL_WALK} quarantined, got "
+        f"{[f.spec.walk_id for f in faulted.failures]}"
+    )
+    expected = [row for row in rows(base) if row[0] != FAIL_WALK]
+    assert rows(faulted) == expected, (
+        "survivors diverged from their fault-free trajectories:\n"
+        f"  expected {expected}\n  got      {rows(faulted)}"
+    )
+    assert f"walk {FAIL_WALK} " in faulted.summary(), "banner must name the failure"
+    print("fault smoke: worker crash healed byte-identically, "
+          f"walk {FAIL_WALK} quarantined, {len(expected)} survivors intact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
