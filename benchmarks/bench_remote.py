@@ -1,0 +1,220 @@
+"""Distributed dispatch overhead — what does the socket tier cost on loopback?
+
+The remote executor (docs/parallel.md#distributed-execution) moves
+every chunk through pickle + a TCP frame + a lease table instead of a
+direct call, so its loopback cost must be measured before anyone pays
+it across a real network.  Two timings on ``miller_opamp``, warm
+caches, paired rounds:
+
+* **serial** — ``PortfolioRunner.run()`` inline, the floor.
+* **remote** — the same portfolio with the coordinator listening on a
+  loopback ephemeral port and two in-process ``WorkerClient`` threads.
+  The delta against *serial* is framing + scheduling + lease
+  bookkeeping; on a 2-worker loopback it should be roughly offset by
+  the 2-way parallelism, so the ratio is reported, not bounded.
+
+A recovery check then drops one worker's connection mid-walk
+(``disconnect`` fault) and asserts the re-dispatched run still lands
+the exact serial leaderboard.
+
+Results are **appended** to ``BENCH_perf_kernel.json`` as
+``mode: "remote"`` entries (the regression guard in ``run_all.py``
+only compares entries of equal mode).
+
+Run standalone:   python benchmarks/bench_remote.py [--quick] [--no-write]
+Run under pytest: pytest benchmarks/bench_remote.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import statistics
+import threading
+import time
+
+from bench_perf_kernel import JSON_PATH, append_entry
+
+from repro.parallel import Fault, FaultPlan, PortfolioRunner, WorkerClient
+
+CIRCUIT = "miller_opamp"
+ENGINES = ("bstar", "hbtree")
+STARTS = 4
+OVERRIDES = (("alpha", 0.8), ("t_final", 1e-2))
+ROUNDS = 8
+WORKERS = 2
+
+
+def _serial_run(**kwargs) -> "PortfolioResult":
+    return PortfolioRunner(
+        CIRCUIT, ENGINES, starts=STARTS, overrides=OVERRIDES, **kwargs
+    ).run()
+
+
+def _remote_run(**kwargs) -> "PortfolioResult":
+    """One coordinator + ``WORKERS`` loopback worker threads, joined
+    before returning so rounds never overlap."""
+    threads: list[threading.Thread] = []
+
+    def on_listen(address) -> None:
+        for i in range(WORKERS):
+            thread = threading.Thread(
+                target=WorkerClient(address, name=f"bench-w{i}").run,
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+
+    result = _serial_run(listen=("127.0.0.1", 0), on_listen=on_listen, **kwargs)
+    for thread in threads:
+        thread.join(timeout=30)
+    return result
+
+
+def _paired_timings(fns: dict, rounds: int) -> tuple[dict, dict]:
+    """``({name: (steps, fastest elapsed)}, {name: ratio vs first})``:
+    interleaved rounds with rotated order, median of per-round ratios —
+    same jitter defense as bench_faults.py."""
+    names = list(fns)
+    best = {name: (0, float("inf")) for name in names}
+    samples: dict = {name: [] for name in names}
+    for round_index in range(rounds):
+        order = names[round_index % len(names):] + names[:round_index % len(names)]
+        for name in order:
+            started = time.perf_counter()
+            steps = fns[name]()
+            elapsed = time.perf_counter() - started
+            samples[name].append(elapsed)
+            if elapsed < best[name][1]:
+                best[name] = (steps, elapsed)
+    baseline = samples[names[0]]
+    ratios = {
+        name: statistics.median(t / b for t, b in zip(samples[name], baseline))
+        for name in names[1:]
+    }
+    return best, ratios
+
+
+def _recovery_check() -> dict:
+    """A dropped connection mid-walk must heal byte-identically."""
+
+    def rows(result):
+        return [
+            (o.spec.walk_id, o.best_cost, o.ref_cost, o.status)
+            for o in result.leaderboard
+        ]
+
+    base = _serial_run()
+    faulted = _remote_run(
+        fault_plan=FaultPlan([Fault(1, 1, "disconnect")]),
+        lease_timeout=2.0,
+    )
+    assert not faulted.failures
+    assert rows(faulted) == rows(base)
+    return {"disconnect_healed": True, "rows_identical": True}
+
+
+def run(fast: bool = False, write: bool = False) -> dict:
+    """Measure; optionally append a ``mode: remote`` trajectory entry."""
+    rounds = 1 if fast else ROUNDS
+    _serial_run()  # warm the per-process circuit/placer caches
+
+    timings, ratios = _paired_timings(
+        {
+            "serial": lambda: _serial_run().total_steps,
+            "remote": lambda: _remote_run().total_steps,
+        },
+        rounds,
+    )
+    ser_steps, ser_s = timings["serial"]
+    rem_steps, rem_s = timings["remote"]
+
+    ser_sps = ser_steps / ser_s
+    rem_sps = rem_steps / rem_s
+    dispatch_pct = 100.0 * (ratios["remote"] - 1.0)
+
+    results = {
+        "circuit": CIRCUIT,
+        "workers": WORKERS,
+        "serial_steps_per_sec": round(ser_sps, 1),
+        "remote_steps_per_sec": round(rem_sps, 1),
+        "dispatch_overhead_pct": round(dispatch_pct, 2),
+        "recovery": _recovery_check(),
+    }
+
+    entry = {
+        "mode": "remote",
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "circuit": CIRCUIT,
+        "engines": list(ENGINES),
+        "starts": STARTS,
+        "workers": WORKERS,
+        "steps": rem_steps,
+        "runs": [
+            {
+                "variant": "serial",
+                "steps": ser_steps,
+                "steps_per_sec": results["serial_steps_per_sec"],
+            },
+            {
+                "variant": "remote",
+                "steps": rem_steps,
+                "steps_per_sec": results["remote_steps_per_sec"],
+            },
+        ],
+        "dispatch_overhead_pct": results["dispatch_overhead_pct"],
+    }
+    if write:
+        append_entry(entry)
+
+    results["entry"] = entry
+    results["appended"] = write
+    results["table"] = table(results)
+    return results
+
+
+def table(results: dict) -> str:
+    lines = [
+        f"distributed dispatch overhead on {results['circuit']} "
+        f"(loopback, {results['workers']} workers)",
+        f"{'variant':<12} {'steps/s':>10} {'vs serial':>10}",
+        f"{'serial':<12} {results['serial_steps_per_sec']:>10,.0f} {'—':>10}",
+        f"{'remote':<12} {results['remote_steps_per_sec']:>10,.0f} "
+        f"{results['dispatch_overhead_pct']:>+9.2f}%",
+        "recovery: disconnect mid-walk healed, rows byte-identical",
+    ]
+    return "\n".join(lines)
+
+
+def test_remote_dispatch_report(emit, benchmark):
+    """Smoke tier: loopback dispatch must stay sane and recovery exact.
+    The wall-clock bound is deliberately loose — chunk granularity on a
+    sub-second portfolio hides the parallelism; the trajectory entry
+    records the real ratio."""
+    results = benchmark.pedantic(lambda: run(fast=True), rounds=1, iterations=1)
+    emit("remote_dispatch", results["table"])
+    assert results["recovery"]["rows_identical"]
+    assert results["dispatch_overhead_pct"] < 400.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="single timed round (for CI)"
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and report only; do not append to BENCH_perf_kernel.json",
+    )
+    args = parser.parse_args(argv)
+    outcome = run(fast=args.quick, write=not args.no_write)
+    print(outcome["table"])
+    if outcome["appended"]:
+        print(f"\nappended trajectory entry: {JSON_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro workloads list
     python -m repro place miller_opamp --engine hbtree --seed 3
     python -m repro place gen:n=500,seed=7 --starts 8 --workers 4
+    python -m repro place gen:n=500,seed=7 --starts 8 --listen 127.0.0.1:7000
+    python -m repro worker --connect 127.0.0.1:7000
     python -m repro place file:bench.blocks --engine seqpair
     python -m repro workloads export gen:n=200,seed=1 --out bench/
     python -m repro route fig2 --pitch 0.5
@@ -189,7 +191,7 @@ def cmd_workloads_export(args) -> int:
 
 def _portfolio_place(args, weights: dict[str, float]):
     """Multi-start portfolio run behind ``place --starts/--workers``."""
-    from .parallel import PortfolioRunner, RunDirError
+    from .parallel import PortfolioRunner, RunDirError, format_address
 
     def show_progress(event) -> None:
         print(
@@ -198,11 +200,20 @@ def _portfolio_place(args, weights: dict[str, float]):
             f"best {event.best_cost:.4f}  {event.status}"
         )
 
+    def show_listen(address) -> None:
+        # the handle workers need: `repro worker --connect <this>`
+        # (flushed so wrapper scripts see it before any chunk output)
+        print(f"listening on {format_address(address)}", flush=True)
+
     on_event = show_progress if args.progress else None
+    on_listen = show_listen if args.listen is not None else None
     try:
         if args.resume:
             # config comes from the run directory's manifest; only
-            # execution knobs (workers, retries, timeouts) apply here
+            # execution knobs (workers, retries, timeouts) apply here.
+            # --workers left at its default resumes under the recorded
+            # topology; an explicit value must match it (or pass
+            # --allow-topology-change to deliberately move the run)
             runner = PortfolioRunner.resume(
                 args.run_dir,
                 workers=args.workers,
@@ -210,6 +221,11 @@ def _portfolio_place(args, weights: dict[str, float]):
                 max_retries=args.max_retries,
                 chunk_timeout=args.chunk_timeout,
                 strict=args.strict,
+                listen=args.listen,
+                lease_timeout=args.lease_timeout,
+                heartbeat_interval=args.heartbeat_interval,
+                on_listen=on_listen,
+                allow_topology_change=args.allow_topology_change,
             )
         else:
             engines = (
@@ -233,7 +249,7 @@ def _portfolio_place(args, weights: dict[str, float]):
                 args.circuit,
                 engines,
                 starts=args.starts,
-                workers=args.workers,
+                workers=args.workers or 0,
                 base_seed=args.seed,
                 budget=args.budget,
                 restart_policy=args.restart_policy,
@@ -243,6 +259,10 @@ def _portfolio_place(args, weights: dict[str, float]):
                 chunk_timeout=args.chunk_timeout,
                 strict=args.strict,
                 run_dir=args.run_dir,
+                listen=args.listen,
+                lease_timeout=args.lease_timeout,
+                heartbeat_interval=args.heartbeat_interval,
+                on_listen=on_listen,
             )
         result = runner.run()
     except (KeyError, ValueError, RunDirError, RuntimeError) as exc:
@@ -316,7 +336,7 @@ def cmd_place(args) -> int:
     # ignored (a 1-start portfolio is a valid, budgeted single walk)
     portfolio_requested = (
         args.starts > 1
-        or args.workers > 1
+        or (args.workers or 0) > 1
         or args.engines is not None
         or args.budget is not None
         or args.restart_policy != "independent"
@@ -326,6 +346,10 @@ def cmd_place(args) -> int:
         or args.strict
         or args.chunk_timeout is not None
         or args.max_retries != 2
+        or args.listen is not None
+        or args.lease_timeout is not None
+        or args.heartbeat_interval is not None
+        or args.allow_topology_change
     )
     if portfolio_requested:
         placement = _portfolio_place(args, weights)
@@ -373,6 +397,31 @@ def cmd_table1(args) -> int:
             f"{100 * (rsf.area_usage - esf.area_usage):>7.2f}%"
         )
     return 0
+
+
+def cmd_worker(args) -> int:
+    """Join a ``place --listen`` run as one remote portfolio worker."""
+    import os
+    import socket as socket_mod
+
+    from .parallel import parse_address, run_worker
+
+    try:
+        parse_address(args.connect)
+    except ValueError as exc:
+        raise SystemExit(f"worker: {exc.args[0]}") from None
+    name = args.name or f"{socket_mod.gethostname()}:{os.getpid()}"
+
+    def log(text: str) -> None:
+        print(f"[{name}] {text}", flush=True)
+
+    return run_worker(
+        args.connect,
+        name=name,
+        max_reconnects=args.max_reconnects,
+        reconnect_base=args.reconnect_base,
+        log=None if args.quiet else log,
+    )
 
 
 def cmd_sizing(args) -> int:
@@ -501,8 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument(
         "--workers",
         type=_non_negative_int,
-        default=0,
-        help="worker processes; 0 or 1 runs in-process (same results)",
+        default=None,
+        help="worker processes; 0 or 1 runs in-process (same results); "
+        "on --resume the default keeps the run's recorded topology",
     )
     portfolio.add_argument(
         "--engines",
@@ -569,7 +619,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue the run persisted in --run-dir (config comes from "
         "its manifest; the circuit argument may be omitted)",
     )
+    distributed = p.add_argument_group(
+        "distributed",
+        "serve the run to remote workers over a socket (see the "
+        "Distributed execution section of docs/parallel.md); join with "
+        "`repro worker --connect`; results stay byte-identical to a "
+        "serial run.  Trusted networks only: frames are unauthenticated "
+        "pickles",
+    )
+    distributed.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve chunks to remote workers on this address "
+        "(HOST:PORT, port 0 picks an ephemeral port and prints it; "
+        "unix:/path.sock for a Unix domain socket); mutually exclusive "
+        "with --workers > 1",
+    )
+    distributed.add_argument(
+        "--lease-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="revoke and re-dispatch a chunk whose worker misses "
+        "heartbeats this long (default: 10)",
+    )
+    distributed.add_argument(
+        "--heartbeat-interval",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat cadence workers are told to use (default: a "
+        "quarter of the lease timeout)",
+    )
+    distributed.add_argument(
+        "--allow-topology-change",
+        action="store_true",
+        help="let --resume continue under a different transport or "
+        "worker count than the run was recorded with (results are "
+        "unaffected; the switch just has to be deliberate)",
+    )
     p.set_defaults(fn=cmd_place)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a `place --listen` run as a remote portfolio worker",
+    )
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address printed by `place --listen` "
+        "(HOST:PORT or unix:/path.sock)",
+    )
+    p.add_argument(
+        "--name",
+        default=None,
+        help="worker name in coordinator logs (default: host:pid)",
+    )
+    p.add_argument(
+        "--max-reconnects",
+        type=_non_negative_int,
+        default=8,
+        help="give up after this many consecutive failed connection "
+        "attempts (default: 8)",
+    )
+    p.add_argument(
+        "--reconnect-base",
+        type=_positive_float,
+        default=0.25,
+        metavar="SECONDS",
+        help="base of the exponential reconnect backoff (default: 0.25)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-event log lines"
+    )
+    p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser("route", help="place and route a circuit")
     p.add_argument("circuit")

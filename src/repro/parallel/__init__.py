@@ -28,7 +28,14 @@ from .engines import (
     walk_chunk_count,
     walk_total_steps,
 )
-from .faults import DIE_EXIT_CODE, FAULT_KINDS, Fault, FaultInjected, FaultPlan
+from .faults import (
+    DIE_EXIT_CODE,
+    FAULT_KINDS,
+    NETWORK_FAULT_KINDS,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+)
 from .jobs import (
     FAILED,
     FINISHED,
@@ -42,7 +49,9 @@ from .jobs import (
     WalkOutcome,
     WalkSpec,
 )
+from .net import PROTOCOL_VERSION, format_address, parse_address
 from .persist import MANIFEST_VERSION, RunDir, RunDirError, RunState
+from .remote import RemoteExecutor, WorkerClient, run_worker
 from .runner import RESTART_POLICIES, PortfolioRunner
 
 __all__ = [
@@ -53,6 +62,8 @@ __all__ = [
     "FINISHED",
     "KILLED",
     "MANIFEST_VERSION",
+    "NETWORK_FAULT_KINDS",
+    "PROTOCOL_VERSION",
     "RESTART_POLICIES",
     "ChunkFailure",
     "ChunkResult",
@@ -63,18 +74,23 @@ __all__ = [
     "PortfolioResult",
     "PortfolioRunner",
     "ProgressEvent",
+    "RemoteExecutor",
     "RunDir",
     "RunDirError",
     "RunState",
     "WalkFailure",
     "WalkOutcome",
     "WalkSpec",
+    "WorkerClient",
     "build_config",
     "build_placer",
     "build_placer_by_name",
     "compress_overrides",
+    "format_address",
+    "parse_address",
     "reference_cost",
     "reference_cost_model",
+    "run_worker",
     "validate_engines",
     "verify_walk_checkpoint",
     "walk_chunk_count",

@@ -24,9 +24,24 @@ Fault kinds
 ``hang``
     The chunk sleeps forever — the wedged-worker path.  Only a
     ``chunk_timeout`` gets the walk back.
+``disconnect``
+    A *remote* worker drops its socket the moment it receives the
+    chunk, then reconnects with backoff — the flaky-network path.  The
+    coordinator must reclaim the lease on EOF and re-dispatch.
+``stall-heartbeat``
+    A remote worker stops heartbeating past the lease deadline while
+    still holding the chunk, then finishes late — the
+    network-partition path.  The lease must expire, the chunk must be
+    re-dispatched, and the late (stale) result must be discarded by
+    its ``(walk, chunk, attempt)`` epoch.
+``duplicate-result``
+    A remote worker sends its result twice — the retransmit path.  The
+    second copy must be discarded, never double-counted.
 
 ``hang`` and ``die`` need a real worker process to kill, so a plan
-containing them requires ``workers > 1``; ``raise`` works on every
+containing them requires ``workers > 1`` (or a remote run, where every
+worker is its own process); the network kinds need a socket to abuse,
+so they require a ``listen`` address; ``raise`` works on every
 executor (the in-process path included).
 
 A fault fires on the attempt numbers listed in ``attempts`` (attempt 0
@@ -43,8 +58,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: fault kinds acted out by the worker loop of the *distributed* tier
+#: (see ``repro.parallel.remote``); they model network failures, so a
+#: plan containing them needs a socket transport to abuse
+NETWORK_FAULT_KINDS = ("disconnect", "stall-heartbeat", "duplicate-result")
+
 #: every fault kind a plan may inject
-FAULT_KINDS = ("raise", "hang", "die")
+FAULT_KINDS = ("raise", "hang", "die") + NETWORK_FAULT_KINDS
 
 #: exit code a ``die`` fault terminates the worker with (distinctive on
 #: purpose: supervision reports it, and tests can assert on it)
@@ -115,6 +135,16 @@ class FaultPlan:
     def needs_processes(self) -> bool:
         """``hang``/``die`` faults need a worker process to kill."""
         return any(f.kind in ("hang", "die") for f in self._by_site.values())
+
+    @property
+    def needs_network(self) -> bool:
+        """Network faults need a socket transport (a ``listen`` run)."""
+        return any(
+            f.kind in NETWORK_FAULT_KINDS for f in self._by_site.values()
+        )
+
+    def has_kind(self, kind: str) -> bool:
+        return any(f.kind == kind for f in self._by_site.values())
 
     def fault_for(self, walk_id: int, chunk: int, attempt: int) -> str | None:
         """Kind of the fault armed for this execution, or ``None``."""

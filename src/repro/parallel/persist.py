@@ -150,6 +150,11 @@ class RunState:
     restart_policy: str
     checkpoint_every: int | None
     overrides: tuple[tuple[str, object], ...]
+    #: executor topology the run was recorded under: ``"local"`` (the
+    #: in-process / spawned-pool executors) or ``"remote"`` (the socket
+    #: tier).  ``resume()`` validates against it so a run cannot
+    #: silently continue under a different topology.
+    transport: str = "local"
     walks: dict[int, WalkRecord] = field(default_factory=dict)
     failures: list[FailureRecord] = field(default_factory=list)
     #: rebalance counters (``next_walk_id`` / ``next_seed`` /
@@ -195,6 +200,7 @@ class RunDir:
                 "engines": list(state.engines),
                 "starts": state.starts,
                 "workers": state.workers,
+                "transport": state.transport,
                 "seeds": list(state.seeds),
                 "budget": state.budget,
                 "restart_policy": state.restart_policy,
@@ -261,6 +267,9 @@ class RunDir:
                 engines=tuple(config["engines"]),
                 starts=int(config["starts"]),
                 workers=int(config["workers"]),
+                # absent in manifests written before the remote tier
+                # existed; those were by definition local runs
+                transport=config.get("transport", "local"),
                 seeds=[int(s) for s in config["seeds"]],
                 budget=config["budget"],
                 restart_policy=config["restart_policy"],
@@ -277,6 +286,11 @@ class RunDir:
             raise RunDirError(
                 f"malformed manifest {self.manifest_path}: {exc}"
             ) from None
+        if state.transport not in ("local", "remote"):
+            raise RunDirError(
+                f"manifest records unknown transport {state.transport!r} "
+                "(expected 'local' or 'remote')"
+            )
         return state
 
     def load_walk_checkpoint(self, record: WalkRecord) -> WalkCheckpoint | None:

@@ -58,6 +58,7 @@ import multiprocessing
 import os
 import queue
 import random
+import threading
 from multiprocessing import connection as mp_connection
 import time
 import traceback
@@ -95,6 +96,7 @@ from .jobs import (
     WalkOutcome,
     WalkSpec,
 )
+from .net import parse_address
 from .persist import FailureRecord, RunDir, RunDirError, RunState, WalkRecord
 
 RESTART_POLICIES = ("independent", "rebalance")
@@ -119,6 +121,9 @@ _HANG_FAULT_S = 3600.0
 #: default worker-death respawn cap per run: ``2 * workers``
 _RESPAWNS_PER_WORKER = 2
 
+#: default seconds a remote chunk lease survives without a heartbeat
+_DEFAULT_LEASE_TIMEOUT = 10.0
+
 
 # -- worker side --------------------------------------------------------------
 #
@@ -126,8 +131,14 @@ _RESPAWNS_PER_WORKER = 2
 # the in-process executor (workers <= 1), so parallel and serial runs
 # share one execution path and one answer.
 
-#: per-process placer/engine memo: (circuit, engine, overrides) -> pair
-_BUILD_CACHE: dict = {}
+#: per-*thread* placer/engine memo: (circuit, engine, overrides) -> pair.
+#: Thread-local because engines are mutable (``engine.reset`` per
+#: chunk): loopback worker *threads* (the remote tier's test harness)
+#: executing two walks of the same engine family through one shared
+#: engine object would corrupt both trajectories.  Worker processes are
+#: single-threaded, so for them this is exactly the old per-process
+#: cache.
+_BUILD_LOCAL = threading.local()
 
 
 def _placer_engine_for(spec: WalkSpec):
@@ -137,13 +148,16 @@ def _placer_engine_for(spec: WalkSpec):
     config's seed nowhere (randomness comes from the RNG the walk
     carries), so walks differing only by seed share one rebuild.
     """
+    cache = getattr(_BUILD_LOCAL, "cache", None)
+    if cache is None:
+        cache = _BUILD_LOCAL.cache = {}
     key = (spec.circuit, spec.engine, spec.overrides)
-    pair = _BUILD_CACHE.get(key)
+    pair = cache.get(key)
     if pair is None:
         circuit = _circuit_for(spec.circuit)
         placer = build_placer(circuit, spec)
         pair = (placer, placer.engine())
-        _BUILD_CACHE[key] = pair
+        cache[key] = pair
     return pair
 
 
@@ -198,8 +212,9 @@ def _execute(task: ChunkTask) -> ChunkResult:
 
 
 def _worker_main(worker_id: int, task_queue, result_conn) -> None:
-    """Worker loop: pull ``(task_id, task)`` pairs until the ``None``
-    sentinel; results go back over this worker's *private* pipe.
+    """Worker loop: pull ``(task_id, attempt, task)`` triples until the
+    ``None`` sentinel; results go back over this worker's *private*
+    pipe, echoing the ``(task_id, attempt)`` epoch they answer.
 
     Results deliberately do **not** share a queue across workers: a
     shared ``multiprocessing.Queue`` guards its pipe with a lock held
@@ -215,11 +230,13 @@ def _worker_main(worker_id: int, task_queue, result_conn) -> None:
             item = task_queue.get()
             if item is None:
                 return
-            task_id, task = item
+            task_id, attempt, task = item
             try:
-                result_conn.send(("ok", task_id, _execute(task)))
+                result_conn.send(("ok", task_id, attempt, _execute(task)))
             except Exception:  # surfaced (with traceback) by the coordinator
-                result_conn.send(("error", task_id, traceback.format_exc()))
+                result_conn.send(
+                    ("error", task_id, attempt, traceback.format_exc())
+                )
     finally:
         result_conn.close()
 
@@ -280,6 +297,50 @@ class _ChunkSupervisor:
     def attempts(self, walk_id: int) -> int:
         return self._attempts.get(walk_id, 0)
 
+    def is_current(self, walk_id: int, chunk_index: int, attempt: int) -> bool:
+        """Is ``(walk, chunk, attempt)`` the epoch currently in flight?
+
+        A result stamped with any *other* epoch is stale — it belongs
+        to an execution that was already superseded (retried, timed
+        out, lease-revoked) — and must be discarded, never counted as
+        progress.
+        """
+        return (
+            self._chunk.get(walk_id) == chunk_index
+            and self._attempts.get(walk_id, 0) == attempt
+        )
+
+
+def resolve_chunk_failure(
+    supervisor: _ChunkSupervisor,
+    task: ChunkTask,
+    chunk_index: int,
+    reason: str,
+    detail: str,
+    requeue: Callable[[ChunkTask, int], None],
+    incident: Callable[[int | None, str, str], None],
+) -> ChunkFailure | None:
+    """One failed execution attempt, resolved the same way everywhere.
+
+    Shared by every executor (inline, process pool, remote): under
+    ``strict`` the original failure aborts the run; otherwise the
+    attempt is counted and the chunk is either requeued for retry
+    (``None``) or the walk is given its terminal :class:`ChunkFailure`.
+    """
+    walk_id = task.spec.walk_id
+    if supervisor.strict:
+        raise RuntimeError(f"worker failed on walk {walk_id}:\n{detail}")
+    if supervisor.record_failure(walk_id):
+        incident(walk_id, "retry", detail)
+        requeue(task, chunk_index)
+        return None
+    return ChunkFailure(
+        walk_id=walk_id,
+        reason=reason,
+        detail=detail,
+        attempts=supervisor.attempts(walk_id),
+    )
+
 
 # -- executors ----------------------------------------------------------------
 
@@ -338,11 +399,17 @@ class _WorkerHandle:
 
 @dataclass
 class _InFlight:
-    """One chunk a specific worker currently owns."""
+    """One chunk a specific worker currently owns.
+
+    ``attempt`` is the execution epoch this dispatch belongs to: a
+    result echoing any other ``(task_id, attempt)`` pair answers a
+    superseded execution and is discarded instead of counted.
+    """
 
     task_id: int
     task: ChunkTask
     chunk_index: int
+    attempt: int
     started: float
 
 
@@ -439,10 +506,13 @@ class _ProcessExecutor:
             task, chunk_index = self._backlog.popleft()
             task_id = self._next_task_id
             self._next_task_id += 1
+            attempt = self._supervisor.attempts(task.spec.walk_id)
             self._owner[worker_id] = _InFlight(
-                task_id, task, chunk_index, time.monotonic()
+                task_id, task, chunk_index, attempt, time.monotonic()
             )
-            handle.task_queue.put((task_id, self._supervisor.arm(task, chunk_index)))
+            handle.task_queue.put(
+                (task_id, attempt, self._supervisor.arm(task, chunk_index))
+            )
 
     def collect(self) -> ChunkResult | ChunkFailure:
         while True:
@@ -476,17 +546,24 @@ class _ProcessExecutor:
                 if failure is not None:
                     return failure
                 continue
-            kind, task_id = message[0], message[1]
+            kind, task_id, attempt = message[0], message[1], message[2]
             inflight = self._owner.get(worker_id)
-            if inflight is None or inflight.task_id != task_id:
-                continue  # stale: chunk was already re-dispatched or failed
+            if (
+                inflight is None
+                or inflight.task_id != task_id
+                or inflight.attempt != attempt
+            ):
+                # stale: the chunk's attempt was superseded (re-dispatch
+                # after a timeout/death raced the predecessor's answer);
+                # counting it would double-book the walk's progress
+                continue
             del self._owner[worker_id]
             if worker_id in self._workers:
                 self._idle.append(worker_id)
             if kind == "ok":
-                return message[2]
+                return message[3]
             failure = self._chunk_failed(
-                inflight.task, inflight.chunk_index, "error", message[2]
+                inflight.task, inflight.chunk_index, "error", message[3]
             )
             if failure is not None:
                 return failure
@@ -495,19 +572,14 @@ class _ProcessExecutor:
         self, task: ChunkTask, chunk_index: int, reason: str, detail: str
     ) -> ChunkFailure | None:
         """One attempt failed: retry (``None``) or quarantine the walk."""
-        walk_id = task.spec.walk_id
-        if self._supervisor.strict:
-            raise RuntimeError(f"worker failed on walk {walk_id}:\n{detail}")
-        if self._supervisor.record_failure(walk_id):
-            self._incident(walk_id, "retry", detail)
+
+        def requeue(task: ChunkTask, chunk_index: int) -> None:
             self._backlog.append((task, chunk_index))
             self._pump()
-            return None
-        return ChunkFailure(
-            walk_id=walk_id,
-            reason=reason,
-            detail=detail,
-            attempts=self._supervisor.attempts(walk_id),
+
+        return resolve_chunk_failure(
+            self._supervisor, task, chunk_index, reason, detail,
+            requeue, self._incident,
         )
 
     def _reap_dead(self) -> ChunkFailure | None:
@@ -721,7 +793,30 @@ class PortfolioRunner:
     fault_plan:
         Deterministic fault injection for tests/CI (see
         :mod:`repro.parallel.faults`).  ``hang``/``die`` faults need
-        ``workers > 1``.
+        ``workers > 1`` or a ``listen`` address; network faults need
+        ``listen``.
+    listen:
+        Address to serve the distributed execution tier on —
+        ``"host:port"`` / ``"unix:/path.sock"`` (or the parsed form).
+        Remote workers started with ``repro worker --connect`` join the
+        run and execute chunks under leases renewed by heartbeats (see
+        :mod:`repro.parallel.remote`); the leaderboard stays
+        byte-identical to a serial run.  Mutually exclusive with
+        ``workers > 1`` — remote peers replace the local pool, and the
+        coordinator degrades to executing chunks itself if every peer
+        vanishes.
+    lease_timeout:
+        Seconds a dispatched chunk's lease survives without a
+        heartbeat from its worker before it is revoked and the chunk is
+        re-dispatched (default 10).
+    heartbeat_interval:
+        Seconds between worker heartbeats (default: a quarter of the
+        lease timeout); must be shorter than ``lease_timeout``.
+    on_listen:
+        Callback receiving the bound listen address (host/port
+        resolved, so ``port 0`` becomes the real ephemeral port) the
+        moment the coordinator starts serving — the handle workers need
+        to connect.
     """
 
     def __init__(
@@ -744,6 +839,10 @@ class PortfolioRunner:
         max_respawns: int | None = None,
         run_dir: str | os.PathLike | None = None,
         fault_plan: FaultPlan | None = None,
+        listen: "str | tuple[str, int] | None" = None,
+        lease_timeout: float | None = None,
+        heartbeat_interval: float | None = None,
+        on_listen: Callable[[object], None] | None = None,
     ) -> None:
         if starts < 1:
             raise ValueError("starts must be >= 1")
@@ -758,20 +857,59 @@ class PortfolioRunner:
             raise ValueError("budget must allow at least one step per start")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if isinstance(listen, str):
+            listen = parse_address(listen)
+        if listen is not None and workers > 1:
+            raise ValueError(
+                "listen and workers > 1 are mutually exclusive: remote "
+                "peers replace the local worker pool"
+            )
         if chunk_timeout is not None and chunk_timeout <= 0:
             raise ValueError("chunk_timeout must be positive (seconds)")
-        if chunk_timeout is not None and workers <= 1:
+        if chunk_timeout is not None and workers <= 1 and listen is None:
             raise ValueError(
-                "chunk_timeout requires workers > 1: in-process execution "
-                "cannot preempt a running chunk"
+                "chunk_timeout requires workers > 1 or a listen address: "
+                "in-process execution cannot preempt a running chunk"
+            )
+        if lease_timeout is None:
+            lease_timeout = _DEFAULT_LEASE_TIMEOUT
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive (seconds)")
+        if heartbeat_interval is None:
+            heartbeat_interval = lease_timeout / 4.0
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive (seconds)")
+        if heartbeat_interval >= lease_timeout:
+            raise ValueError(
+                f"heartbeat_interval ({heartbeat_interval:g}s) must be "
+                f"shorter than lease_timeout ({lease_timeout:g}s), or every "
+                "lease expires between heartbeats"
             )
         if max_respawns is not None and max_respawns < 0:
             raise ValueError("max_respawns must be >= 0")
-        if fault_plan is not None and fault_plan.needs_processes and workers <= 1:
-            raise ValueError(
-                "fault plans with 'hang' or 'die' faults need workers > 1: "
-                "there is no worker process to kill in-process"
-            )
+        if fault_plan is not None:
+            if fault_plan.needs_processes and workers <= 1 and listen is None:
+                raise ValueError(
+                    "fault plans with 'hang' or 'die' faults need workers > 1 "
+                    "or a listen address: there is no worker process to kill "
+                    "in-process"
+                )
+            if fault_plan.needs_network and listen is None:
+                raise ValueError(
+                    "network fault plans (disconnect / stall-heartbeat / "
+                    "duplicate-result) need a listen address: there is no "
+                    "socket to abuse locally"
+                )
+            if (
+                fault_plan.has_kind("hang")
+                and listen is not None
+                and chunk_timeout is None
+            ):
+                raise ValueError(
+                    "a 'hang' fault on a remote run needs a chunk_timeout: "
+                    "a hung remote worker still heartbeats, so only the "
+                    "hard per-chunk deadline can revoke its lease"
+                )
         self._circuit_name = circuit
         # fail fast on unknown names; the coordinator cache keeps the
         # built circuit for run() (sized circuits cost ~1s to rebuild)
@@ -797,6 +935,10 @@ class PortfolioRunner:
         self._max_respawns = max_respawns
         self._run_dir = RunDir(run_dir) if run_dir is not None else None
         self._fault_plan = fault_plan
+        self._listen = listen
+        self._lease_timeout = lease_timeout
+        self._heartbeat_interval = heartbeat_interval
+        self._on_listen = on_listen
         #: set by :meth:`resume` before run(); ``None`` for fresh runs
         self._resume_state: RunState | None = None
         self._failures: list[WalkFailure] = []
@@ -817,23 +959,55 @@ class PortfolioRunner:
         strict: bool = False,
         max_respawns: int | None = None,
         fault_plan: FaultPlan | None = None,
+        listen: "str | tuple[str, int] | None" = None,
+        lease_timeout: float | None = None,
+        heartbeat_interval: float | None = None,
+        on_listen: Callable[[object], None] | None = None,
+        allow_topology_change: bool = False,
     ) -> "PortfolioRunner":
         """Rebuild a runner from a persisted run directory.
 
         The run configuration (circuit, engines, seeds, budget, policy,
         overrides) comes from the manifest; execution-only knobs
-        (worker count, retries, timeouts, event callback) may be
-        overridden — they cannot change any answer.  Calling
-        :meth:`run` on the result continues the interrupted run and
-        produces a :class:`PortfolioResult` bit-identical to an
-        uninterrupted run of the same configuration.
+        (retries, timeouts, event callback) may be overridden — they
+        cannot change any answer.  The executor *topology* (transport
+        and worker count) is part of the manifest too, and a resume
+        requesting a different one is rejected: continuing a run under
+        a silently different topology is how "it resumed fine on my
+        laptop" bugs are born.  Pass ``allow_topology_change=True`` to
+        deliberately move a run (results stay bit-identical — topology
+        never touches a trajectory — which is exactly why the switch
+        must be explicit, not accidental).  Calling :meth:`run` on the
+        result continues the interrupted run and produces a
+        :class:`PortfolioResult` bit-identical to an uninterrupted run
+        of the same configuration.
         """
         state = RunDir(run_dir).load()
+        transport = "remote" if listen is not None else "local"
+        if not allow_topology_change:
+            if transport != state.transport:
+                raise RunDirError(
+                    f"run was recorded with transport {state.transport!r} "
+                    f"but this resume requests {transport!r}; pass "
+                    "allow_topology_change=True (--allow-topology-change) "
+                    "to deliberately move it"
+                )
+            if workers is not None and workers != state.workers:
+                raise RunDirError(
+                    f"run was recorded with workers={state.workers} but "
+                    f"this resume requests workers={workers}; pass "
+                    "allow_topology_change=True (--allow-topology-change) "
+                    "to deliberately change the topology"
+                )
         runner = cls(
             state.circuit,
             state.engines,
             starts=state.starts,
-            workers=state.workers if workers is None else workers,
+            workers=(
+                workers
+                if workers is not None
+                else (0 if listen is not None else state.workers)
+            ),
             seeds=state.seeds,
             budget=state.budget,
             restart_policy=state.restart_policy,
@@ -846,6 +1020,10 @@ class PortfolioRunner:
             max_respawns=max_respawns,
             run_dir=run_dir,
             fault_plan=fault_plan,
+            listen=listen,
+            lease_timeout=lease_timeout,
+            heartbeat_interval=heartbeat_interval,
+            on_listen=on_listen,
         )
         runner._resume_state = state
         return runner
@@ -870,6 +1048,12 @@ class PortfolioRunner:
         else:
             walks, restored, policy_state = self._restore(self._resume_state)
             self._run_state = self._resume_state
+            # a deliberately moved run re-records its topology so the
+            # *next* resume validates against reality, not history
+            self._run_state.transport = (
+                "remote" if self._listen is not None else "local"
+            )
+            self._run_state.workers = self._workers
         self._live_walks = walks
         self._ref = reference_cost_model(_circuit_for(self._circuit_name))
         supervisor = _ChunkSupervisor(
@@ -880,17 +1064,29 @@ class PortfolioRunner:
                 supervisor.preset_chunks(
                     walk.spec.walk_id, walk.checkpoint.step // walk.chunk
                 )
-        executor = (
-            _ProcessExecutor(
+        if self._listen is not None:
+            # imported lazily: remote.py imports this module at load
+            from .remote import RemoteExecutor
+
+            executor = RemoteExecutor(
+                self._listen,
+                supervisor,
+                lease_timeout=self._lease_timeout,
+                heartbeat_interval=self._heartbeat_interval,
+                chunk_timeout=self._chunk_timeout,
+                on_incident=self._incident,
+                on_listen=self._on_listen,
+            )
+        elif self._workers > 1:
+            executor = _ProcessExecutor(
                 self._workers,
                 supervisor,
                 chunk_timeout=self._chunk_timeout,
                 max_respawns=self._max_respawns,
                 on_incident=self._incident,
             )
-            if self._workers > 1
-            else _InlineExecutor(supervisor)
-        )
+        else:
+            executor = _InlineExecutor(supervisor)
         started = time.perf_counter()
         try:
             if self._policy == "rebalance":
@@ -928,7 +1124,15 @@ class PortfolioRunner:
             leaderboard=leaderboard,
             total_steps=sum(o.steps for o in leaderboard),
             elapsed_s=elapsed,
-            workers=max(1, self._workers),
+            # remote runs report the distinct workers that actually
+            # joined (1 = the coordinator went inline), not the local
+            # pool size, which is always 0 under --listen
+            workers=max(
+                1,
+                executor.peer_count
+                if self._listen is not None
+                else self._workers,
+            ),
             failures=list(self._failures),
         )
         if self._run_dir is not None and self._run_state is not None:
@@ -971,6 +1175,7 @@ class PortfolioRunner:
             engines=self._engines,
             starts=self._starts,
             workers=self._workers,
+            transport="remote" if self._listen is not None else "local",
             seeds=list(self._seeds),
             budget=self._budget,
             restart_policy=self._policy,

@@ -17,6 +17,7 @@ Process-pool cases run under ``workers=2`` (the minimum that exercises
 supervision); everything else runs inline for speed.
 """
 
+import multiprocessing
 import os
 import signal
 import threading
@@ -34,7 +35,12 @@ from repro.parallel import (
     WalkSpec,
 )
 from repro.parallel.jobs import ChunkFailure, ChunkResult
-from repro.parallel.runner import _ChunkSupervisor, _ProcessExecutor
+from repro.parallel.runner import (
+    _ChunkSupervisor,
+    _ProcessExecutor,
+    _WorkerHandle,
+    _execute,
+)
 
 #: short schedules so a walk is a few hundred steps
 FAST = (("alpha", 0.7), ("steps_per_epoch", 20), ("t_final", 1e-2))
@@ -83,6 +89,16 @@ class TestFaultPlan:
         assert not FaultPlan([Fault(0, 0, "raise")]).needs_processes
         assert FaultPlan([Fault(0, 0, "die")]).needs_processes
         assert FaultPlan([Fault(0, 0, "hang")]).needs_processes
+
+    def test_needs_network(self):
+        assert not FaultPlan([Fault(0, 0, "die")]).needs_network
+        for kind in ("disconnect", "stall-heartbeat", "duplicate-result"):
+            assert FaultPlan([Fault(0, 0, kind)]).needs_network
+
+    def test_has_kind(self):
+        plan = FaultPlan([Fault(0, 0, "die"), Fault(1, 0, "disconnect")])
+        assert plan.has_kind("die") and plan.has_kind("disconnect")
+        assert not plan.has_kind("hang")
 
     def test_hang_or_die_requires_workers(self):
         with pytest.raises(ValueError, match="workers > 1"):
@@ -317,6 +333,109 @@ class TestProcessSupervision:
                     ]
                 ),
             )
+
+
+class _FakeProc:
+    """Stand-in worker process for driving _ProcessExecutor by hand."""
+
+    pid = -1
+    exitcode = None
+
+    def is_alive(self) -> bool:
+        return True
+
+    def join(self, timeout=None) -> None:
+        pass
+
+
+class _FakeQueue:
+    """Task-queue stub that just records what the coordinator sent."""
+
+    def __init__(self) -> None:
+        self.items: list = []
+
+    def put(self, item) -> None:
+        self.items.append(item)
+
+
+class TestStaleResultEpoch:
+    """Satellite regression: results from superseded attempts.
+
+    A re-dispatched chunk (its predecessor timed out, or its worker was
+    declared dead) can race the predecessor's late answer.  Every
+    dispatch is stamped with its ``(task_id, attempt)`` epoch and the
+    coordinator discards any result echoing a stale stamp — counting it
+    would double-book the walk's progress and hand the *next* chunk a
+    wrong checkpoint.
+    """
+
+    def _rigged_executor(self):
+        """A 0-worker pool plus one hand-driven fake worker, so the test
+        can write arbitrary (including stale) result messages into the
+        exact pipe ``collect`` reads."""
+        supervisor = _ChunkSupervisor(max_retries=2, fault_plan=None, strict=False)
+        executor = _ProcessExecutor(0, supervisor)
+        recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
+        handle = _WorkerHandle(0, _FakeProc(), _FakeQueue(), recv_conn)
+        executor._workers[0] = handle
+        executor._idle.append(0)
+        return executor, handle, send_conn
+
+    def _teardown(self, executor, send_conn) -> None:
+        send_conn.close()
+        for handle in executor._workers.values():
+            handle.conn.close()
+        executor._workers.clear()
+        executor._idle.clear()
+        executor._owner.clear()
+        executor.close()
+
+    def test_stale_attempt_result_is_discarded(self):
+        executor, handle, send_conn = self._rigged_executor()
+        try:
+            spec = WalkSpec(0, "miller_opamp", "bstar", 0, FAST)
+            executor.dispatch(ChunkTask(spec=spec, checkpoint=None, max_steps=40))
+            task_id, attempt, armed = handle.task_queue.items[0]
+            bogus = ChunkResult(walk_id=0, checkpoint="NOT A CHECKPOINT")
+            # the predecessor's late answer: same task, superseded epoch
+            send_conn.send(("ok", task_id, attempt + 1, bogus))
+            genuine = _execute(armed)
+            send_conn.send(("ok", task_id, attempt, genuine))
+            out = _collect_with_deadline(executor)
+            assert isinstance(out, ChunkResult)
+            assert out.checkpoint.step == genuine.checkpoint.step
+            assert out.checkpoint.best_cost == genuine.checkpoint.best_cost
+        finally:
+            self._teardown(executor, send_conn)
+
+    def test_stale_task_id_result_is_discarded(self):
+        executor, handle, send_conn = self._rigged_executor()
+        try:
+            spec = WalkSpec(0, "miller_opamp", "bstar", 0, FAST)
+            executor.dispatch(ChunkTask(spec=spec, checkpoint=None, max_steps=40))
+            task_id, attempt, armed = handle.task_queue.items[0]
+            bogus = ChunkResult(walk_id=0, checkpoint="NOT A CHECKPOINT")
+            # an answer to a task that was never this dispatch at all
+            send_conn.send(("ok", task_id + 99, attempt, bogus))
+            genuine = _execute(armed)
+            send_conn.send(("ok", task_id, attempt, genuine))
+            out = _collect_with_deadline(executor)
+            assert isinstance(out, ChunkResult)
+            assert out.checkpoint.step == genuine.checkpoint.step
+        finally:
+            self._teardown(executor, send_conn)
+
+    def test_supervisor_epoch_bookkeeping(self):
+        supervisor = _ChunkSupervisor(max_retries=2, fault_plan=None, strict=False)
+        chunk = supervisor.begin_chunk(5)
+        assert supervisor.is_current(5, chunk, 0)
+        assert not supervisor.is_current(5, chunk, 1)  # future attempt
+        assert supervisor.record_failure(5)  # attempt 0 burned -> retry
+        assert supervisor.is_current(5, chunk, 1)
+        assert not supervisor.is_current(5, chunk, 0)  # superseded
+        next_chunk = supervisor.begin_chunk(5)
+        assert not supervisor.is_current(5, chunk, 1)  # old chunk
+        assert supervisor.is_current(5, next_chunk, 0)
 
 
 def _collect_with_deadline(executor, timeout_s: float = 90.0):

@@ -203,6 +203,91 @@ class TestRunDirValidation:
         assert set(state.walks) >= {0, 1, 2}
 
 
+class TestTopologyRecord:
+    """Satellite: the manifest records the executor topology and
+    ``resume`` refuses to silently continue under a different one."""
+
+    def _finished_run_dir(self, tmp_path, **kwargs):
+        run_dir = tmp_path / "rd"
+        kwargs.setdefault("starts", 2)
+        kwargs.setdefault("overrides", FAST)
+        PortfolioRunner("miller_opamp", run_dir=str(run_dir), **kwargs).run()
+        return run_dir
+
+    def test_manifest_records_local_topology(self, tmp_path):
+        run_dir = self._finished_run_dir(tmp_path)
+        state = RunDir(run_dir).load()
+        assert state.transport == "local"
+        assert state.workers == 0
+
+    def test_manifest_records_remote_topology(self, tmp_path):
+        # no workers connect: the run degrades to inline but the
+        # recorded topology is still the requested one
+        run_dir = tmp_path / "rd"
+        PortfolioRunner(
+            "miller_opamp",
+            starts=2,
+            overrides=FAST,
+            run_dir=str(run_dir),
+            listen=("127.0.0.1", 0),
+            lease_timeout=0.3,
+        ).run()
+        state = RunDir(run_dir).load()
+        assert state.transport == "remote"
+
+    def test_resume_rejects_worker_count_mismatch(self, tmp_path):
+        run_dir = bombed_run(tmp_path, 3, starts=2, budget=600)
+        with pytest.raises(RunDirError, match="workers=0.*workers=4"):
+            PortfolioRunner.resume(run_dir, workers=4)
+
+    def test_resume_rejects_transport_mismatch(self, tmp_path):
+        run_dir = bombed_run(tmp_path, 3, starts=2, budget=600)
+        with pytest.raises(RunDirError, match="transport 'local'.*'remote'"):
+            PortfolioRunner.resume(run_dir, listen=("127.0.0.1", 0))
+
+    def test_resume_default_keeps_recorded_topology(self, tmp_path):
+        # workers=None means "whatever the manifest says": no mismatch
+        run_dir = bombed_run(tmp_path, 3, starts=2, budget=600)
+        result = PortfolioRunner.resume(run_dir).run()
+        assert result.leaderboard
+
+    def test_allow_topology_change_moves_the_run(self, tmp_path):
+        """An explicit topology change resumes bit-identically — the
+        transport schedules work, it never touches a trajectory — and
+        re-records the new topology for the next resume."""
+        base = PortfolioRunner(
+            "miller_opamp", starts=2, budget=600, overrides=FAST
+        ).run()
+        run_dir = bombed_run(tmp_path, 3, starts=2, budget=600)
+        resumed = PortfolioRunner.resume(
+            run_dir,
+            listen=("127.0.0.1", 0),
+            lease_timeout=0.3,
+            allow_topology_change=True,
+        ).run()  # degrades to inline: nobody connects
+        assert fingerprint(resumed) == fingerprint(base)
+        assert RunDir(run_dir).load().transport == "remote"
+
+    def test_pre_topology_manifest_reads_as_local(self, tmp_path):
+        # manifests written before the remote tier existed carry no
+        # transport key; they were by definition local runs
+        run_dir = self._finished_run_dir(tmp_path)
+        manifest = run_dir / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        del payload["config"]["transport"]
+        manifest.write_text(json.dumps(payload))
+        assert RunDir(run_dir).load().transport == "local"
+
+    def test_unknown_transport_is_rejected(self, tmp_path):
+        run_dir = self._finished_run_dir(tmp_path)
+        manifest = run_dir / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["config"]["transport"] = "carrier-pigeon"
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(RunDirError, match="carrier-pigeon"):
+            RunDir(run_dir).load()
+
+
 class TestKillAndResume:
     def test_sigkilled_cli_run_resumes_bit_identically(self, tmp_path):
         """The end-to-end crash drill: start ``place --run-dir`` as a

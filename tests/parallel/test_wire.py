@@ -1,0 +1,179 @@
+"""Wire framing for the distributed tier (repro.parallel.net).
+
+Pure protocol-layer tests: addresses, frame packing, the incremental
+decoder's handling of split/coalesced/corrupt byte streams, and the
+blocking worker-side stream over a socketpair.  No coordinator, no
+chunks — the executor-level behavior lives in test_remote.py.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.parallel.net import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameDecoder,
+    MessageStream,
+    ProtocolError,
+    bound_address,
+    connect_socket,
+    format_address,
+    listen_socket,
+    pack_frame,
+    parse_address,
+)
+
+
+class TestAddresses:
+    def test_host_port_parses(self):
+        assert parse_address("127.0.0.1:7000") == ("127.0.0.1", 7000)
+
+    def test_port_zero_is_valid(self):
+        # ephemeral-port form used by tests and the smoke tool
+        assert parse_address("localhost:0") == ("localhost", 0)
+
+    def test_ipv6_literal_splits_on_last_colon(self):
+        assert parse_address("[::1]:9000") == ("::1", 9000)
+
+    def test_unix_prefix_selects_a_path(self):
+        assert parse_address("unix:/tmp/run.sock") == "/tmp/run.sock"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "nocolon", ":7000", "host:", "host:abc", "host:70000", "unix:"]
+    )
+    def test_malformed_addresses_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_format_is_the_inverse(self):
+        for text in ("127.0.0.1:7000", "unix:/tmp/run.sock"):
+            assert format_address(parse_address(text)) == text
+
+    def test_listen_resolves_ephemeral_port(self):
+        sock = listen_socket(("127.0.0.1", 0))
+        try:
+            host, port = bound_address(sock)
+            assert host == "127.0.0.1"
+            assert port > 0
+        finally:
+            sock.close()
+
+    def test_unix_socket_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.sock")
+        server = listen_socket(path)
+        try:
+            assert bound_address(server) == path
+            client = connect_socket(path, timeout=5.0)
+            client.close()
+        finally:
+            server.close()
+
+
+class TestFrames:
+    def test_roundtrip_through_the_decoder(self):
+        frame = pack_frame("hello", {"version": PROTOCOL_VERSION, "name": "w0"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame) == [
+            ("hello", {"version": PROTOCOL_VERSION, "name": "w0"})
+        ]
+
+    def test_split_delivery_buffers_partial_frames(self):
+        # sockets deliver arbitrary byte runs: one byte at a time must
+        # decode to exactly the same messages as one big read
+        frame = pack_frame("heartbeat", {}) + pack_frame("task", {"task_id": 3})
+        decoder = FrameDecoder()
+        messages = []
+        for i in range(len(frame)):
+            messages.extend(decoder.feed(frame[i : i + 1]))
+        assert messages == [("heartbeat", {}), ("task", {"task_id": 3})]
+
+    def test_coalesced_frames_all_come_back(self):
+        frames = b"".join(pack_frame("heartbeat", {"n": i}) for i in range(5))
+        assert len(FrameDecoder().feed(frames)) == 5
+
+    def test_bad_magic_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameDecoder().feed(b"HTTP/1.1 200 OK\r\n\r\n")
+
+    def test_absurd_length_is_a_protocol_error(self):
+        header = struct.pack("!4sI", b"RPP\x01", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="limit"):
+            FrameDecoder().feed(header)
+
+    def test_undecodable_payload_is_a_protocol_error(self):
+        blob = b"\x00not pickle"
+        header = struct.pack("!4sI", b"RPP\x01", len(blob))
+        with pytest.raises(ProtocolError, match="payload"):
+            FrameDecoder().feed(header + blob)
+
+    def test_non_message_payload_is_a_protocol_error(self):
+        # well-formed pickle, wrong shape: not a (str, dict) message
+        blob = pickle.dumps((1, 2))
+        header = struct.pack("!4sI", b"RPP\x01", len(blob))
+        with pytest.raises(ProtocolError, match="malformed"):
+            FrameDecoder().feed(header + blob)
+
+
+class TestMessageStream:
+    def _pair(self):
+        a, b = socket.socketpair()
+        return MessageStream(a), MessageStream(b)
+
+    def test_send_recv_roundtrip(self):
+        left, right = self._pair()
+        try:
+            left.send("result", task_id=7, attempt=1)
+            assert right.recv(timeout=5.0) == (
+                "result",
+                {"task_id": 7, "attempt": 1},
+            )
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_timeout_returns_none(self):
+        left, right = self._pair()
+        try:
+            assert right.recv(timeout=0.05) is None
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_raises_connection_closed(self):
+        left, right = self._pair()
+        left.close()
+        try:
+            with pytest.raises(ConnectionClosed):
+                right.recv(timeout=5.0)
+        finally:
+            right.close()
+
+    def test_concurrent_senders_never_interleave_frames(self):
+        # the heartbeat thread and the task loop share one socket; the
+        # send lock must keep every frame contiguous on the wire
+        left, right = self._pair()
+        try:
+            threads = [
+                threading.Thread(
+                    target=lambda i=i: [
+                        left.send("heartbeat", sender=i) for _ in range(50)
+                    ]
+                )
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            got = [right.recv(timeout=5.0) for _ in range(200)]
+            assert all(kind == "heartbeat" for kind, _ in got)
+        finally:
+            left.close()
+            right.close()

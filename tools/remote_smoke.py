@@ -1,0 +1,114 @@
+"""CI distributed-tier smoke: kill a remote worker mid-run, finish exact.
+
+A bounded end-to-end drill for the distributed execution tier
+(docs/parallel.md#distributed-execution), meant to run on every push:
+
+1. a serial portfolio establishes the expected leaderboard;
+2. the same portfolio reruns with the coordinator listening on a
+   loopback ephemeral port and two real worker processes connected
+   over TCP — then one worker is SIGKILLed mid-run.  The coordinator
+   must detect the dead lease via the missed heartbeat, re-dispatch
+   the orphaned chunk to the survivor, and land a leaderboard
+   byte-identical to the serial run with zero failures.
+
+Exit code 0 on success; an assertion failure (or a hang caught by the
+CI step timeout) is a lease-recovery regression.  This is a real file —
+not a ``python -c`` one-liner — so the coordinator side has a stable
+``__main__`` under the spawn start method.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+sys.dont_write_bytecode = True
+
+from repro.parallel import PortfolioRunner
+from repro.parallel.net import format_address
+
+FAST = (("alpha", 0.7), ("steps_per_epoch", 20), ("t_final", 1e-2))
+CIRCUIT = "miller_opamp"
+STARTS = 4
+#: short lease so the killed worker's chunk is reclaimed quickly
+LEASE_S = 1.5
+#: kill after this many progress events — far enough in for both
+#: workers to hold leases, far enough out that work remains
+KILL_AFTER_EVENTS = 3
+
+
+def rows(result):
+    return [
+        (o.spec.walk_id, o.spec.engine, o.spec.seed, o.best_cost, o.ref_cost, o.status)
+        for o in result.leaderboard
+    ]
+
+
+def spawn_worker(address, name: str) -> subprocess.Popen:
+    code = (
+        "import sys\n"
+        "from repro.parallel.remote import run_worker\n"
+        f"sys.exit(run_worker({format_address(address)!r}, name={name!r}))\n"
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen([sys.executable, "-c", code], env=env)
+
+
+def main() -> int:
+    base = PortfolioRunner(CIRCUIT, starts=STARTS, overrides=FAST).run()
+    assert not base.failures, "serial run must report no failures"
+
+    procs: list[subprocess.Popen] = []
+    events = 0
+    killed = threading.Event()
+
+    def on_listen(address) -> None:
+        procs.extend(spawn_worker(address, f"smoke-w{i}") for i in range(2))
+
+    def on_event(event) -> None:
+        nonlocal events
+        events += 1
+        if events == KILL_AFTER_EVENTS and not killed.is_set():
+            killed.set()
+            procs[0].kill()  # hard death: no FIN, the lease must expire
+
+    remote = PortfolioRunner(
+        CIRCUIT,
+        starts=STARTS,
+        overrides=FAST,
+        listen=("127.0.0.1", 0),
+        lease_timeout=LEASE_S,
+        on_listen=on_listen,
+        on_event=on_event,
+    ).run()
+
+    for proc in procs:
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    assert killed.is_set(), "run finished before the kill fired — raise STARTS"
+    assert not remote.failures, (
+        f"worker death must heal, got failures: "
+        f"{[f.spec.walk_id for f in remote.failures]}"
+    )
+    assert rows(remote) == rows(base), (
+        "distributed run diverged from serial after worker death:\n"
+        f"  expected {rows(base)}\n  got      {rows(remote)}"
+    )
+    survivor = procs[1].returncode
+    assert survivor == 0, f"surviving worker exited {survivor}, expected 0"
+    print(
+        "remote smoke: SIGKILLed worker's lease reclaimed, "
+        f"{len(rows(base))} rows byte-identical to serial, survivor exited clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
