@@ -1,0 +1,14 @@
+UCLA pl 1.0
+
+bk1 0 0
+bk2 0 0
+bk3 0 0
+bk4 0 0
+bk5 0 0
+bk6 0 0
+bk7 0 0
+bk8 0 0
+bk9 0 0
+bk10 0 0
+bk11 0 0
+bk12 0 0

@@ -1,0 +1,18 @@
+UCLA pl 1.0
+
+sb0 0 0
+sb1 0 0
+sb2 0 0
+sb3 0 0
+sb4 0 0
+sb5 0 0
+sb6 0 0
+sb7 0 0
+sb8 0 0
+sb9 0 0
+sb10 0 0
+sb11 0 0
+sb12 0 0
+sb13 0 0
+sb14 0 0
+sb15 0 0

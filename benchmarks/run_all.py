@@ -10,11 +10,18 @@ enumerates every ``bench_*.py`` and executes them through pytest:
   a couple of minutes and import/runtime breakage is caught;
 * ``--full``: pytest-benchmark timing enabled (slow, for real numbers).
 
-After the suites pass, a **perf regression guard** runs the quick
-perf-kernel benchmark, appends a trajectory entry to
-``BENCH_perf_kernel.json`` (append, never overwrite), and exits
-non-zero if steps/s dropped more than 20% against the most recent
-comparable entry.  Skip it with ``--no-guard``.
+After the suites pass, two regression guards run (skip both with
+``--no-guard``):
+
+* the **perf guard** runs the quick perf-kernel benchmark, appends a
+  trajectory entry to ``BENCH_perf_kernel.json`` (append, never
+  overwrite), and exits non-zero if steps/s dropped more than 20%
+  against the most recent comparable entry;
+* the **sweep guard** runs the quick-tier quality sweep and diffs it
+  against the committed ``benchmarks/quality_matrix.json`` (see
+  ``docs/benchmarks.md``), exiting non-zero on any quality regression.
+
+Both guards share the exit-code contract: 3 means regression.
 
 Usage::
 
@@ -55,6 +62,19 @@ def perf_guard() -> int:
     return 0
 
 
+def sweep_guard() -> int:
+    """Quick-tier quality sweep diffed against the committed baseline.
+
+    Quality fields are deterministic for fixed seeds, so unlike the
+    steps/s guard this gate is hardware-independent.  Shares the
+    exit-code contract: 3 on regression.
+    """
+    sys.path.insert(0, str(BENCH_DIR))
+    import sweep
+
+    return sweep.run_and_gate(tier="quick")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -66,7 +86,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-guard",
         action="store_true",
-        help="skip the perf-kernel regression guard (and its trajectory append)",
+        help="skip the perf-kernel and quality-sweep regression guards "
+        "(and their trajectory appends)",
     )
     args = parser.parse_args(argv)
 
@@ -84,7 +105,10 @@ def main(argv: list[str] | None = None) -> int:
         return int(code)
     if args.no_guard:
         return 0
-    return perf_guard()
+    code = perf_guard()
+    if code:
+        return code
+    return sweep_guard()
 
 
 if __name__ == "__main__":

@@ -424,6 +424,93 @@ def cmd_worker(args) -> int:
     )
 
 
+def cmd_sweep(args) -> int:
+    """Run the standard-suite quality sweep and gate it on the baseline.
+
+    Thin client over :mod:`repro.analysis.sweep` (the same module
+    ``benchmarks/sweep.py`` and the CI ``sweep-smoke`` step drive);
+    ``--json`` emits the matrix + diff as one machine-readable document
+    (CLI-as-API).  Exit codes: 0 clean, 2 usage/baseline problems, 3
+    quality regression.
+    """
+    import json as json_mod
+    from pathlib import Path
+
+    from .analysis import sweep as sweep_mod
+
+    narrowing = {}
+    if args.workloads:
+        # one name per flag occurrence: gen: names contain commas, so a
+        # comma-separated list could never name them unambiguously
+        narrowing["workloads"] = tuple(args.workloads)
+    if args.engines:
+        engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+        supported = _portfolio_engines()
+        unknown = [e for e in engines if e not in supported]
+        if unknown:
+            raise SystemExit(
+                f"sweep: unknown engine(s) {', '.join(unknown)}; "
+                f"try: {', '.join(supported)}"
+            )
+        narrowing["engines"] = engines
+    if args.budget is not None:
+        narrowing["budget"] = args.budget
+    if args.seed is not None:
+        narrowing["seed"] = args.seed
+    try:
+        cells = sweep_mod.tier_cells(args.tier, **narrowing)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"sweep: {exc.args[0]}") from None
+    matrix = sweep_mod.run_sweep(args.tier, cells=cells)
+
+    diff = None
+    note = None
+    if args.no_diff:
+        pass
+    elif args.baseline is not None:
+        try:
+            diff = sweep_mod.diff_matrices(
+                sweep_mod.load_matrix(args.baseline), matrix
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"sweep: {exc}") from None
+    elif narrowing or args.tier != "quick":
+        note = (
+            "diff skipped: narrowed/non-quick runs have no committed "
+            "baseline (pass --baseline to gate, --no-diff to silence)"
+        )
+    elif sweep_mod.DEFAULT_BASELINE_PATH.exists():
+        diff = sweep_mod.diff_matrices(
+            sweep_mod.load_matrix(sweep_mod.DEFAULT_BASELINE_PATH), matrix
+        )
+    else:
+        note = f"diff skipped: no baseline at {sweep_mod.DEFAULT_BASELINE_PATH}"
+
+    if args.out:
+        sweep_mod.write_matrix(matrix, Path(args.out))
+    if args.json:
+        document = {
+            "matrix": matrix,
+            "diff": None
+            if diff is None
+            else {
+                "ok": diff.ok,
+                "regressions": diff.regressions,
+                "improvements": diff.improvements,
+                "added": diff.added,
+                "unchanged": diff.unchanged,
+            },
+        }
+        print(json_mod.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(sweep_mod.format_matrix(matrix))
+        if note:
+            print(note)
+        if diff is not None:
+            print(diff.summary())
+    return 3 if diff is not None and not diff.ok else 0
+
+
 def cmd_sizing(args) -> int:
     from .sizing import electrical_sizing, layout_aware_sizing
 
@@ -707,6 +794,68 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1", help="regenerate the Table-I comparison")
     p.add_argument("--circuit", choices=sorted(TABLE1_MODULE_COUNTS), default=None)
     p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run the standard-suite quality sweep and diff the baseline "
+        "(see docs/benchmarks.md)",
+    )
+    p.add_argument(
+        "--tier",
+        choices=("quick", "full"),
+        default="quick",
+        help="declared grid to run (quick: the bounded CI tier)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the matrix + diff as one JSON document (CLI-as-API)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the full matrix (quality + timing) to FILE",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline matrix to gate against (default: the committed "
+        "benchmarks/quality_matrix.json for unnarrowed quick runs)",
+    )
+    p.add_argument(
+        "--no-diff",
+        action="store_true",
+        help="run and report only; skip the regression gate",
+    )
+    p.add_argument(
+        "--workloads",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="narrow the grid to this workload (repeatable; any registry "
+        "name — gen: names contain commas, hence one name per flag)",
+    )
+    p.add_argument(
+        "--engines",
+        default=None,
+        metavar="A,B,...",
+        help="narrow the grid to these annealing engines",
+    )
+    p.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        help="override the per-cell serial step budget",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the sweep's base seed",
+    )
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("sizing", help="run a Fig.-10 sizing flow")
     p.add_argument("--flow", choices=("plain", "aware"), default="aware")

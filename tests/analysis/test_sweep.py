@@ -1,0 +1,336 @@
+"""Sweep harness: matrix schema, the differ's gate semantics, and the
+byte-identical determinism of same-seed sweep runs."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweep import (
+    DEFAULT_RTOL,
+    PORTFOLIO,
+    SCHEMA,
+    SweepCellSpec,
+    cell_key,
+    declared_size,
+    diff_matrices,
+    format_matrix,
+    load_matrix,
+    matrix_bytes,
+    matrix_summary,
+    resolve_sweep_name,
+    run_cell,
+    run_sweep,
+    tier_cells,
+    tier_workloads,
+    validate_matrix,
+    write_matrix,
+)
+
+# -- synthetic matrices for differ tests --------------------------------------
+
+
+def make_cell(
+    workload: str = "gen:n=10,seed=1",
+    engine: str = "bstar",
+    ref_cost: float = 2.0,
+    violations: int = 0,
+    ok: bool = True,
+    rtol: float = DEFAULT_RTOL,
+) -> dict:
+    cell = {
+        "workload": workload,
+        "engine": engine,
+        "config": {"engines": [engine], "starts": 1, "budget": 100, "seed": 1},
+        "config_hash": f"hash-{workload}-{engine}",
+        "rtol": rtol,
+        "ok": ok,
+    }
+    if ok:
+        cell.update(
+            ref_cost=ref_cost,
+            cost_terms={"area": ref_cost},
+            hpwl=10.0,
+            violations=violations,
+            steps=100,
+        )
+    else:
+        cell["error"] = "RuntimeError: boom"
+    return cell
+
+
+def make_matrix(cells: list[dict], tier: str = "quick") -> dict:
+    return {"schema": SCHEMA, "tier": tier, "cells": cells}
+
+
+# hypothesis strategy: a small matrix of distinct cells with arbitrary
+# (but valid) quality numbers
+_cells = st.lists(
+    st.tuples(
+        st.sampled_from(["w1", "w2", "gen:n=5,seed=2"]),
+        st.sampled_from(["bstar", "hbtree", "seqpair", "slicing", PORTFOLIO]),
+        st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=8,
+    unique_by=lambda t: (t[0], t[1]),
+).map(
+    lambda rows: make_matrix(
+        [make_cell(w, e, cost, viol) for w, e, cost, viol in rows]
+    )
+)
+
+
+class TestDiffer:
+    @given(matrix=_cells)
+    @settings(max_examples=50, deadline=None)
+    def test_matrix_diffed_against_itself_always_passes(self, matrix):
+        diff = diff_matrices(matrix, copy.deepcopy(matrix))
+        assert diff.ok
+        assert diff.regressions == []
+        assert diff.improvements == []
+        assert diff.added == []
+        assert diff.unchanged == len(matrix["cells"])
+
+    @given(matrix=_cells, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_single_worsened_cell_always_fails_and_is_named(self, matrix, data):
+        fresh = copy.deepcopy(matrix)
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(fresh["cells"]) - 1)
+        )
+        victim = fresh["cells"][index]
+        victim["ref_cost"] = victim["ref_cost"] * (1.0 + victim["rtol"]) * 1.01
+        diff = diff_matrices(matrix, fresh)
+        assert not diff.ok
+        assert len(diff.regressions) == 1
+        # the offending (workload, engine) pair is named verbatim
+        assert victim["workload"] in diff.regressions[0]
+        assert victim["engine"] in diff.regressions[0]
+
+    def test_tolerance_bound_is_inclusive_pass(self):
+        """A fresh cost exactly on ``base * (1 + rtol)`` passes; any
+        strictly greater value fails — as documented."""
+        base = make_matrix([make_cell(ref_cost=100.0, rtol=0.05)])
+        on_bound = make_matrix([make_cell(ref_cost=100.0 * 1.05, rtol=0.05)])
+        assert diff_matrices(base, on_bound).ok
+        above = make_matrix(
+            [make_cell(ref_cost=100.0 * 1.05 + 1e-9, rtol=0.05)]
+        )
+        assert not diff_matrices(base, above).ok
+
+    def test_rtol_comes_from_the_baseline_cell(self):
+        """The gate honors the *committed* tolerance, so loosening the
+        fresh cell's rtol cannot self-approve a regression."""
+        base = make_matrix([make_cell(ref_cost=100.0, rtol=0.02)])
+        fresh = make_matrix([make_cell(ref_cost=110.0, rtol=10.0)])
+        assert not diff_matrices(base, fresh).ok
+
+    def test_new_violation_fails_without_tolerance(self):
+        base = make_matrix([make_cell(violations=1)])
+        fresh = make_matrix([make_cell(violations=2)])
+        diff = diff_matrices(base, fresh)
+        assert not diff.ok
+        assert "violations 1 -> 2" in diff.regressions[0]
+
+    def test_formerly_converging_cell_failing_is_a_regression(self):
+        base = make_matrix([make_cell()])
+        fresh = make_matrix([make_cell(ok=False)])
+        diff = diff_matrices(base, fresh)
+        assert not diff.ok
+        assert "previously converging" in diff.regressions[0]
+        assert "boom" in diff.regressions[0]
+
+    def test_never_converging_cell_cannot_regress(self):
+        base = make_matrix([make_cell(ok=False)])
+        fresh = make_matrix([make_cell(ok=False)])
+        assert diff_matrices(base, fresh).ok
+
+    def test_recovered_cell_is_an_improvement(self):
+        base = make_matrix([make_cell(ok=False)])
+        fresh = make_matrix([make_cell()])
+        diff = diff_matrices(base, fresh)
+        assert diff.ok
+        assert "now converges" in diff.improvements[0]
+
+    def test_missing_baseline_cell_fails(self):
+        base = make_matrix([make_cell(engine="bstar"), make_cell(engine="hbtree")])
+        fresh = make_matrix([make_cell(engine="bstar")])
+        diff = diff_matrices(base, fresh)
+        assert not diff.ok
+        assert "missing" in diff.regressions[0]
+        assert "hbtree" in diff.regressions[0]
+
+    def test_added_cell_passes_and_is_reported(self):
+        base = make_matrix([make_cell(engine="bstar")])
+        fresh = make_matrix([make_cell(engine="bstar"), make_cell(engine="hbtree")])
+        diff = diff_matrices(base, fresh)
+        assert diff.ok
+        assert diff.added == ["(gen:n=10,seed=1, hbtree)"]
+
+    def test_improvement_passes_and_is_reported(self):
+        base = make_matrix([make_cell(ref_cost=100.0)])
+        fresh = make_matrix([make_cell(ref_cost=50.0)])
+        diff = diff_matrices(base, fresh)
+        assert diff.ok
+        assert len(diff.improvements) == 1
+
+
+class TestSchema:
+    def test_committed_baseline_is_schema_valid_and_self_diffs_clean(self):
+        from repro.analysis.sweep import DEFAULT_BASELINE_PATH
+
+        baseline = load_matrix(DEFAULT_BASELINE_PATH)
+        assert validate_matrix(baseline) == []
+        assert baseline["tier"] == "quick"
+        diff = diff_matrices(baseline, copy.deepcopy(baseline))
+        assert diff.ok and diff.unchanged == len(baseline["cells"])
+        # acceptance shape: >= 2 fixture + >= 2 gen workloads, all four
+        # engines plus the portfolio per workload
+        workloads = {c["workload"] for c in baseline["cells"]}
+        assert sum(1 for w in workloads if w.startswith("file:")) >= 2
+        assert sum(1 for w in workloads if w.startswith("gen:")) >= 2
+        for workload in workloads:
+            engines = {
+                c["engine"] for c in baseline["cells"] if c["workload"] == workload
+            }
+            assert engines == {
+                "bstar", "hbtree", "seqpair", "slicing", PORTFOLIO,
+            }
+
+    def test_validate_rejects_wrong_schema_and_missing_fields(self):
+        assert validate_matrix({"schema": "nope", "cells": []})
+        matrix = make_matrix([make_cell()])
+        del matrix["cells"][0]["ref_cost"]
+        assert any("ref_cost" in p for p in validate_matrix(matrix))
+
+    def test_validate_rejects_duplicate_cells(self):
+        matrix = make_matrix([make_cell(), make_cell()])
+        assert any("duplicate" in p for p in validate_matrix(matrix))
+
+    def test_failed_cell_requires_error(self):
+        matrix = make_matrix([make_cell(ok=False)])
+        assert validate_matrix(matrix) == []
+        del matrix["cells"][0]["error"]
+        assert any("error" in p for p in validate_matrix(matrix))
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        matrix = make_matrix([make_cell()])
+        path = write_matrix(matrix, tmp_path / "m.json")
+        assert load_matrix(path) == matrix
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ValueError, match="not a valid quality matrix"):
+            load_matrix(path)
+
+
+class TestDeclaration:
+    def test_quick_tier_covers_fixtures_and_gen_families(self):
+        names = tier_workloads("quick")
+        assert "file:benchmarks/fixtures/ami33s.aux" in names
+        assert "file:benchmarks/fixtures/n100s.aux" in names
+        assert sum(1 for n in names if n.startswith("gen:")) >= 2
+
+    def test_full_tier_is_a_superset_with_scaling_sizes(self):
+        quick, full = set(tier_workloads("quick")), set(tier_workloads("full"))
+        assert quick < full
+        assert any("n=1000" in n for n in full)
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(ValueError, match="unknown sweep tier"):
+            tier_workloads("nightly")
+
+    def test_size_caps_drop_slow_engines_from_large_cells_visibly(self):
+        cells = tier_cells("full")
+        big = [c for c in cells if declared_size(c.workload) >= 1000]
+        assert big, "full tier should declare 1000-module cells"
+        for cell in big:
+            assert "seqpair" not in cell.engines
+        # the portfolio cell's recorded config lists only the engines
+        # that actually ran — capability capping is never silent
+        portfolio = [c for c in big if c.engine == PORTFOLIO]
+        assert portfolio and all(
+            "seqpair" not in c.config()["engines"] for c in portfolio
+        )
+
+    def test_narrowing_changes_config_hashes(self):
+        default = {c.config_hash() for c in tier_cells("quick")}
+        narrowed = {
+            c.config_hash()
+            for c in tier_cells("quick", budget=99, portfolio_budget=396)
+        }
+        assert default.isdisjoint(narrowed)
+
+    def test_fixture_names_resolve_from_anywhere(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        resolved = resolve_sweep_name("file:benchmarks/fixtures/ami33s.aux")
+        assert resolved.startswith("file:/")
+        from repro.workloads import resolve_workload
+
+        assert resolve_workload(resolved).n_modules == 12
+
+
+#: a deliberately tiny grid: enough to exercise serial + portfolio paths
+#: in well under a second per run
+_MINI_CELLS = (
+    SweepCellSpec("gen:n=8,seed=2", "bstar", ("bstar",), 1, 150, 17),
+    SweepCellSpec("gen:n=8,seed=2", "hbtree", ("hbtree",), 1, 150, 17),
+    SweepCellSpec(
+        "gen:n=8,seed=2", PORTFOLIO, ("bstar", "hbtree"), 2, 300, 17
+    ),
+)
+
+
+class TestRunDeterminism:
+    def test_same_seed_sweeps_are_byte_identical(self):
+        """Two sweep runs under one declaration produce byte-identical
+        canonical matrices — the determinism oracle the workload
+        subsystem's canonical_json established, applied to the sweep."""
+        first = run_sweep("quick", cells=_MINI_CELLS)
+        second = run_sweep("quick", cells=_MINI_CELLS)
+        assert matrix_bytes(first) == matrix_bytes(second)
+        # volatile fields exist in the full matrix but never in the bytes
+        assert "elapsed_s" in first and b"elapsed_s" not in matrix_bytes(first)
+        assert all("runtime_s" in c for c in first["cells"])
+        assert b"runtime_s" not in matrix_bytes(first)
+
+    def test_mini_sweep_is_schema_valid_and_self_gates(self):
+        matrix = run_sweep("quick", cells=_MINI_CELLS)
+        assert validate_matrix(matrix) == []
+        assert all(c["ok"] for c in matrix["cells"])
+        assert diff_matrices(matrix, matrix).ok
+        # per-term breakdown carries the reference model's terms
+        for cell in matrix["cells"]:
+            assert set(cell["cost_terms"]) >= {"area", "wirelength", "aspect"}
+        summary = matrix_summary(matrix)
+        assert summary["cells"] == 3 and summary["ok_cells"] == 3
+        assert "quality matrix" in format_matrix(matrix)
+
+    def test_injected_regression_fails_the_gate_naming_the_cell(self):
+        """The acceptance-criteria scenario: worsen one cell of a real
+        matrix and the differ must fail naming (workload, engine)."""
+        baseline = run_sweep("quick", cells=_MINI_CELLS)
+        worsened = json.loads(json.dumps(baseline))
+        victim = worsened["cells"][1]
+        victim["ref_cost"] *= 2.0
+        diff = diff_matrices(baseline, worsened)
+        assert not diff.ok
+        assert len(diff.regressions) == 1
+        assert f"({victim['workload']}, {victim['engine']})" in diff.regressions[0]
+
+    def test_failing_workload_is_recorded_not_raised(self):
+        row = run_cell(
+            SweepCellSpec("gen:n=0", "bstar", ("bstar",), 1, 150, 17)
+        )
+        assert row["ok"] is False
+        assert "n >= 1" in row["error"]
+        assert cell_key(row) == (
+            "gen:n=0", "bstar", row["config_hash"],
+        )

@@ -1,0 +1,115 @@
+"""CLI ``repro sweep``: narrowed runs, --json as API, the exit-3 gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import SCHEMA, validate_matrix
+from repro.cli import main
+
+#: a deliberately tiny narrowed run — one gen workload, two engines,
+#: small budget — so every test finishes in well under a second
+NARROW = [
+    "sweep",
+    "--workloads", "gen:n=8,seed=2",
+    "--engines", "bstar,hbtree",
+    "--budget", "150",
+]
+
+
+def run_json(argv, capsys):
+    code = main(argv)
+    return code, json.loads(capsys.readouterr().out)
+
+
+class TestSweepCommand:
+    def test_narrowed_json_run_emits_schema_valid_matrix(self, capsys):
+        code, doc = run_json([*NARROW, "--json"], capsys)
+        assert code == 0
+        matrix = doc["matrix"]
+        assert matrix["schema"] == SCHEMA
+        assert validate_matrix(matrix) == []
+        # 2 serial cells + the portfolio over both engines
+        assert [c["engine"] for c in matrix["cells"]] == [
+            "bstar", "hbtree", "portfolio",
+        ]
+        assert all(c["ok"] for c in matrix["cells"])
+        # narrowed runs never gate against the committed baseline
+        assert doc["diff"] is None
+
+    def test_narrowed_text_run_notes_the_skipped_diff(self, capsys):
+        code = main(NARROW)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "quality matrix" in out
+        assert "diff skipped: narrowed/non-quick" in out
+
+    def test_out_flag_writes_the_matrix(self, tmp_path, capsys):
+        out_path = tmp_path / "m.json"
+        code = main([*NARROW, "--out", str(out_path), "--no-diff"])
+        capsys.readouterr()
+        assert code == 0
+        assert validate_matrix(json.loads(out_path.read_text())) == []
+
+    def test_self_baseline_diffs_clean(self, tmp_path, capsys):
+        """A matrix diffed against its own re-run passes: determinism
+        plus the inclusive tolerance bound, end to end through the CLI."""
+        baseline = tmp_path / "base.json"
+        assert main([*NARROW, "--out", str(baseline), "--no-diff"]) == 0
+        capsys.readouterr()
+        code, doc = run_json(
+            [*NARROW, "--baseline", str(baseline), "--json"], capsys
+        )
+        assert code == 0
+        assert doc["diff"]["ok"] is True
+        assert doc["diff"]["unchanged"] == 3
+        assert doc["diff"]["regressions"] == []
+
+    def test_worsened_baseline_cell_exits_3_naming_the_cell(self, tmp_path, capsys):
+        """The acceptance scenario: worsen one committed cell and the
+        gate must exit non-zero naming the (workload, engine)."""
+        baseline = tmp_path / "base.json"
+        assert main([*NARROW, "--out", str(baseline), "--no-diff"]) == 0
+        capsys.readouterr()
+        doctored = json.loads(baseline.read_text())
+        victim = doctored["cells"][0]
+        # the fresh run's cost will exceed this shrunken bound
+        victim["ref_cost"] /= 2.0
+        baseline.write_text(json.dumps(doctored))
+        code, doc = run_json(
+            [*NARROW, "--baseline", str(baseline), "--json"], capsys
+        )
+        assert code == 3
+        assert doc["diff"]["ok"] is False
+        assert len(doc["diff"]["regressions"]) == 1
+        assert (
+            f"({victim['workload']}, {victim['engine']})"
+            in doc["diff"]["regressions"][0]
+        )
+
+    def test_invalid_baseline_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"schema\": \"nope\"}")
+        with pytest.raises(SystemExit, match="not a valid quality matrix"):
+            main([*NARROW, "--baseline", str(bad)])
+
+    def test_unknown_engine_is_a_usage_error(self):
+        with pytest.raises(SystemExit, match="unknown engine"):
+            main(["sweep", "--engines", "quantum"])
+
+    def test_unknown_workload_is_recorded_not_fatal(self, capsys):
+        code, doc = run_json(
+            [
+                "sweep", "--workloads", "nope", "--engines", "bstar",
+                "--budget", "150", "--json",
+            ],
+            capsys,
+        )
+        # the cell fails, but an unknown workload is a data problem the
+        # matrix records, not a crash — and with no diff there is no gate
+        assert code == 0
+        cells = doc["matrix"]["cells"]
+        assert [c["ok"] for c in cells] == [False]
+        assert "unknown workload" in cells[0]["error"]

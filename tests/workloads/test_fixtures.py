@@ -1,0 +1,91 @@
+"""Committed standard-suite fixtures: parse, round-trip, byte-stability,
+sweep registration — plus the ring8 aux-less loading contract."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import (
+    BookshelfError,
+    canonical_json,
+    read_bookshelf,
+    resolve_workload,
+    write_bookshelf,
+)
+
+DATA = Path(__file__).parent / "data"
+FIXTURES = Path(__file__).resolve().parents[2] / "benchmarks" / "fixtures"
+MEMBERS = ("aux", "blocks", "nets", "pl")
+
+
+class TestCommittedFixtures:
+    def test_ami33s_parses_as_declared(self):
+        circuit = read_bookshelf(FIXTURES / "ami33s.aux").circuit
+        assert circuit.n_modules == 12
+        assert len(circuit.nets) == 14
+        assert all(m.is_hard for m in circuit.modules())
+        bk1 = circuit.module("bk1")
+        assert (bk1.width, bk1.height) == (112.0, 133.0)
+
+    def test_n100s_parses_as_declared(self):
+        circuit = read_bookshelf(FIXTURES / "n100s.aux").circuit
+        assert circuit.n_modules == 16
+        assert len(circuit.nets) == 12
+        assert not any(m.is_hard for m in circuit.modules())
+        # soft blocks expose an aspect band as discrete variants
+        assert len(circuit.module("sb0").variants) >= 2
+
+    @pytest.mark.parametrize("basename", ["ami33s", "n100s"])
+    def test_exact_round_trip(self, basename, tmp_path):
+        first = read_bookshelf(FIXTURES / f"{basename}.aux").circuit
+        write_bookshelf(first, tmp_path, basename)
+        second = read_bookshelf(tmp_path / f"{basename}.aux").circuit
+        assert canonical_json(second) == canonical_json(first)
+
+    @pytest.mark.parametrize("basename", ["ami33s", "n100s"])
+    def test_committed_bytes_are_canonical_writer_output(self, basename, tmp_path):
+        """The committed files are the writer's own output, so writing
+        the parsed circuit back must reproduce every member byte for
+        byte — drift in either the fixtures or the writer fails here."""
+        circuit = read_bookshelf(FIXTURES / f"{basename}.aux").circuit
+        written = write_bookshelf(circuit, tmp_path, basename)
+        assert set(written) == set(MEMBERS)
+        for ext in MEMBERS:
+            committed = (FIXTURES / f"{basename}.{ext}").read_bytes()
+            assert written[ext].read_bytes() == committed, (
+                f"{basename}.{ext}: committed fixture is not byte-stable"
+            )
+
+    @pytest.mark.parametrize("basename", ["ami33s", "n100s"])
+    def test_fixtures_load_through_the_workload_registry(self, basename):
+        circuit = resolve_workload(f"file:{FIXTURES / f'{basename}.aux'}")
+        assert circuit.name == basename
+        assert circuit.n_modules >= 12
+
+    def test_fixtures_are_registered_in_the_sweep_declaration(self):
+        from repro.analysis.sweep import tier_workloads
+
+        for tier in ("quick", "full"):
+            names = tier_workloads(tier)
+            assert "file:benchmarks/fixtures/ami33s.aux" in names
+            assert "file:benchmarks/fixtures/n100s.aux" in names
+
+
+class TestRing8AuxlessContract:
+    """ring8 deliberately ships without an ``.aux`` (or ``.pl``): these
+    pin both sides of that contract so the fixture's shape is a
+    decision, not an accident."""
+
+    def test_aux_path_raises_cleanly(self):
+        with pytest.raises(BookshelfError, match="no such benchmark"):
+            read_bookshelf(DATA / "ring8.aux")
+
+    def test_bare_basename_loads_via_blocks(self):
+        design = read_bookshelf(DATA / "ring8")
+        assert design.circuit.n_modules == 8
+        assert design.positions == {}
+        assert canonical_json(design.circuit) == canonical_json(
+            read_bookshelf(DATA / "ring8.blocks").circuit
+        )

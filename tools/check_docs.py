@@ -1,14 +1,16 @@
-"""Docs checker: executable README + no dead links.
+"""Docs checker: executable README + docs pages + no dead links.
 
 Two honesty checks, wired into CI (`.github/workflows/ci.yml`) and the
 tier-1 suite (`tests/test_docs.py`):
 
-1. **README code blocks run.**  Every fenced ```python block in
-   `README.md` is executed, top to bottom, in one shared namespace (so
-   later blocks may build on earlier imports).  If the quickstart in
-   the README rots, CI goes red — the README can never drift from the
+1. **Doc code blocks run.**  Every fenced ```python block in
+   `README.md` *and* `docs/*.md` is executed, top to bottom, in one
+   shared namespace per file (so later blocks may build on earlier
+   imports, but pages never leak state into each other).  If an
+   example rots, CI goes red — the docs can never drift from the
    library again.  Add ``<!-- docs-check: skip -->`` on the line
-   directly above a fence to exclude a block (e.g. pseudocode).
+   directly above a fence to exclude a block (e.g. pseudocode, or
+   examples that spawn worker processes / touch absent run dirs).
 2. **No dead relative links.**  Every markdown link in `README.md` and
    `docs/*.md` that points at a file (not http/https/mailto/anchor) is
    resolved against the linking file; missing targets fail.
@@ -47,16 +49,25 @@ def python_blocks(markdown: str) -> list[tuple[int, str]]:
     return blocks
 
 
+def run_doc_blocks(path: Path) -> list[str]:
+    """Execute one file's python blocks; one error string per failure.
+
+    Blocks share the file's namespace (later blocks may build on
+    earlier imports); each file starts fresh.
+    """
+    errors = []
+    namespace: dict = {"__name__": "__docs__"}
+    for line, code in python_blocks(path.read_text()):
+        try:
+            exec(compile(code, f"{path.name}:{line}", "exec"), namespace)
+        except Exception as exc:  # report and keep checking later blocks
+            errors.append(f"{path.name}:{line}: block raised {exc!r}")
+    return errors
+
+
 def run_readme_blocks(readme: Path) -> list[str]:
     """Execute the README's python blocks; one error string per failure."""
-    errors = []
-    namespace: dict = {"__name__": "__readme__"}
-    for line, code in python_blocks(readme.read_text()):
-        try:
-            exec(compile(code, f"{readme.name}:{line}", "exec"), namespace)
-        except Exception as exc:  # report and keep checking later blocks
-            errors.append(f"{readme.name}:{line}: block raised {exc!r}")
-    return errors
+    return run_doc_blocks(readme)
 
 
 _ANY_FENCE = re.compile(r"```.*?```", re.DOTALL)
@@ -95,12 +106,14 @@ def main(argv: list[str] | None = None) -> int:
     if not readme.exists():
         errors.append("README.md is missing")
     elif not args.no_exec:
-        errors.extend(run_readme_blocks(readme))
+        for path in doc_files:
+            if path.exists():
+                errors.extend(run_doc_blocks(path))
 
     for message in errors:
         print(f"docs-check: {message}", file=sys.stderr)
     if not errors:
-        what = "links" if args.no_exec else "links + README blocks"
+        what = "links" if args.no_exec else "links + code blocks"
         print(f"docs-check: {len(doc_files)} files OK ({what})")
     return 1 if errors else 0
 
