@@ -295,7 +295,11 @@ def check_regression(
                 break
         if baseline_run is None:
             continue
-        for metric in ("kernel_steps_per_sec", "incremental_steps_per_sec"):
+        for metric in (
+            "kernel_steps_per_sec",
+            "incremental_steps_per_sec",
+            "vector_steps_per_sec",
+        ):
             old_v = baseline_run.get(metric)
             new_v = run.get(metric)
             if not old_v or not new_v:

@@ -2,7 +2,9 @@
 
 The workload subsystem (``repro.workloads``) opens the placers to
 arbitrary module counts; this benchmark measures what that costs.  For
-each size in 100 / 500 / 1000 / 2000 modules it:
+each size in 100 / 500 / 1000 / 2000 / 5000 / 10000 modules (the two
+largest full-tier only, with capped step budgets — they measure how
+throughput scales, not converged quality) it:
 
 * resolves a ``gen:`` family circuit through the registry (the same
   string a CLI user or portfolio worker would use);
@@ -48,8 +50,13 @@ from repro.workloads import read_bookshelf, resolve_workload, write_bookshelf
 #: so the measured path is the realistic one, not a hard-block special)
 FAMILY = "gen:n={n},seed=11,sym=0.2,prox=0.1,soft=0.1"
 
-SIZES = (100, 500, 1000, 2000)
+SIZES = (100, 500, 1000, 2000, 5000, 10000)
 QUICK_SIZES = (100, 500)
+
+#: step caps for the scaling-tail sizes: at tens of steps per second a
+#: full 2000-step walk would dominate the whole benchmark's wall clock
+#: without changing the steps/sec signal these points exist for
+STEP_CAPS = {5000: 800, 10000: 300}
 
 #: measured engine: the flat B*-tree incremental path (the fastest
 #: tier, where workload size is the only variable)
@@ -134,7 +141,10 @@ def run(fast: bool = False, write: bool = False) -> dict:
         "python": platform.python_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "engine": ENGINE,
-        "runs": [measure(n, steps=steps, repeats=repeats) for n in sizes],
+        "runs": [
+            measure(n, steps=min(steps, STEP_CAPS.get(n, steps)), repeats=repeats)
+            for n in sizes
+        ],
         "bookshelf_round_trip": check_bookshelf_round_trip(
             QUICK_SIZES[-1] if fast else 500
         ),

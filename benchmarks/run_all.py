@@ -13,10 +13,12 @@ enumerates every ``bench_*.py`` and executes them through pytest:
 After the suites pass, two regression guards run (skip both with
 ``--no-guard``):
 
-* the **perf guard** runs the quick perf-kernel benchmark, appends a
-  trajectory entry to ``BENCH_perf_kernel.json`` (append, never
-  overwrite), and exits non-zero if steps/s dropped more than 20%
-  against the most recent comparable entry;
+* the **perf guard** runs the quick perf-kernel benchmark *and* the
+  quick vector-tier benchmark, appends trajectory entries to
+  ``BENCH_perf_kernel.json`` (append, never overwrite), and exits
+  non-zero if steps/s dropped more than 20% against the most recent
+  comparable entry of the same mode (the vector run also asserts the
+  numpy path matches its scalar oracle byte for byte);
 * the **sweep guard** runs the quick-tier quality sweep and diffs it
   against the committed ``benchmarks/quality_matrix.json`` (see
   ``docs/benchmarks.md``), exiting non-zero on any quality regression.
@@ -43,19 +45,25 @@ BENCH_DIR = Path(__file__).resolve().parent
 
 
 def perf_guard() -> int:
-    """Quick perf-kernel run + trajectory append + >20% regression gate."""
+    """Quick perf-kernel + vector-tier runs, trajectory appends, and the
+    >20% steps/s regression gate (per mode)."""
     sys.path.insert(0, str(BENCH_DIR))
     import bench_perf_kernel
+    import bench_vector
 
-    outcome = bench_perf_kernel.run(fast=True, write=True)
-    print(outcome["table"])
-    if outcome["appended"]:
-        print(f"trajectory entry appended: {bench_perf_kernel.JSON_PATH}")
-    if outcome["regressions"]:
-        # the regressed entry is deliberately NOT appended: the last
-        # good numbers stay the baseline until the regression is fixed
-        for problem in outcome["regressions"]:
-            print(f"REGRESSION (entry not appended): {problem}", file=sys.stderr)
+    failed = False
+    for module in (bench_perf_kernel, bench_vector):
+        outcome = module.run(fast=True, write=True)
+        print(outcome["table"])
+        if outcome["appended"]:
+            print(f"trajectory entry appended: {bench_perf_kernel.JSON_PATH}")
+        if outcome["regressions"]:
+            # the regressed entry is deliberately NOT appended: the last
+            # good numbers stay the baseline until the regression is fixed
+            for problem in outcome["regressions"]:
+                print(f"REGRESSION (entry not appended): {problem}", file=sys.stderr)
+            failed = True
+    if failed:
         return 3
     print("perf guard: no steps/s regression > "
           f"{100 * bench_perf_kernel.REGRESSION_THRESHOLD:.0f}%")

@@ -63,6 +63,14 @@ DEFAULT_SEED = 17
 #: the synthetic cell that stands for "all engines together"
 PORTFOLIO = "portfolio"
 
+#: the array-tier cell label: the flat ``bstar`` engine annealed on
+#: :class:`~repro.perf.VectorBStarEngine` (``vector_tier`` override) —
+#: a different move family, so it gets its own tracked quality cell
+VECTOR_ENGINE = "bstar-vector"
+
+#: the override tuple that turns a ``bstar`` walk into a vector-tier walk
+VECTOR_OVERRIDES = (("vector_tier", True),)
+
 #: top-level / per-cell fields excluded from the canonical bytes (they
 #: vary run to run without the quality changing)
 VOLATILE_TOP_FIELDS = ("python", "recorded_at", "elapsed_s")
@@ -142,15 +150,23 @@ class SweepCellSpec:
     budget: int  #: total annealing steps across the cell's starts
     seed: int
     rtol: float = DEFAULT_RTOL
+    #: config overrides fed to every walk (e.g. ``(("vector_tier",
+    #: True),)`` for the array-tier cell); empty for the classic cells
+    overrides: tuple[tuple[str, object], ...] = ()
 
     def config(self) -> dict:
         """The reproducible execution config recorded in the matrix."""
-        return {
+        config = {
             "engines": list(self.engines),
             "starts": self.starts,
             "budget": self.budget,
             "seed": self.seed,
         }
+        # only when present, so the classic cells' config hashes (and
+        # the committed baseline they key) are untouched
+        if self.overrides:
+            config["overrides"] = [list(pair) for pair in self.overrides]
+        return config
 
     def config_hash(self) -> str:
         """Short stable hash of the execution config."""
@@ -202,6 +218,23 @@ def tier_cells(
                     name, PORTFOLIO, capable, len(capable), total, seed, rtol
                 )
             )
+    if workloads is None and engines is None:
+        # the declared grid also pins the array tier: one bstar cell per
+        # tier annealed on the vector engine (its own move family, so
+        # its own tracked quality row) over the plain generated family
+        largest = max(QUICK_SIZES if tier == "quick" else FULL_SIZES)
+        cells.append(
+            SweepCellSpec(
+                GEN_FAMILIES[1].format(n=largest),
+                VECTOR_ENGINE,
+                ("bstar",),
+                1,
+                serial,
+                seed,
+                rtol,
+                VECTOR_OVERRIDES,
+            )
+        )
     return tuple(cells)
 
 
@@ -259,6 +292,7 @@ def run_cell(spec: SweepCellSpec) -> dict:
             workers=0,
             base_seed=spec.seed,
             budget=spec.budget,
+            overrides=spec.overrides,
         ).run()
         model = reference_model(circuit)
         placement = result.placement

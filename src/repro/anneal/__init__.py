@@ -15,6 +15,7 @@ from .annealer import (
     checkpoint_from_payload,
     checkpoint_payload,
 )
+from .batch import BatchedAnnealer, BatchEngine
 from .schedule import (
     CoolingSchedule,
     GeometricSchedule,
@@ -27,6 +28,8 @@ __all__ = [
     "Annealer",
     "AnnealingResult",
     "AnnealingStats",
+    "BatchEngine",
+    "BatchedAnnealer",
     "CoolingSchedule",
     "FunctionMoveSet",
     "GeometricSchedule",

@@ -1,0 +1,194 @@
+"""Batched multi-candidate annealing (the vector tier's driver).
+
+:class:`BatchedAnnealer` drives a *batch engine* — an
+:class:`~repro.anneal.IncrementalEngine` extended with::
+
+    propose_batch(rng, k) -> list[float]   # k candidates, one committed base
+    accept(j)                              # keep candidate j, drop the rest
+    reject_all()                           # drop the whole batch, O(1)
+
+Each kernel call proposes K candidate moves off the same committed
+state and scores them in one vectorized pass (see
+:class:`repro.perf.vector.VectorBStarEngine`); the driver then scans
+the batch in order and Metropolis-tests each candidate exactly as the
+scalar loop would: candidate ``j`` is judged at the temperature of
+schedule step ``step + j``, downhill moves accept outright, uphill
+moves take one acceptance draw.  The **first acceptance wins** — the
+remaining candidates are discarded untested, because accepting changes
+the base state they were proposed from.  A tile therefore consumes
+``j + 1`` schedule steps when candidate ``j`` accepts (all K when none
+does), which keeps the step accounting, temperature curve, acceptance
+counters and cost trace aligned with the scalar drivers' semantics.
+
+The batch width adapts to the measured acceptance ratio: near-certain
+acceptance makes batching pure waste (only candidate 0 ever survives),
+so K tracks the expected number of trials per acceptance, clamped to
+``batch_max``.  The width is derived *only* from checkpoint-carried
+state (step count and acceptance count), never from wall-clock or
+loop-local history — so chunked ``advance`` calls replay the identical
+tile sequence and remain bit-identical to one monolithic run, the same
+contract :class:`~repro.anneal.IncrementalAnnealer` keeps.  One wrinkle
+from tiling: a tile that straddles ``max_steps`` runs to its own end,
+so a chunk may overshoot its nominal boundary by up to K-1 steps; the
+returned checkpoint records the true step and the next chunk picks up
+from there (an already-passed boundary is a no-op, as in the base
+class).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import replace
+from typing import Protocol
+
+from .annealer import IncrementalAnnealer, WalkCheckpoint
+from .schedule import CoolingSchedule
+
+
+class BatchEngine(Protocol):
+    """The batch extension of :class:`~repro.anneal.IncrementalEngine`."""
+
+    def propose_batch(self, rng: random.Random, k: int) -> list[float]:
+        """Propose ``k`` candidates off the committed state; return costs."""
+        ...
+
+    def accept(self, j: int) -> None:
+        """Keep candidate ``j`` (and discard the others)."""
+        ...
+
+    def reject_all(self) -> None:
+        """Discard the whole batch; committed state is unchanged."""
+        ...
+
+
+class BatchedAnnealer(IncrementalAnnealer):
+    """Anneal a :class:`BatchEngine` K candidates at a time.
+
+    Drop-in replacement for :class:`~repro.anneal.IncrementalAnnealer`
+    (same ``begin`` / ``advance`` / ``run`` surface, same checkpoint
+    format, warmup runs through the engine's scalar protocol), but the
+    annealing loop is tiled: one ``propose_batch`` call per tile, one
+    vectorized scoring pass, first-acceptance-wins.
+    """
+
+    def __init__(
+        self,
+        engine: BatchEngine,
+        schedule: CoolingSchedule | None = None,
+        rng: random.Random | None = None,
+        *,
+        auto_t0: bool = True,
+        trace_every: int = 0,
+        batch_max: int = 16,
+    ) -> None:
+        super().__init__(
+            engine, schedule, rng, auto_t0=auto_t0, trace_every=trace_every
+        )
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self._batch_max = batch_max
+
+    def advance(
+        self,
+        checkpoint: WalkCheckpoint,
+        max_steps: int | None = None,
+        *,
+        _engine_synced: bool = False,
+    ) -> WalkCheckpoint:
+        """Run annealing tiles from ``checkpoint`` until ``stop``.
+
+        The last tile may overshoot ``stop`` (never ``total_steps``);
+        see the module docstring for why that preserves bit-identity
+        across chunk boundaries.
+        """
+        if self._schedule.total_steps != checkpoint.total_steps:
+            raise ValueError(
+                f"schedule spans {self._schedule.total_steps} steps but the "
+                f"checkpoint was taken under {checkpoint.total_steps}"
+            )
+        total = checkpoint.total_steps
+        step = checkpoint.step
+        stop = total if max_steps is None else min(total, step + max_steps)
+        if step >= stop:
+            return checkpoint
+
+        rng = self._rng
+        engine = self._engine
+        if not _engine_synced:
+            engine.reset(checkpoint.state)
+        rng.setstate(checkpoint.rng_state)
+
+        current_cost = checkpoint.current_cost
+        best, best_cost = checkpoint.best_state, checkpoint.best_cost
+        stats = replace(checkpoint.stats, cost_trace=list(checkpoint.stats.cost_trace))
+
+        propose_batch = engine.propose_batch
+        accept = engine.accept
+        reject_all = engine.reject_all
+        random_unit = rng.random
+        exp = math.exp
+        trace_every = self._trace_every
+        batch_max = self._batch_max
+        temperature_at = self._schedule.temperature
+        t_scale = checkpoint.t_scale
+        temperature = 0.0
+
+        while step < stop:
+            # expected trials per acceptance so far (checkpoint-carried
+            # counters only: chunked replays see identical widths)
+            width = (step + 2) // (stats.accepted + 1) - 1
+            if width < 1:
+                width = 1
+            elif width > batch_max:
+                width = batch_max
+            if width > total - step:
+                width = total - step
+            costs = propose_batch(rng, width)
+
+            consumed = width
+            accepted_at = -1
+            prev_cost = current_cost
+            for j in range(width):
+                temperature = temperature_at(step + j) * t_scale
+                delta = costs[j] - current_cost
+                if delta <= 0 or random_unit() < exp(
+                    -delta / max(temperature, 1e-300)
+                ):
+                    accepted_at = j
+                    consumed = j + 1
+                    break
+            if accepted_at >= 0:
+                accept(accepted_at)
+                current_cost = costs[accepted_at]
+                stats.accepted += 1
+                if current_cost < best_cost:
+                    best_cost = current_cost
+                    best = engine.snapshot()
+                    stats.improved += 1
+            else:
+                reject_all()
+            if trace_every:
+                # the first consumed-1 steps were rejections at the old
+                # cost; the last consumed step carries the tile's outcome
+                for i in range(consumed):
+                    if (step + i) % trace_every == 0:
+                        stats.cost_trace.append(
+                            prev_cost if i < consumed - 1 else current_cost
+                        )
+            step += consumed
+
+        stats.steps = step
+        stats.final_temperature = temperature
+        stats.best_cost = best_cost
+        return WalkCheckpoint(
+            step=step,
+            total_steps=total,
+            t_scale=t_scale,
+            state=engine.snapshot(),
+            current_cost=current_cost,
+            best_state=best,
+            best_cost=best_cost,
+            rng_state=rng.getstate(),
+            stats=stats,
+        )

@@ -228,7 +228,12 @@ class InPlaceBStarMoves:
             return pa if pa < pb else pb
         return pos[record.a]
 
-    # -- ops -----------------------------------------------------------------
+    # -- deterministic (draw-free) op bodies ---------------------------------
+    #
+    # Each op splits into a draw phase and a mutation phase.  The
+    # *_named methods are the mutation phase with every random choice
+    # passed in, so a caller holding recorded choices (the vector tier's
+    # accept-replay, the windowed mover) can re-apply a move exactly.
 
     @staticmethod
     def _snap(tree: BStarTree, record: PerturbRecord, name: str) -> None:
@@ -236,16 +241,10 @@ class InPlaceBStarMoves:
             (name, tree.left[name], tree.right[name], tree.parent[name])
         )
 
-    def _move(
-        self,
-        tree: BStarTree,
-        orientations: dict[str, Orientation],
-        variants: dict[str, int],
-        rng: random.Random,
+    def move_named(
+        self, tree: BStarTree, name: str, target: str, side: str
     ) -> PerturbRecord:
-        if len(self._names) < 2:
-            return PerturbRecord("noop")
-        name = rng.choice(self._names)
+        """Move ``name`` under ``(target, side)``; undo-recorded."""
         record = PerturbRecord("move", a=name, root=tree.root)
         # remove() promotes the preferred-child chain of `name` one slot
         # up; the only pointers it touches are `name`, the chain members,
@@ -272,13 +271,6 @@ class InPlaceBStarMoves:
         if old_parent is not None:
             snap(tree, record, old_parent)
         tree.remove(name)
-        # uniform over the remaining nodes, drawn by rejection from the
-        # static name list (no O(n) key-list build per proposal)
-        names = self._names
-        target = rng.choice(names)
-        while target == name:
-            target = rng.choice(names)
-        side = rng.choice(("left", "right"))
         # insert() touches the target's slot and the displaced child;
         # `name` itself is re-created (its pre-move snapshot is above).
         snap(tree, record, target)
@@ -289,16 +281,8 @@ class InPlaceBStarMoves:
         record.b = target
         return record
 
-    def _swap(
-        self,
-        tree: BStarTree,
-        orientations: dict[str, Orientation],
-        variants: dict[str, int],
-        rng: random.Random,
-    ) -> PerturbRecord:
-        if len(self._names) < 2:
-            return PerturbRecord("noop")
-        a, b = rng.sample(self._names, 2)
+    def swap_named(self, tree: BStarTree, a: str, b: str) -> PerturbRecord:
+        """Swap nodes ``a`` and ``b``; undo-recorded."""
         record = PerturbRecord(
             "swap",
             a=a,
@@ -323,6 +307,60 @@ class InPlaceBStarMoves:
         tree.swap_nodes(a, b)
         return record
 
+    def rotate_named(
+        self, orientations: dict[str, Orientation], name: str
+    ) -> PerturbRecord:
+        """Toggle ``name`` between R0 and R90; undo-recorded."""
+        old = orientations.get(name, _ABSENT)
+        current = Orientation.R0 if old is _ABSENT else old
+        orientations[name] = (
+            Orientation.R90 if current == Orientation.R0 else Orientation.R0
+        )
+        return PerturbRecord("rotate", a=name, key_undo=old)
+
+    def reshape_named(
+        self, variants: dict[str, int], name: str, variant: int
+    ) -> PerturbRecord:
+        """Select soft-module ``variant`` for ``name``; undo-recorded."""
+        old = variants.get(name, _ABSENT)
+        variants[name] = variant
+        return PerturbRecord("reshape", a=name, key_undo=old)
+
+    # -- ops -----------------------------------------------------------------
+
+    def _move(
+        self,
+        tree: BStarTree,
+        orientations: dict[str, Orientation],
+        variants: dict[str, int],
+        rng: random.Random,
+    ) -> PerturbRecord:
+        if len(self._names) < 2:
+            return PerturbRecord("noop")
+        # uniform over the remaining nodes, drawn by rejection from the
+        # static name list (no O(n) key-list build per proposal); none
+        # of the tree mutations consume randomness, so drawing the
+        # target and side up front preserves the historical sequence
+        names = self._names
+        name = rng.choice(names)
+        target = rng.choice(names)
+        while target == name:
+            target = rng.choice(names)
+        side = rng.choice(("left", "right"))
+        return self.move_named(tree, name, target, side)
+
+    def _swap(
+        self,
+        tree: BStarTree,
+        orientations: dict[str, Orientation],
+        variants: dict[str, int],
+        rng: random.Random,
+    ) -> PerturbRecord:
+        if len(self._names) < 2:
+            return PerturbRecord("noop")
+        a, b = rng.sample(self._names, 2)
+        return self.swap_named(tree, a, b)
+
     def _rotate(
         self,
         tree: BStarTree,
@@ -330,13 +368,7 @@ class InPlaceBStarMoves:
         variants: dict[str, int],
         rng: random.Random,
     ) -> PerturbRecord:
-        name = rng.choice(self._rotatable)
-        old = orientations.get(name, _ABSENT)
-        current = Orientation.R0 if old is _ABSENT else old
-        orientations[name] = (
-            Orientation.R90 if current == Orientation.R0 else Orientation.R0
-        )
-        return PerturbRecord("rotate", a=name, key_undo=old)
+        return self.rotate_named(orientations, rng.choice(self._rotatable))
 
     def _reshape(
         self,
@@ -346,6 +378,88 @@ class InPlaceBStarMoves:
         rng: random.Random,
     ) -> PerturbRecord:
         name = rng.choice(self._soft)
-        old = variants.get(name, _ABSENT)
-        variants[name] = rng.randrange(len(self._modules[name].variants))
-        return PerturbRecord("reshape", a=name, key_undo=old)
+        return self.reshape_named(
+            variants, name, rng.randrange(len(self._modules[name].variants))
+        )
+
+
+class WindowedBStarMoves(InPlaceBStarMoves):
+    """Window-restricted moves for the vector tier's multi-scale walk.
+
+    Same op mix and weights as :class:`InPlaceBStarMoves`, but operands
+    are drawn from a pre-order *window* ``[lo, n)`` supplied per
+    proposal: a B*-tree packs in pre-order, so confining a move to the
+    last ``n - lo`` positions bounds the dirty suffix — and hence the
+    repack cost — by the window size.  Draws are positions into the
+    committed pre-order (not names), so trajectories are a different
+    (equally distributed over each window) family than the global move
+    set; determinism still holds seed for seed between any two
+    consumers of this class.
+
+    Rotate/reshape rejection-sample an eligible module inside the
+    window (bounded tries), falling back to a global draw — a global
+    fallback merely dirties a longer suffix, which stays correct.
+    """
+
+    #: bounded window retries for rotate/reshape eligibility
+    _TRIES = 8
+
+    def __init__(self, modules: ModuleSet, *, allow_rotation: bool = True) -> None:
+        super().__init__(modules, allow_rotation=allow_rotation)
+        kinds = ["move", "swap"]
+        if self._rotatable:
+            kinds.append("rotate")
+        if self._soft:
+            kinds.append("reshape")
+        self._kinds = kinds
+        self._rotatable_set = frozenset(self._rotatable)
+        self._soft_set = frozenset(self._soft)
+
+    def apply_windowed(
+        self,
+        tree: BStarTree,
+        orientations: dict[str, Orientation],
+        variants: dict[str, int],
+        rng: random.Random,
+        order: list[str],
+        lo: int,
+    ) -> PerturbRecord:
+        """Draw one op with operands from ``order[lo:]``; apply in place."""
+        n = len(order)
+        if n < 2:
+            return PerturbRecord("noop")
+        if n - lo < 2:
+            lo = n - 2
+        (kind,) = rng.choices(self._kinds, weights=self._weights, k=1)
+        if kind == "move":
+            name = order[rng.randrange(lo, n)]
+            target = order[rng.randrange(lo, n)]
+            while target == name:
+                target = order[rng.randrange(lo, n)]
+            side = rng.choice(("left", "right"))
+            return self.move_named(tree, name, target, side)
+        if kind == "swap":
+            i = rng.randrange(lo, n)
+            j = rng.randrange(lo, n)
+            while j == i:
+                j = rng.randrange(lo, n)
+            return self.swap_named(tree, order[i], order[j])
+        if kind == "rotate":
+            name = self._windowed_pick(rng, order, lo, n, self._rotatable_set)
+            if name is None:
+                name = rng.choice(self._rotatable)
+            return self.rotate_named(orientations, name)
+        name = self._windowed_pick(rng, order, lo, n, self._soft_set)
+        if name is None:
+            name = rng.choice(self._soft)
+        return self.reshape_named(
+            variants, name, rng.randrange(len(self._modules[name].variants))
+        )
+
+    @staticmethod
+    def _windowed_pick(rng, order, lo, n, eligible):
+        for _ in range(WindowedBStarMoves._TRIES):
+            name = order[rng.randrange(lo, n)]
+            if name in eligible:
+                return name
+        return None

@@ -15,11 +15,16 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..anneal import AnnealingStats, GeometricSchedule, IncrementalAnnealer
+from ..anneal import (
+    AnnealingStats,
+    BatchedAnnealer,
+    GeometricSchedule,
+    IncrementalAnnealer,
+)
 from ..circuit import Circuit
 from ..cost import DEFAULT_TARGET_ASPECT, DEFAULT_WEIGHTS, CostModel, model_for_config
 from ..geometry import ModuleSet, Net, Placement
-from ..perf import BStarKernel, IncrementalBStarEngine
+from ..perf import BStarKernel, IncrementalBStarEngine, VectorBStarEngine
 from .hb_tree import HBIncrementalEngine, HBStarTreePlacement, HBState
 from .packing import pack
 from .perturb import BStarMoveSet, BStarState
@@ -45,6 +50,16 @@ class BStarPlacerConfig:
     t_final: float = 1e-4
     alpha: float = 0.93
     steps_per_epoch: int = 60
+    #: opt into the array-native evaluation tier (flat placer only):
+    #: :class:`~repro.perf.VectorBStarEngine` + windowed moves, annealed
+    #: K candidates at a time by :class:`~repro.anneal.BatchedAnnealer`.
+    #: A different move/draw family from the incremental engine — same
+    #: objective, not the same trajectory (see ``docs/perf.md``).
+    vector_tier: bool = False
+    #: max candidates per batched proposal under the vector tier
+    vector_batch: int = 16
+    #: smallest windowed-move suffix the vector tier draws
+    vector_window_min: int = 8
 
 
 @dataclass
@@ -107,9 +122,27 @@ class BStarPlacer:
             steps_per_epoch=cfg.steps_per_epoch,
         )
 
-    def engine(self) -> IncrementalBStarEngine:
-        """A fresh incremental engine (call ``reset`` before annealing)."""
+    def engine(self):
+        """A fresh annealing engine (call ``reset`` before annealing).
+
+        ``config.vector_tier`` selects the array-native
+        :class:`~repro.perf.VectorBStarEngine`; the default is the
+        dirty-suffix :class:`~repro.perf.IncrementalBStarEngine`.
+        """
+        if self._config.vector_tier:
+            return VectorBStarEngine(
+                self._modules, self._nets, (), self._config
+            )
         return IncrementalBStarEngine(self._modules, self._nets, (), self._config)
+
+    def annealer(self, engine, rng: random.Random) -> IncrementalAnnealer:
+        """The annealing driver matched to this config's engine tier."""
+        if self._config.vector_tier:
+            return BatchedAnnealer(
+                engine, self.schedule(), rng,
+                batch_max=self._config.vector_batch,
+            )
+        return IncrementalAnnealer(engine, self.schedule(), rng)
 
     def initial_state(self, rng: random.Random) -> BStarState:
         return self._moves.initial_state(rng)
@@ -124,7 +157,7 @@ class BStarPlacer:
         rng = random.Random(self._config.seed)
         engine = self.engine()
         engine.reset(self.initial_state(rng))
-        annealer = IncrementalAnnealer(engine, self.schedule(), rng)
+        annealer = self.annealer(engine, rng)
         outcome = annealer.run()
         outcome.stats.term_breakdown = self.cost_breakdown(outcome.best_state)
         return BStarPlacerResult(
@@ -185,6 +218,11 @@ class HierarchicalPlacer:
         level's root path (cached subtrees elsewhere) and delta-evaluates
         wirelength; draws and costs match the functional path bit for
         bit, so trajectories are unchanged — only faster."""
+        if self._config.vector_tier:
+            raise ValueError(
+                "vector_tier is flat-placer only: the HB*-tree forest "
+                "has no array-native engine (use engine 'bstar')"
+            )
         return HBIncrementalEngine(
             self._hb,
             self._modules,
@@ -192,6 +230,10 @@ class HierarchicalPlacer:
             self._constraints.proximity,
             self._config,
         )
+
+    def annealer(self, engine, rng: random.Random) -> IncrementalAnnealer:
+        """The annealing driver (always the scalar one: see :meth:`engine`)."""
+        return IncrementalAnnealer(engine, self.schedule(), rng)
 
     def initial_state(self, rng: random.Random) -> HBState:
         return self._hb.initial_state(rng)
@@ -203,7 +245,7 @@ class HierarchicalPlacer:
         rng = random.Random(self._config.seed)
         engine = self.engine()
         engine.reset(self.initial_state(rng))
-        annealer = IncrementalAnnealer(engine, self.schedule(), rng)
+        annealer = self.annealer(engine, rng)
         outcome = annealer.run()
         outcome.stats.term_breakdown = self.cost_breakdown(outcome.best_state)
         return BStarPlacerResult(

@@ -137,7 +137,14 @@ def _config_overrides(engine: str, weights: dict[str, float]) -> dict[str, float
         ) from None
 
 
-def _place(circuit: Circuit, engine: str, seed: int, weights: dict[str, float] | None = None):
+def _place(
+    circuit: Circuit,
+    engine: str,
+    seed: int,
+    weights: dict[str, float] | None = None,
+    *,
+    vector_tier: bool = False,
+):
     overrides = _config_overrides(engine, weights or {})
     if engine == "seqpair":
         return SequencePairPlacer.for_circuit(
@@ -149,7 +156,8 @@ def _place(circuit: Circuit, engine: str, seed: int, weights: dict[str, float] |
         ).run().placement
     if engine == "bstar":
         return BStarPlacer.for_circuit(
-            circuit, BStarPlacerConfig(seed=seed, **overrides)
+            circuit,
+            BStarPlacerConfig(seed=seed, vector_tier=vector_tier, **overrides),
         ).run().placement
     if engine == "deterministic":
         return DeterministicPlacer(
@@ -244,7 +252,10 @@ def _portfolio_place(args, weights: dict[str, float]):
             # f"{term}_weight"), so any of the validated dicts serves as
             # the shared overrides
             per_engine = [_config_overrides(engine, weights) for engine in engines]
-            overrides = per_engine[0]
+            overrides = dict(per_engine[0])
+            if args.vector_tier:
+                # engine validation happened in cmd_place: bstar only
+                overrides["vector_tier"] = True
             runner = PortfolioRunner(
                 args.circuit,
                 engines,
@@ -330,6 +341,16 @@ def cmd_place(args) -> int:
         )
     circuit = _load_circuit(args.circuit)
     weights = _parse_cost_weights(args.cost_weights)
+    if args.vector_tier:
+        requested = (
+            tuple(args.engines.split(",")) if args.engines else (args.engine,)
+        )
+        not_bstar = [e for e in requested if e != "bstar"]
+        if not_bstar:
+            raise SystemExit(
+                "place: --vector-tier is engine 'bstar' only (got "
+                f"{', '.join(not_bstar)}); pass --engine bstar"
+            )
     print(circuit.summary())
     # any portfolio flag opts into the portfolio path — passing
     # --engines or --budget without --starts must not be silently
@@ -354,7 +375,10 @@ def cmd_place(args) -> int:
     if portfolio_requested:
         placement = _portfolio_place(args, weights)
     else:
-        placement = _place(circuit, args.engine, args.seed, weights)
+        placement = _place(
+            circuit, args.engine, args.seed, weights,
+            vector_tier=args.vector_tier,
+        )
     print(render_placement(placement, width=args.width, height=args.height))
     print(
         f"area usage {100 * placement.area_usage():.1f}%  "
@@ -621,6 +645,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-term cost breakdown of the final placement "
         "under the engine-independent reference model",
+    )
+    p.add_argument(
+        "--vector-tier",
+        action="store_true",
+        help="anneal on the array-native evaluation tier (engine bstar "
+        "only): vectorized cost + batched multi-candidate proposals; "
+        "a different move family, tuned for large module counts",
     )
     portfolio = p.add_argument_group(
         "portfolio",

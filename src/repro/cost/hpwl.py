@@ -43,6 +43,50 @@ if TYPE_CHECKING:  # pragma: no cover - repro.perf imports back into this
 ResolvedNet = tuple[float, tuple[str, ...]]
 
 
+def pin_index_tables(resolved: Sequence[ResolvedNet], names: Sequence[str]):
+    """Precompute numpy pin-index arrays for vectorized per-net HPWL.
+
+    Nets split into the two-pin fast path (parallel endpoint-row arrays)
+    and a CSR-style layout for multi-pin nets (``flat`` pin rows cut at
+    ``offsets``).  ``*_pos`` carries each net's position in ``resolved``
+    so per-net values scatter back into net order, keeping totals
+    summable in the exact :func:`hpwl_of` accumulation order.  Shared by
+    :class:`DeltaHPWL`'s batch recompute and the array tier
+    (:mod:`repro.perf.vector`).
+
+    Returns ``(two_a, two_b, two_w, two_pos, flat, offsets, multi_w,
+    multi_pos)``; requires numpy.
+    """
+    if _np is None:  # pragma: no cover - numpy is a declared dependency
+        raise RuntimeError("numpy is required for pin-index tables")
+    index = {name: i for i, name in enumerate(names)}
+    two_a: list[int] = []
+    two_b: list[int] = []
+    two_w: list[float] = []
+    two_pos: list[int] = []
+    flat: list[int] = []
+    offsets: list[int] = []
+    multi_w: list[float] = []
+    multi_pos: list[int] = []
+    for i, (weight, pins) in enumerate(resolved):
+        if len(pins) == 2:
+            two_a.append(index[pins[0]])
+            two_b.append(index[pins[1]])
+            two_w.append(weight)
+            two_pos.append(i)
+        else:
+            offsets.append(len(flat))
+            flat.extend(index[p] for p in pins)
+            multi_w.append(weight)
+            multi_pos.append(i)
+    as_i = lambda xs: _np.asarray(xs, dtype=_np.intp)  # noqa: E731
+    as_f = lambda xs: _np.asarray(xs, dtype=_np.float64)  # noqa: E731
+    return (
+        as_i(two_a), as_i(two_b), as_f(two_w), as_i(two_pos),
+        as_i(flat), as_i(offsets), as_f(multi_w), as_i(multi_pos),
+    )
+
+
 def resolve_nets(nets: Iterable[Net], names: Iterable[str]) -> list[ResolvedNet]:
     """Pre-resolve net pins against the set of placeable module names.
 
@@ -214,7 +258,14 @@ class DeltaHPWL:
         self._log: list[tuple[int, float]] | None = None
         self._swapped_out: list[float] | None = None
         self._pending_base: Coords | None = None
-        self._np_tables = None  # built lazily on first batch recompute
+        # numpy batch state, built lazily on first batch recompute: the
+        # pin-index tables, the cached name -> row map they were built
+        # under, and a preallocated (n, 4) gather buffer reused across
+        # recomputes (rebuilding the array from a dict comprehension
+        # each time dominated the batch path's cost)
+        self._np_tables = None
+        self._row_index: dict[str, int] | None = None
+        self._np_buf = None
 
     # -- full recompute -----------------------------------------------------
 
@@ -329,38 +380,24 @@ class DeltaHPWL:
         return _np is not None and len(coords) >= len(self._names)
 
     def _build_np_tables(self):
-        index = {name: i for i, name in enumerate(self._names)}
-        two_a: list[int] = []
-        two_b: list[int] = []
-        two_w: list[float] = []
-        two_pos: list[int] = []
-        flat: list[int] = []
-        offsets: list[int] = []
-        multi_w: list[float] = []
-        multi_pos: list[int] = []
-        for i, (weight, pins) in enumerate(self._resolved):
-            if len(pins) == 2:
-                two_a.append(index[pins[0]])
-                two_b.append(index[pins[1]])
-                two_w.append(weight)
-                two_pos.append(i)
-            else:
-                offsets.append(len(flat))
-                flat.extend(index[p] for p in pins)
-                multi_w.append(weight)
-                multi_pos.append(i)
-        as_i = lambda xs: _np.asarray(xs, dtype=_np.intp)  # noqa: E731
-        as_f = lambda xs: _np.asarray(xs, dtype=_np.float64)  # noqa: E731
-        self._np_tables = (
-            as_i(two_a), as_i(two_b), as_f(two_w), as_i(two_pos),
-            as_i(flat), as_i(offsets), as_f(multi_w), as_i(multi_pos),
-        )
+        self._row_index = {name: i for i, name in enumerate(self._names)}
+        self._np_tables = pin_index_tables(self._resolved, self._names)
         return self._np_tables
 
     def _batch_vals(self, coords: Coords) -> list[float]:
         tables = self._np_tables or self._build_np_tables()
         two_a, two_b, two_w, two_pos, flat, offsets, multi_w, multi_pos = tables
-        arr = _np.array([coords[name] for name in self._names], dtype=_np.float64)
+        arr = self._np_buf
+        if arr is None:
+            arr = self._np_buf = _np.empty((len(self._names), 4), dtype=_np.float64)
+        # gather through a flat python list into the preallocated
+        # buffer's flat view: measurably faster than materializing a
+        # fresh (n, 4) array from a dict comprehension every recompute
+        entries: list[float] = []
+        extend = entries.extend
+        for name in self._names:
+            extend(coords[name])
+        arr.reshape(-1)[:] = entries
         cx = (arr[:, 0] + arr[:, 2]) / 2.0
         cy = (arr[:, 1] + arr[:, 3]) / 2.0
         vals = _np.zeros(len(self._resolved), dtype=_np.float64)

@@ -68,7 +68,7 @@ from dataclasses import dataclass, replace
 from math import ceil
 from typing import Callable, Iterable
 
-from ..anneal import AnnealingStats, IncrementalAnnealer, WalkCheckpoint
+from ..anneal import AnnealingStats, WalkCheckpoint
 from ..circuit import Circuit
 from ..workloads import resolve_workload
 from .engines import (
@@ -197,7 +197,10 @@ def _execute(task: ChunkTask) -> ChunkResult:
     spec = task.spec
     placer, engine = _placer_engine_for(spec)
     rng = random.Random(spec.seed)
-    annealer = IncrementalAnnealer(engine, placer.schedule(), rng)
+    # the placer picks the driver matched to its engine tier (e.g. the
+    # batched annealer for a vector_tier config); all drivers share the
+    # IncrementalAnnealer checkpoint contract
+    annealer = placer.annealer(engine, rng)
     if task.checkpoint is None:
         # same draw order as a placer's own run(): initial state first,
         # then warmup — a 1-start portfolio walks the exact run() walk

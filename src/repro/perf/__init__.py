@@ -34,6 +34,12 @@ Modules
     The dirty-suffix engine on top of the kernel: checkpointed skyline,
     partial repack from the earliest perturbed pre-order position, and
     the propose -> commit/rollback protocol the annealer drives.
+``vector``
+    The array-native tier below that: flat numpy coordinate/pin tables,
+    batched multi-candidate proposal (``propose_batch``/``accept``/
+    ``reject_all`` driven by :class:`repro.anneal.BatchedAnnealer`) and
+    vectorized cost evaluation, with the scalar path kept as a
+    bit-identity oracle.
 
 The cost side of the loop (term catalog, :class:`~repro.cost.CostModel`,
 delta HPWL) lives in :mod:`repro.cost`; ``DeltaHPWL`` / ``hpwl_of`` /
@@ -50,14 +56,17 @@ from .coords import (
 from ..cost.hpwl import DeltaHPWL, hpwl_of, resolve_nets
 from .kernel import BStarKernel, Skyline, pack_tree_coords
 from .incremental import FullRepackBStarEngine, IncrementalBStarEngine
+from .vector import BatchCostEvaluator, VectorBStarEngine
 
 __all__ = [
     "BStarKernel",
+    "BatchCostEvaluator",
     "Coords",
     "DeltaHPWL",
     "FullRepackBStarEngine",
     "IncrementalBStarEngine",
     "Skyline",
+    "VectorBStarEngine",
     "bounding_of",
     "coords_to_placement",
     "hpwl_of",

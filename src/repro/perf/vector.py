@@ -1,0 +1,729 @@
+"""Array-native evaluation tier: vectorized cost + batched candidates.
+
+The dirty-suffix engine (:mod:`repro.perf.incremental`) made each
+annealing step proportional to what the move changed — but coordinates,
+footprints and pins still live in per-name dicts, and every cost term
+evaluates scalar-by-scalar, so steps/s decays with design size anyway
+(the ``mode:"workloads"`` bench trajectory shows the collapse past
+~2000 modules).  This module is the tier below: flat numpy tables and
+batched evaluation.
+
+Three pieces
+============
+
+:class:`BatchCostEvaluator`
+    Vectorized per-term evaluation behind the existing
+    :class:`~repro.cost.CostModel` protocol.  Per-net HPWL is computed
+    for *K candidates at once* over ``(K, n)`` center arrays through
+    the pin-index tables of :func:`repro.cost.pin_index_tables`
+    (two-pin endpoint arrays + CSR ``reduceat`` for multi-pin nets);
+    per-candidate totals then run through the model's own
+    ``evaluate(coords, hpwl=..., bounding=...)`` with the vectorized
+    inputs precomputed — so the term arithmetic, gating and
+    accumulation order are *literally the model's own*, and totals are
+    byte-identical to the scalar path (``np.cumsum`` row sums and
+    ``np.abs`` spans reproduce the sequential float operations exactly;
+    locked in ``tests/perf/test_vector_equivalence.py``).
+
+:class:`VectorBStarEngine`
+    A batched B*-tree engine: ``propose_batch(rng, k)`` draws K
+    candidate moves from the *same committed state*, packs each one's
+    dirty suffix through a lean no-undo loop into per-candidate
+    row/quad arrays, undoes the tree mutation, and scores all K in one
+    vectorized pass.  ``accept(j)`` replays candidate ``j``'s recorded
+    choices deterministically (via the ``*_named`` helpers of
+    :class:`~repro.bstar.perturb.InPlaceBStarMoves`) and splices its
+    arrays into the committed state; ``reject_all`` is O(1).  Moves are
+    *windowed* (:class:`~repro.bstar.perturb.WindowedBStarMoves`): each
+    candidate draws a log-uniform suffix length, so the expected repack
+    cost is ``O(n / ln n)`` instead of ``O(n)`` while long-range moves
+    are still sampled.  The scalar protocol (``propose`` /
+    ``commit`` / ``rollback``) is the K=1 special case, so the engine
+    drops into every existing driver (warmup included).
+
+The scalar oracle
+    The same engine built with ``evaluator="scalar"`` replays identical
+    draws but scores every candidate through a full
+    ``CostModel.evaluate`` over a real coordinate dict.  Because the
+    vectorized arithmetic is bit-identical, a vector walk and its
+    scalar-oracle twin agree on every candidate cost and every best
+    cost — the A/B discipline the bench (``benchmarks/bench_vector.py``)
+    and the equivalence suite assert with ``==``, no tolerances.
+
+Bit-identity boundary: within a walk, vector vs scalar-oracle costs
+are exact.  Vector-tier walks are *not* draw-compatible with the
+global-move :class:`IncrementalBStarEngine` (windowed draws are a
+different, equally-distributed family), so cross-tier comparisons pin
+placement *quality* (the sweep matrix), not trajectories.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Sequence
+
+try:  # keep repro.perf importable without numpy (scalar tiers don't need it)
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from ..circuit import ProximityGroup
+from ..cost.hpwl import pin_index_tables
+from ..cost.terms import (
+    AreaTerm,
+    AspectTerm,
+    HPWLTerm,
+    OutlineTerm,
+    ProximityTerm,
+)
+from ..geometry import ModuleSet, Net, Orientation
+from .kernel import BStarKernel, Skyline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..bstar.perturb import BStarState
+    from ..cost.model import CostModel
+
+_INF = float("inf")
+
+#: exponent applied to the uniform draw behind each candidate's
+#: log-uniform window size: >1 biases toward short (cheap) windows
+#: while keeping the full multi-scale range reachable.  2.5 measured
+#: best on the steps/s-vs-quality frontier at n=1000 (see docs/perf.md)
+_WINDOW_BIAS = 2.5
+
+#: term classes the vectorized pass can feed (everything else —
+#: e.g. the boundary-tier ViolationTerm — needs inputs the hot loop
+#: cannot provide, exactly as in the scalar engines)
+_SUPPORTED_TERMS = (AreaTerm, HPWLTerm, AspectTerm, OutlineTerm, ProximityTerm)
+
+
+def _perturb_module():
+    # Imported lazily: repro.perf must stay importable without pulling
+    # in repro.bstar (whose placers import repro.perf right back).
+    from ..bstar import perturb
+
+    return perturb
+
+
+class BatchCostEvaluator:
+    """Batched, vectorized evaluation behind the ``CostModel`` protocol.
+
+    Construct once per walk from the model and the (row-ordered) module
+    names; call :meth:`totals` with ``(K, n)`` center arrays and K
+    bounding boxes.  Wirelength — the only O(n) term — is vectorized
+    across the whole batch; every other term is O(1) per candidate and
+    runs through the model's own ``accumulate`` chain, which is what
+    makes totals byte-identical to :meth:`CostModel.evaluate`.
+    """
+
+    _EMPTY: dict = {}
+
+    def __init__(self, model: CostModel, names: Sequence[str]) -> None:
+        if _np is None:  # pragma: no cover - numpy is a declared dependency
+            raise RuntimeError("the vector tier requires numpy")
+        reason = self.unsupported_reason(model)
+        if reason:
+            raise ValueError(f"model not vectorizable: {reason}")
+        self._model = model
+        self._names = tuple(names)
+        term = model.hpwl_term
+        self._wl_active = term is not None and term.active
+        resolved = term.resolved if term is not None else []
+        self._n_nets = len(resolved)
+        self._tables = (
+            pin_index_tables(resolved, self._names) if self._n_nets else None
+        )
+        if self._tables is not None:
+            two_pos = self._tables[3]
+            n_two = int(two_pos.size)
+            # scratch for the allocation-free K=1 two-pin path
+            self._d1 = _np.empty(n_two, dtype=_np.float64)
+            self._d2 = _np.empty(n_two, dtype=_np.float64)
+            self._d3 = _np.empty(n_two, dtype=_np.float64)
+            self._vals1 = _np.empty(self._n_nets, dtype=_np.float64)
+            self._cum1 = _np.empty(self._n_nets, dtype=_np.float64)
+            # when every net is two-pin and already in net order, the
+            # weighted two-pin vector IS the per-net value vector
+            self._two_only = n_two == self._n_nets and bool(
+                (two_pos == _np.arange(self._n_nets)).all()
+            )
+        self._needs_coords = any(
+            isinstance(t, ProximityTerm) and t.groups and t.active
+            for t in model.terms
+        )
+
+    @staticmethod
+    def unsupported_reason(model: CostModel) -> str | None:
+        """Why ``model`` cannot go through the vector tier (or ``None``)."""
+        for term in model.terms:
+            if not isinstance(term, _SUPPORTED_TERMS):
+                return (
+                    f"term {term.name!r} ({type(term).__name__}) has no "
+                    "vectorized path (boundary-tier terms never run in "
+                    "annealing hot loops)"
+                )
+        return None
+
+    @property
+    def model(self) -> CostModel:
+        return self._model
+
+    def batch_hpwl(self, cx, cy):
+        """Weighted HPWL of K candidates; ``(K, n)`` centers -> ``(K,)``.
+
+        Per-net values are IEEE-identical to the scalar per-net path and
+        the row sum (``cumsum``) replicates the left-to-right float
+        accumulation of ``sum(vals)`` exactly.
+        """
+        two_a, two_b, two_w, two_pos, flat, offsets, multi_w, multi_pos = (
+            self._tables
+        )
+        if cx.shape[0] == 1:
+            # 1D fast path (K=1 tiles dominate high-acceptance phases):
+            # preallocated scratch, ufunc `out=` everywhere — the exact
+            # same elementwise float ops as the 2D form, no allocations
+            c_x, c_y = cx[0], cy[0]
+            if two_pos.size:
+                d1, d2, d3 = self._d1, self._d2, self._d3
+                c_x.take(two_a, out=d1)
+                c_x.take(two_b, out=d2)
+                _np.subtract(d1, d2, out=d1)
+                _np.abs(d1, out=d1)
+                c_y.take(two_a, out=d2)
+                c_y.take(two_b, out=d3)
+                _np.subtract(d2, d3, out=d2)
+                _np.abs(d2, out=d2)
+                _np.add(d1, d2, out=d1)
+                _np.multiply(two_w, d1, out=d1)
+                if self._two_only:
+                    d1.cumsum(out=self._cum1)
+                    return self._cum1[-1:]
+                vals = self._vals1
+                vals[two_pos] = d1
+            else:
+                vals = self._vals1
+            if multi_pos.size:
+                px = c_x[flat]
+                py = c_y[flat]
+                span_x = _np.maximum.reduceat(px, offsets) - _np.minimum.reduceat(
+                    px, offsets
+                )
+                span_y = _np.maximum.reduceat(py, offsets) - _np.minimum.reduceat(
+                    py, offsets
+                )
+                vals[multi_pos] = multi_w * (span_x + span_y)
+            vals.cumsum(out=self._cum1)
+            return self._cum1[-1:]
+        vals = _np.empty((cx.shape[0], self._n_nets), dtype=_np.float64)
+        if two_pos.size:
+            vals[:, two_pos] = two_w * (
+                _np.abs(cx[:, two_a] - cx[:, two_b])
+                + _np.abs(cy[:, two_a] - cy[:, two_b])
+            )
+        if multi_pos.size:
+            px = cx[:, flat]
+            py = cy[:, flat]
+            span_x = _np.maximum.reduceat(px, offsets, axis=1) - _np.minimum.reduceat(
+                px, offsets, axis=1
+            )
+            span_y = _np.maximum.reduceat(py, offsets, axis=1) - _np.minimum.reduceat(
+                py, offsets, axis=1
+            )
+            vals[:, multi_pos] = multi_w * (span_x + span_y)
+        return _np.cumsum(vals, axis=1)[:, -1]
+
+    def totals(
+        self,
+        cx,
+        cy,
+        boundings: Sequence[tuple[float, float, float, float]],
+        coords_list=None,
+    ) -> list[float]:
+        """Total cost per candidate, in the model's own term order.
+
+        ``coords_list`` (one table per candidate) is required only when
+        the model carries active proximity groups — the single term
+        whose geometry test has no array form; every standard flat-
+        placer model passes empty groups and never needs it.
+        """
+        if self._needs_coords and coords_list is None:
+            raise ValueError(
+                "model has active proximity groups: per-candidate coords "
+                "are required (pass coords_list)"
+            )
+        k = cx.shape[0]
+        if self._n_nets and self._wl_active:
+            hp = self.batch_hpwl(cx, cy)
+            hpwls = [float(hp[j]) for j in range(k)]
+        elif self._wl_active:
+            # active term over zero resolved nets: the delta path feeds
+            # the scalar evaluator sum([]) == 0.0 — match it exactly
+            hpwls = [0.0] * k
+        else:
+            hpwls = [None] * k
+        evaluate = self._model.evaluate
+        empty = self._EMPTY
+        return [
+            evaluate(
+                coords_list[j] if coords_list is not None else empty,
+                hpwls[j],
+                boundings[j],
+            )
+            for j in range(k)
+        ]
+
+
+class _Candidate:
+    """One proposed move: its recorded choices, packed suffix and cost."""
+
+    __slots__ = (
+        "kind", "replay", "k", "names", "qa", "rows_np", "cx", "cy",
+        "snaps", "bounding", "cost",
+    )
+
+    def __init__(self, kind: str, replay=None) -> None:
+        self.kind = kind
+        self.replay = replay
+        self.k = 0
+        self.names: list[str] = []
+        #: packed suffix quads as an ``(m, 4)`` float64 array
+        self.qa = None
+        self.rows_np = None
+        self.cx = None
+        self.cy = None
+        self.snaps: list = []
+        self.bounding = (0.0, 0.0, 0.0, 0.0)
+        self.cost = _INF
+
+    def quad_tuples(self) -> list[tuple[float, float, float, float]]:
+        """The packed suffix as coordinate tuples (accept/oracle path)."""
+        if self.qa is None:
+            return []
+        return [tuple(row) for row in self.qa.tolist()]
+
+
+class VectorBStarEngine:
+    """Batched array-native B*-tree engine (vector tier).
+
+    Implements the :class:`repro.anneal.IncrementalEngine` protocol
+    *plus* the batch extension driven by
+    :class:`repro.anneal.BatchedAnnealer`:
+
+    * :meth:`propose_batch` — K windowed candidate moves from the
+      committed state, scored in one vectorized pass;
+    * :meth:`accept` — deterministically replay candidate ``j`` and
+      splice its suffix arrays into the committed state;
+    * :meth:`reject_all` — O(1) (candidates never touched committed
+      state).
+
+    ``evaluator="scalar"`` builds the bit-identity oracle twin: same
+    draws, every candidate scored through a full scalar
+    ``CostModel.evaluate`` over a real coordinate dict.
+    """
+
+    def __init__(
+        self,
+        modules: ModuleSet,
+        nets: tuple[Net, ...] = (),
+        proximity: tuple[ProximityGroup, ...] = (),
+        config=None,
+        *,
+        allow_rotation: bool = True,
+        stride: int = 8,
+        evaluator: str = "vector",
+    ) -> None:
+        if config is None:
+            raise ValueError("VectorBStarEngine requires a cost config")
+        if _np is None:  # pragma: no cover - numpy is a declared dependency
+            raise RuntimeError("the vector tier requires numpy")
+        if evaluator not in ("vector", "scalar"):
+            raise ValueError(f"unknown evaluator {evaluator!r}")
+        perturb = _perturb_module()
+        self._state_cls = perturb.BStarState
+        self._moves = perturb.WindowedBStarMoves(
+            modules, allow_rotation=allow_rotation
+        )
+        self._kernel = BStarKernel(modules, nets, proximity, config)
+        model = self._kernel.model
+        self._model = model
+        self._names = tuple(modules.names())
+        self._row = {name: i for i, name in enumerate(self._names)}
+        self._n = len(self._names)
+        self._footprints = self._kernel._footprints
+        self._stride = max(1, stride)
+        self._window_min = max(2, int(getattr(config, "vector_window_min", 8)))
+        self._sky = Skyline()
+        self._scalar_eval = evaluator == "scalar"
+        if self._scalar_eval:
+            self._batch_eval = None
+            reason = BatchCostEvaluator.unsupported_reason(model)
+            if reason:
+                raise ValueError(f"vector tier cannot serve this model: {reason}")
+        else:
+            self._batch_eval = BatchCostEvaluator(model, self._names)
+            if self._batch_eval._needs_coords:
+                raise ValueError(
+                    "the vector engine does not evaluate proximity groups; "
+                    "use IncrementalBStarEngine for proximity-constrained "
+                    "objectives"
+                )
+
+        # committed state (mutable, owned by the engine)
+        self._tree = None
+        self._orients: dict[str, Orientation] = {}
+        self._variants: dict[str, int] = {}
+        self._sizes: dict[str, tuple[float, float]] = {}
+        self._coords: dict[str, tuple[float, float, float, float]] = {}
+        self._order: list[str] = []
+        self._pos: dict[str, int] = {}
+        self._ckpts: list = []
+        self._base_cx = _np.zeros(self._n, dtype=_np.float64)
+        self._base_cy = _np.zeros(self._n, dtype=_np.float64)
+        self._bounding = (0.0, 0.0, 0.0, 0.0)
+        self._cost = _INF
+
+        # pending batch
+        self._cands: list[_Candidate] | None = None
+        # reusable (K, n) center buffers, grown on demand
+        self._buf_cx = None
+        self._buf_cy = None
+
+    # -- setup ---------------------------------------------------------------
+
+    def initial_state(self, rng: random.Random) -> BStarState:
+        return self._moves.initial_state(rng)
+
+    def reset(self, state: BStarState) -> float:
+        """Adopt ``state`` (copied into mutable form); return its cost."""
+        self._cands = None
+        self._tree = state.tree.clone()
+        self._orients = dict(state.orientations)
+        self._variants = dict(state.variants)
+        self._sizes = dict(
+            self._kernel.resolved_sizes(self._orients, self._variants)
+        )
+        n = self._n
+        n_slots = ((n - 1) // self._stride + 1) if n else 1
+        self._ckpts = [([0.0], [0.0]) for _ in range(n_slots)]
+        self._order = [""] * n
+        self._coords = {}
+        self._pos = {}
+        cand = _Candidate("repack")
+        cand.k = 0
+        self._pack_suffix(0, cand)
+        self._install(cand)
+        self._cost = self._evaluate([cand])[0]
+        return self._cost
+
+    def initial_cost(self) -> float:
+        return self._cost
+
+    # -- batch protocol ------------------------------------------------------
+
+    def propose_batch(self, rng: random.Random, k: int) -> list[float]:
+        """Draw, pack and score ``k`` candidates off the committed state."""
+        if self._cands is not None:
+            raise RuntimeError("previous batch not accepted or rejected")
+        cands = [self._propose_one(rng) for _ in range(k)]
+        self._cands = cands
+        live = [c for c in cands if c.kind == "repack"]
+        if live:
+            costs = self._evaluate(live)
+            for cand, cost in zip(live, costs):
+                cand.cost = cost
+        current = self._cost
+        for cand in cands:
+            if cand.kind != "repack":
+                cand.cost = current
+        return [cand.cost for cand in cands]
+
+    def accept(self, j: int) -> None:
+        """Keep candidate ``j``: replay its move, splice its arrays."""
+        cands = self._cands
+        if cands is None:
+            raise RuntimeError("no pending batch")
+        cand = cands[j]
+        kind = cand.kind
+        if kind == "neutral":
+            op, name, value = cand.replay
+            (self._orients if op == "rotate" else self._variants)[name] = value
+        elif kind == "repack":
+            replay = cand.replay
+            op = replay[0]
+            if op == "move":
+                self._moves.move_named(self._tree, replay[1], replay[2], replay[3])
+            elif op == "swap":
+                self._moves.swap_named(self._tree, replay[1], replay[2])
+            elif op == "rotate":
+                self._orients[replay[1]] = replay[2]
+                self._sizes[replay[1]] = replay[3]
+            else:  # reshape
+                self._variants[replay[1]] = replay[2]
+                self._sizes[replay[1]] = replay[3]
+            self._install(cand)
+        self._cost = cand.cost
+        self._cands = None
+
+    def reject_all(self) -> None:
+        """Drop the whole batch (committed state was never touched)."""
+        if self._cands is None:
+            raise RuntimeError("no pending batch")
+        self._cands = None
+
+    # -- scalar protocol (K = 1 special case; warmup and generic drivers) ----
+
+    def propose(self, rng: random.Random) -> float:
+        return self.propose_batch(rng, 1)[0]
+
+    def commit(self) -> None:
+        self.accept(0)
+
+    def rollback(self) -> None:
+        self.reject_all()
+
+    def snapshot(self) -> BStarState:
+        """An immutable copy of the current state (best tracking)."""
+        return self._state_cls(
+            tree=self._tree.clone(),
+            orientations=dict(self._orients),
+            variants=dict(self._variants),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _propose_one(self, rng: random.Random) -> _Candidate:
+        """Draw one windowed move, pack its dirty suffix, undo the tree."""
+        n = self._n
+        order = self._order
+        lo = 0
+        wmin = self._window_min
+        if n > wmin:
+            # log-uniform suffix length in [wmin, n] (biased short):
+            # cheap local windows dominate, global moves still sampled
+            s = int(round(wmin * (n / wmin) ** (rng.random() ** _WINDOW_BIAS)))
+            if s > n:
+                s = n
+            elif s < wmin:
+                s = wmin
+            lo = n - s
+        tree = self._tree
+        orients = self._orients
+        variants = self._variants
+        moves = self._moves
+        rec = moves.apply_windowed(tree, orients, variants, rng, order, lo)
+        kind = rec.kind
+        if kind == "noop":
+            return _Candidate("noop")
+        if kind == "rotate" or kind == "reshape":
+            name = rec.a
+            new_value = orients[name] if kind == "rotate" else variants[name]
+            wh = self._footprints[name][variants.get(name, 0)][
+                orients.get(name, Orientation.R0)
+            ]
+            old_wh = self._sizes[name]
+            if wh == old_wh:
+                # size-neutral (square rotate / same-footprint variant):
+                # coordinates — hence cost — are unchanged
+                moves.undo(tree, orients, variants, rec)
+                return _Candidate("neutral", (kind, name, new_value))
+            cand = _Candidate("repack", (kind, name, new_value, wh))
+            self._sizes[name] = wh
+            cand.k = self._pos[name]
+            self._pack_suffix(cand.k, cand)
+            self._sizes[name] = old_wh
+            moves.undo(tree, orients, variants, rec)
+            return cand
+        if kind == "move":
+            side = "left" if tree.left[rec.b] == rec.a else "right"
+            cand = _Candidate("repack", ("move", rec.a, rec.b, side))
+        else:  # swap
+            cand = _Candidate("repack", ("swap", rec.a, rec.b))
+        cand.k = moves.dirty_index(rec, self._pos)
+        self._pack_suffix(cand.k, cand)
+        moves.undo(tree, orients, variants, rec)
+        return cand
+
+    def _evaluate(self, live: list[_Candidate]) -> list[float]:
+        """Score packed candidates (vectorized, or the scalar oracle)."""
+        if self._scalar_eval:
+            evaluate = self._model.evaluate
+            out = []
+            for cand in live:
+                coords = dict(self._coords)
+                coords.update(zip(cand.names, cand.quad_tuples()))
+                out.append(evaluate(coords, bounding=cand.bounding))
+            return out
+        k = len(live)
+        n = self._n
+        buf = self._buf_cx
+        if buf is None or buf.shape[0] < k:
+            self._buf_cx = _np.empty((k, n), dtype=_np.float64)
+            self._buf_cy = _np.empty((k, n), dtype=_np.float64)
+        cx = self._buf_cx[:k]
+        cy = self._buf_cy[:k]
+        cx[:] = self._base_cx
+        cy[:] = self._base_cy
+        for idx, cand in enumerate(live):
+            if cand.rows_np is not None and cand.rows_np.size:
+                cx[idx, cand.rows_np] = cand.cx
+                cy[idx, cand.rows_np] = cand.cy
+        return self._batch_eval.totals(cx, cy, [c.bounding for c in live])
+
+    def _install(self, cand: _Candidate) -> None:
+        """Splice an accepted candidate's suffix into the committed state."""
+        k = cand.k
+        order = self._order
+        order[k:] = cand.names
+        pos = self._pos
+        for idx, name in enumerate(cand.names, k):
+            pos[name] = idx
+        coords = self._coords
+        coords.update(zip(cand.names, cand.quad_tuples()))
+        if cand.rows_np is not None and cand.rows_np.size:
+            self._base_cx[cand.rows_np] = cand.cx
+            self._base_cy[cand.rows_np] = cand.cy
+        ckpts = self._ckpts
+        for slot, snap in cand.snaps:
+            ckpts[slot] = snap
+        self._bounding = cand.bounding
+
+    def _pack_suffix(self, k: int, cand: _Candidate) -> None:
+        """Pack pre-order positions ``>= k`` of the (perturbed) tree into
+        ``cand``'s arrays — committed state untouched.
+
+        Same restore-checkpoint / replay-prefix-tail / inlined-skyline
+        structure as the incremental engine's ``_repack_suffix``, but
+        with no undo logging: output goes to per-candidate lists, and
+        fresh checkpoint snapshots are kept on the candidate for
+        :meth:`accept` to install.
+        """
+        stride = self._stride
+        order = self._order
+        coords = self._coords
+        sizes = self._sizes
+        sky = self._sky
+        c = k // stride
+        sky.restore(self._ckpts[c])
+        starts = sky._starts
+        heights = sky._heights
+        # replay the cached tail of the prefix (unchanged rectangles)
+        for idx in range(c * stride, k):
+            x, _y0, x1, y1 = coords[order[idx]]
+            i = 0
+            n_segs = len(starts)
+            while i + 1 < n_segs and starts[i + 1] <= x:
+                i += 1
+            j = i + 1
+            while j < n_segs and starts[j] < x1:
+                j += 1
+            tail = heights[j - 1]
+            end = starts[j] if j < n_segs else _INF
+            if starts[i] < x:
+                # segment i survives on the left: splice after it
+                i += 1
+            if x1 < end:
+                starts[i:j] = (x, x1)
+                heights[i:j] = (y1, tail)
+            else:
+                starts[i:j] = (x,)
+                heights[i:j] = (y1,)
+        names_out = cand.names
+        push_name = names_out.append
+        flat: list[float] = []  # x0 y0 x1 y1 per node, row-major
+        push_flat = flat.extend
+        snaps = cand.snaps
+        stack = self._stack_at(k)
+        push_stack = stack.append
+        pop_stack = stack.pop
+        tree = self._tree
+        tree_left, tree_right = tree.left, tree.right
+        next_ckpt = (c + 1) * stride
+        idx = k
+        while stack:
+            if idx == next_ckpt:
+                snaps.append((idx // stride, (starts.copy(), heights.copy())))
+                next_ckpt += stride
+            name, x = pop_stack()
+            w, h = sizes[name]
+            x1 = x + w
+            i = 0
+            n_segs = len(starts)
+            if n_segs < 16:
+                while i + 1 < n_segs and starts[i + 1] <= x:
+                    i += 1
+            else:
+                i = bisect_right(starts, x) - 1
+            j = i + 1
+            while j < n_segs and starts[j] < x1:
+                j += 1
+            if j - i == 1:
+                y = heights[i]
+            else:
+                y = max(heights[i:j])
+            top = y + h
+            tail = heights[j - 1]
+            end = starts[j] if j < n_segs else _INF
+            if starts[i] < x:
+                # segment i survives on the left: splice after it
+                i += 1
+            if x1 < end:
+                starts[i:j] = (x, x1)
+                heights[i:j] = (top, tail)
+            else:
+                starts[i:j] = (x,)
+                heights[i:j] = (top,)
+            push_name(name)
+            push_flat((x, y, x1, top))
+            idx += 1
+            right = tree_right[name]
+            if right is not None:
+                push_stack((right, x))
+            left = tree_left[name]
+            if left is not None:
+                push_stack((left, x1))
+        assert idx == self._n, "suffix repack lost nodes (tree corrupted?)"
+        cand.bounding = (0.0, 0.0, sky.rightmost_edge(), sky.max_height())
+        if names_out:
+            row_of = self._row
+            cand.rows_np = _np.fromiter(
+                map(row_of.__getitem__, names_out),
+                dtype=_np.intp,
+                count=len(names_out),
+            )
+            qa = _np.asarray(flat, dtype=_np.float64).reshape(-1, 4)
+            cand.qa = qa
+            cand.cx = (qa[:, 0] + qa[:, 2]) / 2.0
+            cand.cy = (qa[:, 1] + qa[:, 3]) / 2.0
+
+    def _stack_at(self, k: int) -> list[tuple[str, float]]:
+        """The packing DFS stack just before pre-order position ``k``
+        (O(depth) rebuild from the perturbed tree's parent pointers and
+        the cached prefix coordinates — same derivation as the
+        incremental engine's)."""
+        tree = self._tree
+        if k == 0:
+            root = tree.root
+            return [] if root is None else [(root, 0.0)]
+        coords = self._coords
+        left, right, parent = tree.left, tree.right, tree.parent
+        u = self._order[k - 1]
+        pending: list[tuple[str, float]] = []  # nearest-ancestor first
+        child = u
+        node = parent[u]
+        while node is not None:
+            if left[node] == child:
+                r = right[node]
+                if r is not None:
+                    pending.append((r, coords[node][0]))
+            child = node
+            node = parent[node]
+        pending.reverse()
+        cu = coords[u]
+        r = right[u]
+        if r is not None:
+            pending.append((r, cu[0]))
+        l = left[u]
+        if l is not None:
+            pending.append((l, cu[2]))
+        return pending

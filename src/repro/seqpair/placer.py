@@ -131,6 +131,10 @@ class SequencePairPlacer:
         costs match the functional path bit for bit."""
         return _SeqPairEngine(self)
 
+    def annealer(self, engine, rng: random.Random) -> IncrementalAnnealer:
+        """The annealing driver for this placer's engine."""
+        return IncrementalAnnealer(engine, self.schedule(), rng)
+
     def initial_state(self, rng: random.Random) -> PlacementState:
         return self._moves.initial_state(rng)
 
@@ -144,7 +148,7 @@ class SequencePairPlacer:
         rng = random.Random(self._config.seed)
         engine = self.engine()
         engine.reset(self.initial_state(rng))
-        annealer = IncrementalAnnealer(engine, self.schedule(), rng)
+        annealer = self.annealer(engine, rng)
         outcome = annealer.run()
         outcome.stats.term_breakdown = self.cost_breakdown(outcome.best_state)
         return PlacerResult(

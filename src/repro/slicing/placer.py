@@ -121,6 +121,10 @@ class SlicingPlacer:
         and costs match the functional path bit for bit."""
         return _SlicingEngine(self)
 
+    def annealer(self, engine, rng: random.Random) -> IncrementalAnnealer:
+        """The annealing driver for this placer's engine."""
+        return IncrementalAnnealer(engine, self.schedule(), rng)
+
     def initial_state(self, rng: random.Random) -> PolishExpression:
         return PolishExpression.random(self._modules.names(), rng)
 
@@ -131,7 +135,7 @@ class SlicingPlacer:
         rng = random.Random(self._config.seed)
         engine = self.engine()
         engine.reset(self.initial_state(rng))
-        annealer = IncrementalAnnealer(engine, self.schedule(), rng)
+        annealer = self.annealer(engine, rng)
         outcome = annealer.run()
         outcome.stats.term_breakdown = self.cost_breakdown(outcome.best_state)
         return SlicingPlacerResult(

@@ -191,7 +191,10 @@ class TestSchema:
         diff = diff_matrices(baseline, copy.deepcopy(baseline))
         assert diff.ok and diff.unchanged == len(baseline["cells"])
         # acceptance shape: >= 2 fixture + >= 2 gen workloads, all four
-        # engines plus the portfolio per workload
+        # engines plus the portfolio per workload (plus the vector-tier
+        # cell riding on its largest gen workload)
+        from repro.analysis.sweep import VECTOR_ENGINE
+
         workloads = {c["workload"] for c in baseline["cells"]}
         assert sum(1 for w in workloads if w.startswith("file:")) >= 2
         assert sum(1 for w in workloads if w.startswith("gen:")) >= 2
@@ -199,9 +202,14 @@ class TestSchema:
             engines = {
                 c["engine"] for c in baseline["cells"] if c["workload"] == workload
             }
-            assert engines == {
+            assert engines - {VECTOR_ENGINE} == {
                 "bstar", "hbtree", "seqpair", "slicing", PORTFOLIO,
             }
+        vector_cells = [
+            c for c in baseline["cells"] if c["engine"] == VECTOR_ENGINE
+        ]
+        assert len(vector_cells) == 1
+        assert vector_cells[0]["config"]["overrides"] == [["vector_tier", True]]
 
     def test_validate_rejects_wrong_schema_and_missing_fields(self):
         assert validate_matrix({"schema": "nope", "cells": []})
