@@ -29,14 +29,13 @@ Run under pytest: pytest benchmarks/bench_faults.py -q
 from __future__ import annotations
 
 import argparse
-import platform
 import shutil
 import statistics
 import tempfile
 import time
 from math import ceil
 
-from bench_perf_kernel import JSON_PATH, append_entry
+from bench_perf_kernel import JSON_PATH, record_trajectory_entry
 
 from repro.parallel import (
     Fault,
@@ -185,39 +184,38 @@ def run(fast: bool = False, write: bool = False) -> dict:
         "recovery": _recovery_check(),
     }
 
-    entry = {
-        "mode": "faults",
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "circuit": CIRCUIT,
-        "engines": list(ENGINES),
-        "starts": STARTS,
-        "steps": sup_steps,
-        "runs": [
-            {
-                "variant": "raw",
-                "steps": raw_steps,
-                "steps_per_sec": results["raw_steps_per_sec"],
-            },
-            {
-                "variant": "supervised",
-                "steps": sup_steps,
-                "steps_per_sec": results["supervised_steps_per_sec"],
-            },
-            {
-                "variant": "persisted",
-                "steps": per_steps,
-                "steps_per_sec": results["persisted_steps_per_sec"],
-            },
-        ],
-        "supervision_overhead_pct": results["supervision_overhead_pct"],
-        "persistence_overhead_pct": results["persistence_overhead_pct"],
-    }
-    if write:
-        append_entry(entry)
+    recorded = record_trajectory_entry(
+        "faults",
+        {
+            "circuit": CIRCUIT,
+            "engines": list(ENGINES),
+            "starts": STARTS,
+            "steps": sup_steps,
+            "runs": [
+                {
+                    "variant": "raw",
+                    "steps": raw_steps,
+                    "steps_per_sec": results["raw_steps_per_sec"],
+                },
+                {
+                    "variant": "supervised",
+                    "steps": sup_steps,
+                    "steps_per_sec": results["supervised_steps_per_sec"],
+                },
+                {
+                    "variant": "persisted",
+                    "steps": per_steps,
+                    "steps_per_sec": results["persisted_steps_per_sec"],
+                },
+            ],
+            "supervision_overhead_pct": results["supervision_overhead_pct"],
+            "persistence_overhead_pct": results["persistence_overhead_pct"],
+        },
+        write=write,
+    )
 
-    results["entry"] = entry
-    results["appended"] = write
+    results["entry"] = recorded["entry"]
+    results["appended"] = recorded["appended"]
     results["table"] = table(results)
     return results
 

@@ -33,10 +33,9 @@ from __future__ import annotations
 import argparse
 import multiprocessing
 import pickle
-import platform
 import time
 
-from bench_perf_kernel import JSON_PATH, append_entry
+from bench_perf_kernel import JSON_PATH, record_trajectory_entry
 
 from repro.parallel import ENGINE_NAMES, PortfolioRunner, build_placer_by_name, WalkSpec
 from repro.workloads import resolve_workload
@@ -183,22 +182,21 @@ def run(fast: bool = False, write: bool = False) -> dict:
     else:
         results = measure()
 
-    entry = {
-        "mode": "parallel",
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "cpu_count": results["cpu_count"],
-        "runs": results["runs"],
-        "scaling": results["scaling"],
-        "quality": {
-            engine: row["improved"] for engine, row in results["quality"].items()
+    recorded = record_trajectory_entry(
+        "parallel",
+        {
+            "cpu_count": results["cpu_count"],
+            "runs": results["runs"],
+            "scaling": results["scaling"],
+            "quality": {
+                engine: row["improved"] for engine, row in results["quality"].items()
+            },
         },
-    }
-    if write:
-        append_entry(entry)
+        write=write,
+    )
 
-    results["entry"] = entry
-    results["appended"] = write
+    results["entry"] = recorded["entry"]
+    results["appended"] = recorded["appended"]
     results["table"] = table(results)
     return results
 

@@ -313,6 +313,51 @@ def check_regression(
     return problems
 
 
+def record_trajectory_entry(
+    mode: str,
+    payload: dict,
+    *,
+    write: bool,
+    gate: bool = False,
+    path: Path = JSON_PATH,
+) -> dict:
+    """Stamp and (optionally) append one trajectory entry.
+
+    The single recording path shared by every ``benchmarks/bench_*.py``:
+    builds the common provenance header (mode, python version,
+    wall-clock timestamp, active telemetry mode) once, then merges the
+    benchmark-specific ``payload`` on top.
+
+    When ``gate`` is set the entry is diffed against the trajectory with
+    :func:`check_regression` first.  The regression diff only means
+    something against entries recorded on the same tracked machine,
+    i.e. when the run participates in the trajectory: a read-only run
+    (CI smoke on arbitrary hardware) is never gated on it.  A regressed
+    entry is reported but NOT appended — otherwise it would become the
+    next run's baseline and the gate would ratchet itself away.
+
+    Returns ``{"entry", "appended", "regressions"}``.
+    """
+    from repro.telemetry import active_mode
+
+    entry = {
+        "mode": mode,
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "telemetry": active_mode(),
+        **payload,
+    }
+    regressions: list[str] = []
+    appended = False
+    if write:
+        if gate:
+            regressions = check_regression(entry, load_trajectory(path)["trajectory"])
+        if not regressions:
+            append_entry(entry, path)
+            appended = True
+    return {"entry": entry, "appended": appended, "regressions": regressions}
+
+
 def run(fast: bool = False, write: bool = False) -> dict:
     """Measure all sizes; optionally append to the trajectory file."""
     if fast:
@@ -326,29 +371,21 @@ def run(fast: bool = False, write: bool = False) -> dict:
         config = BStarPlacerConfig(seed=0)
         sizes, repeats, evals = (50, 100), 3, 4000
 
-    entry = {
-        "mode": "fast" if fast else "full",
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "runs": [measure(n, config, repeats) for n in sizes],
-        "cost_eval": [
-            measure_cost_eval(n, config, evals=evals, repeats=repeats) for n in sizes
-        ],
-    }
-    # The regression diff only means something against entries recorded
-    # on the same tracked machine, i.e. when this run participates in
-    # the trajectory: a read-only run (CI smoke on arbitrary hardware)
-    # is never gated on it.  A regressed entry is reported but NOT
-    # appended — otherwise it would become the next run's baseline and
-    # the gate would ratchet itself away.
-    regressions: list[str] = []
-    appended = False
-    if write:
-        previous = load_trajectory()["trajectory"]
-        regressions = check_regression(entry, previous)
-        if not regressions:
-            append_entry(entry)
-            appended = True
+    recorded = record_trajectory_entry(
+        "fast" if fast else "full",
+        {
+            "runs": [measure(n, config, repeats) for n in sizes],
+            "cost_eval": [
+                measure_cost_eval(n, config, evals=evals, repeats=repeats)
+                for n in sizes
+            ],
+        },
+        write=write,
+        gate=True,
+    )
+    entry = recorded["entry"]
+    regressions = recorded["regressions"]
+    appended = recorded["appended"]
 
     header = (
         f"{'modules':>8} {'object/s':>10} {'kernel/s':>10} {'incr/s':>10} "

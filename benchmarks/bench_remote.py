@@ -28,12 +28,11 @@ Run under pytest: pytest benchmarks/bench_remote.py -q
 from __future__ import annotations
 
 import argparse
-import platform
 import statistics
 import threading
 import time
 
-from bench_perf_kernel import JSON_PATH, append_entry
+from bench_perf_kernel import JSON_PATH, record_trajectory_entry
 
 from repro.parallel import Fault, FaultPlan, PortfolioRunner, WorkerClient
 
@@ -142,34 +141,33 @@ def run(fast: bool = False, write: bool = False) -> dict:
         "recovery": _recovery_check(),
     }
 
-    entry = {
-        "mode": "remote",
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "circuit": CIRCUIT,
-        "engines": list(ENGINES),
-        "starts": STARTS,
-        "workers": WORKERS,
-        "steps": rem_steps,
-        "runs": [
-            {
-                "variant": "serial",
-                "steps": ser_steps,
-                "steps_per_sec": results["serial_steps_per_sec"],
-            },
-            {
-                "variant": "remote",
-                "steps": rem_steps,
-                "steps_per_sec": results["remote_steps_per_sec"],
-            },
-        ],
-        "dispatch_overhead_pct": results["dispatch_overhead_pct"],
-    }
-    if write:
-        append_entry(entry)
+    recorded = record_trajectory_entry(
+        "remote",
+        {
+            "circuit": CIRCUIT,
+            "engines": list(ENGINES),
+            "starts": STARTS,
+            "workers": WORKERS,
+            "steps": rem_steps,
+            "runs": [
+                {
+                    "variant": "serial",
+                    "steps": ser_steps,
+                    "steps_per_sec": results["serial_steps_per_sec"],
+                },
+                {
+                    "variant": "remote",
+                    "steps": rem_steps,
+                    "steps_per_sec": results["remote_steps_per_sec"],
+                },
+            ],
+            "dispatch_overhead_pct": results["dispatch_overhead_pct"],
+        },
+        write=write,
+    )
 
-    results["entry"] = entry
-    results["appended"] = write
+    results["entry"] = recorded["entry"]
+    results["appended"] = recorded["appended"]
     results["table"] = table(results)
     return results
 

@@ -37,17 +37,10 @@ Run under pytest: pytest benchmarks/bench_vector.py -q
 from __future__ import annotations
 
 import argparse
-import platform
 import random
 import time
 
-from bench_perf_kernel import (
-    JSON_PATH,
-    append_entry,
-    check_regression,
-    load_trajectory,
-    problem,
-)
+from bench_perf_kernel import JSON_PATH, problem, record_trajectory_entry
 
 from repro.anneal import BatchedAnnealer, GeometricSchedule, IncrementalAnnealer
 from repro.bstar import BStarPlacerConfig
@@ -156,24 +149,22 @@ def run(fast: bool = False, write: bool = False) -> dict:
             (10000, 1, STEP_CAPS[10000]),
         ]
 
-    entry = {
-        "mode": "vector",
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "batch_max": config.vector_batch,
-        "window_min": config.vector_window_min,
-        "runs": [
-            measure(n, config, repeats, max_steps) for n, repeats, max_steps in points
-        ],
-    }
-    regressions: list[str] = []
-    appended = False
-    if write:
-        previous = load_trajectory()["trajectory"]
-        regressions = check_regression(entry, previous)
-        if not regressions:
-            append_entry(entry)
-            appended = True
+    recorded = record_trajectory_entry(
+        "vector",
+        {
+            "batch_max": config.vector_batch,
+            "window_min": config.vector_window_min,
+            "runs": [
+                measure(n, config, repeats, max_steps)
+                for n, repeats, max_steps in points
+            ],
+        },
+        write=write,
+        gate=True,
+    )
+    entry = recorded["entry"]
+    regressions = recorded["regressions"]
+    appended = recorded["appended"]
 
     lines = [
         f"{'modules':>8} {'steps':>7} {'vector/s':>10} {'incr/s':>10} {'vector x':>9}"

@@ -33,13 +33,12 @@ Run under pytest: pytest benchmarks/bench_workloads.py -q
 from __future__ import annotations
 
 import argparse
-import platform
 import random
 import tempfile
 import time
 from pathlib import Path
 
-from bench_perf_kernel import JSON_PATH, append_entry
+from bench_perf_kernel import JSON_PATH, record_trajectory_entry
 
 from repro.anneal import IncrementalAnnealer
 from repro.cost import reference_model
@@ -136,21 +135,21 @@ def run(fast: bool = False, write: bool = False) -> dict:
     steps = 400 if fast else 2000
     repeats = 1 if fast else 2
 
-    entry = {
-        "mode": "workloads",
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "engine": ENGINE,
-        "runs": [
-            measure(n, steps=min(steps, STEP_CAPS.get(n, steps)), repeats=repeats)
-            for n in sizes
-        ],
-        "bookshelf_round_trip": check_bookshelf_round_trip(
-            QUICK_SIZES[-1] if fast else 500
-        ),
-    }
-    if write:
-        append_entry(entry)
+    recorded = record_trajectory_entry(
+        "workloads",
+        {
+            "engine": ENGINE,
+            "runs": [
+                measure(n, steps=min(steps, STEP_CAPS.get(n, steps)), repeats=repeats)
+                for n in sizes
+            ],
+            "bookshelf_round_trip": check_bookshelf_round_trip(
+                QUICK_SIZES[-1] if fast else 500
+            ),
+        },
+        write=write,
+    )
+    entry = recorded["entry"]
 
     lines = [
         f"{'modules':>8} {'nets':>6} {'constr':>7} {'resolve':>8} "
@@ -174,7 +173,7 @@ def run(fast: bool = False, write: bool = False) -> dict:
         "runs": entry["runs"],
         "round_trip": rt,
         "entry": entry,
-        "appended": write,
+        "appended": recorded["appended"],
         "table": "\n".join(lines),
     }
 

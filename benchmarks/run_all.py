@@ -13,8 +13,8 @@ enumerates every ``bench_*.py`` and executes them through pytest:
 After the suites pass, two regression guards run (skip both with
 ``--no-guard``):
 
-* the **perf guard** runs the quick perf-kernel benchmark *and* the
-  quick vector-tier benchmark, appends trajectory entries to
+* the **perf guard** runs the quick perf-kernel, vector-tier and
+  telemetry-overhead benchmarks, appends trajectory entries to
   ``BENCH_perf_kernel.json`` (append, never overwrite), and exits
   non-zero if steps/s dropped more than 20% against the most recent
   comparable entry of the same mode (the vector run also asserts the
@@ -45,14 +45,15 @@ BENCH_DIR = Path(__file__).resolve().parent
 
 
 def perf_guard() -> int:
-    """Quick perf-kernel + vector-tier runs, trajectory appends, and the
-    >20% steps/s regression gate (per mode)."""
+    """Quick perf-kernel + vector-tier + telemetry-overhead runs,
+    trajectory appends, and the >20% steps/s regression gate (per mode)."""
     sys.path.insert(0, str(BENCH_DIR))
     import bench_perf_kernel
+    import bench_telemetry
     import bench_vector
 
     failed = False
-    for module in (bench_perf_kernel, bench_vector):
+    for module in (bench_perf_kernel, bench_vector, bench_telemetry):
         outcome = module.run(fast=True, write=True)
         print(outcome["table"])
         if outcome["appended"]:

@@ -31,7 +31,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import platform
 import sys
 import time
 from pathlib import Path
@@ -68,15 +67,9 @@ REGRESSION_EXIT = 3
 def _append_trajectory(matrix: dict) -> None:
     """One ``mode: "sweep"`` summary entry in the tracked trajectory."""
     sys.path.insert(0, str(BENCH_DIR))
-    from bench_perf_kernel import JSON_PATH, append_entry
+    from bench_perf_kernel import JSON_PATH, record_trajectory_entry
 
-    entry = {
-        "mode": "sweep",
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        **matrix_summary(matrix),
-    }
-    append_entry(entry)
+    record_trajectory_entry("sweep", matrix_summary(matrix), write=True)
     print(f"trajectory entry appended: {JSON_PATH}")
 
 

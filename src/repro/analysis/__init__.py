@@ -2,6 +2,16 @@
 
 from .render import render_placement, render_shape_functions, staircase_table
 from .thermal import ThermalModel, field_sample, render_field
+from .trace import (
+    Trace,
+    TraceStream,
+    build_report,
+    canonical_events,
+    load_trace,
+    render_report,
+    trace_bytes,
+    validate_trace,
+)
 from .search_space import (
     SearchSpaceReport,
     bstar_space,
@@ -16,16 +26,24 @@ from .search_space import (
 __all__ = [
     "SearchSpaceReport",
     "ThermalModel",
+    "Trace",
+    "TraceStream",
+    "build_report",
     "bstar_space",
     "bstar_space_table",
+    "canonical_events",
     "field_sample",
     "flat_enumeration_size",
     "hierarchical_enumeration_size",
+    "load_trace",
     "log10_factorial",
     "reduction_factor",
     "render_field",
     "render_placement",
+    "render_report",
     "render_shape_functions",
     "sequence_pair_report",
     "staircase_table",
+    "trace_bytes",
+    "validate_trace",
 ]

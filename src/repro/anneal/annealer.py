@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Generic, Protocol, TypeVar
 
+from ..telemetry import NULL_RECORDER
 from .schedule import CoolingSchedule, GeometricSchedule, initial_temperature_from_samples
 
 State = TypeVar("State")
@@ -358,6 +359,21 @@ class IncrementalAnnealer:
         self._rng = rng or random.Random(0)
         self._auto_t0 = auto_t0
         self._trace_every = trace_every
+        self._recorder = NULL_RECORDER
+
+    def set_recorder(self, recorder) -> None:
+        """Attach a telemetry recorder (``None`` detaches).
+
+        Observation only: probes read values the loop already computed
+        and never touch the rng, so a traced walk is byte-identical to
+        an untraced one.  When the engine supports batch-side stats
+        collection (``collect_stats``), it is flipped to match the
+        recorder so untraced runs skip that bookkeeping entirely.
+        """
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        engine = self._engine
+        if hasattr(engine, "collect_stats"):
+            engine.collect_stats = self._recorder.enabled
 
     def run(self, initial_cost: float | None = None) -> AnnealingResult:
         """Anneal the engine's current state until the schedule ends."""
@@ -452,6 +468,18 @@ class IncrementalAnnealer:
         trace_every = self._trace_every
         temperature = 0.0
 
+        # telemetry: every per-step check is hoisted into `collecting`
+        # (one falsy test per step when disabled); probes only read
+        # values the loop already computed — never the rng
+        recorder = self._recorder
+        collecting = recorder.enabled
+        sample = recorder.sample_interval if collecting else 0
+        if collecting:
+            track_moves = hasattr(engine, "last_move")
+            fam_proposed: dict[str, int] = {}
+            fam_accepted: dict[str, int] = {}
+            repack_hist: dict[int, int] = {}
+
         # the schedule is stateless: materialize the chunk's temperature
         # curve once (same floats as calling temperature(step) in the loop)
         temperature_at = self._schedule.temperature
@@ -466,18 +494,44 @@ class IncrementalAnnealer:
                 commit()
                 current_cost = candidate_cost
                 stats.accepted += 1
+                took = True
                 if current_cost < best_cost:
                     best_cost = current_cost
                     best = engine.snapshot()
                     stats.improved += 1
             else:
                 rollback()
+                took = False
+            if collecting:
+                if track_moves:
+                    kind = engine.last_move
+                    fam_proposed[kind] = fam_proposed.get(kind, 0) + 1
+                    if took:
+                        fam_accepted[kind] = fam_accepted.get(kind, 0) + 1
+                    length = engine.last_repack_len
+                    if length:
+                        bucket = length.bit_length()
+                        repack_hist[bucket] = repack_hist.get(bucket, 0) + 1
+                if sample and step % sample == 0:
+                    recorder.event(
+                        "anneal.sample",
+                        step=step,
+                        temperature=temperature,
+                        cost=current_cost,
+                        best=best_cost,
+                        accepted=stats.accepted,
+                    )
             if trace_every and step % trace_every == 0:
                 stats.cost_trace.append(current_cost)
 
         stats.steps = stop
         stats.final_temperature = temperature
         stats.best_cost = best_cost
+        if collecting:
+            self._emit_chunk_summary(
+                start, stop, temperature, current_cost, best_cost, stats,
+                fam_proposed, fam_accepted, repack_hist,
+            )
         return WalkCheckpoint(
             step=stop,
             total_steps=total,
@@ -489,6 +543,49 @@ class IncrementalAnnealer:
             rng_state=rng.getstate(),
             stats=stats,
         )
+
+    def _emit_chunk_summary(
+        self,
+        start: int,
+        stop: int,
+        temperature: float,
+        current_cost: float,
+        best_cost: float,
+        stats: AnnealingStats,
+        fam_proposed: dict[str, int],
+        fam_accepted: dict[str, int],
+        repack_hist: dict[int, int],
+    ) -> None:
+        """One ``anneal.chunk`` event closing an :meth:`advance` call.
+
+        Carries the chunk's move-family accept table, the dirty-suffix
+        repack-length histogram (power-of-two buckets keyed by bucket
+        floor) and — when the engine can produce one without a pending
+        proposal — the per-term cost breakdown of the final state.  All
+        fields are deterministic; the full rescan behind the breakdown
+        runs once per chunk, never per step.
+        """
+        fields: dict = {
+            "step_start": start,
+            "step_end": stop,
+            "accepted": stats.accepted,
+            "improved": stats.improved,
+            "cost": current_cost,
+            "best": best_cost,
+            "temperature": temperature,
+            "families": {
+                kind: [count, fam_accepted.get(kind, 0)]
+                for kind, count in fam_proposed.items()
+            },
+            "repack_hist": {
+                str(1 << (bucket - 1)): count
+                for bucket, count in repack_hist.items()
+            },
+        }
+        breakdown = getattr(self._engine, "cost_breakdown", None)
+        if breakdown is not None:
+            fields["terms"] = breakdown()
+        self._recorder.event("anneal.chunk", **fields)
 
     def _warmup(self, initial_cost: float, samples: int = 32) -> float:
         """Sample uphill deltas by walking (and committing) random moves.

@@ -109,6 +109,7 @@ class BatchedAnnealer(IncrementalAnnealer):
             )
         total = checkpoint.total_steps
         step = checkpoint.step
+        start = step
         stop = total if max_steps is None else min(total, step + max_steps)
         if step >= stop:
             return checkpoint
@@ -133,6 +134,18 @@ class BatchedAnnealer(IncrementalAnnealer):
         temperature_at = self._schedule.temperature
         t_scale = checkpoint.t_scale
         temperature = 0.0
+
+        # telemetry (see the base class): one falsy check per tile when
+        # disabled; the engine publishes per-candidate families only
+        # while its `collect_stats` flag is up (set_recorder flips it)
+        recorder = self._recorder
+        collecting = recorder.enabled
+        sample = recorder.sample_interval if collecting else 0
+        if collecting:
+            track_moves = hasattr(engine, "last_kinds")
+            fam_proposed: dict[str, int] = {}
+            fam_accepted: dict[str, int] = {}
+            repack_hist: dict[int, int] = {}
 
         while step < stop:
             # expected trials per acceptance so far (checkpoint-carried
@@ -168,6 +181,31 @@ class BatchedAnnealer(IncrementalAnnealer):
                     stats.improved += 1
             else:
                 reject_all()
+            if collecting:
+                if track_moves:
+                    kinds = engine.last_kinds
+                    lens = engine.last_repack_lens
+                    for j in range(consumed):
+                        kind = kinds[j]
+                        fam_proposed[kind] = fam_proposed.get(kind, 0) + 1
+                        length = lens[j]
+                        if length:
+                            bucket = length.bit_length()
+                            repack_hist[bucket] = repack_hist.get(bucket, 0) + 1
+                    if accepted_at >= 0:
+                        kind = kinds[accepted_at]
+                        fam_accepted[kind] = fam_accepted.get(kind, 0) + 1
+                if sample:
+                    for i in range(consumed):
+                        if (step + i) % sample == 0:
+                            recorder.event(
+                                "anneal.sample",
+                                step=step + i,
+                                temperature=temperature_at(step + i) * t_scale,
+                                cost=prev_cost if i < consumed - 1 else current_cost,
+                                best=best_cost,
+                                accepted=stats.accepted,
+                            )
             if trace_every:
                 # the first consumed-1 steps were rejections at the old
                 # cost; the last consumed step carries the tile's outcome
@@ -181,6 +219,11 @@ class BatchedAnnealer(IncrementalAnnealer):
         stats.steps = step
         stats.final_temperature = temperature
         stats.best_cost = best_cost
+        if collecting:
+            self._emit_chunk_summary(
+                start, step, temperature, current_cost, best_cost, stats,
+                fam_proposed, fam_accepted, repack_hist,
+            )
         return WalkCheckpoint(
             step=step,
             total_steps=total,

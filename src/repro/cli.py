@@ -234,6 +234,7 @@ def _portfolio_place(args, weights: dict[str, float]):
                 heartbeat_interval=args.heartbeat_interval,
                 on_listen=on_listen,
                 allow_topology_change=args.allow_topology_change,
+                trace=args.trace,
             )
         else:
             engines = (
@@ -274,6 +275,7 @@ def _portfolio_place(args, weights: dict[str, float]):
                 lease_timeout=args.lease_timeout,
                 heartbeat_interval=args.heartbeat_interval,
                 on_listen=on_listen,
+                trace=args.trace,
             )
         result = runner.run()
     except (KeyError, ValueError, RunDirError, RuntimeError) as exc:
@@ -371,6 +373,7 @@ def cmd_place(args) -> int:
         or args.lease_timeout is not None
         or args.heartbeat_interval is not None
         or args.allow_topology_change
+        or args.trace is not None
     )
     if portfolio_requested:
         placement = _portfolio_place(args, weights)
@@ -535,6 +538,35 @@ def cmd_sweep(args) -> int:
     return 3 if diff is not None and not diff.ok else 0
 
 
+def cmd_trace_report(args) -> int:
+    """Render a telemetry trace directory (``place --trace DIR``).
+
+    Thin client over :mod:`repro.analysis.trace`, following the
+    ``repro sweep`` precedent: ``--json`` emits the full report
+    document (CLI-as-API).  Exit codes: 0 clean, 2 for unreadable or
+    schema-invalid traces.
+    """
+    import json as json_mod
+
+    from .analysis import trace as trace_mod
+
+    try:
+        trace = trace_mod.load_trace(args.directory)
+    except ValueError as exc:
+        raise SystemExit(f"trace: {exc.args[0] if exc.args else exc}") from None
+    problems = trace_mod.validate_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"trace: {problem}")
+        return 2
+    report = trace_mod.build_report(trace)
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(trace_mod.render_report(report))
+    return 0
+
+
 def cmd_sizing(args) -> int:
     from .sizing import electrical_sizing, layout_aware_sizing
 
@@ -697,6 +729,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print a progress line per completed chunk",
+    )
+    portfolio.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="write the telemetry flight recorder (repro/trace-v1 JSONL "
+        "streams) into DIR; read back with `repro trace report DIR` — "
+        "pure observation, the result stays byte-identical",
     )
     resilience = p.add_argument_group(
         "resilience",
@@ -887,6 +927,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the sweep's base seed",
     )
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect telemetry traces written by `place --trace`",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    t = tsub.add_parser(
+        "report",
+        help="render acceptance curves, time-in-phase, worker "
+        "utilization and move-family win tables from a trace directory",
+    )
+    t.add_argument("directory", help="directory `place --trace` wrote")
+    t.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as one JSON document (CLI-as-API)",
+    )
+    t.set_defaults(fn=cmd_trace_report)
 
     p = sub.add_parser("sizing", help="run a Fig.-10 sizing flow")
     p.add_argument("--flow", choices=("plain", "aware"), default="aware")

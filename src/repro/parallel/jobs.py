@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..anneal import AnnealingStats, WalkCheckpoint
 from ..geometry import Placement
+from ..telemetry import TraceConfig
 
 
 def circuit_by_name(name: str):
@@ -75,20 +76,33 @@ class ChunkTask:
     :class:`~repro.parallel.faults.FaultPlan` at dispatch time, and the
     worker triggers the named fault instead of executing the chunk
     (see :mod:`repro.parallel.faults`).  ``None`` on every real run.
+
+    ``trace`` carries the portfolio's telemetry settings (a plain-data
+    :class:`~repro.telemetry.TraceConfig`) to whichever process runs
+    the chunk; the worker opens its own per-pid stream file under the
+    trace directory.  ``None`` — the default — means telemetry off.
     """
 
     spec: WalkSpec
     checkpoint: WalkCheckpoint | None
     max_steps: int | None
     fault: str | None = None
+    trace: "TraceConfig | None" = None
 
 
 @dataclass(frozen=True)
 class ChunkResult:
-    """The walk frozen again after one chunk."""
+    """The walk frozen again after one chunk.
+
+    ``elapsed_s`` is the worker-measured wall-clock of the annealing
+    call itself (no queue wait, no pickling) — the coordinator uses it
+    for per-walk steps/s and worker-utilization telemetry.  Volatile:
+    never part of any determinism contract.
+    """
 
     walk_id: int
     checkpoint: WalkCheckpoint
+    elapsed_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -146,6 +160,12 @@ class WalkOutcome:
     #: (see :func:`repro.cost.reference_model`); the runner fills it for
     #: the winning row only — rankings need totals, not breakdowns
     ref_breakdown: dict[str, float] | None = None
+    #: summed worker-measured chunk wall-clock (volatile; feeds the
+    #: per-walk steps/s column in :meth:`PortfolioResult.summary`)
+    elapsed_s: float = 0.0
+    #: chunk retries this walk consumed (re-dispatches after a failed
+    #: or timed-out attempt)
+    retries: int = 0
 
 
 @dataclass
@@ -196,6 +216,10 @@ class PortfolioResult:
     elapsed_s: float = 0.0
     workers: int = 0
     failures: list[WalkFailure] = field(default_factory=list)
+    #: chunk re-dispatches after failed or timed-out attempts
+    retries: int = 0
+    #: worker processes respawned after a crash
+    respawns: int = 0
 
     def best_by_engine(self) -> dict[str, WalkOutcome]:
         """Best row per engine (by the engine's own objective)."""
@@ -212,19 +236,27 @@ class PortfolioResult:
     def summary(self) -> str:
         """Human-readable leaderboard table (plus the failure report)."""
         failed = f", {len(self.failures)} failed" if self.failures else ""
+        health = ""
+        if self.retries or self.respawns:
+            health = (
+                f", {self.retries} chunk retr{'ies' if self.retries != 1 else 'y'}"
+                f", {self.respawns} respawn{'s' if self.respawns != 1 else ''}"
+            )
         lines = [
             f"portfolio: {len(self.leaderboard)} walks{failed}, "
             f"{self.total_steps:,} steps in {self.elapsed_s:.2f}s "
             f"({self.total_steps / max(self.elapsed_s, 1e-9):,.0f} aggregate steps/s, "
-            f"{self.workers} worker{'s' if self.workers != 1 else ''})",
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}{health})",
             f"{'rank':>4} {'engine':<10} {'seed':>5} {'steps':>7} "
-            f"{'ref cost':>10} {'own cost':>10} {'status':<9}",
+            f"{'steps/s':>9} {'ref cost':>10} {'own cost':>10} {'status':<9}",
         ]
         for rank, row in enumerate(self.leaderboard, 1):
+            rate = f"{row.steps / row.elapsed_s:>9,.0f}" if row.elapsed_s else f"{'-':>9}"
+            retries = f" +{row.retries}r" if row.retries else ""
             lines.append(
                 f"{rank:>4} {row.spec.engine:<10} {row.spec.seed:>5} "
-                f"{row.steps:>7,} {row.ref_cost:>10.4f} {row.best_cost:>10.4f} "
-                f"{row.status:<9}"
+                f"{row.steps:>7,} {rate} {row.ref_cost:>10.4f} {row.best_cost:>10.4f} "
+                f"{row.status:<9}{retries}"
             )
         if self.winner.ref_breakdown:
             terms = "  ".join(

@@ -69,6 +69,10 @@ class WalkRecord:
     chunk: int
     status: str = "active"
     checkpoint_file: str | None = None
+    #: accumulated in-chunk annealing seconds (so a resumed leaderboard
+    #: reproduces the original per-walk steps/s) and chunk re-dispatches
+    elapsed_s: float = 0.0
+    retries: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -80,6 +84,8 @@ class WalkRecord:
             "chunk": self.chunk,
             "status": self.status,
             "checkpoint_file": self.checkpoint_file,
+            "elapsed_s": self.elapsed_s,
+            "retries": self.retries,
         }
 
     @classmethod
@@ -94,6 +100,8 @@ class WalkRecord:
                 chunk=int(data["chunk"]),
                 status=data["status"],
                 checkpoint_file=data.get("checkpoint_file"),
+                elapsed_s=float(data.get("elapsed_s", 0.0)),
+                retries=int(data.get("retries", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise RunDirError(f"malformed walk record in manifest: {exc}") from None

@@ -75,6 +75,7 @@ from .net import (
     parse_address,
 )
 from .runner import _ChunkSupervisor, _execute, resolve_chunk_failure
+from ..telemetry import NULL_RECORDER
 
 #: coordinator event-loop tick: the cadence of lease/timeout checks
 _TICK_S = 0.05
@@ -143,8 +144,10 @@ class RemoteExecutor:
         fallback_grace: float | None = None,
         on_incident: Callable[[int | None, str, str], None] | None = None,
         on_listen: Callable[[object], None] | None = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self._supervisor = supervisor
+        self._recorder = recorder
         self._lease_timeout = lease_timeout
         self._heartbeat_interval = (
             lease_timeout / 4.0 if heartbeat_interval is None else heartbeat_interval
@@ -307,7 +310,14 @@ class RemoteExecutor:
                 return
             peer.name = str(payload.get("name", "?"))
             peer.ready = True
+            rejoining = peer.name in self._peers_seen
             self._peers_seen.add(peer.name)
+            # connection lifecycle is timing-dependent, so these events
+            # carry wall-only payloads (empty deterministic fields)
+            self._recorder.event(
+                "remote.reconnect" if rejoining else "remote.join",
+                wall={"worker": peer.name, "address": peer.address},
+            )
             peer.send(
                 "welcome",
                 version=PROTOCOL_VERSION,
@@ -325,6 +335,22 @@ class RemoteExecutor:
             return
         if kind == "heartbeat":
             self._renew(peer)
+            metrics = payload.get("metrics")
+            if metrics and self._recorder.enabled:
+                # worker-side counters piggybacked on the heartbeat
+                # frame; whitelisted keys only (the payload is remote
+                # input), and wall-only — heartbeat cadence is timing
+                self._recorder.event(
+                    "remote.worker",
+                    wall={
+                        "worker": peer.name,
+                        **{
+                            key: metrics[key]
+                            for key in ("chunks", "steps", "exec_s")
+                            if key in metrics
+                        },
+                    },
+                )
             return
         if kind in ("result", "error"):
             self._renew(peer)
@@ -384,9 +410,27 @@ class RemoteExecutor:
                 continue
             self._leases[task_id] = lease
             peer.lease_id = task_id
+            self._recorder.event(
+                "remote.lease",
+                wall={
+                    "worker": peer.name,
+                    "walk": task.spec.walk_id,
+                    "chunk": chunk_index,
+                    "attempt": attempt,
+                },
+            )
 
     def _revoke(self, lease: _Lease, reason: str, detail: str) -> None:
         """A lease failed: count the attempt, retry or quarantine."""
+        self._recorder.event(
+            "remote.revoke",
+            wall={
+                "reason": reason,
+                "walk": lease.task.spec.walk_id,
+                "chunk": lease.chunk_index,
+                "attempt": lease.attempt,
+            },
+        )
         if lease.peer is not None:
             lease.peer.lease_id = None
             lease.peer = None
@@ -432,6 +476,22 @@ class RemoteExecutor:
         if kind == "result":
             result = payload.get("result")
             if isinstance(result, ChunkResult):
+                if self._recorder.enabled:
+                    total = time.monotonic() - lease.started
+                    self._recorder.event(
+                        "executor.chunk",
+                        wall={
+                            "worker": peer.name,
+                            "walk": lease.task.spec.walk_id,
+                            "chunk": lease.chunk_index,
+                            "attempt": lease.attempt,
+                            "exec_s": result.elapsed_s,
+                            "total_s": round(total, 6),
+                            "queue_wait_s": round(
+                                max(0.0, total - result.elapsed_s), 6
+                            ),
+                        },
+                    )
                 self._results.append(result)
             else:
                 self._chunk_failed(
@@ -556,6 +616,11 @@ class WorkerClient:
         self._reconnect_base = reconnect_base
         self._rng = rng if rng is not None else random.Random()
         self._log: "Callable[[str], None] | None" = None
+        #: lifetime worker counters, piggybacked on every heartbeat
+        #: frame (the ticker thread reads them under the lock; old
+        #: coordinators simply ignore the extra payload key)
+        self._metrics = {"chunks": 0, "steps": 0, "exec_s": 0.0}
+        self._metrics_lock = threading.Lock()
 
     def run(self, log: "Callable[[str], None] | None" = None) -> int:
         """Serve until the coordinator says shutdown (or vanishes).
@@ -648,8 +713,10 @@ class WorkerClient:
             while not stop.wait(self._heartbeat_interval):
                 if heartbeats.is_set():
                     continue
+                with self._metrics_lock:
+                    metrics = dict(self._metrics)
                 try:
-                    stream.send("heartbeat")
+                    stream.send("heartbeat", metrics=metrics)
                 except OSError:
                     return
 
@@ -713,6 +780,13 @@ class WorkerClient:
             return self._send_error(stream, payload, traceback.format_exc())
         finally:
             heartbeats.clear()
+        started_at = 0 if task.checkpoint is None else task.checkpoint.step
+        with self._metrics_lock:
+            self._metrics["chunks"] += 1
+            self._metrics["steps"] += result.checkpoint.step - started_at
+            self._metrics["exec_s"] = round(
+                self._metrics["exec_s"] + result.elapsed_s, 6
+            )
         try:
             stream.send(
                 "result",

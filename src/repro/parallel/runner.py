@@ -54,6 +54,7 @@ deterministically through :class:`~repro.parallel.faults.FaultPlan`.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import queue
@@ -98,6 +99,7 @@ from .jobs import (
 )
 from .net import parse_address
 from .persist import FailureRecord, RunDir, RunDirError, RunState, WalkRecord
+from ..telemetry import NULL_RECORDER, TraceConfig, TraceRecorder
 
 RESTART_POLICIES = ("independent", "rebalance")
 
@@ -171,6 +173,34 @@ def _circuit_for(name: str) -> Circuit:
     return circuit
 
 
+#: per-process trace recorders, one per (directory, sample_interval) —
+#: every chunk this process executes for the same trace config appends
+#: to the same ``worker-{pid}.jsonl`` stream (one header per file)
+_TRACE_RECORDERS: dict[tuple[str, int], TraceRecorder] = {}
+_TRACE_RECORDERS_LOCK = threading.Lock()
+
+
+def _trace_recorder(config: TraceConfig) -> TraceRecorder:
+    key = (config.directory, config.sample_interval)
+    with _TRACE_RECORDERS_LOCK:
+        recorder = _TRACE_RECORDERS.get(key)
+        if recorder is None:
+            recorder = _TRACE_RECORDERS[key] = TraceRecorder(
+                config.directory, sample_interval=config.sample_interval
+            )
+        return recorder
+
+
+@atexit.register
+def _close_trace_recorders() -> None:
+    # streams are line-buffered so nothing is lost either way; closing
+    # at exit just releases the handles cleanly
+    with _TRACE_RECORDERS_LOCK:
+        for recorder in _TRACE_RECORDERS.values():
+            recorder.close()
+        _TRACE_RECORDERS.clear()
+
+
 def _trigger_fault(task: ChunkTask) -> None:
     """Act out the fault the coordinator armed on this task."""
     if task.fault == "raise":
@@ -201,6 +231,18 @@ def _execute(task: ChunkTask) -> ChunkResult:
     # batched annealer for a vector_tier config); all drivers share the
     # IncrementalAnnealer checkpoint contract
     annealer = placer.annealer(engine, rng)
+    if task.trace is not None:
+        start_step = 0 if task.checkpoint is None else task.checkpoint.step
+        annealer.set_recorder(
+            _trace_recorder(task.trace).bind(
+                walk=spec.walk_id, engine=spec.engine, chunk_start=start_step
+            )
+        )
+    else:
+        # engines are memoized per process: make sure a traced run in
+        # this process earlier doesn't leave stats collection armed
+        annealer.set_recorder(None)
+    started = time.perf_counter()
     if task.checkpoint is None:
         # same draw order as a placer's own run(): initial state first,
         # then warmup — a 1-start portfolio walks the exact run() walk
@@ -211,7 +253,12 @@ def _execute(task: ChunkTask) -> ChunkResult:
         )
     else:
         checkpoint = annealer.advance(task.checkpoint, task.max_steps)
-    return ChunkResult(walk_id=spec.walk_id, checkpoint=checkpoint)
+    elapsed = time.perf_counter() - started
+    return ChunkResult(
+        walk_id=spec.walk_id,
+        checkpoint=checkpoint,
+        elapsed_s=round(elapsed, 6),
+    )
 
 
 def _worker_main(worker_id: int, task_queue, result_conn) -> None:
@@ -448,6 +495,7 @@ class _ProcessExecutor:
         chunk_timeout: float | None = None,
         max_respawns: int | None = None,
         on_incident: Callable[[int | None, str, str], None] | None = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self._supervisor = supervisor
         self._chunk_timeout = chunk_timeout
@@ -455,6 +503,10 @@ class _ProcessExecutor:
             _RESPAWNS_PER_WORKER * workers if max_respawns is None else max_respawns
         )
         self._on_incident = on_incident
+        self._recorder = recorder
+        #: per-worker (busy seconds, chunks completed) — volatile,
+        #: surfaced as ``executor.worker`` utilization events at close
+        self._worker_usage: dict[int, list[float]] = {}
         self._ctx = multiprocessing.get_context("spawn")
         self._workers: dict[int, _WorkerHandle] = {}
         self._idle: deque[int] = deque()
@@ -564,12 +616,41 @@ class _ProcessExecutor:
             if worker_id in self._workers:
                 self._idle.append(worker_id)
             if kind == "ok":
-                return message[3]
+                result = message[3]
+                if self._recorder.enabled:
+                    self._note_chunk(worker_id, inflight, result)
+                return result
             failure = self._chunk_failed(
                 inflight.task, inflight.chunk_index, "error", message[3]
             )
             if failure is not None:
                 return failure
+
+    def _note_chunk(
+        self, worker_id: int, inflight: _InFlight, result: ChunkResult
+    ) -> None:
+        """Telemetry for one completed chunk: queue wait (time between
+        dispatch and collection not spent annealing — pickling, queue
+        sitting, scheduling) and per-worker busy accounting.  The whole
+        event is wall-only: which pool slot ran which chunk on which
+        attempt is a scheduling fact, so the canonical trace view stays
+        identical across worker counts."""
+        total = time.monotonic() - inflight.started
+        usage = self._worker_usage.setdefault(worker_id, [0.0, 0])
+        usage[0] += result.elapsed_s
+        usage[1] += 1
+        self._recorder.event(
+            "executor.chunk",
+            wall={
+                "worker": worker_id,
+                "walk": inflight.task.spec.walk_id,
+                "chunk": inflight.chunk_index,
+                "attempt": inflight.attempt,
+                "exec_s": result.elapsed_s,
+                "total_s": round(total, 6),
+                "queue_wait_s": round(max(0.0, total - result.elapsed_s), 6),
+            },
+        )
 
     def _chunk_failed(
         self, task: ChunkTask, chunk_index: int, reason: str, detail: str
@@ -686,6 +767,17 @@ class _ProcessExecutor:
         thread at interpreter exit.  One warning summarizes any
         non-clean shutdown instead of hanging or spamming.
         """
+        if self._recorder.enabled:
+            for worker_id, (busy_s, chunks) in sorted(self._worker_usage.items()):
+                self._recorder.event(
+                    "executor.worker",
+                    wall={
+                        "worker": worker_id,
+                        "busy_s": round(busy_s, 6),
+                        "chunks": int(chunks),
+                    },
+                )
+            self._worker_usage.clear()
         stuck = []
         for handle in self._workers.values():
             if not handle.proc.is_alive():
@@ -732,6 +824,10 @@ class _Walk:
     ref_cost: float = float("inf")
     ref_placement: object = None
     _ref_at: float | None = None
+    #: summed worker-measured chunk wall-clock (volatile; telemetry only)
+    elapsed_s: float = 0.0
+    #: chunk retry incidents this walk consumed
+    retries: int = 0
 
 
 class PortfolioRunner:
@@ -820,6 +916,15 @@ class PortfolioRunner:
         resolved, so ``port 0`` becomes the real ephemeral port) the
         moment the coordinator starts serving — the handle workers need
         to connect.
+    trace:
+        Telemetry flight-recorder destination: a directory path (or a
+        full :class:`~repro.telemetry.TraceConfig`) to write
+        ``repro/trace-v1`` JSONL streams into — ``coordinator.jsonl``
+        plus one ``worker-<pid>.jsonl`` per process that executes
+        chunks, local or remote.  Pure observation: a traced run's
+        trajectories, leaderboard and winner are byte-identical to an
+        untraced run (read back with ``repro trace report``).  Default
+        off.
     """
 
     def __init__(
@@ -846,6 +951,7 @@ class PortfolioRunner:
         lease_timeout: float | None = None,
         heartbeat_interval: float | None = None,
         on_listen: Callable[[object], None] | None = None,
+        trace: "TraceConfig | str | os.PathLike | None" = None,
     ) -> None:
         if starts < 1:
             raise ValueError("starts must be >= 1")
@@ -942,6 +1048,13 @@ class PortfolioRunner:
         self._lease_timeout = lease_timeout
         self._heartbeat_interval = heartbeat_interval
         self._on_listen = on_listen
+        if trace is not None and not isinstance(trace, TraceConfig):
+            trace = TraceConfig(directory=os.fspath(trace))
+        self._trace = trace
+        #: the coordinator's own stream; a live TraceRecorder only
+        #: inside run() when tracing is on
+        self._recorder = NULL_RECORDER
+        self._incident_counts: dict[str, int] = {}
         #: set by :meth:`resume` before run(); ``None`` for fresh runs
         self._resume_state: RunState | None = None
         self._failures: list[WalkFailure] = []
@@ -967,6 +1080,7 @@ class PortfolioRunner:
         heartbeat_interval: float | None = None,
         on_listen: Callable[[object], None] | None = None,
         allow_topology_change: bool = False,
+        trace: "TraceConfig | str | os.PathLike | None" = None,
     ) -> "PortfolioRunner":
         """Rebuild a runner from a persisted run directory.
 
@@ -1027,6 +1141,7 @@ class PortfolioRunner:
             lease_timeout=lease_timeout,
             heartbeat_interval=heartbeat_interval,
             on_listen=on_listen,
+            trace=trace,
         )
         runner._resume_state = state
         return runner
@@ -1034,6 +1149,13 @@ class PortfolioRunner:
     def run(self) -> PortfolioResult:
         """Run the portfolio; returns the winner plus the leaderboard."""
         self._failures = []
+        self._incident_counts = {}
+        if self._trace is not None:
+            self._recorder = TraceRecorder(
+                self._trace.directory,
+                sample_interval=self._trace.sample_interval,
+                stream="coordinator",
+            )
         if self._resume_state is None:
             walks = self._initial_walks()
             restored: list[tuple[_Walk, str]] = []
@@ -1058,6 +1180,17 @@ class PortfolioRunner:
             )
             self._run_state.workers = self._workers
         self._live_walks = walks
+        self._recorder.event(
+            "portfolio.config",
+            circuit=self._circuit_name,
+            engines=list(self._engines),
+            starts=self._starts,
+            walks=len(walks),
+            budget=self._budget,
+            policy=self._policy,
+            workers=self._workers,
+            resumed=self._resume_state is not None,
+        )
         self._ref = reference_cost_model(_circuit_for(self._circuit_name))
         supervisor = _ChunkSupervisor(
             self._max_retries, self._fault_plan, self._strict
@@ -1079,6 +1212,7 @@ class PortfolioRunner:
                 chunk_timeout=self._chunk_timeout,
                 on_incident=self._incident,
                 on_listen=self._on_listen,
+                recorder=self._recorder,
             )
         elif self._workers > 1:
             executor = _ProcessExecutor(
@@ -1087,17 +1221,19 @@ class PortfolioRunner:
                 chunk_timeout=self._chunk_timeout,
                 max_respawns=self._max_respawns,
                 on_incident=self._incident,
+                recorder=self._recorder,
             )
         else:
             executor = _InlineExecutor(supervisor)
         started = time.perf_counter()
         try:
-            if self._policy == "rebalance":
-                outcomes = self._run_rebalance(
-                    walks, executor, restored, policy_state
-                )
-            else:
-                outcomes = self._run_independent(walks, executor, restored)
+            with self._recorder.span("portfolio.walks", policy=self._policy):
+                if self._policy == "rebalance":
+                    outcomes = self._run_rebalance(
+                        walks, executor, restored, policy_state
+                    )
+                else:
+                    outcomes = self._run_independent(walks, executor, restored)
             if not outcomes:
                 # degrading to an empty leaderboard is not degrading —
                 # it is failing, and it must say so loudly
@@ -1106,9 +1242,13 @@ class PortfolioRunner:
                     "every walk in the portfolio failed"
                     + (f"; first failure:\n{first.detail}" if first else "")
                 )
-            self._polish(outcomes, executor)
+            with self._recorder.span("portfolio.polish"):
+                self._polish(outcomes, executor)
         finally:
+            # executor.close() emits its worker-utilization events, so
+            # it must run before the recorder is flushed
             executor.close()
+            self._recorder.flush()
         elapsed = time.perf_counter() - started
 
         # Deterministic aggregation: the leaderboard (and therefore the
@@ -1137,7 +1277,25 @@ class PortfolioRunner:
                 else self._workers,
             ),
             failures=list(self._failures),
+            retries=self._incident_counts.get("retry", 0),
+            respawns=(
+                self._incident_counts.get("respawn", 0)
+                + self._incident_counts.get("timeout", 0)
+            ),
         )
+        self._recorder.event(
+            "portfolio.result",
+            cost=result.cost,
+            winner=winner.spec.walk_id,
+            walks=len(leaderboard),
+            failed=len(result.failures),
+            total_steps=result.total_steps,
+            retries=result.retries,
+            respawns=result.respawns,
+            wall={"elapsed_s": round(elapsed, 6), "workers": result.workers},
+        )
+        self._recorder.close()
+        self._recorder = NULL_RECORDER
         if self._run_dir is not None and self._run_state is not None:
             self._run_state.completed = True
             self._run_dir.save_manifest(self._run_state)
@@ -1200,6 +1358,8 @@ class PortfolioRunner:
             total_steps=walk.total_steps,
             chunk=walk.chunk,
             status=status,
+            elapsed_s=walk.elapsed_s,
+            retries=walk.retries,
         )
 
     def _persist_walk(
@@ -1217,6 +1377,8 @@ class PortfolioRunner:
                 walk.spec.walk_id, walk.checkpoint
             )
         record.status = status
+        record.elapsed_s = walk.elapsed_s
+        record.retries = walk.retries
         if save_manifest:
             self._run_dir.save_manifest(self._run_state)
 
@@ -1257,6 +1419,8 @@ class PortfolioRunner:
             walk = _Walk(
                 spec=spec, total_steps=record.total_steps, chunk=record.chunk
             )
+            walk.elapsed_s = record.elapsed_s
+            walk.retries = record.retries
             checkpoint = self._run_dir.load_walk_checkpoint(record)
             if checkpoint is not None:
                 verify_walk_checkpoint(spec, checkpoint)
@@ -1319,7 +1483,7 @@ class PortfolioRunner:
                 pending -= 1
                 continue
             walk = walks[result.walk_id]
-            walk.checkpoint = result.checkpoint
+            self._note_chunk(walk, result)
             self._emit_progress(walk)
             if result.checkpoint.finished:
                 outcomes.append(self._outcome(walk, FINISHED))
@@ -1369,7 +1533,7 @@ class PortfolioRunner:
                     quarantined.append(result.walk_id)
                     continue
                 walk = active[result.walk_id]
-                walk.checkpoint = result.checkpoint
+                self._note_chunk(walk, result)
                 self._emit_progress(walk)
             for walk_id in quarantined:
                 del active[walk_id]
@@ -1480,13 +1644,18 @@ class PortfolioRunner:
         )
         walk = _Walk(spec=spec, total_steps=total, chunk=total, checkpoint=checkpoint)
         self._live_walks[spec.walk_id] = walk
-        executor.dispatch(ChunkTask(spec=spec, checkpoint=checkpoint, max_steps=None))
+        executor.dispatch(
+            ChunkTask(
+                spec=spec, checkpoint=checkpoint, max_steps=None,
+                trace=self._trace,
+            )
+        )
         result = executor.collect()
         if isinstance(result, ChunkFailure):
             # the winner stands; the polish was a free refinement only
             self._quarantine(walk, result)
             return
-        walk.checkpoint = result.checkpoint
+        self._note_chunk(walk, result)
         self._emit_progress(walk, status="polish")
         outcomes.append(self._outcome(walk, "polish"))
 
@@ -1494,7 +1663,21 @@ class PortfolioRunner:
 
     def _next_task(self, walk: _Walk) -> ChunkTask:
         return ChunkTask(
-            spec=walk.spec, checkpoint=walk.checkpoint, max_steps=walk.chunk
+            spec=walk.spec, checkpoint=walk.checkpoint, max_steps=walk.chunk,
+            trace=self._trace,
+        )
+
+    def _note_chunk(self, walk: _Walk, result: ChunkResult) -> None:
+        """Fold one collected chunk into the walk's bookkeeping and the
+        coordinator trace stream."""
+        walk.checkpoint = result.checkpoint
+        walk.elapsed_s += result.elapsed_s
+        self._recorder.event(
+            "portfolio.chunk",
+            walk=walk.spec.walk_id,
+            step=result.checkpoint.step,
+            best=result.checkpoint.best_cost,
+            wall={"exec_s": result.elapsed_s},
         )
 
     def _quarantine(self, walk: _Walk, failure: ChunkFailure) -> None:
@@ -1508,6 +1691,12 @@ class PortfolioRunner:
             steps=steps,
         )
         self._failures.append(record)
+        self._incident_counts["quarantine"] = (
+            self._incident_counts.get("quarantine", 0) + 1
+        )
+        self._recorder.count(
+            "portfolio.quarantine", walk=walk.spec.walk_id, reason=failure.reason
+        )
         self._emit_progress(walk, status=FAILED)
         if self._run_dir is not None and self._run_state is not None:
             self._persist_walk(walk, status=FAILED, save_manifest=False)
@@ -1523,12 +1712,17 @@ class PortfolioRunner:
             self._run_dir.save_manifest(self._run_state)
 
     def _incident(self, walk_id: int | None, kind: str, detail: str) -> None:
-        """Executor supervision incidents -> progress events."""
-        if self._on_event is None or walk_id is None:
+        """Executor supervision incidents -> counters + progress events."""
+        self._incident_counts[kind] = self._incident_counts.get(kind, 0) + 1
+        walk = self._live_walks.get(walk_id) if walk_id is not None else None
+        if walk is not None and kind == "retry":
+            walk.retries += 1
+        self._recorder.count(
+            "portfolio." + kind, walk=-1 if walk_id is None else walk_id
+        )
+        if self._on_event is None or walk is None:
             return
-        walk = self._live_walks.get(walk_id)
-        if walk is not None:
-            self._emit_progress(walk, status=kind)
+        self._emit_progress(walk, status=kind)
 
     def _walk_ref_cost(self, walk: _Walk) -> float:
         """Reference cost of the walk's best state (memoized: it only
@@ -1554,6 +1748,8 @@ class PortfolioRunner:
             status=status,
             stats=checkpoint.stats,
             best_state=checkpoint.best_state,
+            elapsed_s=walk.elapsed_s,
+            retries=walk.retries,
         )
 
     def _emit_progress(self, walk: _Walk, status: str = "running") -> None:

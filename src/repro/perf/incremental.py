@@ -64,7 +64,20 @@ class IncrementalBStarEngine:
     Call :meth:`reset` with an initial :class:`BStarState` (the engine
     keeps its own mutable copy), then drive it through
     :class:`repro.anneal.IncrementalAnnealer`.
+
+    Telemetry capability: every :meth:`propose` refreshes
+    :attr:`last_move` (the move-family name) and
+    :attr:`last_repack_len` (how many pre-order slots the dirty-suffix
+    repack rewrote; 0 for noop/neutral moves) — two scalar attribute
+    stores, cheap enough to keep unconditional.  The annealer reads
+    them only when a recorder is attached.
     """
+
+    #: move family of the most recent proposal ("move", "swap",
+    #: "rotate", "reshape", "noop")
+    last_move = "noop"
+    #: pre-order slots repacked by the most recent proposal
+    last_repack_len = 0
 
     def __init__(
         self,
@@ -157,6 +170,8 @@ class IncrementalBStarEngine:
         self._rec = rec
         self._pending = True
         kind = rec.kind
+        self.last_move = kind
+        self.last_repack_len = 0
         if kind == "noop":
             self._pending_kind = "noop"
             self._pending_cost = self._cost
@@ -179,6 +194,7 @@ class IncrementalBStarEngine:
             self._size_undo = None
         self._pending_kind = "repack"
         k = self._moves.dirty_index(rec, self._pos)
+        self.last_repack_len = len(self._order) - k
         # only "move" (and the sibling-swap corner, which exchanges
         # subtrees rather than slots) reshuffles the pre-order suffix
         # unpredictably; a plain swap exchanges exactly two slots and
@@ -242,6 +258,19 @@ class IncrementalBStarEngine:
             tree=self._tree.clone(),
             orientations=dict(self._orients),
             variants=dict(self._variants),
+        )
+
+    def cost_breakdown(self) -> dict[str, float]:
+        """Per-term weighted contributions of the *committed* state.
+
+        Reporting tier (telemetry chunk summaries): a full rescan over
+        the current coordinate table, so call it at chunk boundaries,
+        never per step.
+        """
+        if self._pending:
+            raise RuntimeError("previous proposal not committed or rolled back")
+        return self._kernel.model.breakdown(
+            self._coords, bounding=self._sky_bounding()
         )
 
     # -- internals -----------------------------------------------------------
@@ -424,7 +453,14 @@ class FullRepackBStarEngine:
     equal seeds produces the *same annealing walk* — which is how the
     equivalence tests and the benchmark assert that incremental
     evaluation changes speed, not answers.
+
+    Carries the same telemetry attributes as the incremental engine;
+    every non-noop proposal repacks the whole tree, so
+    :attr:`last_repack_len` is simply the module count.
     """
+
+    last_move = "noop"
+    last_repack_len = 0
 
     def __init__(
         self,
@@ -463,6 +499,9 @@ class FullRepackBStarEngine:
 
     def propose(self, rng: random.Random) -> float:
         self._rec = self._moves.apply(self._tree, self._orients, self._variants, rng)
+        kind = self._rec.kind
+        self.last_move = kind
+        self.last_repack_len = 0 if kind == "noop" else len(self._tree)
         self._pending_cost = self._kernel.cost(
             self._tree, self._orients, self._variants
         )
@@ -482,3 +521,8 @@ class FullRepackBStarEngine:
             orientations=dict(self._orients),
             variants=dict(self._variants),
         )
+
+    def cost_breakdown(self) -> dict[str, float]:
+        """Per-term contributions of the committed state (full repack)."""
+        coords = self._kernel.pack(self._tree, self._orients, self._variants)
+        return self._kernel.model.breakdown(coords)

@@ -320,7 +320,20 @@ class VectorBStarEngine:
     ``evaluator="scalar"`` builds the bit-identity oracle twin: same
     draws, every candidate scored through a full scalar
     ``CostModel.evaluate`` over a real coordinate dict.
+
+    Telemetry capability: when :attr:`collect_stats` is set (the
+    annealer flips it on recorder attach), :meth:`propose_batch` also
+    publishes :attr:`last_kinds` / :attr:`last_repack_lens` — one
+    move-family name and repacked-suffix length per candidate.  Off by
+    default so untraced runs skip the per-batch list builds.
     """
+
+    #: set by the annealer when a recorder is attached
+    collect_stats = False
+    #: per-candidate move families of the most recent batch
+    last_kinds: tuple[str, ...] = ()
+    #: per-candidate repacked-suffix lengths of the most recent batch
+    last_repack_lens: tuple[int, ...] = ()
 
     def __init__(
         self,
@@ -436,6 +449,13 @@ class VectorBStarEngine:
         for cand in cands:
             if cand.kind != "repack":
                 cand.cost = current
+        if self.collect_stats:
+            self.last_kinds = tuple(
+                c.replay[0] if c.replay else c.kind for c in cands
+            )
+            self.last_repack_lens = tuple(
+                self._n - c.k if c.kind == "repack" else 0 for c in cands
+            )
         return [cand.cost for cand in cands]
 
     def accept(self, j: int) -> None:
@@ -489,6 +509,13 @@ class VectorBStarEngine:
             orientations=dict(self._orients),
             variants=dict(self._variants),
         )
+
+    def cost_breakdown(self) -> dict[str, float]:
+        """Per-term contributions of the committed state (reporting
+        tier — full scalar rescan, chunk boundaries only)."""
+        if self._cands is not None:
+            raise RuntimeError("previous batch not accepted or rejected")
+        return self._model.breakdown(self._coords, bounding=self._bounding)
 
     # -- internals -----------------------------------------------------------
 

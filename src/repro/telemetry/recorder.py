@@ -1,0 +1,314 @@
+"""The flight recorder: counters, gauges, histograms, spans, JSONL sink.
+
+Two recorder families share one protocol:
+
+* :class:`NullRecorder` — the strict no-op default.  ``enabled`` is
+  ``False`` and every probe is a ``pass``; instrumented hot loops hoist
+  the ``enabled`` check so a disabled run pays one attribute read per
+  *chunk*, not per step (see ``docs/observability.md#sampling-model``).
+* :class:`TraceRecorder` — appends versioned JSONL events
+  (``repro/trace-v1``) to one stream file per process under a trace
+  directory.  Coordinator events land in ``coordinator.jsonl``; each
+  worker process writes ``worker-<pid>.jsonl``.
+
+Every event splits **deterministic** content (``fields``: counters,
+step indices, costs — byte-stable across same-seed runs) from
+**volatile** content (``wall``: timestamps, sequence numbers, pids,
+durations), mirroring how :func:`repro.analysis.sweep.matrix_bytes`
+segregates timing fields.  The read side
+(:mod:`repro.analysis.trace`) canonicalizes by dropping ``wall``.
+
+Telemetry is observation only: recorders never touch the rng, never
+perturb float arithmetic, and never change control flow — a traced run
+is byte-identical to an untraced one (property-tested in
+``tests/parallel/test_trace_identity.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+#: versioned trace schema stamped into every stream's header line
+TRACE_SCHEMA = "repro/trace-v1"
+
+#: default probe sampling stride for annealer step probes (one
+#: ``anneal.sample`` event every N steps; chunk summaries are always
+#: emitted).  Chosen so sampled-telemetry overhead stays within the
+#: budget recorded by ``benchmarks/bench_telemetry.py``.
+DEFAULT_SAMPLE_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Plain-data trace settings, safe to cross process boundaries.
+
+    Carried on :class:`repro.parallel.ChunkTask` so spawned and remote
+    workers can open their own stream files — the recorder itself never
+    travels through a pickle.
+    """
+
+    directory: str
+    sample_interval: int = DEFAULT_SAMPLE_INTERVAL
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 1:
+            raise ValueError(
+                f"sample_interval must be >= 1, got {self.sample_interval}"
+            )
+
+
+class Span:
+    """Context manager timing one named phase; emits on exit.
+
+    The name and deterministic fields go to ``fields``; the measured
+    duration is volatile and goes to ``wall.elapsed_s``.
+    """
+
+    __slots__ = ("_recorder", "_name", "_fields", "_t0")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, fields: dict):
+        self._recorder = recorder
+        self._name = name
+        self._fields = fields
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._t0
+        self._recorder._emit(
+            "span",
+            self._name,
+            dict(self._fields, ok=exc_type is None),
+            wall={"elapsed_s": round(elapsed, 6)},
+        )
+
+
+class _NullSpan:
+    """Span twin for the null recorder: enters and exits for free."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Strict no-op recorder — the default everywhere.
+
+    ``enabled`` is ``False`` so instrumented code can hoist one check
+    and skip all per-step work; the probe methods exist so call sites
+    never need an ``is None`` guard.  ``bind`` returns ``self`` (no
+    allocation).  The probe-count property test asserts the annealer
+    makes **zero** calls into a disabled recorder per step.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    sample_interval = 0
+
+    def count(self, name: str, value: int = 1, **fields) -> None:
+        pass
+
+    def gauge(self, name: str, value, **fields) -> None:
+        pass
+
+    def observe(self, name: str, value, **fields) -> None:
+        pass
+
+    def event(self, name: str, wall: dict | None = None, **fields) -> None:
+        pass
+
+    def span(self, name: str, **fields):
+        return _NULL_SPAN
+
+    def bind(self, **labels) -> "NullRecorder":
+        return self
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: the shared do-nothing singleton; attach this to disable telemetry
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """JSONL flight recorder writing one ``repro/trace-v1`` stream.
+
+    Each line is one event::
+
+        {"kind": "count" | "gauge" | "hist" | "event" | "span" | "header",
+         "name": "<probe name>",
+         "fields": {<deterministic labels + values>},
+         "wall": {"t": <unix time>, "seq": <per-stream counter>,
+                  "pid": <writer pid>, ...volatile extras}}
+
+    The first line of every stream is a ``header`` event carrying the
+    schema version and stream name — the reader refuses files whose
+    header doesn't declare :data:`TRACE_SCHEMA`.
+
+    ``bind(**labels)`` returns a lightweight view that stamps the given
+    labels into every event's ``fields`` while sharing this stream's
+    file handle and sequence counter — the idiom for per-walk /
+    per-chunk scoping.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
+        stream: str | None = None,
+        labels: dict | None = None,
+    ):
+        if sample_interval < 1:
+            raise ValueError(f"sample_interval must be >= 1, got {sample_interval}")
+        self.sample_interval = sample_interval
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self.stream = stream if stream is not None else f"worker-{os.getpid()}"
+        self.path = self._dir / f"{self.stream}.jsonl"
+        self._labels = dict(labels or {})
+        self._lock = threading.Lock()
+        self._seq = 0
+        # line-buffered: every event hits the disk when its line is
+        # written, so a terminated worker never loses flushed chunks
+        self._fh = open(self.path, "a", buffering=1, encoding="utf-8")
+        self._emit("header", "trace", {"schema": TRACE_SCHEMA, "stream": self.stream})
+
+    # -- sink ---------------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        name: str,
+        fields: dict,
+        wall: dict | None = None,
+        labels: dict | None = None,
+    ) -> None:
+        merged = dict(self._labels)
+        if labels:
+            merged.update(labels)
+        merged.update(fields)
+        with self._lock:
+            volatile = {
+                "t": round(time.time(), 6),
+                "seq": self._seq,
+                "pid": os.getpid(),
+            }
+            if wall:
+                volatile.update(wall)
+            self._seq += 1
+            self._fh.write(
+                json.dumps(
+                    {"kind": kind, "name": name, "fields": merged, "wall": volatile},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+
+    # -- probe API ----------------------------------------------------------
+
+    def count(self, name: str, value: int = 1, **fields) -> None:
+        self._emit("count", name, dict(fields, value=value))
+
+    def gauge(self, name: str, value, **fields) -> None:
+        self._emit("gauge", name, dict(fields, value=value))
+
+    def observe(self, name: str, value, **fields) -> None:
+        self._emit("hist", name, dict(fields, value=value))
+
+    def event(self, name: str, wall: dict | None = None, **fields) -> None:
+        self._emit("event", name, fields, wall=wall)
+
+    def span(self, name: str, **fields) -> Span:
+        return Span(self, name, fields)
+
+    def bind(self, **labels) -> "_BoundRecorder":
+        return _BoundRecorder(self, labels)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _BoundRecorder:
+    """A label-stamping view over a parent :class:`TraceRecorder`.
+
+    Shares the parent's stream, lock, and sequence counter; adds its
+    labels to every event.  ``bind`` composes (labels merge, inner
+    wins).
+    """
+
+    __slots__ = ("_parent", "_labels", "sample_interval")
+
+    enabled = True
+
+    def __init__(self, parent: TraceRecorder, labels: dict):
+        self._parent = parent
+        self._labels = labels
+        self.sample_interval = parent.sample_interval
+
+    def count(self, name: str, value: int = 1, **fields) -> None:
+        self._parent._emit("count", name, dict(fields, value=value), labels=self._labels)
+
+    def gauge(self, name: str, value, **fields) -> None:
+        self._parent._emit("gauge", name, dict(fields, value=value), labels=self._labels)
+
+    def observe(self, name: str, value, **fields) -> None:
+        self._parent._emit("hist", name, dict(fields, value=value), labels=self._labels)
+
+    def event(self, name: str, wall: dict | None = None, **fields) -> None:
+        self._parent._emit("event", name, fields, wall=wall, labels=self._labels)
+
+    def span(self, name: str, **fields) -> Span:
+        return Span(self, name, fields)
+
+    def _emit(self, kind, name, fields, wall=None, labels=None):
+        merged = dict(self._labels)
+        if labels:
+            merged.update(labels)
+        self._parent._emit(kind, name, fields, wall=wall, labels=merged)
+
+    def bind(self, **labels) -> "_BoundRecorder":
+        return _BoundRecorder(self._parent, {**self._labels, **labels})
+
+    def flush(self) -> None:
+        self._parent.flush()
+
+    def close(self) -> None:
+        # closing a view is a no-op: the parent owns the stream
+        pass

@@ -1,0 +1,144 @@
+"""The flight recorder's write side (repro.telemetry.recorder).
+
+Covers the event wire format (fields/wall split, header line, schema
+pin), the bind/span/flush lifecycle, and the null recorder's strict
+no-op contract.  The read side lives in
+``tests/analysis/test_trace.py``; the zero-per-step cost property is
+pinned in ``tests/parallel/test_trace_identity.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_SAMPLE_INTERVAL,
+    NULL_RECORDER,
+    NullRecorder,
+    TRACE_SCHEMA,
+    TraceConfig,
+    TraceRecorder,
+)
+
+
+def events_of(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestTraceRecorder:
+    def test_header_is_first_line_and_pins_schema(self, tmp_path):
+        with TraceRecorder(tmp_path, stream="s") as rec:
+            rec.count("hits")
+        head = events_of(rec.path)[0]
+        assert head["kind"] == "header"
+        assert head["fields"] == {"schema": TRACE_SCHEMA, "stream": "s"}
+
+    def test_every_event_splits_fields_from_wall(self, tmp_path):
+        with TraceRecorder(tmp_path, stream="s") as rec:
+            rec.count("hits", walk=3)
+            rec.gauge("temp", 0.5, step=100)
+            rec.observe("repack", 7)
+            rec.event("custom", wall={"elapsed_s": 1.0}, step=2)
+        kinds = {}
+        for event in events_of(rec.path)[1:]:
+            kinds[event["kind"]] = event
+            # deterministic content never leaks into wall and vice versa
+            assert set(event["wall"]) >= {"t", "seq", "pid"}
+            assert event["wall"]["pid"] == os.getpid()
+            assert "t" not in event["fields"]
+        assert kinds["count"]["fields"] == {"value": 1, "walk": 3}
+        assert kinds["gauge"]["fields"] == {"value": 0.5, "step": 100}
+        assert kinds["hist"]["fields"] == {"value": 7}
+        assert kinds["event"]["fields"] == {"step": 2}
+        assert kinds["event"]["wall"]["elapsed_s"] == 1.0
+
+    def test_seq_is_a_per_stream_counter(self, tmp_path):
+        with TraceRecorder(tmp_path, stream="s") as rec:
+            for _ in range(5):
+                rec.count("hits")
+        seqs = [e["wall"]["seq"] for e in events_of(rec.path)]
+        assert seqs == list(range(6))  # header + 5 counts
+
+    def test_bind_stamps_labels_and_shares_the_stream(self, tmp_path):
+        with TraceRecorder(tmp_path, stream="s") as rec:
+            bound = rec.bind(walk=1, engine="bstar")
+            bound.event("anneal.sample", step=0)
+            bound.bind(chunk=2).count("x")
+        events = events_of(rec.path)[1:]
+        assert events[0]["fields"] == {"walk": 1, "engine": "bstar", "step": 0}
+        assert events[1]["fields"] == {
+            "walk": 1,
+            "engine": "bstar",
+            "chunk": 2,
+            "value": 1,
+        }
+        # one file, one sequence: the view wrote through the parent
+        assert [e["wall"]["seq"] for e in events] == [1, 2]
+
+    def test_span_times_the_block_and_records_ok(self, tmp_path):
+        with TraceRecorder(tmp_path, stream="s") as rec:
+            with rec.span("phase", policy="independent"):
+                pass
+            with pytest.raises(RuntimeError):
+                with rec.span("phase"):
+                    raise RuntimeError("boom")
+        good, bad = events_of(rec.path)[1:]
+        assert good["kind"] == bad["kind"] == "span"
+        assert good["fields"] == {"policy": "independent", "ok": True}
+        assert bad["fields"] == {"ok": False}
+        assert good["wall"]["elapsed_s"] >= 0.0
+
+    def test_reopening_a_stream_appends(self, tmp_path):
+        with TraceRecorder(tmp_path, stream="s") as rec:
+            rec.count("a")
+        with TraceRecorder(tmp_path, stream="s") as rec:
+            rec.count("b")
+        names = [e["name"] for e in events_of(rec.path)]
+        assert names == ["trace", "a", "trace", "b"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        rec = TraceRecorder(tmp_path, stream="s")
+        rec.close()
+        rec.close()
+
+    def test_sample_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="sample_interval"):
+            TraceRecorder(tmp_path, sample_interval=0)
+        with pytest.raises(ValueError, match="sample_interval"):
+            TraceConfig(directory=str(tmp_path), sample_interval=0)
+
+
+class TestTraceConfig:
+    def test_is_plain_picklable_data(self, tmp_path):
+        import pickle
+
+        config = TraceConfig(directory=str(tmp_path))
+        assert config.sample_interval == DEFAULT_SAMPLE_INTERVAL
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestNullRecorder:
+    def test_disabled_and_zero_interval(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.sample_interval == 0
+
+    def test_probes_are_no_ops_and_bind_allocates_nothing(self):
+        rec = NullRecorder()
+        assert rec.bind(walk=1) is rec
+        rec.count("x")
+        rec.gauge("x", 1.0)
+        rec.observe("x", 2)
+        rec.event("x", wall={"w": 1}, step=0)
+        rec.flush()
+        rec.close()
+
+    def test_span_is_a_free_context_manager(self):
+        with NULL_RECORDER.span("phase", policy="p") as span:
+            assert span is NULL_RECORDER.span("other")  # shared singleton
+
+    def test_slots_forbid_accidental_state(self):
+        with pytest.raises(AttributeError):
+            NullRecorder().stash = 1
